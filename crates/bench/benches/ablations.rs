@@ -1,0 +1,202 @@
+//! Ablation benches: the design choices DESIGN.md calls out, measured as
+//! paired runs so Criterion tracks both the calibrated model and its
+//! ablated twin. Each bench asserts the qualitative effect the ablation
+//! is supposed to demonstrate, so a silent model regression fails loudly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use daosim_cluster::{Calibration, ClusterSpec};
+use daosim_core::fieldio::{FieldIoConfig, FieldIoMode};
+use daosim_core::patterns::{run_pattern_a, run_pattern_b, PatternConfig};
+use daosim_core::workload::Contention;
+use daosim_kernel::SimDuration;
+use daosim_net::mpi::{run_p2p, MpiP2pConfig};
+use daosim_net::ProviderProfile;
+
+const MIB: u64 = 1024 * 1024;
+
+fn cfg(mode: FieldIoMode, contention: Contention, cal: Calibration) -> PatternConfig {
+    let mut cluster = ClusterSpec::tcp(2, 4);
+    cluster.calibration = cal;
+    PatternConfig {
+        cluster,
+        fieldio: FieldIoConfig::with_mode(mode),
+        contention,
+        procs_per_node: 8,
+        ops_per_proc: 10,
+        field_bytes: MIB,
+        verify: false,
+    }
+}
+
+fn ablation_stream_cap(c: &mut Criterion) {
+    c.bench_function("ablation_stream_cap", |b| {
+        b.iter(|| {
+            let capped = run_p2p(MpiP2pConfig {
+                provider: ProviderProfile::tcp(),
+                pairs: 1,
+                msg_bytes: 2 * MIB,
+                messages: 20,
+            });
+            let mut open = ProviderProfile::tcp();
+            open.per_flow_cap_gib = 1e6;
+            open.stream_alpha = 0.0;
+            let uncapped = run_p2p(MpiP2pConfig {
+                provider: open,
+                pairs: 1,
+                msg_bytes: 2 * MIB,
+                messages: 20,
+            });
+            assert!(uncapped.aggregate_gib_s > 1.5 * capped.aggregate_gib_s);
+            (capped.aggregate_gib_s, uncapped.aggregate_gib_s)
+        });
+    });
+}
+
+fn ablation_cont_table(c: &mut Criterion) {
+    c.bench_function("ablation_cont_table", |b| {
+        b.iter(|| {
+            let with = run_pattern_b(&cfg(
+                FieldIoMode::Full,
+                Contention::Low,
+                Calibration::nextgenio(),
+            ));
+            let mut zeroed = Calibration::nextgenio();
+            zeroed.cont_table_cost_per_cont = SimDuration::ZERO;
+            zeroed.cont_table_cost_cap = SimDuration::ZERO;
+            let without = run_pattern_b(&cfg(FieldIoMode::Full, Contention::Low, zeroed));
+            assert!(without.aggregate_gib() > with.aggregate_gib());
+            (with.aggregate_gib(), without.aggregate_gib())
+        });
+    });
+}
+
+fn ablation_kv_serialization(c: &mut Criterion) {
+    c.bench_function("ablation_kv_serialization", |b| {
+        b.iter(|| {
+            let with = run_pattern_a(&cfg(
+                FieldIoMode::NoContainers,
+                Contention::High,
+                Calibration::nextgenio(),
+            ));
+            let mut zeroed = Calibration::nextgenio();
+            zeroed.kv_update_serial_cost = SimDuration::ZERO;
+            zeroed.kv_fetch_serial_cost = SimDuration::ZERO;
+            let without = run_pattern_a(&cfg(FieldIoMode::NoContainers, Contention::High, zeroed));
+            assert!(without.aggregate_gib() > with.aggregate_gib());
+            (with.aggregate_gib(), without.aggregate_gib())
+        });
+    });
+}
+
+fn ablation_frictionless(c: &mut Criterion) {
+    c.bench_function("ablation_frictionless", |b| {
+        b.iter(|| {
+            let real = run_pattern_a(&cfg(
+                FieldIoMode::NoIndex,
+                Contention::Low,
+                Calibration::nextgenio(),
+            ));
+            let ideal = run_pattern_a(&cfg(
+                FieldIoMode::NoIndex,
+                Contention::Low,
+                Calibration::frictionless(),
+            ));
+            assert!(ideal.aggregate_gib() >= real.aggregate_gib());
+            (real.aggregate_gib(), ideal.aggregate_gib())
+        });
+    });
+}
+
+fn ablation_redundancy_classes(c: &mut Criterion) {
+    use daosim_cluster::{Deployment, SimClient};
+    use daosim_kernel::Sim;
+    use daosim_objstore::api::DaosApi;
+    use daosim_objstore::{ObjectClass, OidAllocator, Uuid};
+    use std::rc::Rc;
+
+    fn write_run(class: ObjectClass) -> f64 {
+        let sim = Sim::new();
+        let d = Deployment::new(&sim, ClusterSpec::tcp(2, 1));
+        for p in 0..8u32 {
+            let d = Rc::clone(&d);
+            sim.spawn(async move {
+                let client = SimClient::for_process(&d, 0, p);
+                let cont = client
+                    .cont_open_or_create(Uuid::from_name(b"bench"))
+                    .await
+                    .unwrap();
+                let mut alloc = OidAllocator::new(p + 1);
+                let payload = bytes::Bytes::from(vec![1u8; MIB as usize]);
+                for _ in 0..6 {
+                    let oid = alloc.next(class);
+                    client.array_create(&cont, oid).await.unwrap();
+                    client.array_write(&cont, oid, 0, payload.clone()).await.unwrap();
+                }
+            });
+        }
+        sim.run().expect_quiescent().as_secs_f64()
+    }
+
+    c.bench_function("ablation_redundancy_classes", |b| {
+        b.iter(|| {
+            let s1 = write_run(ObjectClass::S1);
+            let rp2 = write_run(ObjectClass::RP2);
+            let ec = write_run(ObjectClass::EC2P1);
+            // Redundancy must cost: RP2 slowest, EC between.
+            assert!(rp2 > s1, "rp2 {rp2} vs s1 {s1}");
+            assert!(ec > s1, "ec {ec} vs s1 {s1}");
+            assert!(ec < rp2, "ec {ec} vs rp2 {rp2}");
+            (s1, rp2, ec)
+        });
+    });
+}
+
+fn ablation_rebuild(c: &mut Criterion) {
+    use daosim_cluster::{rebuild_engine, Deployment, SimClient};
+    use daosim_kernel::Sim;
+    use daosim_objstore::api::DaosApi;
+    use daosim_objstore::{ObjectClass, OidAllocator, Uuid};
+    use std::rc::Rc;
+
+    c.bench_function("ablation_rebuild", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let d = Deployment::new(&sim, ClusterSpec::tcp(2, 1));
+            let d2 = Rc::clone(&d);
+            sim.spawn(async move {
+                let client = SimClient::for_process(&d2, 0, 0);
+                let cont = client
+                    .cont_open_or_create(Uuid::from_name(b"rb"))
+                    .await
+                    .unwrap();
+                let mut alloc = OidAllocator::new(1);
+                let payload = bytes::Bytes::from(vec![2u8; MIB as usize]);
+                for _ in 0..24 {
+                    let oid = alloc.next(ObjectClass::RP2);
+                    client.array_create(&cont, oid).await.unwrap();
+                    client.array_write(&cont, oid, 0, payload.clone()).await.unwrap();
+                }
+                d2.kill_engine(0);
+                let r = rebuild_engine(&d2, 0).await;
+                assert!(r.objects_moved > 0);
+            });
+            sim.run().expect_quiescent()
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets =
+        ablation_stream_cap,
+        ablation_cont_table,
+        ablation_kv_serialization,
+        ablation_frictionless,
+        ablation_redundancy_classes,
+        ablation_rebuild
+}
+criterion_main!(benches);

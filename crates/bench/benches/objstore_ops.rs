@@ -1,0 +1,139 @@
+//! Microbenchmarks of the embedded object store — the real (non-sim)
+//! data path a downstream embedder pays for.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use daosim_objstore::md5::md5;
+use daosim_objstore::placement::{array_target_shards, kv_target, stripe_targets};
+use daosim_objstore::{ArrayObject, Container, KvObject, ObjectClass, Oid, Uuid};
+
+const MIB: usize = 1024 * 1024;
+
+fn bench_md5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("md5");
+    for size in [64usize, 4096, MIB] {
+        let data = vec![0xa5u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("digest_{size}B"), |b| b.iter(|| md5(&data)));
+    }
+    g.finish();
+}
+
+fn bench_kv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kv");
+    g.bench_function("put_1k_keys", |b| {
+        let keys: Vec<String> = (0..1000).map(|i| format!("param=t,step={i}")).collect();
+        b.iter_batched(
+            KvObject::new,
+            |mut kv| {
+                for k in &keys {
+                    kv.put(k.as_bytes(), Bytes::from_static(b"entry"));
+                }
+                kv
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("get_hit", |b| {
+        let mut kv = KvObject::new();
+        for i in 0..1000 {
+            kv.put(format!("step={i}").as_bytes(), Bytes::from_static(b"v"));
+        }
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 1000;
+            kv.get(format!("step={i}").as_bytes())
+        });
+    });
+    g.finish();
+}
+
+fn bench_array(c: &mut Criterion) {
+    let mut g = c.benchmark_group("array");
+    let payload = Bytes::from(vec![7u8; MIB]);
+    g.throughput(Throughput::Bytes(MIB as u64));
+    g.bench_function("write_1MiB_fresh", |b| {
+        b.iter_batched(
+            ArrayObject::new,
+            |mut a| {
+                a.write(0, payload.clone());
+                a
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("read_1MiB_zero_copy", |b| {
+        let mut a = ArrayObject::new();
+        a.write(0, payload.clone());
+        b.iter(|| a.read(0, MIB as u64));
+    });
+    g.bench_function("read_1MiB_assembled", |b| {
+        // Two half-extents force the copy path.
+        let mut a = ArrayObject::new();
+        a.write(0, payload.slice(0..MIB / 2));
+        a.write(MIB as u64 / 2, payload.slice(0..MIB / 2));
+        b.iter(|| a.read(0, MIB as u64));
+    });
+    g.bench_function("overwrite_middle", |b| {
+        let small = Bytes::from(vec![1u8; 4096]);
+        b.iter_batched(
+            || {
+                let mut a = ArrayObject::new();
+                a.write(0, payload.clone());
+                a
+            },
+            |mut a| {
+                a.write(1000, small.clone());
+                a
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_container(c: &mut Criterion) {
+    let mut g = c.benchmark_group("container");
+    g.bench_function("array_create_open_write_read", |b| {
+        let cont = Container::new(Uuid::from_name(b"bench"));
+        let payload = Bytes::from(vec![3u8; 64 * 1024]);
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            let oid = Oid::generate(1, n, ObjectClass::S1);
+            cont.array_create(oid).unwrap();
+            cont.array_write(oid, 0, payload.clone()).unwrap();
+            cont.array_read(oid, 0, 64 * 1024).unwrap()
+        });
+    });
+    g.finish();
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("placement");
+    let oid_sx = Oid::generate(1, 42, ObjectClass::SX);
+    let oid_s1 = Oid::generate(1, 42, ObjectClass::S1);
+    g.bench_function("stripe_targets_sx_192", |b| {
+        b.iter(|| stripe_targets(oid_sx, 192))
+    });
+    g.bench_function("kv_target", |b| {
+        b.iter(|| kv_target(oid_sx, b"levelist=500,param=t,step=24", 192))
+    });
+    g.bench_function("target_shards_20MiB_s1", |b| {
+        b.iter(|| array_target_shards(oid_s1, 0, 20 * MIB as u64, 192))
+    });
+    g.bench_function("target_shards_20MiB_sx", |b| {
+        b.iter(|| array_target_shards(oid_sx, 0, 20 * MIB as u64, 192))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_md5,
+    bench_kv,
+    bench_array,
+    bench_container,
+    bench_placement
+);
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! One benchmark per paper artifact: each runs a reduced-scale version of
+//! the corresponding experiment (`xp <name>` regenerates the full table).
+//! The measured quantity is the wall-clock cost of regenerating the
+//! artifact, making regressions in the simulation pipeline visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use daosim_cluster::ClusterSpec;
+use daosim_core::fieldio::{FieldIoConfig, FieldIoMode};
+use daosim_core::patterns::{run_pattern_a, run_pattern_b, PatternConfig};
+use daosim_core::workload::Contention;
+use daosim_ior::{run_ior, IorParams};
+use daosim_net::mpi::{run_p2p, MpiP2pConfig};
+use daosim_net::ProviderProfile;
+use daosim_objstore::ObjectClass;
+
+const MIB: u64 = 1024 * 1024;
+
+fn ior_params(ppn: u32) -> IorParams {
+    IorParams {
+        transfer_bytes: MIB,
+        segments: 10,
+        procs_per_node: ppn,
+        class: ObjectClass::S1,
+        iterations: 1,
+        file_mode: daosim_ior::FileMode::FilePerProcess,
+    }
+}
+
+fn pattern_cfg(mode: FieldIoMode, contention: Contention, servers: u16) -> PatternConfig {
+    PatternConfig {
+        cluster: ClusterSpec::tcp(servers, servers * 2),
+        fieldio: FieldIoConfig::with_mode(mode),
+        contention,
+        procs_per_node: 8,
+        ops_per_proc: 10,
+        field_bytes: MIB,
+        verify: false,
+    }
+}
+
+fn table1_ior_single_node(c: &mut Criterion) {
+    c.bench_function("table1_ior_single_node", |b| {
+        b.iter(|| run_ior(ClusterSpec::tcp(1, 2), ior_params(16)));
+    });
+}
+
+fn table2_mpi_p2p(c: &mut Criterion) {
+    c.bench_function("table2_mpi_p2p", |b| {
+        b.iter(|| {
+            let tcp = run_p2p(MpiP2pConfig {
+                provider: ProviderProfile::tcp(),
+                pairs: 8,
+                msg_bytes: 2 * MIB,
+                messages: 20,
+            });
+            let psm2 = run_p2p(MpiP2pConfig {
+                provider: ProviderProfile::psm2(),
+                pairs: 1,
+                msg_bytes: 8 * MIB,
+                messages: 20,
+            });
+            (tcp.aggregate_gib_s, psm2.aggregate_gib_s)
+        });
+    });
+}
+
+fn fig3_ior_scaling(c: &mut Criterion) {
+    c.bench_function("fig3_ior_scaling", |b| {
+        b.iter(|| {
+            let one = run_ior(ClusterSpec::tcp(1, 2), ior_params(8));
+            let four = run_ior(ClusterSpec::tcp(4, 8), ior_params(8));
+            assert!(four.write_bw() > one.write_bw());
+            (one.write_bw(), four.write_bw())
+        });
+    });
+}
+
+fn fig4_fieldio_contended(c: &mut Criterion) {
+    c.bench_function("fig4_fieldio_contended", |b| {
+        b.iter(|| {
+            let a = run_pattern_a(&pattern_cfg(FieldIoMode::Full, Contention::High, 2));
+            let bb = run_pattern_b(&pattern_cfg(FieldIoMode::Full, Contention::High, 2));
+            (a.aggregate_gib(), bb.aggregate_gib())
+        });
+    });
+}
+
+fn fig5_fieldio_low_contention(c: &mut Criterion) {
+    c.bench_function("fig5_fieldio_low_contention", |b| {
+        b.iter(|| {
+            let nc = run_pattern_b(&pattern_cfg(FieldIoMode::NoContainers, Contention::Low, 2));
+            let ni = run_pattern_b(&pattern_cfg(FieldIoMode::NoIndex, Contention::Low, 2));
+            assert!(nc.aggregate_gib() > ni.aggregate_gib());
+            (nc.aggregate_gib(), ni.aggregate_gib())
+        });
+    });
+}
+
+fn fig6_oclass_size(c: &mut Criterion) {
+    c.bench_function("fig6_oclass_size", |b| {
+        b.iter(|| {
+            let mut small = pattern_cfg(FieldIoMode::Full, Contention::High, 2);
+            small.field_bytes = MIB;
+            let mut large = pattern_cfg(FieldIoMode::Full, Contention::High, 2);
+            large.field_bytes = 5 * MIB;
+            large.ops_per_proc = 4;
+            let s = run_pattern_a(&small);
+            let l = run_pattern_a(&large);
+            assert!(l.write.global_bw_gib > s.write.global_bw_gib);
+            (s.write.global_bw_gib, l.write.global_bw_gib)
+        });
+    });
+}
+
+fn fig7_provider_comparison(c: &mut Criterion) {
+    c.bench_function("fig7_provider_comparison", |b| {
+        b.iter(|| {
+            let tcp = {
+                let mut spec = ClusterSpec::psm2(4, 4);
+                spec.provider = ProviderProfile::tcp();
+                run_ior(spec, ior_params(8))
+            };
+            let psm2 = run_ior(ClusterSpec::psm2(4, 4), ior_params(8));
+            assert!(psm2.write_bw() > tcp.write_bw());
+            (tcp.write_bw(), psm2.write_bw())
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets =
+        table1_ior_single_node,
+        table2_mpi_p2p,
+        fig3_ior_scaling,
+        fig4_fieldio_contended,
+        fig5_fieldio_low_contention,
+        fig6_oclass_size,
+        fig7_provider_comparison
+}
+criterion_main!(benches);

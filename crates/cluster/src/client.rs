@@ -1,0 +1,750 @@
+//! The simulated DAOS client: `DaosApi` with modelled time.
+//!
+//! Every operation decomposes the way the wire protocol does:
+//!
+//! * a request message (provider latency),
+//! * engine-serial metadata work (container-handle validation — the cost
+//!   that grows with the pool's container population),
+//! * per-target service: FIFO queue, per-RPC CPU, media time,
+//! * bulk data as fabric flows through the software-stack links (writes
+//!   client→engine, reads engine→client), pipelined with media service,
+//! * a response message (provider latency),
+//!
+//! plus per-object *update locks* serializing conflicting updates (the
+//! DTX-leader surrogate that shared-index contention binds on).
+//!
+//! Data is applied to the backing [`daosim_objstore`] store at the
+//! modelled completion point, so reads return real bytes and correctness
+//! is testable end-to-end under the timing model.
+
+use std::rc::Rc;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use daosim_kernel::sync::join_all;
+use daosim_kernel::SimDuration;
+use daosim_net::Endpoint;
+use daosim_objstore::api::DaosApi;
+use daosim_objstore::ec;
+use daosim_objstore::placement::{
+    array_target_shards, ec_targets, kv_target, leader_target, replica_targets, ARRAY_CHUNK,
+};
+use daosim_objstore::ObjectClass;
+use daosim_objstore::{Container, DaosError, Oid, Result, Uuid};
+
+use crate::deploy::{Deployment, Engine};
+
+/// Open-container handle for the simulated backend.
+#[derive(Clone)]
+pub struct SimCont {
+    pub uuid: Uuid,
+    cont: Arc<Container>,
+}
+
+impl SimCont {
+    pub fn container(&self) -> &Arc<Container> {
+        &self.cont
+    }
+}
+
+/// A client process's connection to the simulated cluster, pinned to one
+/// client-node socket.
+#[derive(Clone)]
+pub struct SimClient {
+    d: Rc<Deployment>,
+    ep: Endpoint,
+}
+
+impl SimClient {
+    pub fn new(d: Rc<Deployment>, ep: Endpoint) -> Self {
+        SimClient { d, ep }
+    }
+
+    /// Convenience: the client for process `rank_on_node` of `client_node`.
+    pub fn for_process(d: &Rc<Deployment>, client_node: u16, rank_on_node: u32) -> Self {
+        let ep = d.client_endpoint(client_node, rank_on_node);
+        SimClient::new(Rc::clone(d), ep)
+    }
+
+    pub fn endpoint(&self) -> Endpoint {
+        self.ep
+    }
+
+    pub fn deployment(&self) -> &Rc<Deployment> {
+        &self.d
+    }
+
+    async fn latency(&self) {
+        self.d.sim.sleep(self.d.fabric.msg_latency()).await;
+    }
+
+    /// Applies the pool map (rebuild remaps) to a placement target.
+    fn live_target(&self, t: u32) -> u32 {
+        self.d.resolve_target(t)
+    }
+
+    fn engine_for(&self, target: u32) -> Result<&Engine> {
+        let e = self.d.engine_of_target(target);
+        if e.is_alive() {
+            Ok(e)
+        } else {
+            Err(DaosError::EngineUnavailable(
+                self.d.engine_index_of_target(target),
+            ))
+        }
+    }
+
+    /// Engine-serial container-handle work; zero-cost when the pool holds
+    /// few containers.
+    async fn engine_meta(&self, engine: &Engine) {
+        let cost = self
+            .d
+            .spec
+            .calibration
+            .cont_table_cost(self.d.pool.cont_count());
+        if cost > SimDuration::ZERO {
+            let _p = engine.meta.acquire_one().await;
+            self.d.sim.sleep(cost).await;
+        }
+    }
+
+    /// Occupies target `t` for `service` time, FIFO behind earlier work.
+    async fn target_service(&self, t: u32, service: SimDuration) {
+        let tgt = self.d.target(t);
+        let _p = tgt.sem.acquire_one().await;
+        self.d.sim.sleep(service).await;
+        tgt.charge_busy(service.as_nanos());
+    }
+
+    /// One small (metadata-sized) RPC to the target owning `t`.
+    async fn small_rpc(&self, t: u32, service: SimDuration) -> Result<()> {
+        let engine = self.engine_for(t)?;
+        self.latency().await;
+        self.engine_meta(engine).await;
+        self.target_service(t, service).await;
+        self.latency().await;
+        Ok(())
+    }
+
+    /// The first replica target whose engine is alive; errors with the
+    /// last replica's engine when every one is down. Degraded reads and
+    /// metadata operations on replicated objects fail over through this.
+    fn first_alive(&self, targets: &[u32]) -> Result<u32> {
+        let mut last = 0;
+        for &t in targets {
+            last = t;
+            if self.d.engine_of_target(t).is_alive() {
+                return Ok(t);
+            }
+        }
+        Err(DaosError::EngineUnavailable(
+            self.d.engine_index_of_target(last),
+        ))
+    }
+
+    /// Metadata target for `oid`: the leader, failing over across the
+    /// redundancy group (replicas, or EC data+parity cells).
+    fn meta_target(&self, oid: Oid) -> Result<u32> {
+        let mut candidates = if oid.class() == ObjectClass::EC2P1 {
+            let (mut dts, pt) = ec_targets(oid, self.pool_targets());
+            dts.push(pt);
+            dts
+        } else {
+            replica_targets(oid, self.pool_targets())
+        };
+        for t in &mut candidates {
+            *t = self.live_target(*t);
+        }
+        self.first_alive(&candidates)
+    }
+
+    /// Engine-serial dispatch work per bulk shard RPC.
+    async fn shard_dispatch(&self, engine: &Engine) {
+        let cost = self.d.spec.calibration.shard_dispatch_cost;
+        if cost > SimDuration::ZERO {
+            let _p = engine.meta.acquire_one().await;
+            self.d.sim.sleep(cost).await;
+        }
+    }
+
+    /// Bulk write of one shard: the wire flow and the media reservation
+    /// run concurrently (streamed I/O pipelines them in reality).
+    async fn shard_write(&self, t: u32, bytes: u64) -> Result<()> {
+        let engine = self.engine_for(t)?;
+        self.shard_dispatch(engine).await;
+        let cal = &self.d.spec.calibration;
+        let route = self.d.write_route(self.ep, engine);
+        let cap = self.d.fabric.flow_cap(self.ep, engine.endpoint);
+        let flow = self.d.fabric.net().transfer(&route, bytes, cap);
+        let media = cal.rpc_cpu_cost + self.d.target(t).media.write_time(bytes);
+        let service = self.target_service(t, media);
+        let mut both = join_all(vec![
+            Box::pin(async move {
+                flow.await;
+            }) as std::pin::Pin<Box<dyn std::future::Future<Output = ()>>>,
+            Box::pin(service),
+        ]);
+        (&mut both).await;
+        Ok(())
+    }
+
+    /// Bulk read of one shard, symmetric to [`Self::shard_write`].
+    async fn shard_read(&self, t: u32, bytes: u64) -> Result<()> {
+        let engine = self.engine_for(t)?;
+        self.shard_dispatch(engine).await;
+        let cal = &self.d.spec.calibration;
+        let route = self.d.read_route(engine, self.ep);
+        let cap = self.d.fabric.flow_cap(engine.endpoint, self.ep);
+        let flow = self.d.fabric.net().transfer(&route, bytes, cap);
+        let media = cal.rpc_cpu_cost + self.d.target(t).media.read_time(bytes);
+        let service = self.target_service(t, media);
+        let mut both = join_all(vec![
+            Box::pin(async move {
+                flow.await;
+            }) as std::pin::Pin<Box<dyn std::future::Future<Output = ()>>>,
+            Box::pin(service),
+        ]);
+        (&mut both).await;
+        Ok(())
+    }
+}
+
+impl DaosApi for SimClient {
+    type Cont = SimCont;
+
+    async fn cont_open_or_create(&self, uuid: Uuid) -> Result<Self::Cont> {
+        self.latency().await;
+        let cal = &self.d.spec.calibration;
+        let exists = self.d.pool.cont_open(uuid).is_ok();
+        {
+            let _p = self.d.pool_md.acquire_one().await;
+            let cost = if exists {
+                cal.cont_open_cost
+            } else {
+                cal.cont_create_cost
+            };
+            self.d.sim.sleep(cost).await;
+        }
+        let cont = self.d.pool.cont_open_or_create(uuid)?;
+        self.latency().await;
+        Ok(SimCont { uuid, cont })
+    }
+
+    async fn cont_open(&self, uuid: Uuid) -> Result<Self::Cont> {
+        self.latency().await;
+        {
+            let _p = self.d.pool_md.acquire_one().await;
+            self.d.sim.sleep(self.d.spec.calibration.cont_open_cost).await;
+        }
+        let cont = self.d.pool.cont_open(uuid)?;
+        self.latency().await;
+        Ok(SimCont { uuid, cont })
+    }
+
+    async fn kv_put(&self, cont: &Self::Cont, oid: Oid, key: &[u8], value: Bytes) -> Result<()> {
+        let cal = self.d.spec.calibration;
+        // Updates land on every replica of the key's home target;
+        // unreplicated classes have exactly one.
+        let targets: Vec<u32> = if oid.class().replicas(self.pool_targets()) > 1 {
+            replica_targets(oid, self.pool_targets())
+        } else {
+            vec![kv_target(oid, key, self.pool_targets())]
+        };
+        let targets: Vec<u32> = targets.into_iter().map(|t| self.live_target(t)).collect();
+        for &t in &targets {
+            self.engine_for(t)?;
+        }
+        let engine = self.engine_for(targets[0])?;
+        self.latency().await;
+        self.engine_meta(engine).await;
+        // Conflicting updates to one object serialize on its update lock
+        // for the leader-serialization cost plus the target service.
+        let lock = self.d.obj_lock(cont.uuid, oid, 0);
+        {
+            let _g = lock.acquire_one().await;
+            self.d.sim.sleep(cal.kv_update_serial_cost).await;
+            let bytes = (key.len() + value.len()) as u64;
+            let updates: Vec<_> = targets
+                .iter()
+                .map(|&t| {
+                    let this = self.clone();
+                    async move {
+                        let service =
+                            cal.kv_op_cost + this.d.target(t).media.write_time(bytes);
+                        this.target_service(t, service).await;
+                    }
+                })
+                .collect();
+            join_all(updates).await;
+            self.d.pool.charge(bytes)?;
+            cont.cont.kv_put(oid, key, value)?;
+        }
+        self.latency().await;
+        Ok(())
+    }
+
+    async fn kv_get(&self, cont: &Self::Cont, oid: Oid, key: &[u8]) -> Result<Option<Bytes>> {
+        let cal = self.d.spec.calibration;
+        let t = if oid.class().replicas(self.pool_targets()) > 1 {
+            let reps: Vec<u32> = replica_targets(oid, self.pool_targets())
+                .into_iter()
+                .map(|t| self.live_target(t))
+                .collect();
+            self.first_alive(&reps)?
+        } else {
+            self.live_target(kv_target(oid, key, self.pool_targets()))
+        };
+        let engine = self.engine_for(t)?;
+        self.latency().await;
+        self.engine_meta(engine).await;
+        // Fetches under conflicting access serialize at the object's
+        // leader for the consistency check, like updates but cheaper.
+        let lock = self.d.obj_lock(cont.uuid, oid, 0);
+        let out;
+        {
+            let _g = lock.acquire_one().await;
+            self.d.sim.sleep(cal.kv_fetch_serial_cost).await;
+            let service = cal.kv_op_cost + self.d.target(t).media.read_time(cal.kv_entry_bytes);
+            self.target_service(t, service).await;
+            out = cont.cont.kv_get(oid, key)?;
+        }
+        self.latency().await;
+        Ok(out)
+    }
+
+    async fn kv_list_keys(&self, cont: &Self::Cont, oid: Oid) -> Result<Vec<Vec<u8>>> {
+        let cal = self.d.spec.calibration;
+        let t = self.meta_target(oid)?;
+        self.small_rpc(t, cal.kv_op_cost).await?;
+        cont.cont.kv_list_keys(oid)
+    }
+
+    async fn array_create(&self, cont: &Self::Cont, oid: Oid) -> Result<()> {
+        let cal = self.d.spec.calibration;
+        // Creation installs metadata on every replica, concurrently.
+        let reps: Vec<u32> = replica_targets(oid, self.pool_targets())
+            .into_iter()
+            .map(|t| self.live_target(t))
+            .collect();
+        for &t in &reps {
+            self.engine_for(t)?;
+        }
+        let creates: Vec<_> = reps
+            .iter()
+            .map(|&t| {
+                let this = self.clone();
+                async move {
+                    let service =
+                        cal.array_create_cost + this.d.target(t).media.write_time(128);
+                    this.small_rpc(t, service).await
+                }
+            })
+            .collect();
+        for r in join_all(creates).await {
+            r?;
+        }
+        cont.cont.array_create(oid)
+    }
+
+    async fn array_open(&self, cont: &Self::Cont, oid: Oid) -> Result<()> {
+        let cal = self.d.spec.calibration;
+        let t = self.meta_target(oid)?;
+        let service = cal.array_open_cost + self.d.target(t).media.read_time(128);
+        self.small_rpc(t, service).await?;
+        cont.cont.array_open(oid)
+    }
+
+    async fn array_open_or_create(&self, cont: &Self::Cont, oid: Oid) -> Result<()> {
+        let cal = self.d.spec.calibration;
+        let t = self.live_target(leader_target(oid, self.pool_targets()));
+        self.engine_for(t)?;
+        let service = cal.array_create_cost + self.d.target(t).media.write_time(128);
+        self.small_rpc(t, service).await?;
+        cont.cont.array_open_or_create(oid)
+    }
+
+    async fn array_write(
+        &self,
+        cont: &Self::Cont,
+        oid: Oid,
+        offset: u64,
+        data: Bytes,
+    ) -> Result<()> {
+        let len = data.len() as u64;
+        // Replicated classes write every replica synchronously; erasure-
+        // coded objects write two data cells plus the XOR parity cell;
+        // striped classes write one shard per stripe target.
+        let is_ec = oid.class() == ObjectClass::EC2P1
+            && oid.class().parity_cells(self.pool_targets()) > 0;
+        let mut ec_parity: Option<Bytes> = None;
+        let shards: Vec<(u32, u64)> = if is_ec {
+            if offset != 0 {
+                return Err(DaosError::InvalidArg(
+                    "EC objects support whole-object writes at offset 0",
+                ));
+            }
+            let (h0, h1) = ec::split_halves(&data);
+            let parity = Bytes::from(ec::xor_parity(&h0, &h1));
+            let (dts, pt) = ec_targets(oid, self.pool_targets());
+            let shards = vec![
+                (dts[0], h0.len() as u64),
+                (dts[1], h1.len() as u64),
+                (pt, parity.len() as u64),
+            ];
+            ec_parity = Some(parity);
+            shards
+        } else if oid.class().replicas(self.pool_targets()) > 1 {
+            replica_targets(oid, self.pool_targets())
+                .into_iter()
+                .map(|t| (t, len))
+                .collect()
+        } else {
+            array_target_shards(oid, offset, len, self.pool_targets())
+        };
+        let shards: Vec<(u32, u64)> = shards
+            .into_iter()
+            .map(|(t, b)| (self.live_target(t), b))
+            .collect();
+        // Fail fast if any owning engine is down: writes require the full
+        // redundancy group.
+        for (t, _) in &shards {
+            self.engine_for(*t)?;
+        }
+        self.latency().await;
+        let lock = self.d.obj_lock(cont.uuid, oid, offset / ARRAY_CHUNK);
+        {
+            let _g = lock.acquire_one().await;
+            let writes: Vec<_> = shards
+                .iter()
+                .map(|&(t, bytes)| {
+                    let this = self.clone();
+                    async move { this.shard_write(t, bytes).await }
+                })
+                .collect();
+            for r in join_all(writes).await {
+                r?;
+            }
+            self.d.pool.charge(len)?;
+            cont.cont.array_write(oid, offset, data)?;
+            if let Some(parity) = ec_parity {
+                self.d.pool.charge(parity.len() as u64)?;
+                cont.cont.array_set_parity(oid, parity)?;
+            }
+        }
+        self.latency().await;
+        Ok(())
+    }
+
+    async fn array_read(
+        &self,
+        cont: &Self::Cont,
+        oid: Oid,
+        offset: u64,
+        len: u64,
+    ) -> Result<Bytes> {
+        let is_ec = oid.class() == ObjectClass::EC2P1
+            && oid.class().parity_cells(self.pool_targets()) > 0;
+        let mut ec_reconstruct: Option<u32> = None; // index of the dead data cell
+        let shards: Vec<(u32, u64)> = if is_ec {
+            let (dts, pt) = ec_targets(oid, self.pool_targets());
+            let dts: Vec<u32> = dts.into_iter().map(|t| self.live_target(t)).collect();
+            let pt = self.live_target(pt);
+            let size = cont.cont.array_size(oid)?;
+            let h0_len = size.div_ceil(2);
+            let h1_len = size - h0_len;
+            let alive0 = self.d.engine_of_target(dts[0]).is_alive();
+            let alive1 = self.d.engine_of_target(dts[1]).is_alive();
+            match (alive0, alive1) {
+                (true, true) => vec![(dts[0], h0_len.min(len)), (dts[1], h1_len.min(len))],
+                (false, true) => {
+                    // Reconstruct cell 0 from cell 1 + parity.
+                    self.engine_for(pt)?;
+                    ec_reconstruct = Some(0);
+                    vec![(dts[1], h1_len), (pt, h0_len)]
+                }
+                (true, false) => {
+                    self.engine_for(pt)?;
+                    ec_reconstruct = Some(1);
+                    vec![(dts[0], h0_len), (pt, h0_len)]
+                }
+                (false, false) => {
+                    return Err(DaosError::EngineUnavailable(
+                        self.d.engine_index_of_target(dts[0]),
+                    ))
+                }
+            }
+        } else if oid.class().replicas(self.pool_targets()) > 1 {
+            // Degraded-capable read: any alive replica serves the extent.
+            let reps: Vec<u32> = replica_targets(oid, self.pool_targets())
+                .into_iter()
+                .map(|t| self.live_target(t))
+                .collect();
+            vec![(self.first_alive(&reps)?, len)]
+        } else {
+            array_target_shards(oid, offset, len, self.pool_targets())
+                .into_iter()
+                .map(|(t, b)| (self.live_target(t), b))
+                .collect()
+        };
+        for (t, _) in &shards {
+            self.engine_for(*t)?;
+        }
+        self.latency().await;
+        let lock = self.d.obj_lock(cont.uuid, oid, offset / ARRAY_CHUNK);
+        let out;
+        {
+            let _g = lock.acquire_one().await;
+            let reads: Vec<_> = shards
+                .iter()
+                .map(|&(t, bytes)| {
+                    let this = self.clone();
+                    async move { this.shard_read(t, bytes).await }
+                })
+                .collect();
+            for r in join_all(reads).await {
+                r?;
+            }
+            out = if let Some(lost) = ec_reconstruct {
+                // Genuinely reconstruct from the surviving cell plus the
+                // stored parity, charging XOR time; the logical extent is
+                // NOT consulted for the lost cell.
+                let size = cont.cont.array_size(oid)?;
+                let h0_len = size.div_ceil(2) as usize;
+                let parity = cont
+                    .cont
+                    .array_parity(oid)?
+                    .ok_or(DaosError::InvalidArg("EC object without parity"))?;
+                let cal = &self.d.spec.calibration;
+                self.d
+                    .sim
+                    .sleep(SimDuration::from_secs_f64(
+                        size as f64 / (cal.ec_reconstruct_gib * daosim_net::GIB),
+                    ))
+                    .await;
+                let full = if lost == 0 {
+                    let h1 = cont.cont.array_read(oid, h0_len as u64, size - h0_len as u64)?;
+                    let h0 = ec::reconstruct_cell(&h1, &parity, h0_len);
+                    ec::join_halves(&h0, &h1)
+                } else {
+                    let h0 = cont.cont.array_read(oid, 0, h0_len as u64)?;
+                    let h1 = ec::reconstruct_cell(&h0, &parity, size as usize - h0_len);
+                    ec::join_halves(&h0, &h1)
+                };
+                let end = ((offset + len) as usize).min(full.len());
+                let start = (offset as usize).min(end);
+                full.slice(start..end)
+            } else {
+                cont.cont.array_read(oid, offset, len)?
+            };
+        }
+        self.latency().await;
+        Ok(out)
+    }
+
+    async fn array_size(&self, cont: &Self::Cont, oid: Oid) -> Result<u64> {
+        let cal = self.d.spec.calibration;
+        let t = self.meta_target(oid)?;
+        let service = cal.array_open_cost + self.d.target(t).media.read_time(128);
+        self.small_rpc(t, service).await?;
+        cont.cont.array_size(oid)
+    }
+
+    async fn array_close(&self, _cont: &Self::Cont, _oid: Oid) -> Result<()> {
+        // Handle close is client-local in DAOS; no RPC.
+        self.d
+            .sim
+            .sleep(self.d.spec.calibration.array_close_cost)
+            .await;
+        Ok(())
+    }
+
+    async fn obj_punch(&self, cont: &Self::Cont, oid: Oid) -> Result<()> {
+        let cal = self.d.spec.calibration;
+        let t = self.meta_target(oid)?;
+        self.small_rpc(t, cal.array_create_cost).await?;
+        cont.cont.obj_punch(oid)
+    }
+
+    async fn list_array_objects(&self, cont: &Self::Cont) -> Result<Vec<Oid>> {
+        // Enumeration walks the container's object table on its engines;
+        // charge a metadata RPC plus a per-object scan cost at the pool
+        // metadata service.
+        let cal = self.d.spec.calibration;
+        self.latency().await;
+        let arrays = cont.cont.list_arrays();
+        {
+            let _p = self.d.pool_md.acquire_one().await;
+            let per_obj = SimDuration::from_nanos(500);
+            self.d
+                .sim
+                .sleep(cal.cont_open_cost + SimDuration::from_nanos(
+                    per_obj.as_nanos().saturating_mul(arrays.len() as u64),
+                ))
+                .await;
+        }
+        self.latency().await;
+        Ok(arrays)
+    }
+
+    fn pool_targets(&self) -> u32 {
+        self.d.spec.pool_targets()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::ClusterSpec;
+    use daosim_kernel::Sim;
+    use daosim_net::GIB;
+    use daosim_objstore::{ObjectClass, OidAllocator};
+    use std::cell::Cell;
+
+    const MIB: u64 = 1024 * 1024;
+
+    #[test]
+    fn roundtrip_with_time() {
+        let sim = Sim::new();
+        let d = Deployment::new(&sim, ClusterSpec::tcp(1, 1));
+        let client = SimClient::for_process(&d, 0, 0);
+        let end = sim.block_on(async move {
+            let cont = client
+                .cont_open_or_create(Uuid::from_name(b"c"))
+                .await
+                .unwrap();
+            let oid = OidAllocator::new(0).next(ObjectClass::S1);
+            client.array_create(&cont, oid).await.unwrap();
+            let payload = Bytes::from(vec![42u8; MIB as usize]);
+            client.array_write(&cont, oid, 0, payload.clone()).await.unwrap();
+            let back = client.array_read(&cont, oid, 0, MIB).await.unwrap();
+            assert_eq!(back, payload);
+        });
+        // A 1 MiB write + read over a ~3 GiB/s path takes real time.
+        assert!(end.as_secs_f64() > 0.0005, "suspiciously fast: {end}");
+        assert!(end.as_secs_f64() < 0.05, "suspiciously slow: {end}");
+    }
+
+    #[test]
+    fn concurrent_writers_to_one_object_serialize() {
+        let run = |n: usize| {
+            let sim = Sim::new();
+            let d = Deployment::new(&sim, ClusterSpec::tcp(1, 1));
+            for i in 0..n {
+                let d = Rc::clone(&d);
+                sim.spawn(async move {
+                    let client = SimClient::for_process(&d, 0, i as u32);
+                    let cont = client
+                        .cont_open_or_create(Uuid::from_name(b"c"))
+                        .await
+                        .unwrap();
+                    let oid = Oid::generate(9, 9, ObjectClass::S1);
+                    client.array_open_or_create(&cont, oid).await.unwrap();
+                    client
+                        .array_write(&cont, oid, 0, Bytes::from(vec![0u8; MIB as usize]))
+                        .await
+                        .unwrap();
+                });
+            }
+            sim.run().expect_quiescent().as_secs_f64()
+        };
+        let one = run(1);
+        let four = run(4);
+        // Same object: writes serialize, so 4 writers take ~4x one writer.
+        assert!(four > 3.0 * one, "one={one}, four={four}");
+    }
+
+    #[test]
+    fn concurrent_writers_to_distinct_objects_overlap() {
+        let run = |n: usize| {
+            let sim = Sim::new();
+            let d = Deployment::new(&sim, ClusterSpec::tcp(1, 1));
+            for i in 0..n {
+                let d = Rc::clone(&d);
+                sim.spawn(async move {
+                    let client = SimClient::for_process(&d, 0, i as u32);
+                    let cont = client
+                        .cont_open_or_create(Uuid::from_name(b"c"))
+                        .await
+                        .unwrap();
+                    let oid = Oid::generate(10, i as u64, ObjectClass::S1);
+                    client.array_create(&cont, oid).await.unwrap();
+                    client
+                        .array_write(&cont, oid, 0, Bytes::from(vec![0u8; MIB as usize]))
+                        .await
+                        .unwrap();
+                });
+            }
+            sim.run().expect_quiescent().as_secs_f64()
+        };
+        let one = run(1);
+        let four = run(4);
+        assert!(four < 2.5 * one, "one={one}, four={four}");
+    }
+
+    #[test]
+    fn dead_engine_fails_operations() {
+        let sim = Sim::new();
+        let d = Deployment::new(&sim, ClusterSpec::tcp(1, 1));
+        let failed: Rc<Cell<u32>> = Rc::default();
+        let (d2, f2) = (Rc::clone(&d), Rc::clone(&failed));
+        sim.spawn(async move {
+            let client = SimClient::for_process(&d2, 0, 0);
+            let cont = client
+                .cont_open_or_create(Uuid::from_name(b"c"))
+                .await
+                .unwrap();
+            d2.kill_engine(0);
+            d2.kill_engine(1);
+            let oid = Oid::generate(0, 0, ObjectClass::S1);
+            match client.array_create(&cont, oid).await {
+                Err(DaosError::EngineUnavailable(_)) => f2.set(1),
+                other => panic!("expected EngineUnavailable, got {other:?}"),
+            }
+            d2.revive_engine(0);
+            d2.revive_engine(1);
+            client.array_create(&cont, oid).await.unwrap();
+        });
+        sim.run().expect_quiescent();
+        assert_eq!(failed.get(), 1);
+    }
+
+    /// Calibration smoke test: many parallel writers against one
+    /// dual-engine server node should aggregate in the neighbourhood of
+    /// the paper's Table 1 write figures (≈5.5 GiB/s for 2 engines).
+    #[test]
+    fn aggregate_write_bandwidth_in_calibrated_range() {
+        let sim = Sim::new();
+        let d = Deployment::new(&sim, ClusterSpec::tcp(1, 2));
+        let ops_per_proc = 24;
+        let procs = 48; // 24 per client node
+        let payload = Bytes::from(vec![7u8; MIB as usize]);
+        for p in 0..procs {
+            let d = Rc::clone(&d);
+            let payload = payload.clone();
+            sim.spawn(async move {
+                let client = SimClient::for_process(&d, (p % 2) as u16, p / 2);
+                let cont = client
+                    .cont_open_or_create(Uuid::from_name(b"c"))
+                    .await
+                    .unwrap();
+                let mut alloc = OidAllocator::new(p);
+                for _ in 0..ops_per_proc {
+                    let oid = alloc.next(ObjectClass::S1);
+                    client.array_create(&cont, oid).await.unwrap();
+                    client
+                        .array_write(&cont, oid, 0, payload.clone())
+                        .await
+                        .unwrap();
+                    client.array_close(&cont, oid).await.unwrap();
+                }
+            });
+        }
+        let end = sim.run().expect_quiescent();
+        let total_bytes = (procs as u64 * ops_per_proc * MIB) as f64;
+        let bw = total_bytes / GIB / end.as_secs_f64();
+        assert!(
+            (3.5..=6.5).contains(&bw),
+            "aggregate write bandwidth {bw:.2} GiB/s outside calibrated range"
+        );
+    }
+}

@@ -1,0 +1,468 @@
+//! Cluster deployment: servers, engines, targets and shared services.
+//!
+//! A deployment wires together the fabric (raw network), per-engine and
+//! per-client-socket *stack links* (software processing capacities), the
+//! per-target FIFO service queues with their SCM media shares, the pool
+//! metadata service, and the backing [`DaosStore`] that holds real data.
+//! Everything timed lives here; the [`crate::client::SimClient`] composes
+//! these pieces into DAOS operations.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use daosim_kernel::sync::Semaphore;
+use daosim_kernel::Sim;
+use daosim_media::TargetMedia;
+use daosim_net::{Endpoint, Fabric, FabricSpec, LinkId, ProviderProfile};
+use daosim_objstore::store::DEFAULT_POOL_CAPACITY;
+use daosim_objstore::{DaosStore, Oid, Pool, Uuid};
+
+use crate::calibration::Calibration;
+
+/// Static description of a cluster to deploy.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterSpec {
+    pub server_nodes: u16,
+    /// Engines per server node (1 = single-socket deployments, as in the
+    /// paper's PSM2 runs; 2 = the usual dual-engine setup).
+    pub engines_per_node: u8,
+    pub targets_per_engine: u32,
+    pub client_nodes: u16,
+    /// Client sockets used per client node (PSM2 runs used 1).
+    pub client_sockets: u8,
+    pub provider: ProviderProfile,
+    pub calibration: Calibration,
+}
+
+impl ClusterSpec {
+    /// The paper's standard TCP deployment shape: two engines per server
+    /// node, 12 targets per engine, clients using both sockets.
+    pub fn tcp(server_nodes: u16, client_nodes: u16) -> Self {
+        ClusterSpec {
+            server_nodes,
+            engines_per_node: 2,
+            targets_per_engine: 12,
+            client_nodes,
+            client_sockets: 2,
+            provider: ProviderProfile::tcp(),
+            calibration: Calibration::nextgenio(),
+        }
+    }
+
+    /// The paper's PSM2 shape: one engine per server node, one socket per
+    /// client node (the single-rail restriction).
+    pub fn psm2(server_nodes: u16, client_nodes: u16) -> Self {
+        ClusterSpec {
+            server_nodes,
+            engines_per_node: 1,
+            targets_per_engine: 12,
+            client_nodes,
+            client_sockets: 1,
+            provider: ProviderProfile::psm2(),
+            calibration: Calibration::nextgenio(),
+        }
+    }
+
+    pub fn engines(&self) -> u32 {
+        self.server_nodes as u32 * self.engines_per_node as u32
+    }
+
+    pub fn pool_targets(&self) -> u32 {
+        self.engines() * self.targets_per_engine
+    }
+}
+
+/// One DAOS target: a FIFO service queue plus its media share.
+pub struct Target {
+    pub sem: Semaphore,
+    pub media: TargetMedia,
+    /// Accumulated busy time (ns) — service occupancy accounting.
+    busy_ns: Cell<u64>,
+}
+
+impl Target {
+    /// Charges `ns` of service occupancy.
+    pub fn charge_busy(&self, ns: u64) {
+        self.busy_ns.set(self.busy_ns.get() + ns);
+    }
+
+    pub fn busy_ns(&self) -> u64 {
+        self.busy_ns.get()
+    }
+}
+
+/// One DAOS engine: a socket-pinned I/O process with its own fabric
+/// endpoint, software-stack capacities, serial metadata executor and a
+/// set of targets.
+pub struct Engine {
+    pub endpoint: Endpoint,
+    pub rx_stack: LinkId,
+    pub tx_stack: LinkId,
+    /// Serial executor for engine-level metadata work (handle tables).
+    pub meta: Semaphore,
+    pub targets: Vec<Target>,
+    alive: Cell<bool>,
+}
+
+impl Engine {
+    pub fn is_alive(&self) -> bool {
+        self.alive.get()
+    }
+}
+
+struct ClientSocket {
+    tx_stack: LinkId,
+    rx_stack: LinkId,
+}
+
+/// A deployed cluster. Obtain one per simulation via [`Deployment::new`].
+pub struct Deployment {
+    pub sim: Sim,
+    pub spec: ClusterSpec,
+    pub fabric: Fabric,
+    pub engines: Vec<Engine>,
+    /// Stack links per (client node index, socket).
+    client_sockets: Vec<Vec<ClientSocket>>,
+    pub store: Arc<DaosStore>,
+    pub pool: Arc<Pool>,
+    /// The pool metadata service (container create/open), a serial queue
+    /// hosted by engine 0.
+    pub pool_md: Semaphore,
+    /// Lazily materialised per-object-region update locks.
+    obj_locks: RefCell<HashMap<(Uuid, Oid, u64), Semaphore>>,
+    /// Pool-map overrides installed by rebuild: dead target → survivor.
+    target_remap: RefCell<HashMap<u32, u32>>,
+}
+
+impl Deployment {
+    pub fn new(sim: &Sim, spec: ClusterSpec) -> Rc<Self> {
+        assert!(spec.server_nodes > 0 && spec.client_nodes > 0);
+        assert!(spec.engines_per_node >= 1 && spec.engines_per_node <= 2);
+        assert!(spec.client_sockets >= 1 && spec.client_sockets <= 2);
+        assert!(spec.targets_per_engine > 0);
+
+        let total_nodes = spec.server_nodes + spec.client_nodes;
+        let mut fabric_spec = FabricSpec::new(total_nodes, spec.provider);
+        if spec.server_nodes > 1 {
+            fabric_spec.host_efficiency = spec.calibration.multi_server_host_efficiency;
+        }
+        let fabric = Fabric::new(sim, fabric_spec);
+        let cal = &spec.calibration;
+        // RDMA (PSM2) removes most per-byte stack cost on both ends.
+        let stack_gain = if spec.provider.name == "psm2" {
+            cal.psm2_stack_gain
+        } else {
+            1.0
+        };
+
+        let engines = (0..spec.engines())
+            .map(|e| {
+                let node = (e / spec.engines_per_node as u32) as u16;
+                let socket = (e % spec.engines_per_node as u32) as u8;
+                Engine {
+                    endpoint: Endpoint::new(node, socket),
+                    rx_stack: fabric.net().add_link(cal.engine_rx_gib * stack_gain),
+                    tx_stack: fabric.net().add_link(cal.engine_tx_gib * stack_gain),
+                    meta: Semaphore::new(1),
+                    // Each engine is pinned to its own socket and thus its
+                    // own interleaved DIMM set, so a target's media share
+                    // divides only its engine's target count.
+                    targets: (0..spec.targets_per_engine)
+                        .map(|_| Target {
+                            sem: Semaphore::new(1),
+                            media: TargetMedia::new(cal.scm, spec.targets_per_engine),
+                            busy_ns: Cell::new(0),
+                        })
+                        .collect(),
+                    alive: Cell::new(true),
+                }
+            })
+            .collect();
+
+        let client_sockets = (0..spec.client_nodes)
+            .map(|_| {
+                (0..spec.client_sockets)
+                    .map(|_| ClientSocket {
+                        tx_stack: fabric.net().add_link(cal.client_tx_gib * stack_gain),
+                        rx_stack: fabric.net().add_link(cal.client_rx_gib * stack_gain),
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let store = Arc::new(DaosStore::new());
+        let pool = store
+            .pool_create(
+                Uuid::from_name(b"daosim-pool"),
+                spec.pool_targets(),
+                DEFAULT_POOL_CAPACITY,
+            )
+            .expect("fresh store");
+
+        Rc::new(Deployment {
+            sim: sim.clone(),
+            spec,
+            fabric,
+            engines,
+            client_sockets,
+            store,
+            pool,
+            pool_md: Semaphore::new(1),
+            obj_locks: RefCell::new(HashMap::new()),
+            target_remap: RefCell::new(HashMap::new()),
+        })
+    }
+
+    /// The engine owning global pool target `t`.
+    pub fn engine_of_target(&self, t: u32) -> &Engine {
+        &self.engines[(t / self.spec.targets_per_engine) as usize]
+    }
+
+    pub fn engine_index_of_target(&self, t: u32) -> u32 {
+        t / self.spec.targets_per_engine
+    }
+
+    /// The target's service queue/media within its engine.
+    pub fn target(&self, t: u32) -> &Target {
+        let e = self.engine_of_target(t);
+        &e.targets[(t % self.spec.targets_per_engine) as usize]
+    }
+
+    /// The fabric endpoint of client process slot `(client node, rank)`:
+    /// processes are balanced across the node's sockets, as the paper's
+    /// pinning strategy prescribes.
+    pub fn client_endpoint(&self, client_node: u16, rank_on_node: u32) -> Endpoint {
+        assert!(client_node < self.spec.client_nodes);
+        Endpoint::new(
+            self.spec.server_nodes + client_node,
+            (rank_on_node % self.spec.client_sockets as u32) as u8,
+        )
+    }
+
+    fn client_socket(&self, ep: Endpoint) -> &ClientSocket {
+        let node = (ep.node - self.spec.server_nodes) as usize;
+        &self.client_sockets[node][ep.socket as usize]
+    }
+
+    /// Route for client → engine bulk data (writes), including software
+    /// stack links on both ends.
+    pub fn write_route(&self, client: Endpoint, engine: &Engine) -> Vec<LinkId> {
+        let mut r = vec![self.client_socket(client).tx_stack];
+        r.extend(self.fabric.route(client, engine.endpoint));
+        r.push(engine.rx_stack);
+        r
+    }
+
+    /// Route for engine → client bulk data (reads).
+    pub fn read_route(&self, engine: &Engine, client: Endpoint) -> Vec<LinkId> {
+        let mut r = vec![engine.tx_stack];
+        r.extend(self.fabric.route(engine.endpoint, client));
+        r.push(self.client_socket(client).rx_stack);
+        r
+    }
+
+    /// Per-object-region update lock (DTX-leader serialization
+    /// surrogate). Key-Value operations use region 0 (whole-object
+    /// semantics); Array operations key by the extent's starting chunk,
+    /// so conflicting overwrites serialize while disjoint extents — e.g.
+    /// IOR shared-file ranks — proceed concurrently, as DAOS's
+    /// extent-granular versioning allows.
+    pub fn obj_lock(&self, cont: Uuid, oid: Oid, region: u64) -> Semaphore {
+        self.obj_locks
+            .borrow_mut()
+            .entry((cont, oid, region))
+            .or_insert_with(|| Semaphore::new(1))
+            .clone()
+    }
+
+    /// Installs a pool-map override: I/O addressed to `from` lands on
+    /// `to` (rebuild's target exclusion + replacement).
+    pub fn set_target_remap(&self, from: u32, to: u32) {
+        assert!(
+            self.engine_of_target(to).is_alive(),
+            "remap replacement target {to} is on a dead engine"
+        );
+        self.target_remap.borrow_mut().insert(from, to);
+    }
+
+    /// Resolves a placement-computed target through the pool map.
+    pub fn resolve_target(&self, t: u32) -> u32 {
+        *self.target_remap.borrow().get(&t).unwrap_or(&t)
+    }
+
+    /// Streams `bytes` from one target's media to another's over the
+    /// fabric — the rebuild data path (engine-to-engine, no client).
+    pub async fn stream_between_targets(&self, src: u32, dst: u32, bytes: u64) {
+        let (se, de) = (
+            self.engine_index_of_target(src) as usize,
+            self.engine_index_of_target(dst) as usize,
+        );
+        let src_engine = &self.engines[se];
+        let dst_engine = &self.engines[de];
+        // Media read at the source, bulk flow, media write at the sink —
+        // pipelined like client bulk I/O.
+        let read = async {
+            let t = self.target(src);
+            let _p = t.sem.acquire_one().await;
+            let dur = t.media.read_time(bytes);
+            self.sim.sleep(dur).await;
+            t.charge_busy(dur.as_nanos());
+        };
+        let write = async {
+            let t = self.target(dst);
+            let _p = t.sem.acquire_one().await;
+            let dur = t.media.write_time(bytes);
+            self.sim.sleep(dur).await;
+            t.charge_busy(dur.as_nanos());
+        };
+        let flow = async {
+            if se != de {
+                let mut route = vec![src_engine.tx_stack];
+                route.extend(self.fabric.route(src_engine.endpoint, dst_engine.endpoint));
+                route.push(dst_engine.rx_stack);
+                let cap = self.fabric.flow_cap(src_engine.endpoint, dst_engine.endpoint);
+                self.fabric.net().transfer(&route, bytes, cap).await;
+            }
+        };
+        type BoxFut<'a> = std::pin::Pin<Box<dyn std::future::Future<Output = ()> + 'a>>;
+        let parts: Vec<BoxFut> = vec![Box::pin(read), Box::pin(write), Box::pin(flow)];
+        daosim_kernel::sync::join_all(parts).await;
+    }
+
+    /// Per-engine target occupancy over the elapsed simulated time:
+    /// `(mean, max)` busy fraction across the engine's targets. A mean
+    /// near 1.0 means the engine's media/targets were the bottleneck.
+    pub fn engine_utilization(&self) -> Vec<(f64, f64)> {
+        let elapsed = self.sim.now().as_nanos().max(1) as f64;
+        self.engines
+            .iter()
+            .map(|e| {
+                let fracs: Vec<f64> = e
+                    .targets
+                    .iter()
+                    .map(|t| t.busy_ns() as f64 / elapsed)
+                    .collect();
+                let mean = fracs.iter().sum::<f64>() / fracs.len() as f64;
+                let max = fracs.iter().copied().fold(0.0, f64::max);
+                (mean, max)
+            })
+            .collect()
+    }
+
+    /// Failure injection: mark an engine down. In-flight waiters still
+    /// drain; new operations targeting it fail.
+    pub fn kill_engine(&self, index: u32) {
+        self.engines[index as usize].alive.set(false);
+    }
+
+    pub fn revive_engine(&self, index: u32) {
+        self.engines[index as usize].alive.set(true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_counts() {
+        let s = ClusterSpec::tcp(4, 8);
+        assert_eq!(s.engines(), 8);
+        assert_eq!(s.pool_targets(), 96);
+        let p = ClusterSpec::psm2(4, 8);
+        assert_eq!(p.engines(), 4);
+    }
+
+    #[test]
+    fn engine_placement_covers_sockets() {
+        let sim = Sim::new();
+        let d = Deployment::new(&sim, ClusterSpec::tcp(2, 2));
+        assert_eq!(d.engines.len(), 4);
+        assert_eq!(d.engines[0].endpoint, Endpoint::new(0, 0));
+        assert_eq!(d.engines[1].endpoint, Endpoint::new(0, 1));
+        assert_eq!(d.engines[2].endpoint, Endpoint::new(1, 0));
+        assert_eq!(d.engines[3].endpoint, Endpoint::new(1, 1));
+    }
+
+    #[test]
+    fn target_to_engine_mapping() {
+        let sim = Sim::new();
+        let d = Deployment::new(&sim, ClusterSpec::tcp(2, 2));
+        assert_eq!(d.engine_index_of_target(0), 0);
+        assert_eq!(d.engine_index_of_target(11), 0);
+        assert_eq!(d.engine_index_of_target(12), 1);
+        assert_eq!(d.engine_index_of_target(47), 3);
+    }
+
+    #[test]
+    fn client_endpoints_balance_sockets() {
+        let sim = Sim::new();
+        let d = Deployment::new(&sim, ClusterSpec::tcp(1, 2));
+        assert_eq!(d.client_endpoint(0, 0), Endpoint::new(1, 0));
+        assert_eq!(d.client_endpoint(0, 1), Endpoint::new(1, 1));
+        assert_eq!(d.client_endpoint(0, 2), Endpoint::new(1, 0));
+        assert_eq!(d.client_endpoint(1, 0), Endpoint::new(2, 0));
+    }
+
+    #[test]
+    fn routes_include_stack_links() {
+        let sim = Sim::new();
+        let d = Deployment::new(&sim, ClusterSpec::tcp(1, 1));
+        let client = d.client_endpoint(0, 0);
+        let w = d.write_route(client, &d.engines[0]);
+        let r = d.read_route(&d.engines[0], client);
+        // stack + 4 fabric links + stack (same-rail remote route).
+        assert_eq!(w.len(), 6);
+        assert_eq!(r.len(), 6);
+        assert_ne!(w, r);
+    }
+
+    #[test]
+    fn obj_locks_are_shared_per_object() {
+        let sim = Sim::new();
+        let d = Deployment::new(&sim, ClusterSpec::tcp(1, 1));
+        let u = Uuid::from_name(b"c");
+        let o = Oid::generate(0, 1, daosim_objstore::ObjectClass::S1);
+        let a = d.obj_lock(u, o, 0);
+        let _p = {
+            // Hold a permit through one handle; the other sees it.
+            use std::future::Future;
+            let fut = a.acquire_one();
+            let waker = std::task::Waker::noop();
+            let mut cx = std::task::Context::from_waker(waker);
+            let mut fut = std::pin::pin!(fut);
+            match fut.as_mut().poll(&mut cx) {
+                std::task::Poll::Ready(p) => p,
+                std::task::Poll::Pending => panic!("uncontended lock pended"),
+            }
+        };
+        let b = d.obj_lock(u, o, 0);
+        assert_eq!(b.available(), 0);
+    }
+
+    #[test]
+    fn kill_and_revive_engine() {
+        let sim = Sim::new();
+        let d = Deployment::new(&sim, ClusterSpec::tcp(1, 1));
+        assert!(d.engines[0].is_alive());
+        d.kill_engine(0);
+        assert!(!d.engines[0].is_alive());
+        d.revive_engine(0);
+        assert!(d.engines[0].is_alive());
+    }
+
+    #[test]
+    fn single_server_keeps_full_host_capacity() {
+        // host_efficiency only applies with >1 server node; verified via
+        // spec wiring (the fabric itself is tested in daosim-net).
+        let sim = Sim::new();
+        let spec = ClusterSpec::tcp(1, 4);
+        let d = Deployment::new(&sim, spec);
+        assert_eq!(d.fabric.spec().host_efficiency, 1.0);
+        let sim2 = Sim::new();
+        let d2 = Deployment::new(&sim2, ClusterSpec::tcp(2, 4));
+        assert!(d2.fabric.spec().host_efficiency < 1.0);
+    }
+}

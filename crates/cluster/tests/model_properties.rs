@@ -1,0 +1,478 @@
+//! Behavioural properties of the cluster performance model.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use daosim_cluster::{ClusterSpec, Deployment, SimClient};
+use daosim_kernel::Sim;
+use daosim_net::{ProviderProfile, GIB};
+use daosim_objstore::api::DaosApi;
+use daosim_objstore::{ObjectClass, Oid, OidAllocator, Uuid};
+
+const MIB: u64 = 1024 * 1024;
+
+/// Runs `procs` parallel writers, each writing `ops` arrays of `mib` MiB
+/// with class `class`; returns aggregate write bandwidth (GiB/s).
+fn write_workload(spec: ClusterSpec, procs: u32, ops: u32, mib: u64, class: ObjectClass) -> f64 {
+    let sim = Sim::new();
+    let d = Deployment::new(&sim, spec);
+    let payload = Bytes::from(vec![5u8; (mib * MIB) as usize]);
+    let ppn = procs / spec.client_nodes as u32;
+    assert!(ppn > 0);
+    for p in 0..procs {
+        let (d, payload) = (Rc::clone(&d), payload.clone());
+        sim.spawn(async move {
+            let client = SimClient::for_process(&d, (p / ppn) as u16, p % ppn);
+            let cont = client
+                .cont_open_or_create(Uuid::from_name(b"w"))
+                .await
+                .unwrap();
+            let mut alloc = OidAllocator::new(p + 1);
+            for _ in 0..ops {
+                let oid = alloc.next(class);
+                client.array_create(&cont, oid).await.unwrap();
+                client.array_write(&cont, oid, 0, payload.clone()).await.unwrap();
+                client.array_close(&cont, oid).await.unwrap();
+            }
+        });
+    }
+    let end = sim.run().expect_quiescent();
+    (procs as u64 * ops as u64 * mib * MIB) as f64 / GIB / end.as_secs_f64()
+}
+
+#[test]
+fn psm2_outperforms_tcp_on_the_same_workload() {
+    let mut tcp = ClusterSpec::psm2(2, 2);
+    tcp.provider = ProviderProfile::tcp();
+    let psm2 = ClusterSpec::psm2(2, 2);
+    let bw_tcp = write_workload(tcp, 16, 8, 1, ObjectClass::S1);
+    let bw_psm2 = write_workload(psm2, 16, 8, 1, ObjectClass::S1);
+    assert!(
+        bw_psm2 > bw_tcp * 1.05,
+        "psm2 {bw_psm2:.2} should beat tcp {bw_tcp:.2} by >5%"
+    );
+    assert!(
+        bw_psm2 < bw_tcp * 1.5,
+        "psm2 {bw_psm2:.2} should not exceed tcp {bw_tcp:.2} by more than ~25% at scale"
+    );
+}
+
+#[test]
+fn wide_striping_speeds_up_large_object_writes() {
+    // A single process writing large objects: S1 serialises on one
+    // target's media share; SX spreads the extent across all targets.
+    let s1 = write_workload(ClusterSpec::tcp(1, 1), 2, 3, 16, ObjectClass::S1);
+    let sx = write_workload(ClusterSpec::tcp(1, 1), 2, 3, 16, ObjectClass::SX);
+    assert!(
+        sx > 1.5 * s1,
+        "SX ({sx:.2}) should beat S1 ({s1:.2}) for 16 MiB objects at low concurrency"
+    );
+}
+
+#[test]
+fn multi_server_deployments_pay_the_host_efficiency() {
+    // Same aggregate offered load per engine; the 2-server deployment is
+    // discounted by the cross-rail efficiency factor.
+    let one = write_workload(ClusterSpec::tcp(1, 2), 32, 6, 1, ObjectClass::S1);
+    let two = write_workload(ClusterSpec::tcp(2, 4), 64, 6, 1, ObjectClass::S1);
+    let scaling = two / one;
+    assert!(
+        (1.4..2.05).contains(&scaling),
+        "2-server scaling {scaling:.2} should be sub-linear but substantial"
+    );
+}
+
+#[test]
+fn container_creates_serialize_on_the_pool_metadata_service() {
+    let sim = Sim::new();
+    let spec = ClusterSpec::tcp(1, 1);
+    let cost = spec.calibration.cont_create_cost;
+    let d = Deployment::new(&sim, spec);
+    let n = 32u64;
+    for i in 0..n {
+        let d = Rc::clone(&d);
+        sim.spawn(async move {
+            let client = SimClient::for_process(&d, 0, i as u32);
+            client
+                .cont_open_or_create(Uuid::from_u64_pair(7, i))
+                .await
+                .unwrap();
+        });
+    }
+    let end = sim.run().expect_quiescent();
+    let serial_floor = cost.as_secs_f64() * n as f64;
+    assert!(
+        end.as_secs_f64() >= serial_floor,
+        "{} creates finished in {:.6}s, below the serial floor {:.6}s",
+        n,
+        end.as_secs_f64(),
+        serial_floor
+    );
+}
+
+#[test]
+fn reads_outpace_writes_on_the_same_data() {
+    let sim = Sim::new();
+    let d = Deployment::new(&sim, ClusterSpec::tcp(1, 2));
+    let write_end: Rc<Cell<f64>> = Rc::default();
+    let payload = Bytes::from(vec![1u8; MIB as usize]);
+    let procs = 24u32;
+    let ops = 6u32;
+    {
+        let (d, we, payload) = (Rc::clone(&d), Rc::clone(&write_end), payload.clone());
+        let sim2 = sim.clone();
+        sim.spawn(async move {
+            // Writers, then readers, sequenced by one orchestrator task.
+            let mut writers = Vec::new();
+            for p in 0..procs {
+                let d = Rc::clone(&d);
+                let payload = payload.clone();
+                writers.push(Box::pin(async move {
+                    let client = SimClient::for_process(&d, (p % 2) as u16, p / 2);
+                    let cont = client
+                        .cont_open_or_create(Uuid::from_name(b"rw"))
+                        .await
+                        .unwrap();
+                    let mut alloc = OidAllocator::new(p + 1);
+                    for _ in 0..ops {
+                        let oid = alloc.next(ObjectClass::S1);
+                        client.array_create(&cont, oid).await.unwrap();
+                        client.array_write(&cont, oid, 0, payload.clone()).await.unwrap();
+                    }
+                }));
+            }
+            daosim_kernel::sync::join_all(writers).await;
+            we.set(sim2.now().as_secs_f64());
+            let mut readers = Vec::new();
+            for p in 0..procs {
+                let d = Rc::clone(&d);
+                readers.push(Box::pin(async move {
+                    let client = SimClient::for_process(&d, (p % 2) as u16, p / 2);
+                    let cont = client
+                        .cont_open_or_create(Uuid::from_name(b"rw"))
+                        .await
+                        .unwrap();
+                    let mut alloc = OidAllocator::new(p + 1);
+                    for _ in 0..ops {
+                        let oid = alloc.next(ObjectClass::S1);
+                        let data = client.array_read(&cont, oid, 0, MIB).await.unwrap();
+                        assert_eq!(data.len() as u64, MIB);
+                    }
+                }));
+            }
+            daosim_kernel::sync::join_all(readers).await;
+        });
+    }
+    let end = sim.run().expect_quiescent().as_secs_f64();
+    let write_time = write_end.get();
+    let read_time = end - write_time;
+    assert!(
+        read_time < write_time,
+        "read phase {read_time:.4}s should be faster than write phase {write_time:.4}s"
+    );
+}
+
+#[test]
+fn data_written_through_sim_is_readable_from_backing_store() {
+    // The simulated client applies real data: verify through the raw
+    // store handle, bypassing the client entirely.
+    let sim = Sim::new();
+    let d = Deployment::new(&sim, ClusterSpec::tcp(1, 1));
+    let oid = Oid::generate(1, 0, ObjectClass::S2);
+    {
+        let d = Rc::clone(&d);
+        sim.spawn(async move {
+            let client = SimClient::for_process(&d, 0, 0);
+            let cont = client
+                .cont_open_or_create(Uuid::from_name(b"direct"))
+                .await
+                .unwrap();
+            client.array_create(&cont, oid).await.unwrap();
+            client
+                .array_write(&cont, oid, 0, Bytes::from(vec![9u8; 3 * MIB as usize]))
+                .await
+                .unwrap();
+        });
+    }
+    sim.run().expect_quiescent();
+    let cont = d.pool.cont_open(Uuid::from_name(b"direct")).unwrap();
+    let data = cont.array_read(oid, 0, 3 * MIB).unwrap();
+    assert_eq!(data.len() as u64, 3 * MIB);
+    assert!(data.iter().all(|&b| b == 9));
+}
+
+#[test]
+fn utilization_accounting_is_sane() {
+    let sim = Sim::new();
+    let d = Deployment::new(&sim, ClusterSpec::tcp(1, 1));
+    let payload = Bytes::from(vec![1u8; MIB as usize]);
+    for p in 0..8u32 {
+        let (d, payload) = (Rc::clone(&d), payload.clone());
+        sim.spawn(async move {
+            let client = SimClient::for_process(&d, 0, p);
+            let cont = client
+                .cont_open_or_create(Uuid::from_name(b"util"))
+                .await
+                .unwrap();
+            let mut alloc = OidAllocator::new(p + 1);
+            for _ in 0..8 {
+                let oid = alloc.next(ObjectClass::S1);
+                client.array_create(&cont, oid).await.unwrap();
+                client.array_write(&cont, oid, 0, payload.clone()).await.unwrap();
+            }
+        });
+    }
+    sim.run().expect_quiescent();
+    let util = d.engine_utilization();
+    assert_eq!(util.len(), 2);
+    for (mean, max) in util {
+        assert!((0.0..=1.0).contains(&mean), "mean {mean}");
+        assert!(max <= 1.0 + 1e-9, "max {max}");
+        assert!(max >= mean);
+        // Work happened: some target saw traffic.
+        assert!(max > 0.0);
+    }
+}
+
+#[test]
+fn idle_cluster_has_zero_utilization() {
+    let sim = Sim::new();
+    let d = Deployment::new(&sim, ClusterSpec::tcp(1, 1));
+    let d2 = Rc::clone(&d);
+    sim.block_on(async move {
+        d2.sim.sleep(daosim_kernel::SimDuration::from_millis(5)).await;
+    });
+    for (mean, max) in d.engine_utilization() {
+        assert_eq!(mean, 0.0);
+        assert_eq!(max, 0.0);
+    }
+}
+
+#[test]
+fn replicated_reads_survive_single_engine_loss() {
+    let sim = Sim::new();
+    let d = Deployment::new(&sim, ClusterSpec::tcp(1, 1));
+    let payload = Bytes::from(vec![3u8; MIB as usize]);
+    {
+        let (d, payload) = (Rc::clone(&d), payload.clone());
+        sim.spawn(async move {
+            let client = SimClient::for_process(&d, 0, 0);
+            let cont = client
+                .cont_open_or_create(Uuid::from_name(b"rp"))
+                .await
+                .unwrap();
+            // One replicated and one unreplicated object on target sets
+            // spanning both engines.
+            let mut replicated = Vec::new();
+            let mut plain = Vec::new();
+            for i in 0..16u64 {
+                let r = Oid::generate(1, i, ObjectClass::RP2);
+                let s = Oid::generate(2, i, ObjectClass::S1);
+                client.array_create(&cont, r).await.unwrap();
+                client.array_write(&cont, r, 0, payload.clone()).await.unwrap();
+                client.array_create(&cont, s).await.unwrap();
+                client.array_write(&cont, s, 0, payload.clone()).await.unwrap();
+                replicated.push(r);
+                plain.push(s);
+            }
+            d.kill_engine(0);
+            let mut rp_ok = 0;
+            let mut s1_ok = 0;
+            let mut s1_failed = 0;
+            for (&r, &s) in replicated.iter().zip(&plain) {
+                match client.array_read(&cont, r, 0, MIB).await {
+                    Ok(data) => {
+                        assert_eq!(data.len() as u64, MIB);
+                        rp_ok += 1;
+                    }
+                    Err(e) => panic!("replicated read failed: {e}"),
+                }
+                match client.array_read(&cont, s, 0, MIB).await {
+                    Ok(_) => s1_ok += 1,
+                    Err(daosim_objstore::DaosError::EngineUnavailable(_)) => s1_failed += 1,
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+            // Every replicated object stayed readable; the unreplicated
+            // ones placed on the dead engine did not.
+            assert_eq!(rp_ok, 16);
+            assert!(s1_failed > 0, "some S1 objects must have been lost");
+            assert!(s1_ok > 0, "some S1 objects must have survived");
+            // Writes to replicated objects need the full group: objects
+            // with a replica on engine 0 now reject writes.
+            let mut write_failures = 0;
+            for &r in &replicated {
+                if client.array_write(&cont, r, 0, payload.clone()).await.is_err() {
+                    write_failures += 1;
+                }
+            }
+            assert!(write_failures > 0, "degraded writes must be rejected");
+        });
+    }
+    sim.run().expect_quiescent();
+}
+
+#[test]
+fn replication_costs_roughly_double_write_traffic() {
+    let s1 = write_workload(ClusterSpec::tcp(1, 2), 24, 6, 1, ObjectClass::S1);
+    let rp2 = write_workload(ClusterSpec::tcp(1, 2), 24, 6, 1, ObjectClass::RP2);
+    let ratio = s1 / rp2;
+    assert!(
+        (1.3..2.6).contains(&ratio),
+        "RP2 ({rp2:.2}) should cost roughly 2x vs S1 ({s1:.2}); ratio {ratio:.2}"
+    );
+}
+
+#[test]
+fn replicated_kv_survives_engine_loss() {
+    let sim = Sim::new();
+    let d = Deployment::new(&sim, ClusterSpec::tcp(1, 1));
+    {
+        let d = Rc::clone(&d);
+        sim.spawn(async move {
+            let client = SimClient::for_process(&d, 0, 0);
+            let cont = client
+                .cont_open_or_create(Uuid::from_name(b"rpkv"))
+                .await
+                .unwrap();
+            let kv = Oid::generate(5, 5, ObjectClass::RP2);
+            client
+                .kv_put(&cont, kv, b"step=0", Bytes::from_static(b"ref"))
+                .await
+                .unwrap();
+            // Kill the leader's engine; the fetch fails over.
+            let leader = daosim_objstore::placement::replica_targets(kv, d.spec.pool_targets())[0];
+            d.kill_engine(d.engine_index_of_target(leader));
+            let got = client.kv_get(&cont, kv, b"step=0").await.unwrap();
+            assert_eq!(got.unwrap().as_ref(), b"ref");
+        });
+    }
+    sim.run().expect_quiescent();
+}
+
+#[test]
+fn ec_objects_reconstruct_after_single_engine_loss() {
+    let sim = Sim::new();
+    // 2 server nodes = 4 engines, 48 targets: EC cells spread widely.
+    let d = Deployment::new(&sim, ClusterSpec::tcp(2, 1));
+    let payload = {
+        // A recognisable non-uniform payload, without a daosim-core dep.
+        let mut v = Vec::with_capacity((MIB + 12345) as usize);
+        for i in 0..(MIB + 12345) {
+            v.push((i * 131 % 251) as u8);
+        }
+        Bytes::from(v)
+    };
+    {
+        let (d, payload) = (Rc::clone(&d), payload.clone());
+        sim.spawn(async move {
+            let client = SimClient::for_process(&d, 0, 0);
+            let cont = client
+                .cont_open_or_create(Uuid::from_name(b"ec"))
+                .await
+                .unwrap();
+            let mut oids = Vec::new();
+            for i in 0..24u64 {
+                let oid = Oid::generate(3, i, ObjectClass::EC2P1);
+                client.array_create(&cont, oid).await.unwrap();
+                client.array_write(&cont, oid, 0, payload.clone()).await.unwrap();
+                oids.push(oid);
+            }
+            d.kill_engine(1);
+            for &oid in &oids {
+                // Every object is readable; degraded ones return bytes
+                // reconstructed from survivor + parity.
+                let got = client
+                    .array_read(&cont, oid, 0, payload.len() as u64)
+                    .await
+                    .unwrap();
+                assert_eq!(got, payload, "EC read mismatch for {oid:?}");
+            }
+            // Partial reads work degraded too.
+            let got = client.array_read(&cont, oids[0], 1000, 5000).await.unwrap();
+            assert_eq!(got, payload.slice(1000..6000));
+        });
+    }
+    sim.run().expect_quiescent();
+}
+
+#[test]
+fn ec_degraded_reads_cost_reconstruction_time() {
+    let run = |kill: bool| {
+        let sim = Sim::new();
+        let d = Deployment::new(&sim, ClusterSpec::tcp(2, 1));
+        let payload = Bytes::from(vec![7u8; MIB as usize]);
+        let (d2, p2) = (Rc::clone(&d), payload.clone());
+        sim.spawn(async move {
+            let client = SimClient::for_process(&d2, 0, 0);
+            let cont = client
+                .cont_open_or_create(Uuid::from_name(b"ec2"))
+                .await
+                .unwrap();
+            let mut oids = Vec::new();
+            for i in 0..16u64 {
+                let oid = Oid::generate(4, i, ObjectClass::EC2P1);
+                client.array_create(&cont, oid).await.unwrap();
+                client.array_write(&cont, oid, 0, p2.clone()).await.unwrap();
+                oids.push(oid);
+            }
+            if kill {
+                d2.kill_engine(0);
+            }
+            let t0 = d2.sim.now();
+            for &oid in &oids {
+                client.array_read(&cont, oid, 0, MIB).await.unwrap();
+            }
+            // Stash phase duration in pool used (hack-free: assert below
+            // uses total end time instead).
+            let _ = t0;
+        });
+        sim.run().expect_quiescent().as_secs_f64()
+    };
+    let healthy = run(false);
+    let degraded = run(true);
+    assert!(
+        degraded > healthy,
+        "degraded EC reads ({degraded:.4}s) must cost more than healthy ({healthy:.4}s)"
+    );
+}
+
+#[test]
+fn ec_write_rejects_nonzero_offsets_and_two_failures() {
+    let sim = Sim::new();
+    let d = Deployment::new(&sim, ClusterSpec::tcp(2, 1));
+    {
+        let d = Rc::clone(&d);
+        sim.spawn(async move {
+            let client = SimClient::for_process(&d, 0, 0);
+            let cont = client
+                .cont_open_or_create(Uuid::from_name(b"ec3"))
+                .await
+                .unwrap();
+            let oid = Oid::generate(5, 0, ObjectClass::EC2P1);
+            client.array_create(&cont, oid).await.unwrap();
+            client
+                .array_write(&cont, oid, 0, Bytes::from(vec![1u8; 4096]))
+                .await
+                .unwrap();
+            match client
+                .array_write(&cont, oid, 100, Bytes::from_static(b"x"))
+                .await
+            {
+                Err(daosim_objstore::DaosError::InvalidArg(_)) => {}
+                other => panic!("expected InvalidArg, got {other:?}"),
+            }
+            // Two dead engines can cover both a data cell and the parity:
+            // reads must fail rather than fabricate data.
+            d.kill_engine(0);
+            d.kill_engine(1);
+            d.kill_engine(2);
+            match client.array_read(&cont, oid, 0, 4096).await {
+                Err(daosim_objstore::DaosError::EngineUnavailable(_)) => {}
+                other => panic!("expected EngineUnavailable, got {other:?}"),
+            }
+        });
+    }
+    sim.run().expect_quiescent();
+}

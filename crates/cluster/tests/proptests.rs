@@ -1,0 +1,145 @@
+//! Property-based robustness: arbitrary small workloads on arbitrary
+//! cluster shapes always run to quiescence with correct data.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use daosim_cluster::{ClusterSpec, Deployment, SimClient};
+use daosim_kernel::Sim;
+use daosim_net::ProviderProfile;
+use daosim_objstore::api::DaosApi;
+use daosim_objstore::{ObjectClass, Oid, Uuid};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Shape {
+    servers: u16,
+    clients: u16,
+    engines: u8,
+    targets: u32,
+    tcp: bool,
+}
+
+fn shape() -> impl Strategy<Value = Shape> {
+    (1u16..4, 1u16..4, 1u8..3, 1u32..16, any::<bool>()).prop_map(
+        |(servers, clients, engines, targets, tcp)| Shape {
+            servers,
+            clients,
+            engines,
+            targets,
+            tcp,
+        },
+    )
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { obj: u8, len: u16, off: u16 },
+    Read { obj: u8, len: u16, off: u16 },
+    KvPut { kv: u8, key: u8 },
+    KvGet { kv: u8, key: u8 },
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..6, 1u16..4096, 0u16..2048)
+            .prop_map(|(obj, len, off)| Op::Write { obj, len, off }),
+        (0u8..6, 1u16..4096, 0u16..2048).prop_map(|(obj, len, off)| Op::Read { obj, len, off }),
+        (0u8..3, 0u8..8).prop_map(|(kv, key)| Op::KvPut { kv, key }),
+        (0u8..3, 0u8..8).prop_map(|(kv, key)| Op::KvGet { kv, key }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_workloads_never_deadlock(
+        shape in shape(),
+        procs_ops in proptest::collection::vec(proptest::collection::vec(op(), 1..12), 1..6),
+    ) {
+        let sim = Sim::new();
+        let spec = ClusterSpec {
+            server_nodes: shape.servers,
+            engines_per_node: shape.engines,
+            targets_per_engine: shape.targets,
+            client_nodes: shape.clients,
+            client_sockets: 2,
+            provider: if shape.tcp {
+                ProviderProfile::tcp()
+            } else {
+                ProviderProfile::psm2()
+            },
+            calibration: daosim_cluster::Calibration::nextgenio(),
+        };
+        let d = Deployment::new(&sim, spec);
+        let errors: Rc<RefCell<Vec<String>>> = Rc::default();
+        for (p, ops) in procs_ops.iter().enumerate() {
+            let d = Rc::clone(&d);
+            let ops = ops.clone();
+            let errors = Rc::clone(&errors);
+            let clients = shape.clients;
+            sim.spawn(async move {
+                let client = SimClient::for_process(&d, p as u16 % clients, p as u32);
+                let cont = client
+                    .cont_open_or_create(Uuid::from_name(b"prop"))
+                    .await
+                    .unwrap();
+                // Per-process object namespace keeps data checks simple;
+                // KV objects are shared across processes on purpose.
+                let arr = |o: u8| Oid::generate(p as u32 + 1, o as u64, ObjectClass::S2);
+                let kvo = |o: u8| Oid::generate(0xFFFF, o as u64, ObjectClass::SX);
+                let mut written: [Option<(u16, u16)>; 6] = [None; 6];
+                for op in ops {
+                    match op {
+                        Op::Write { obj, len, off } => {
+                            let oid = arr(obj);
+                            client.array_open_or_create(&cont, oid).await.unwrap();
+                            let data = Bytes::from(vec![obj.wrapping_add(1); len as usize]);
+                            client.array_write(&cont, oid, off as u64, data).await.unwrap();
+                            written[obj as usize] = Some((off, len));
+                        }
+                        Op::Read { obj, len, off } => {
+                            let oid = arr(obj);
+                            if written[obj as usize].is_some() {
+                                let data = client
+                                    .array_read(&cont, oid, off as u64, len as u64)
+                                    .await
+                                    .unwrap();
+                                if data.len() != len as usize {
+                                    errors.borrow_mut().push(format!(
+                                        "short read: {} != {}",
+                                        data.len(),
+                                        len
+                                    ));
+                                }
+                            }
+                        }
+                        Op::KvPut { kv, key } => {
+                            client
+                                .kv_put(
+                                    &cont,
+                                    kvo(kv),
+                                    format!("k{key}").as_bytes(),
+                                    Bytes::from(vec![key; 16]),
+                                )
+                                .await
+                                .unwrap();
+                        }
+                        Op::KvGet { kv, key } => {
+                            // May or may not exist; must not error.
+                            client
+                                .kv_get(&cont, kvo(kv), format!("k{key}").as_bytes())
+                                .await
+                                .unwrap();
+                        }
+                    }
+                }
+            });
+        }
+        let out = sim.run();
+        prop_assert_eq!(out.stranded_tasks, 0, "workload deadlocked");
+        prop_assert!(errors.borrow().is_empty(), "errors: {:?}", errors.borrow());
+    }
+}

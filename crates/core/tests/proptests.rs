@@ -1,0 +1,179 @@
+//! Property-based tests of keys, index entries and metric definitions.
+
+use daosim_core::fieldio::IndexEntry;
+use daosim_core::key::{FieldKey, KeySchema};
+use daosim_core::metrics::{
+    global_timing_bandwidth, synchronous_bandwidth, total_parallel_io_wallclock, EventKind,
+    EventRecord,
+};
+use daosim_objstore::{ObjectClass, Oid, Uuid};
+use proptest::prelude::*;
+
+fn name_str() -> impl Strategy<Value = String> {
+    "[a-z]{1,8}"
+}
+
+fn value_str() -> impl Strategy<Value = String> {
+    "[a-z0-9]{1,10}"
+}
+
+fn any_class() -> impl Strategy<Value = ObjectClass> {
+    prop_oneof![
+        Just(ObjectClass::S1),
+        Just(ObjectClass::S2),
+        Just(ObjectClass::SX)
+    ]
+}
+
+proptest! {
+    #[test]
+    fn key_canonical_is_insertion_order_independent(
+        pairs in proptest::collection::vec((name_str(), value_str()), 1..10)
+    ) {
+        let forward = FieldKey::from_pairs(pairs.clone());
+        let mut reversed = FieldKey::new();
+        for (k, v) in pairs.iter().rev() {
+            // First-set wins under reversal iff duplicates exist; rebuild
+            // with the same last-wins semantics by replaying forward after.
+            reversed.set(k.clone(), v.clone());
+        }
+        for (k, v) in &pairs {
+            reversed.set(k.clone(), v.clone());
+        }
+        prop_assert_eq!(forward.canonical(), reversed.canonical());
+    }
+
+    #[test]
+    fn split_partitions_key_exactly(
+        pairs in proptest::collection::vec((name_str(), value_str()), 1..10),
+        msk_names in proptest::collection::vec(name_str(), 0..5),
+    ) {
+        let key = FieldKey::from_pairs(pairs);
+        let schema = KeySchema::new(msk_names);
+        let (msk, lsk) = key.split(&schema);
+        // Every pair lands in exactly one half, and recombination is
+        // loss-free.
+        let rebuilt: std::collections::BTreeSet<String> = msk
+            .canonical()
+            .split(',')
+            .chain(lsk.canonical().split(','))
+            .filter(|s| !s.is_empty())
+            .map(String::from)
+            .collect();
+        let original: std::collections::BTreeSet<String> = key
+            .canonical()
+            .split(',')
+            .map(String::from)
+            .collect();
+        prop_assert_eq!(rebuilt, original);
+    }
+
+    #[test]
+    fn index_entry_roundtrips(
+        name in proptest::collection::vec(any::<u8>(), 0..40),
+        hi in any::<u32>(), lo in any::<u64>(),
+        class in any_class(),
+        len in any::<u64>(),
+    ) {
+        let entry = IndexEntry {
+            store_cont: Uuid::from_name(&name),
+            oid: Oid::generate(hi, lo, class),
+            len,
+        };
+        let encoded = entry.encode();
+        prop_assert_eq!(IndexEntry::decode(&encoded), Some(entry));
+        // Truncations never decode.
+        for cut in 0..encoded.len() {
+            prop_assert_eq!(IndexEntry::decode(&encoded[..cut]), None);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metric invariants over synthesised event sets
+// ---------------------------------------------------------------------------
+
+fn phase_events(
+    spans: Vec<(u64, u64, u64)>, // (start_ns, dur_ns, bytes) per process
+) -> Vec<EventRecord> {
+    let mut out = Vec::new();
+    for (p, (start, dur, bytes)) in spans.into_iter().enumerate() {
+        out.push(EventRecord {
+            node: 0,
+            process: p as u32,
+            iteration: 0,
+            kind: EventKind::IoStart,
+            t_ns: start,
+            bytes: 0,
+        });
+        out.push(EventRecord {
+            node: 0,
+            process: p as u32,
+            iteration: 0,
+            kind: EventKind::IoEnd,
+            t_ns: start + dur.max(1),
+            bytes,
+        });
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn global_bandwidth_matches_definition(
+        spans in proptest::collection::vec((0u64..10_000, 1u64..10_000, 1u64..1_000_000), 1..20)
+    ) {
+        let events = phase_events(spans.clone());
+        let bw = global_timing_bandwidth(&events).unwrap();
+        let total: u64 = spans.iter().map(|s| s.2).sum();
+        let start = spans.iter().map(|s| s.0).min().unwrap();
+        let end = spans.iter().map(|s| s.0 + s.1.max(1)).max().unwrap();
+        let expect = total as f64 / (1u64 << 30) as f64 / ((end - start) as f64 / 1e9);
+        prop_assert!((bw - expect).abs() <= expect * 1e-9);
+    }
+
+    #[test]
+    fn stretching_the_window_never_raises_global_bandwidth(
+        spans in proptest::collection::vec((0u64..10_000, 1u64..10_000, 1u64..1_000_000), 1..20),
+        stretch in 1u64..100_000,
+    ) {
+        let base = phase_events(spans.clone());
+        // Add an idle straggler performing a zero-byte I/O much later.
+        let mut stretched = base.clone();
+        let last = base.iter().map(|e| e.t_ns).max().unwrap();
+        stretched.push(EventRecord {
+            node: 0, process: 999, iteration: 0,
+            kind: EventKind::IoStart, t_ns: last + stretch, bytes: 0,
+        });
+        stretched.push(EventRecord {
+            node: 0, process: 999, iteration: 0,
+            kind: EventKind::IoEnd, t_ns: last + stretch + 1, bytes: 0,
+        });
+        let a = global_timing_bandwidth(&base).unwrap();
+        let b = global_timing_bandwidth(&stretched).unwrap();
+        prop_assert!(b <= a * (1.0 + 1e-12), "stretched {b} > base {a}");
+    }
+
+    #[test]
+    fn synchronous_bandwidth_equals_global_for_single_iteration(
+        spans in proptest::collection::vec((0u64..100, 1u64..10_000, 1u64..1_000_000), 1..10)
+    ) {
+        // One synchronised iteration: Eq.1 with n=1 degenerates to Eq.2.
+        let events = phase_events(spans);
+        let sync = synchronous_bandwidth(&events).unwrap();
+        let global = global_timing_bandwidth(&events).unwrap();
+        prop_assert!((sync - global).abs() <= global * 1e-12);
+    }
+
+    #[test]
+    fn wallclock_nonnegative_and_covers_all_spans(
+        spans in proptest::collection::vec((0u64..10_000, 1u64..10_000, 1u64..100), 1..20)
+    ) {
+        let events = phase_events(spans.clone());
+        let wall = total_parallel_io_wallclock(&events).unwrap().as_nanos();
+        for (start, dur, _) in &spans {
+            prop_assert!(wall >= *dur.max(&1), "wall {wall} shorter than span");
+            let _ = start;
+        }
+    }
+}

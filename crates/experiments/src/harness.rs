@@ -1,0 +1,233 @@
+//! Shared experiment harness: scale presets, a parallel sweep runner, and
+//! table/CSV reporting.
+//!
+//! Each simulation world is single-threaded and deterministic; sweeps
+//! parallelise across configurations, one world per OS thread.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How big to run an experiment.
+#[derive(Clone, Debug)]
+pub struct Scale {
+    /// Field I/O operations per process (the paper uses 2000 purely to
+    /// amortise real-world start-up jitter; the simulator reaches steady
+    /// state far sooner).
+    pub ops_per_proc: u32,
+    /// IOR segments per process.
+    pub segments: u32,
+    /// Client process counts per node to sweep (best is reported).
+    pub ppn_sweep: Vec<u32>,
+    /// A reduced ppn sweep for the largest configurations.
+    pub ppn_sweep_large: Vec<u32>,
+    /// Process counts per node swept for the Field I/O patterns.
+    pub fieldio_ppn: Vec<u32>,
+}
+
+impl Scale {
+    /// The default evaluation scale (minutes of wall-clock on a laptop).
+    pub fn full() -> Self {
+        Scale {
+            ops_per_proc: 60,
+            segments: 100,
+            ppn_sweep: vec![8, 16, 24, 48],
+            ppn_sweep_large: vec![16, 32],
+            fieldio_ppn: vec![16, 32],
+        }
+    }
+
+    /// Smoke-test scale for CI and benches.
+    pub fn quick() -> Self {
+        Scale {
+            ops_per_proc: 10,
+            segments: 10,
+            ppn_sweep: vec![4, 8],
+            ppn_sweep_large: vec![8],
+            fieldio_ppn: vec![4],
+        }
+    }
+}
+
+/// Runs `f` over `items` on up to `available_parallelism` threads,
+/// preserving input order in the output.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n.max(1));
+    let next = AtomicUsize::new(0);
+    let out: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                out.lock().unwrap()[i] = Some(r);
+            });
+        }
+    });
+    out.into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("worker skipped an item"))
+        .collect()
+}
+
+/// A rendered results table with an attached CSV form.
+pub struct Report {
+    pub name: String,
+    pub title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Report {
+    pub fn new(name: &str, title: &str, headers: &[&str]) -> Self {
+        Report {
+            name: name.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Fixed-width text rendering.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut s = String::new();
+        let _ = writeln!(s, "== {} ==", self.title);
+        let line = |s: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(s, "{:<w$}  ", c, w = widths[i]);
+            }
+            let _ = writeln!(s);
+        };
+        line(&mut s, &self.headers);
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(&mut s, &rule);
+        for row in &self.rows {
+            line(&mut s, row);
+        }
+        for n in &self.notes {
+            let _ = writeln!(s, "note: {n}");
+        }
+        s
+    }
+
+    /// GitHub-flavoured markdown table (for pasting into EXPERIMENTS.md).
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "### {}\n", self.title);
+        let _ = writeln!(s, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            s,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(s, "| {} |", row.join(" | "));
+        }
+        for n in &self.notes {
+            let _ = writeln!(s, "\n_{n}_");
+        }
+        s
+    }
+
+    /// CSV rendering (RFC-4180-lite; our cells never contain commas).
+    pub fn to_csv(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(s, "{}", row.join(","));
+        }
+        s
+    }
+
+    /// Writes `results/<name>.csv` and `results/<name>.txt`.
+    pub fn save(&self, dir: &Path) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let mut csv = fs::File::create(dir.join(format!("{}.csv", self.name)))?;
+        csv.write_all(self.to_csv().as_bytes())?;
+        let mut txt = fs::File::create(dir.join(format!("{}.txt", self.name)))?;
+        txt.write_all(self.render().as_bytes())?;
+        Ok(())
+    }
+}
+
+/// Formats a bandwidth cell.
+pub fn gib(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(items, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn report_renders_and_csvs() {
+        let mut r = Report::new("t", "Test", &["a", "bee"]);
+        r.row(vec!["1".into(), "2".into()]);
+        r.note("hello");
+        let txt = r.render();
+        assert!(txt.contains("Test") && txt.contains("bee") && txt.contains("note: hello"));
+        assert_eq!(r.to_csv(), "a,bee\n1,2\n");
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let mut r = Report::new("t", "Test", &["a", "b"]);
+        r.row(vec!["1".into(), "2".into()]);
+        let md = r.to_markdown();
+        assert!(md.contains("### Test"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn report_rejects_ragged_rows() {
+        let mut r = Report::new("t", "Test", &["a"]);
+        r.row(vec!["1".into(), "2".into()]);
+    }
+}

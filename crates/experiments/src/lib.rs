@@ -1,0 +1,56 @@
+//! # daosim-experiments — regenerating the paper's evaluation
+//!
+//! One runner per table and figure of the evaluation section, each
+//! printing the same rows/series the paper reports (with the paper's
+//! values alongside where the artifact is a table). The `xp` binary
+//! drives them; the `daosim-bench` crate wraps reduced-scale versions as
+//! Criterion benchmarks.
+
+pub mod ablations;
+pub mod figures;
+pub mod harness;
+pub mod pipeline;
+pub mod rebuild_xp;
+pub mod replication;
+pub mod tables;
+
+use std::path::Path;
+
+use harness::{Report, Scale};
+
+/// Every experiment by name.
+pub const EXPERIMENTS: [&str; 11] = [
+    "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "ablations", "pipeline",
+    "replication", "rebuild",
+];
+
+/// Runs one experiment by name.
+pub fn run_experiment(name: &str, scale: &Scale) -> Vec<Report> {
+    match name {
+        "table1" => vec![tables::table1(scale)],
+        "table2" => vec![tables::table2(scale)],
+        "fig3" => vec![figures::fig3(scale)],
+        "fig4" => vec![figures::fig4(scale)],
+        "fig5" => vec![figures::fig5(scale)],
+        "fig6" => vec![figures::fig6(scale)],
+        "fig7" => vec![figures::fig7(scale)],
+        "ablations" => ablations::all(scale),
+        "pipeline" => vec![pipeline::pipeline(scale)],
+        "replication" => vec![replication::replication(scale)],
+        "rebuild" => vec![rebuild_xp::rebuild(scale)],
+        other => panic!("unknown experiment {other:?}; known: {EXPERIMENTS:?}"),
+    }
+}
+
+/// Runs a set of experiments, printing and saving each report.
+pub fn run_and_save(names: &[&str], scale: &Scale, out_dir: &Path) {
+    for name in names {
+        let reports = run_experiment(name, scale);
+        for rep in reports {
+            println!("{}", rep.render());
+            if let Err(e) = rep.save(out_dir) {
+                eprintln!("warning: could not save {}: {e}", rep.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! `xp` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! xp <experiment>... [--quick] [--out DIR]
+//! xp all [--quick] [--out DIR]
+//! ```
+//!
+//! Experiments: table1 table2 fig3 fig4 fig5 fig6 fig7 ablations.
+//! Results are printed and saved as `.txt`/`.csv` under `--out`
+//! (default `results/`).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use daosim_experiments::harness::Scale;
+use daosim_experiments::{run_and_save, EXPERIMENTS};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: xp <experiment>... [--quick] [--out DIR]\n       \
+         experiments: {} | all",
+        EXPERIMENTS.join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut names: Vec<String> = Vec::new();
+    let mut scale = Scale::full();
+    let mut out = PathBuf::from("results");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => scale = Scale::quick(),
+            "--out" => {
+                out = PathBuf::from(args.next().unwrap_or_else(|| usage()));
+            }
+            "all" => names.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
+            "-h" | "--help" => usage(),
+            other if EXPERIMENTS.contains(&other) => names.push(other.to_string()),
+            _ => usage(),
+        }
+    }
+    if names.is_empty() {
+        usage();
+    }
+    names.dedup();
+    for name in &names {
+        let t0 = Instant::now();
+        run_and_save(&[name.as_str()], &scale, &out);
+        eprintln!("[{name}] completed in {:.1}s", t0.elapsed().as_secs_f64());
+    }
+}

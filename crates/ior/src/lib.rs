@@ -1,0 +1,367 @@
+//! # daosim-ior — IOR in segments mode over the simulated cluster
+//!
+//! Reimplements the IOR configuration the paper uses (§5.1): MPI-style
+//! fully synchronised processes, DAOS Array backend, *file per process*
+//! (`-F`), block size = transfer size (`-b = -t`), `-s` segments and one
+//! repetition — so each process performs **one** object create/open, one
+//! transfer of `t × s` bytes and one close per phase, bracketed by
+//! barriers:
+//!
+//! 1. initial barrier, 2. pre-I/O barrier, 3. object create/open,
+//! 4. transfer, 5. object close, 6. post-I/O barrier, 7. logging,
+//! 8. final barrier.
+//!
+//! The reported figure is the **synchronous bandwidth** (Eq. 1): total
+//! bytes over the parallel wall-clock of the synchronised iteration.
+
+use std::rc::Rc;
+
+use serde::Serialize;
+
+use daosim_cluster::{ClusterSpec, Deployment, SimClient};
+use daosim_core::metrics::{phase_stats, EventKind, PhaseStats, Recorder};
+use daosim_core::workload::payload;
+use daosim_kernel::sync::Barrier;
+use daosim_kernel::Sim;
+use daosim_objstore::api::DaosApi;
+use daosim_objstore::{ObjectClass, Oid, OidAllocator, Uuid};
+
+/// File layout, IOR's `-F` axis.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FileMode {
+    /// `-F`: one object per process (what the paper runs).
+    #[default]
+    FilePerProcess,
+    /// No `-F`: one shared object; each rank owns a disjoint extent.
+    SharedFile,
+}
+
+/// IOR invocation parameters (the subset the paper sweeps).
+#[derive(Clone, Copy, Debug)]
+pub struct IorParams {
+    /// `-t` and `-b`: bytes per data part.
+    pub transfer_bytes: u64,
+    /// `-s`: data parts per process (one transfer carries all of them).
+    pub segments: u32,
+    /// Processes per client node.
+    pub procs_per_node: u32,
+    /// Object class for the per-process Arrays (paper: `S1`).
+    pub class: ObjectClass,
+    /// `-i`: repetitions of the whole write/read cycle (paper: 1).
+    /// Synchronous bandwidth averages over iterations per Eq. 1.
+    pub iterations: u32,
+    /// File-per-process (`-F`, the paper's mode) or shared-file layout.
+    pub file_mode: FileMode,
+}
+
+impl IorParams {
+    /// The paper's standard IOR setup: 1 MiB × 100 segments, S1.
+    pub fn paper_default(procs_per_node: u32) -> Self {
+        IorParams {
+            transfer_bytes: 1024 * 1024,
+            segments: 100,
+            procs_per_node,
+            class: ObjectClass::S1,
+            iterations: 1,
+            file_mode: FileMode::FilePerProcess,
+        }
+    }
+
+    pub fn bytes_per_proc(&self) -> u64 {
+        self.transfer_bytes * self.segments as u64
+    }
+}
+
+/// Result of one IOR run (write phase then read phase).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct IorResult {
+    pub write: PhaseStats,
+    pub read: PhaseStats,
+}
+
+impl IorResult {
+    pub fn write_bw(&self) -> f64 {
+        self.write.synchronous_bw_gib.unwrap_or(0.0)
+    }
+
+    pub fn read_bw(&self) -> f64 {
+        self.read.synchronous_bw_gib.unwrap_or(0.0)
+    }
+}
+
+/// Runs IOR segments mode on a fresh deployment of `spec`.
+pub fn run_ior(spec: ClusterSpec, params: IorParams) -> IorResult {
+    let sim = Sim::new();
+    let d = Deployment::new(&sim, spec);
+    let procs = spec.client_nodes as u32 * params.procs_per_node;
+    assert!(procs > 0);
+
+    // The shared container stands in for IOR's working directory.
+    let cont_uuid = Uuid::from_name(b"ior-testdir");
+    let data = payload(params.bytes_per_proc(), 7);
+    let write_rec = Recorder::new();
+    let read_rec = Recorder::new();
+    let barrier = Barrier::new(procs as usize);
+
+    for p in 0..procs {
+        let (d, barrier) = (Rc::clone(&d), barrier.clone());
+        let (write_rec, read_rec) = (write_rec.clone(), read_rec.clone());
+        let sim2 = sim.clone();
+        let data = data.clone();
+        sim.spawn(async move {
+            let node = (p / params.procs_per_node) as u16;
+            let rank = p % params.procs_per_node;
+            let client = SimClient::for_process(&d, node, rank);
+            let cont = client.cont_open_or_create(cont_uuid).await.unwrap();
+            let mut alloc = OidAllocator::new(p + 1);
+            let bytes = params.bytes_per_proc();
+            // Rank offset within the shared object (SharedFile mode).
+            let my_offset = match params.file_mode {
+                FileMode::FilePerProcess => 0,
+                FileMode::SharedFile => p as u64 * bytes,
+            };
+
+            for iter in 0..params.iterations.max(1) {
+                // Fresh object per repetition: per-process, or one shared
+                // object all ranks agree on by construction.
+                let oid = match params.file_mode {
+                    FileMode::FilePerProcess => alloc.next(params.class),
+                    FileMode::SharedFile => Oid::generate(0xF11E, iter as u64, params.class),
+                };
+
+                // ---- write phase ----
+                barrier.wait().await; // initial barrier
+                barrier.wait().await; // pre-I/O barrier
+                write_rec.record(node, p, iter, EventKind::IoStart, sim2.now(), 0);
+                write_rec.record(node, p, iter, EventKind::OpenStart, sim2.now(), 0);
+                match params.file_mode {
+                    FileMode::FilePerProcess => client.array_create(&cont, oid).await.unwrap(),
+                    // Shared file: ranks race to create-or-open the one
+                    // object, as the IOR DAOS backend does without -F.
+                    FileMode::SharedFile => {
+                        client.array_open_or_create(&cont, oid).await.unwrap()
+                    }
+                }
+                write_rec.record(node, p, iter, EventKind::OpenEnd, sim2.now(), 0);
+                write_rec.record(node, p, iter, EventKind::XferStart, sim2.now(), 0);
+                client
+                    .array_write(&cont, oid, my_offset, data.clone())
+                    .await
+                    .unwrap();
+                write_rec.record(node, p, iter, EventKind::XferEnd, sim2.now(), 0);
+                write_rec.record(node, p, iter, EventKind::CloseStart, sim2.now(), 0);
+                client.array_close(&cont, oid).await.unwrap();
+                write_rec.record(node, p, iter, EventKind::CloseEnd, sim2.now(), 0);
+                write_rec.record(node, p, iter, EventKind::IoEnd, sim2.now(), bytes);
+                barrier.wait().await; // post-I/O barrier
+                barrier.wait().await; // final barrier
+
+                // ---- read phase (same process set, same distribution) ----
+                barrier.wait().await;
+                barrier.wait().await;
+                read_rec.record(node, p, iter, EventKind::IoStart, sim2.now(), 0);
+                read_rec.record(node, p, iter, EventKind::OpenStart, sim2.now(), 0);
+                client.array_open(&cont, oid).await.unwrap();
+                read_rec.record(node, p, iter, EventKind::OpenEnd, sim2.now(), 0);
+                read_rec.record(node, p, iter, EventKind::XferStart, sim2.now(), 0);
+                let got = client.array_read(&cont, oid, my_offset, bytes).await.unwrap();
+                assert_eq!(got.len() as u64, bytes, "short IOR read");
+                read_rec.record(node, p, iter, EventKind::XferEnd, sim2.now(), 0);
+                read_rec.record(node, p, iter, EventKind::CloseStart, sim2.now(), 0);
+                client.array_close(&cont, oid).await.unwrap();
+                read_rec.record(node, p, iter, EventKind::CloseEnd, sim2.now(), 0);
+                read_rec.record(node, p, iter, EventKind::IoEnd, sim2.now(), bytes);
+                barrier.wait().await;
+                barrier.wait().await;
+            }
+        });
+    }
+    sim.run().expect_quiescent();
+
+    IorResult {
+        write: phase_stats(&write_rec.take(), true),
+        read: phase_stats(&read_rec.take(), true),
+    }
+}
+
+/// Runs `run_ior` over several process counts and returns the best write
+/// and read synchronous bandwidths — the paper reports the best-performing
+/// client process count per configuration.
+pub fn best_over_ppn(spec: ClusterSpec, ppns: &[u32], base: IorParams) -> (f64, f64) {
+    let mut best = (0.0f64, 0.0f64);
+    for &ppn in ppns {
+        let r = run_ior(
+            spec,
+            IorParams {
+                procs_per_node: ppn,
+                ..base
+            },
+        );
+        best.0 = best.0.max(r.write_bw());
+        best.1 = best.1.max(r.read_bw());
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIB: u64 = 1024 * 1024;
+
+    fn small(spec: ClusterSpec, ppn: u32) -> IorResult {
+        run_ior(
+            spec,
+            IorParams {
+                transfer_bytes: MIB,
+                segments: 10,
+                procs_per_node: ppn,
+                class: ObjectClass::S1,
+                iterations: 1,
+                file_mode: FileMode::FilePerProcess,
+            },
+        )
+    }
+
+    #[test]
+    fn reports_positive_synchronous_bandwidth() {
+        let r = small(ClusterSpec::tcp(1, 1), 8);
+        assert!(r.write_bw() > 0.5, "write {}", r.write_bw());
+        assert!(r.read_bw() > 0.5, "read {}", r.read_bw());
+        assert_eq!(r.write.io_count, 8);
+        assert_eq!(r.write.total_bytes, 8 * 10 * MIB);
+    }
+
+    #[test]
+    fn read_exceeds_write_as_in_table1() {
+        let r = small(ClusterSpec::tcp(1, 2), 16);
+        assert!(
+            r.read_bw() > r.write_bw(),
+            "read {} should beat write {}",
+            r.read_bw(),
+            r.write_bw()
+        );
+    }
+
+    #[test]
+    fn write_bandwidth_saturates_near_engine_limits() {
+        // 2 engines ingest ~2.9 GiB/s each before host effects.
+        let r = small(ClusterSpec::tcp(1, 2), 24);
+        assert!(
+            (3.0..7.0).contains(&r.write_bw()),
+            "write {} outside expected band",
+            r.write_bw()
+        );
+    }
+
+    #[test]
+    fn more_servers_scale_bandwidth() {
+        let one = small(ClusterSpec::tcp(1, 2), 16);
+        let two = small(ClusterSpec::tcp(2, 4), 16);
+        assert!(
+            two.write_bw() > one.write_bw() * 1.3,
+            "2 servers {} vs 1 server {}",
+            two.write_bw(),
+            one.write_bw()
+        );
+    }
+
+    #[test]
+    fn determinism() {
+        let a = small(ClusterSpec::tcp(1, 1), 4);
+        let b = small(ClusterSpec::tcp(1, 1), 4);
+        assert_eq!(a.write_bw(), b.write_bw());
+        assert_eq!(a.read_bw(), b.read_bw());
+    }
+
+    #[test]
+    fn multiple_iterations_average_per_eq1() {
+        let r = run_ior(
+            ClusterSpec::tcp(1, 1),
+            IorParams {
+                transfer_bytes: MIB,
+                segments: 5,
+                procs_per_node: 4,
+                class: ObjectClass::S1,
+                iterations: 3,
+                file_mode: FileMode::FilePerProcess,
+            },
+        );
+        assert_eq!(r.write.io_count, 12, "4 procs x 3 iterations");
+        assert_eq!(r.write.total_bytes, 12 * 5 * MIB);
+        assert!(r.write_bw() > 0.0);
+        // A single-iteration run of the same shape gives a similar rate.
+        let one = run_ior(
+            ClusterSpec::tcp(1, 1),
+            IorParams {
+                transfer_bytes: MIB,
+                segments: 5,
+                procs_per_node: 4,
+                class: ObjectClass::S1,
+                iterations: 1,
+                file_mode: FileMode::FilePerProcess,
+            },
+        );
+        let ratio = r.write_bw() / one.write_bw();
+        assert!((0.7..1.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn shared_file_mode_verifies_disjoint_extents() {
+        let r = run_ior(
+            ClusterSpec::tcp(1, 2),
+            IorParams {
+                transfer_bytes: MIB,
+                segments: 4,
+                procs_per_node: 8,
+                class: ObjectClass::SX,
+                iterations: 1,
+                file_mode: FileMode::SharedFile,
+            },
+        );
+        assert!(r.write_bw() > 0.5, "shared-file write {}", r.write_bw());
+        assert!(r.read_bw() > 0.5, "shared-file read {}", r.read_bw());
+        assert_eq!(r.write.total_bytes, 16 * 4 * MIB);
+    }
+
+    #[test]
+    fn shared_file_is_competitive_with_file_per_process() {
+        // Disjoint extents must not serialize: shared-file bandwidth
+        // stays within a small factor of file-per-process.
+        let fpp = small(ClusterSpec::tcp(1, 2), 8);
+        let shared = run_ior(
+            ClusterSpec::tcp(1, 2),
+            IorParams {
+                transfer_bytes: MIB,
+                segments: 10,
+                procs_per_node: 8,
+                class: ObjectClass::SX,
+                iterations: 1,
+                file_mode: FileMode::SharedFile,
+            },
+        );
+        assert!(
+            shared.write_bw() > fpp.write_bw() * 0.4,
+            "shared {} vs fpp {}",
+            shared.write_bw(),
+            fpp.write_bw()
+        );
+    }
+
+    #[test]
+    fn best_over_ppn_picks_max() {
+        let (w, r) = best_over_ppn(
+            ClusterSpec::tcp(1, 1),
+            &[2, 8],
+            IorParams {
+                transfer_bytes: MIB,
+                segments: 5,
+                procs_per_node: 0,
+                class: ObjectClass::S1,
+                iterations: 1,
+                file_mode: FileMode::FilePerProcess,
+            },
+        );
+        assert!(w > 0.0 && r > 0.0);
+    }
+}

@@ -1,0 +1,437 @@
+//! The event-driven executor.
+//!
+//! A [`Sim`] owns an event calendar (a binary heap keyed on
+//! `(time, sequence)`) and a set of cooperative async tasks. Tasks advance
+//! only when an event they are waiting on fires, so simulated time moves in
+//! discrete jumps and the whole run is deterministic: ties are broken by
+//! insertion sequence and the executor is single-threaded.
+//!
+//! `Sim` is a cheap `Rc` handle; clone it freely into spawned tasks.
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+use crate::time::{SimDuration, SimTime};
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TaskId(u64);
+
+type TaskFuture = Pin<Box<dyn Future<Output = ()> + 'static>>;
+type EventAction = Box<dyn FnOnce() + 'static>;
+
+/// An entry in the event calendar. Ordered by `(at, seq)` so simultaneous
+/// events fire in the order they were scheduled.
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    action: EventAction,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Queue of tasks whose wakers fired. A `Waker` must be `Send + Sync`, so
+/// this small piece of shared state uses a real mutex even though the
+/// executor itself is single-threaded.
+#[derive(Default)]
+struct WakeQueue {
+    ready: Mutex<VecDeque<TaskId>>,
+}
+
+struct TaskWaker {
+    id: TaskId,
+    queue: Arc<WakeQueue>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.queue.ready.lock().unwrap().push_back(self.id);
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.queue.ready.lock().unwrap().push_back(self.id);
+    }
+}
+
+struct Kernel {
+    now: SimTime,
+    seq: u64,
+    next_task: u64,
+    events: BinaryHeap<Reverse<Scheduled>>,
+    tasks: HashMap<TaskId, TaskFuture>,
+    /// Tasks spawned while the executor is mid-step; folded in before the
+    /// next poll round so `spawn` is safe from inside tasks and events.
+    incoming: Vec<(TaskId, TaskFuture)>,
+}
+
+/// Result of driving a simulation to completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Simulated time when the run stopped.
+    pub end_time: SimTime,
+    /// Tasks still pending when the event calendar drained. Non-zero means
+    /// a deadlock in the modelled system (e.g. a barrier nobody reaches).
+    pub stranded_tasks: usize,
+}
+
+impl RunOutcome {
+    /// Panics if any task was left stranded — the normal assertion after a
+    /// complete benchmark run.
+    pub fn expect_quiescent(self) -> SimTime {
+        assert_eq!(
+            self.stranded_tasks, 0,
+            "simulation deadlocked with {} stranded task(s) at {}",
+            self.stranded_tasks, self.end_time
+        );
+        self.end_time
+    }
+}
+
+/// Handle to a simulation world. Cloning is cheap and all clones refer to
+/// the same world.
+#[derive(Clone)]
+pub struct Sim {
+    kernel: Rc<RefCell<Kernel>>,
+    wakes: Arc<WakeQueue>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    pub fn new() -> Self {
+        Sim {
+            kernel: Rc::new(RefCell::new(Kernel {
+                now: SimTime::ZERO,
+                seq: 0,
+                next_task: 0,
+                events: BinaryHeap::new(),
+                tasks: HashMap::new(),
+                incoming: Vec::new(),
+            })),
+            wakes: Arc::new(WakeQueue::default()),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.borrow().now
+    }
+
+    /// Number of tasks that have been spawned and not yet completed.
+    pub fn live_tasks(&self) -> usize {
+        let k = self.kernel.borrow();
+        k.tasks.len() + k.incoming.len()
+    }
+
+    /// Spawns a task onto the simulation. The task starts running at the
+    /// current simulated time, when the executor next polls.
+    pub fn spawn(&self, fut: impl Future<Output = ()> + 'static) -> TaskId {
+        let mut k = self.kernel.borrow_mut();
+        let id = TaskId(k.next_task);
+        k.next_task += 1;
+        k.incoming.push((id, Box::pin(fut)));
+        // Make sure the new task gets a first poll.
+        self.wakes.ready.lock().unwrap().push_back(id);
+        id
+    }
+
+    /// Schedules `action` to run at absolute time `at`. Actions scheduled
+    /// for the same instant run in scheduling order.
+    pub fn schedule_at(&self, at: SimTime, action: impl FnOnce() + 'static) {
+        let mut k = self.kernel.borrow_mut();
+        assert!(at >= k.now, "cannot schedule into the past: {at} < {}", k.now);
+        let seq = k.seq;
+        k.seq += 1;
+        k.events.push(Reverse(Scheduled {
+            at,
+            seq,
+            action: Box::new(action),
+        }));
+    }
+
+    /// Schedules `action` to run after `delay`.
+    pub fn schedule_after(&self, delay: SimDuration, action: impl FnOnce() + 'static) {
+        let at = self.now() + delay;
+        self.schedule_at(at, action);
+    }
+
+    /// Suspends the calling task for `delay` of simulated time.
+    pub fn sleep(&self, delay: SimDuration) -> Sleep {
+        let shared = Rc::new(SleepShared {
+            fired: std::cell::Cell::new(false),
+            waker: RefCell::new(None),
+        });
+        let s2 = Rc::clone(&shared);
+        self.schedule_after(delay, move || {
+            s2.fired.set(true);
+            if let Some(w) = s2.waker.borrow_mut().take() {
+                w.wake();
+            }
+        });
+        Sleep { shared }
+    }
+
+    /// Runs the simulation until both the event calendar and the ready
+    /// queue are empty.
+    pub fn run(&self) -> RunOutcome {
+        loop {
+            // Drain all tasks runnable at the current instant first; only
+            // when nothing is ready does time advance.
+            self.poll_ready();
+            let next = {
+                let mut k = self.kernel.borrow_mut();
+                match k.events.pop() {
+                    Some(Reverse(ev)) => {
+                        debug_assert!(ev.at >= k.now);
+                        k.now = ev.at;
+                        Some(ev.action)
+                    }
+                    None => None,
+                }
+            };
+            match next {
+                Some(action) => action(),
+                None => break,
+            }
+        }
+        let k = self.kernel.borrow();
+        RunOutcome {
+            end_time: k.now,
+            stranded_tasks: k.tasks.len() + k.incoming.len(),
+        }
+    }
+
+    /// Polls every task currently in the ready queue (and any tasks they
+    /// spawn) until the queue drains at this instant.
+    fn poll_ready(&self) {
+        loop {
+            // Fold in freshly spawned tasks.
+            {
+                let mut k = self.kernel.borrow_mut();
+                let incoming = std::mem::take(&mut k.incoming);
+                for (id, fut) in incoming {
+                    k.tasks.insert(id, fut);
+                }
+            }
+            let next = self.wakes.ready.lock().unwrap().pop_front();
+            let Some(id) = next else { break };
+            let fut = self.kernel.borrow_mut().tasks.remove(&id);
+            let Some(mut fut) = fut else {
+                continue; // already completed; spurious wake
+            };
+            let waker = Waker::from(Arc::new(TaskWaker {
+                id,
+                queue: Arc::clone(&self.wakes),
+            }));
+            let mut cx = Context::from_waker(&waker);
+            match fut.as_mut().poll(&mut cx) {
+                Poll::Ready(()) => {}
+                Poll::Pending => {
+                    self.kernel.borrow_mut().tasks.insert(id, fut);
+                }
+            }
+        }
+    }
+
+    /// Convenience: spawn a root task, run to quiescence, and assert no
+    /// task was stranded. Returns the final simulated time.
+    pub fn block_on(&self, fut: impl Future<Output = ()> + 'static) -> SimTime {
+        self.spawn(fut);
+        self.run().expect_quiescent()
+    }
+}
+
+struct SleepShared {
+    fired: std::cell::Cell<bool>,
+    waker: RefCell<Option<Waker>>,
+}
+
+/// Future returned by [`Sim::sleep`].
+pub struct Sleep {
+    shared: Rc<SleepShared>,
+}
+
+impl Future for Sleep {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.shared.fired.get() {
+            Poll::Ready(())
+        } else {
+            *self.shared.waker.borrow_mut() = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let sim = Sim::new();
+        let log: Rc<RefCell<Vec<u64>>> = Rc::default();
+        for &t in &[30u64, 10, 20] {
+            let log = Rc::clone(&log);
+            sim.schedule_at(SimTime::from_nanos(t), move || log.borrow_mut().push(t));
+        }
+        let out = sim.run();
+        assert_eq!(*log.borrow(), vec![10, 20, 30]);
+        assert_eq!(out.end_time, SimTime::from_nanos(30));
+        assert_eq!(out.stranded_tasks, 0);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_schedule_order() {
+        let sim = Sim::new();
+        let log: Rc<RefCell<Vec<u32>>> = Rc::default();
+        for i in 0..10u32 {
+            let log = Rc::clone(&log);
+            sim.schedule_at(SimTime::from_nanos(5), move || log.borrow_mut().push(i));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sleep_advances_time() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let end = sim.block_on(async move {
+            assert_eq!(s.now(), SimTime::ZERO);
+            s.sleep(SimDuration::from_micros(5)).await;
+            assert_eq!(s.now().as_nanos(), 5_000);
+            s.sleep(SimDuration::from_micros(7)).await;
+            assert_eq!(s.now().as_nanos(), 12_000);
+        });
+        assert_eq!(end.as_nanos(), 12_000);
+    }
+
+    #[test]
+    fn spawned_tasks_interleave_deterministically() {
+        let sim = Sim::new();
+        let log: Rc<RefCell<Vec<(u32, u64)>>> = Rc::default();
+        for i in 0..3u32 {
+            let s = sim.clone();
+            let log = Rc::clone(&log);
+            sim.spawn(async move {
+                for step in 0..3u64 {
+                    s.sleep(SimDuration::from_nanos(10 + i as u64)).await;
+                    log.borrow_mut().push((i, s.now().as_nanos()));
+                    let _ = step;
+                }
+            });
+        }
+        sim.run().expect_quiescent();
+        let got = log.borrow().clone();
+        // Task 0 ticks at 10,20,30; task 1 at 11,22,33; task 2 at 12,24,36.
+        assert_eq!(
+            got,
+            vec![
+                (0, 10),
+                (1, 11),
+                (2, 12),
+                (0, 20),
+                (1, 22),
+                (2, 24),
+                (0, 30),
+                (1, 33),
+                (2, 36)
+            ]
+        );
+    }
+
+    #[test]
+    fn stranded_task_detected() {
+        let sim = Sim::new();
+        sim.spawn(async {
+            // A future that never resolves: poll once, then pend forever.
+            std::future::pending::<()>().await;
+        });
+        let out = sim.run();
+        assert_eq!(out.stranded_tasks, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlocked")]
+    fn expect_quiescent_panics_on_strand() {
+        let sim = Sim::new();
+        sim.spawn(async {
+            std::future::pending::<()>().await;
+        });
+        sim.run().expect_quiescent();
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn schedule_into_past_panics() {
+        let sim = Sim::new();
+        sim.schedule_at(SimTime::from_nanos(10), || {});
+        let s = sim.clone();
+        sim.schedule_at(SimTime::from_nanos(20), move || {
+            s.schedule_at(SimTime::from_nanos(15), || {});
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn zero_length_sleep_still_yields() {
+        let sim = Sim::new();
+        let log: Rc<RefCell<Vec<&'static str>>> = Rc::default();
+        let (l1, l2) = (Rc::clone(&log), Rc::clone(&log));
+        let s1 = sim.clone();
+        sim.spawn(async move {
+            l1.borrow_mut().push("a-before");
+            s1.sleep(SimDuration::ZERO).await;
+            l1.borrow_mut().push("a-after");
+        });
+        sim.spawn(async move {
+            l2.borrow_mut().push("b");
+        });
+        sim.run().expect_quiescent();
+        assert_eq!(*log.borrow(), vec!["a-before", "b", "a-after"]);
+    }
+
+    #[test]
+    fn tasks_spawned_from_events_run() {
+        let sim = Sim::new();
+        let hit: Rc<std::cell::Cell<bool>> = Rc::default();
+        let s = sim.clone();
+        let h = Rc::clone(&hit);
+        sim.schedule_at(SimTime::from_nanos(100), move || {
+            let h = Rc::clone(&h);
+            let s2 = s.clone();
+            s.spawn(async move {
+                s2.sleep(SimDuration::from_nanos(1)).await;
+                h.set(true);
+            });
+        });
+        sim.run().expect_quiescent();
+        assert!(hit.get());
+    }
+}

@@ -1,0 +1,946 @@
+//! Synchronization primitives for simulated processes.
+//!
+//! These mirror the primitives the modelled systems rely on: FIFO
+//! semaphores (service queues at DAOS targets), barriers (MPI-style
+//! synchronization in IOR), one-shot completions and unbounded channels.
+//! All of them are single-threaded (`Rc`-based) and strictly FIFO, which
+//! keeps runs deterministic.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+// ---------------------------------------------------------------------------
+// Semaphore
+// ---------------------------------------------------------------------------
+
+struct SemWaiter {
+    n: usize,
+    granted: Cell<bool>,
+    cancelled: Cell<bool>,
+    waker: RefCell<Option<Waker>>,
+}
+
+struct SemInner {
+    permits: Cell<usize>,
+    waiters: RefCell<VecDeque<Rc<SemWaiter>>>,
+}
+
+impl SemInner {
+    /// Hands permits to queued waiters in FIFO order. A large request at
+    /// the head blocks smaller ones behind it (no barging), which is the
+    /// behaviour wanted for modelling service queues.
+    fn drain(&self) {
+        loop {
+            let front = {
+                let waiters = self.waiters.borrow();
+                match waiters.front() {
+                    Some(w) if w.cancelled.get() => Some(None),
+                    Some(w) if w.n <= self.permits.get() => Some(Some(Rc::clone(w))),
+                    _ => None,
+                }
+            };
+            match front {
+                Some(Some(w)) => {
+                    self.waiters.borrow_mut().pop_front();
+                    self.permits.set(self.permits.get() - w.n);
+                    w.granted.set(true);
+                    if let Some(waker) = w.waker.borrow_mut().take() {
+                        waker.wake();
+                    }
+                }
+                Some(None) => {
+                    self.waiters.borrow_mut().pop_front();
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+/// A FIFO counting semaphore.
+///
+/// ```
+/// use daosim_kernel::{Sim, SimDuration};
+/// use daosim_kernel::sync::Semaphore;
+///
+/// let sim = Sim::new();
+/// let sem = Semaphore::new(1); // a single-server service queue
+/// for _ in 0..3 {
+///     let (s, m) = (sim.clone(), sem.clone());
+///     sim.spawn(async move {
+///         let _permit = m.acquire_one().await;
+///         s.sleep(SimDuration::from_micros(10)).await; // service time
+///     });
+/// }
+/// // Three requests serialize: 30 us total.
+/// assert_eq!(sim.run().expect_quiescent().as_nanos(), 30_000);
+/// ```
+#[derive(Clone)]
+pub struct Semaphore {
+    inner: Rc<SemInner>,
+}
+
+impl Semaphore {
+    pub fn new(permits: usize) -> Self {
+        Semaphore {
+            inner: Rc::new(SemInner {
+                permits: Cell::new(permits),
+                waiters: RefCell::new(VecDeque::new()),
+            }),
+        }
+    }
+
+    pub fn available(&self) -> usize {
+        self.inner.permits.get()
+    }
+
+    /// Number of requests currently queued.
+    pub fn queue_len(&self) -> usize {
+        self.inner
+            .waiters
+            .borrow()
+            .iter()
+            .filter(|w| !w.cancelled.get())
+            .count()
+    }
+
+    /// Acquires `n` permits, waiting FIFO behind earlier requests. The
+    /// returned guard releases the permits when dropped.
+    pub fn acquire(&self, n: usize) -> Acquire {
+        Acquire {
+            sem: self.clone(),
+            n,
+            waiter: None,
+        }
+    }
+
+    /// Acquires a single permit.
+    pub fn acquire_one(&self) -> Acquire {
+        self.acquire(1)
+    }
+
+    fn release(&self, n: usize) {
+        self.inner.permits.set(self.inner.permits.get() + n);
+        self.inner.drain();
+    }
+}
+
+/// Future returned by [`Semaphore::acquire`].
+pub struct Acquire {
+    sem: Semaphore,
+    n: usize,
+    waiter: Option<Rc<SemWaiter>>,
+}
+
+impl Future for Acquire {
+    type Output = SemPermit;
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<SemPermit> {
+        let this = &mut *self;
+        if let Some(w) = &this.waiter {
+            if w.granted.get() {
+                this.waiter = None;
+                return Poll::Ready(SemPermit {
+                    sem: this.sem.clone(),
+                    n: this.n,
+                });
+            }
+            *w.waker.borrow_mut() = Some(cx.waker().clone());
+            return Poll::Pending;
+        }
+        let inner = &this.sem.inner;
+        if inner.waiters.borrow().is_empty() && inner.permits.get() >= this.n {
+            inner.permits.set(inner.permits.get() - this.n);
+            return Poll::Ready(SemPermit {
+                sem: this.sem.clone(),
+                n: this.n,
+            });
+        }
+        let waiter = Rc::new(SemWaiter {
+            n: this.n,
+            granted: Cell::new(false),
+            cancelled: Cell::new(false),
+            waker: RefCell::new(Some(cx.waker().clone())),
+        });
+        inner.waiters.borrow_mut().push_back(Rc::clone(&waiter));
+        this.waiter = Some(waiter);
+        Poll::Pending
+    }
+}
+
+impl Drop for Acquire {
+    fn drop(&mut self) {
+        if let Some(w) = self.waiter.take() {
+            if w.granted.get() {
+                // Granted but never observed: hand the permits back.
+                self.sem.release(self.n);
+            } else {
+                w.cancelled.set(true);
+            }
+        }
+    }
+}
+
+/// Permits held on a [`Semaphore`]; released on drop.
+pub struct SemPermit {
+    sem: Semaphore,
+    n: usize,
+}
+
+impl Drop for SemPermit {
+    fn drop(&mut self) {
+        self.sem.release(self.n);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Barrier
+// ---------------------------------------------------------------------------
+
+struct BarrierInner {
+    parties: usize,
+    arrived: Cell<usize>,
+    generation: Cell<u64>,
+    wakers: RefCell<Vec<Waker>>,
+}
+
+/// An MPI-style reusable barrier for `parties` tasks.
+///
+/// ```
+/// use daosim_kernel::{Sim, SimDuration};
+/// use daosim_kernel::sync::Barrier;
+///
+/// let sim = Sim::new();
+/// let bar = Barrier::new(2);
+/// for i in 1..=2u64 {
+///     let (s, b) = (sim.clone(), bar.clone());
+///     sim.spawn(async move {
+///         s.sleep(SimDuration::from_micros(i)).await;
+///         b.wait().await; // both released when the slower one arrives
+///         assert_eq!(s.now().as_nanos(), 2_000);
+///     });
+/// }
+/// sim.run().expect_quiescent();
+/// ```
+#[derive(Clone)]
+pub struct Barrier {
+    inner: Rc<BarrierInner>,
+}
+
+impl Barrier {
+    pub fn new(parties: usize) -> Self {
+        assert!(parties > 0, "barrier needs at least one party");
+        Barrier {
+            inner: Rc::new(BarrierInner {
+                parties,
+                arrived: Cell::new(0),
+                generation: Cell::new(0),
+                wakers: RefCell::new(Vec::new()),
+            }),
+        }
+    }
+
+    pub fn parties(&self) -> usize {
+        self.inner.parties
+    }
+
+    /// Waits until all parties have called `wait` for this generation.
+    pub fn wait(&self) -> BarrierWait {
+        let inner = &self.inner;
+        let gen = inner.generation.get();
+        let arrived = inner.arrived.get() + 1;
+        if arrived == inner.parties {
+            inner.arrived.set(0);
+            inner.generation.set(gen + 1);
+            for w in inner.wakers.borrow_mut().drain(..) {
+                w.wake();
+            }
+        } else {
+            inner.arrived.set(arrived);
+        }
+        BarrierWait {
+            barrier: self.clone(),
+            generation: gen,
+        }
+    }
+}
+
+/// Future returned by [`Barrier::wait`].
+pub struct BarrierWait {
+    barrier: Barrier,
+    generation: u64,
+}
+
+impl Future for BarrierWait {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.barrier.inner.generation.get() > self.generation {
+            Poll::Ready(())
+        } else {
+            self.barrier.inner.wakers.borrow_mut().push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Oneshot completion
+// ---------------------------------------------------------------------------
+
+struct OneshotInner<T> {
+    value: RefCell<Option<T>>,
+    waker: RefCell<Option<Waker>>,
+}
+
+/// Creates a one-shot completion pair.
+pub fn oneshot<T: 'static>() -> (OneshotSender<T>, OneshotReceiver<T>) {
+    let inner = Rc::new(OneshotInner {
+        value: RefCell::new(None),
+        waker: RefCell::new(None),
+    });
+    (
+        OneshotSender {
+            inner: Rc::clone(&inner),
+        },
+        OneshotReceiver { inner },
+    )
+}
+
+pub struct OneshotSender<T> {
+    inner: Rc<OneshotInner<T>>,
+}
+
+impl<T> OneshotSender<T> {
+    pub fn send(self, value: T) {
+        *self.inner.value.borrow_mut() = Some(value);
+        if let Some(w) = self.inner.waker.borrow_mut().take() {
+            w.wake();
+        }
+    }
+}
+
+pub struct OneshotReceiver<T> {
+    inner: Rc<OneshotInner<T>>,
+}
+
+impl<T> Future for OneshotReceiver<T> {
+    type Output = T;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        if let Some(v) = self.inner.value.borrow_mut().take() {
+            Poll::Ready(v)
+        } else {
+            *self.inner.waker.borrow_mut() = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Unbounded channel
+// ---------------------------------------------------------------------------
+
+struct ChannelInner<T> {
+    queue: RefCell<VecDeque<T>>,
+    waker: RefCell<Option<Waker>>,
+    senders: Cell<usize>,
+}
+
+/// Creates an unbounded single-consumer channel.
+pub fn channel<T: 'static>() -> (Sender<T>, Receiver<T>) {
+    let inner = Rc::new(ChannelInner {
+        queue: RefCell::new(VecDeque::new()),
+        waker: RefCell::new(None),
+        senders: Cell::new(1),
+    });
+    (
+        Sender {
+            inner: Rc::clone(&inner),
+        },
+        Receiver { inner },
+    )
+}
+
+pub struct Sender<T> {
+    inner: Rc<ChannelInner<T>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.senders.set(self.inner.senders.get() + 1);
+        Sender {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let left = self.inner.senders.get() - 1;
+        self.inner.senders.set(left);
+        if left == 0 {
+            if let Some(w) = self.inner.waker.borrow_mut().take() {
+                w.wake();
+            }
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    pub fn send(&self, value: T) {
+        self.inner.queue.borrow_mut().push_back(value);
+        if let Some(w) = self.inner.waker.borrow_mut().take() {
+            w.wake();
+        }
+    }
+}
+
+pub struct Receiver<T> {
+    inner: Rc<ChannelInner<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Receives the next value; resolves to `None` when every sender has
+    /// been dropped and the queue is empty.
+    pub fn recv(&mut self) -> Recv<'_, T> {
+        Recv { rx: self }
+    }
+}
+
+pub struct Recv<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Future for Recv<'_, T> {
+    type Output = Option<T>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
+        let inner = &self.rx.inner;
+        if let Some(v) = inner.queue.borrow_mut().pop_front() {
+            return Poll::Ready(Some(v));
+        }
+        if inner.senders.get() == 0 {
+            return Poll::Ready(None);
+        }
+        *inner.waker.borrow_mut() = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+// ---------------------------------------------------------------------------
+// join_all
+// ---------------------------------------------------------------------------
+
+/// Drives a set of futures concurrently within one task and collects their
+/// outputs in input order. This is how one simulated process issues
+/// parallel stripe transfers.
+pub fn join_all<F: Future>(futures: Vec<F>) -> JoinAll<F> {
+    JoinAll {
+        slots: futures
+            .into_iter()
+            .map(|f| JoinSlot::Pending(Box::pin(f)))
+            .collect(),
+    }
+}
+
+enum JoinSlot<F: Future> {
+    Pending(Pin<Box<F>>),
+    Done(Option<F::Output>),
+}
+
+pub struct JoinAll<F: Future> {
+    slots: Vec<JoinSlot<F>>,
+}
+
+impl<F: Future> Future for JoinAll<F> {
+    type Output = Vec<F::Output>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Vec<F::Output>> {
+        // Safety: the inner futures are heap-pinned (`Pin<Box<F>>`); nothing
+        // here moves out of a pinned future.
+        let this = unsafe { self.get_unchecked_mut() };
+        let mut all_done = true;
+        for slot in &mut this.slots {
+            if let JoinSlot::Pending(fut) = slot {
+                match fut.as_mut().poll(cx) {
+                    Poll::Ready(v) => *slot = JoinSlot::Done(Some(v)),
+                    Poll::Pending => all_done = false,
+                }
+            }
+        }
+        if all_done {
+            let outs = this
+                .slots
+                .iter_mut()
+                .map(|s| match s {
+                    JoinSlot::Done(v) => v.take().expect("join_all polled after completion"),
+                    JoinSlot::Pending(_) => unreachable!(),
+                })
+                .collect();
+            Poll::Ready(outs)
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// race / WaitGroup
+// ---------------------------------------------------------------------------
+
+/// Polls two futures concurrently; resolves with the first to finish
+/// (`Either::Left` on ties, since the left side is polled first). The
+/// loser is dropped, cancelling it. Note that a cancelled sleep's calendar
+/// entry still fires (as a no-op), so `Sim::run` may report an end time at
+/// the cancelled timer rather than the race's resolution.
+pub fn race<A: Future, B: Future>(a: A, b: B) -> Race<A, B> {
+    Race {
+        a: Box::pin(a),
+        b: Box::pin(b),
+    }
+}
+
+/// Which contestant of a [`race`] won.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Either<A, B> {
+    Left(A),
+    Right(B),
+}
+
+pub struct Race<A: Future, B: Future> {
+    a: Pin<Box<A>>,
+    b: Pin<Box<B>>,
+}
+
+impl<A: Future, B: Future> Future for Race<A, B> {
+    type Output = Either<A::Output, B::Output>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // Safety: contestants stay heap-pinned; nothing moves out of them.
+        let this = unsafe { self.get_unchecked_mut() };
+        if let Poll::Ready(v) = this.a.as_mut().poll(cx) {
+            return Poll::Ready(Either::Left(v));
+        }
+        if let Poll::Ready(v) = this.b.as_mut().poll(cx) {
+            return Poll::Ready(Either::Right(v));
+        }
+        Poll::Pending
+    }
+}
+
+/// Runs `fut` with a simulated-time deadline: `Ok(value)` if it resolves
+/// within `limit`, `Err(Elapsed)` otherwise (the future is dropped, i.e.
+/// cancelled). Note the cancelled side's calendar entries still fire as
+/// no-ops (see [`race`]).
+pub fn timeout<F: Future>(
+    sim: &crate::executor::Sim,
+    limit: crate::time::SimDuration,
+    fut: F,
+) -> Timeout<F> {
+    Timeout {
+        inner: race(fut, sim.sleep(limit)),
+    }
+}
+
+/// Error returned when a [`timeout`] deadline passes first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Elapsed;
+
+pub struct Timeout<F: Future> {
+    inner: Race<F, crate::executor::Sleep>,
+}
+
+impl<F: Future> Future for Timeout<F> {
+    type Output = Result<F::Output, Elapsed>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // Safety: `inner` is structurally pinned alongside self; Race's
+        // own poll never moves its contestants.
+        let inner = unsafe { self.map_unchecked_mut(|t| &mut t.inner) };
+        match inner.poll(cx) {
+            Poll::Ready(Either::Left(v)) => Poll::Ready(Ok(v)),
+            Poll::Ready(Either::Right(())) => Poll::Ready(Err(Elapsed)),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+struct WaitGroupInner {
+    count: Cell<usize>,
+    wakers: RefCell<Vec<Waker>>,
+}
+
+/// Counts outstanding work; `wait` resolves when the count reaches zero.
+/// The idiomatic way for an orchestrator task to join a set of spawned
+/// simulated processes.
+#[derive(Clone)]
+pub struct WaitGroup {
+    inner: Rc<WaitGroupInner>,
+}
+
+impl Default for WaitGroup {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WaitGroup {
+    pub fn new() -> Self {
+        WaitGroup {
+            inner: Rc::new(WaitGroupInner {
+                count: Cell::new(0),
+                wakers: RefCell::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Registers one unit of outstanding work; the returned token
+    /// completes it on drop.
+    pub fn add(&self) -> WorkToken {
+        self.inner.count.set(self.inner.count.get() + 1);
+        WorkToken {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+
+    pub fn outstanding(&self) -> usize {
+        self.inner.count.get()
+    }
+
+    /// Resolves once every token has been dropped.
+    pub fn wait(&self) -> WaitGroupWait {
+        WaitGroupWait {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+/// One unit of outstanding [`WaitGroup`] work.
+pub struct WorkToken {
+    inner: Rc<WaitGroupInner>,
+}
+
+impl Drop for WorkToken {
+    fn drop(&mut self) {
+        let left = self.inner.count.get() - 1;
+        self.inner.count.set(left);
+        if left == 0 {
+            for w in self.inner.wakers.borrow_mut().drain(..) {
+                w.wake();
+            }
+        }
+    }
+}
+
+pub struct WaitGroupWait {
+    inner: Rc<WaitGroupInner>,
+}
+
+impl Future for WaitGroupWait {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.inner.count.get() == 0 {
+            Poll::Ready(())
+        } else {
+            self.inner.wakers.borrow_mut().push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Sim;
+    use crate::time::SimDuration;
+    use std::rc::Rc;
+
+    #[test]
+    fn semaphore_serializes_fifo() {
+        let sim = Sim::new();
+        let sem = Semaphore::new(1);
+        let log: Rc<RefCell<Vec<(u32, u64)>>> = Rc::default();
+        for i in 0..4u32 {
+            let (s, sem, log) = (sim.clone(), sem.clone(), Rc::clone(&log));
+            sim.spawn(async move {
+                // Stagger arrivals so the queue order is well-defined.
+                s.sleep(SimDuration::from_nanos(i as u64)).await;
+                let _permit = sem.acquire_one().await;
+                log.borrow_mut().push((i, s.now().as_nanos()));
+                s.sleep(SimDuration::from_nanos(100)).await;
+            });
+        }
+        sim.run().expect_quiescent();
+        let got = log.borrow().clone();
+        assert_eq!(got.len(), 4);
+        // FIFO: tasks enter in arrival order, each 100ns apart.
+        assert_eq!(got[0], (0, 0));
+        assert_eq!(got[1], (1, 100));
+        assert_eq!(got[2], (2, 200));
+        assert_eq!(got[3], (3, 300));
+    }
+
+    #[test]
+    fn semaphore_multi_permit_no_barging() {
+        let sim = Sim::new();
+        let sem = Semaphore::new(2);
+        let log: Rc<RefCell<Vec<&'static str>>> = Rc::default();
+        let (s1, m1, l1) = (sim.clone(), sem.clone(), Rc::clone(&log));
+        sim.spawn(async move {
+            let _p = m1.acquire(2).await;
+            l1.borrow_mut().push("big-in");
+            s1.sleep(SimDuration::from_nanos(50)).await;
+            l1.borrow_mut().push("big-out");
+        });
+        let (s2, m2, l2) = (sim.clone(), sem.clone(), Rc::clone(&log));
+        sim.spawn(async move {
+            s2.sleep(SimDuration::from_nanos(1)).await;
+            // Queued behind nothing, but only 0 permits free until big-out.
+            let _p = m2.acquire(1).await;
+            l2.borrow_mut().push("small");
+        });
+        sim.run().expect_quiescent();
+        assert_eq!(*log.borrow(), vec!["big-in", "big-out", "small"]);
+    }
+
+    #[test]
+    fn semaphore_cancelled_waiter_is_skipped() {
+        let sim = Sim::new();
+        let sem = Semaphore::new(0);
+        {
+            // Create and immediately drop a pending acquire.
+            let mut acq = sem.acquire(1);
+            let waker = Waker::noop();
+            let mut cx = Context::from_waker(waker);
+            assert!(Pin::new(&mut acq).poll(&mut cx).is_pending());
+        }
+        assert_eq!(sem.queue_len(), 0);
+        let hit: Rc<Cell<bool>> = Rc::default();
+        let (m, h) = (sem.clone(), Rc::clone(&hit));
+        sim.spawn(async move {
+            let _p = m.acquire_one().await;
+            h.set(true);
+        });
+        sem.release(1);
+        sim.run().expect_quiescent();
+        assert!(hit.get());
+    }
+
+    #[test]
+    fn barrier_releases_all_parties_together() {
+        let sim = Sim::new();
+        let bar = Barrier::new(3);
+        let log: Rc<RefCell<Vec<u64>>> = Rc::default();
+        for i in 0..3u64 {
+            let (s, b, log) = (sim.clone(), bar.clone(), Rc::clone(&log));
+            sim.spawn(async move {
+                s.sleep(SimDuration::from_nanos(10 * (i + 1))).await;
+                b.wait().await;
+                log.borrow_mut().push(s.now().as_nanos());
+            });
+        }
+        sim.run().expect_quiescent();
+        // All released at the last arrival (t=30).
+        assert_eq!(*log.borrow(), vec![30, 30, 30]);
+    }
+
+    #[test]
+    fn barrier_is_reusable_across_generations() {
+        let sim = Sim::new();
+        let bar = Barrier::new(2);
+        let count: Rc<Cell<u32>> = Rc::default();
+        for i in 0..2u64 {
+            let (s, b, c) = (sim.clone(), bar.clone(), Rc::clone(&count));
+            sim.spawn(async move {
+                for round in 0..5u64 {
+                    s.sleep(SimDuration::from_nanos(1 + i * round)).await;
+                    b.wait().await;
+                    c.set(c.get() + 1);
+                }
+            });
+        }
+        sim.run().expect_quiescent();
+        assert_eq!(count.get(), 10);
+    }
+
+    #[test]
+    fn oneshot_delivers() {
+        let sim = Sim::new();
+        let (tx, rx) = oneshot::<u32>();
+        let s = sim.clone();
+        sim.spawn(async move {
+            assert_eq!(rx.await, 42);
+            assert_eq!(s.now().as_nanos(), 99);
+        });
+        sim.schedule_at(crate::time::SimTime::from_nanos(99), move || tx.send(42));
+        sim.run().expect_quiescent();
+    }
+
+    #[test]
+    fn channel_closes_when_senders_drop() {
+        let sim = Sim::new();
+        let (tx, mut rx) = channel::<u32>();
+        let s = sim.clone();
+        sim.spawn(async move {
+            let mut got = Vec::new();
+            while let Some(v) = rx.recv().await {
+                got.push(v);
+            }
+            assert_eq!(got, vec![1, 2, 3]);
+            let _ = s;
+        });
+        let s2 = sim.clone();
+        sim.spawn(async move {
+            for v in 1..=3 {
+                tx.send(v);
+                s2.sleep(SimDuration::from_nanos(5)).await;
+            }
+            // tx dropped here -> receiver sees None.
+        });
+        sim.run().expect_quiescent();
+    }
+
+    #[test]
+    fn race_picks_the_faster_future() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let end = sim.block_on(async move {
+            let fast = {
+                let s = s.clone();
+                async move {
+                    s.sleep(SimDuration::from_nanos(10)).await;
+                    "fast"
+                }
+            };
+            let slow = {
+                let s = s.clone();
+                async move {
+                    s.sleep(SimDuration::from_nanos(100)).await;
+                    "slow"
+                }
+            };
+            let resolved_at = {
+                let r = race(slow, fast).await;
+                match r {
+                    Either::Right(v) => assert_eq!(v, "fast"),
+                    Either::Left(v) => panic!("slow future won: {v}"),
+                }
+                s.now().as_nanos()
+            };
+            // The race resolved at the fast contestant's time.
+            assert_eq!(resolved_at, 10);
+        });
+        // The cancelled sleep's calendar entry still fires as a no-op.
+        assert_eq!(end.as_nanos(), 100);
+    }
+
+    #[test]
+    fn race_prefers_left_on_tie() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.block_on(async move {
+            let a = {
+                let s = s.clone();
+                async move { s.sleep(SimDuration::from_nanos(5)).await }
+            };
+            let b = {
+                let s = s.clone();
+                async move { s.sleep(SimDuration::from_nanos(5)).await }
+            };
+            assert!(matches!(race(a, b).await, Either::Left(())));
+        });
+    }
+
+    #[test]
+    fn timeout_resolves_or_elapses() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.block_on(async move {
+            // Completes in time.
+            let quick = {
+                let s = s.clone();
+                async move {
+                    s.sleep(SimDuration::from_nanos(10)).await;
+                    7u32
+                }
+            };
+            assert_eq!(timeout(&s, SimDuration::from_nanos(100), quick).await, Ok(7));
+            // Misses the deadline.
+            let slow = {
+                let s = s.clone();
+                async move {
+                    s.sleep(SimDuration::from_micros(1)).await;
+                    7u32
+                }
+            };
+            assert_eq!(
+                timeout(&s, SimDuration::from_nanos(100), slow).await,
+                Err(Elapsed)
+            );
+        });
+    }
+
+    #[test]
+    fn waitgroup_joins_all_tokens() {
+        let sim = Sim::new();
+        let wg = WaitGroup::new();
+        let done_at: Rc<Cell<u64>> = Rc::default();
+        for i in 1..=4u64 {
+            let token = wg.add();
+            let s = sim.clone();
+            sim.spawn(async move {
+                s.sleep(SimDuration::from_nanos(i * 10)).await;
+                drop(token);
+            });
+        }
+        {
+            let (wg, s, done_at) = (wg.clone(), sim.clone(), Rc::clone(&done_at));
+            sim.spawn(async move {
+                wg.wait().await;
+                done_at.set(s.now().as_nanos());
+            });
+        }
+        assert_eq!(wg.outstanding(), 4);
+        sim.run().expect_quiescent();
+        assert_eq!(done_at.get(), 40);
+        assert_eq!(wg.outstanding(), 0);
+    }
+
+    #[test]
+    fn waitgroup_with_no_work_resolves_immediately() {
+        let sim = Sim::new();
+        let wg = WaitGroup::new();
+        let end = sim.block_on(async move {
+            wg.wait().await;
+        });
+        assert_eq!(end.as_nanos(), 0);
+    }
+
+    #[test]
+    fn join_all_waits_for_slowest() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let end = sim.block_on(async move {
+            let futs = (1..=4u64)
+                .map(|i| {
+                    let s = s.clone();
+                    async move {
+                        s.sleep(SimDuration::from_nanos(i * 10)).await;
+                        i
+                    }
+                })
+                .collect::<Vec<_>>();
+            let outs = join_all(futs).await;
+            assert_eq!(outs, vec![1, 2, 3, 4]);
+        });
+        assert_eq!(end.as_nanos(), 40);
+    }
+
+    #[test]
+    fn join_all_empty_is_immediate() {
+        let sim = Sim::new();
+        let end = sim.block_on(async move {
+            let outs: Vec<u32> = join_all(Vec::<std::future::Ready<u32>>::new()).await;
+            assert!(outs.is_empty());
+        });
+        assert_eq!(end.as_nanos(), 0);
+    }
+}

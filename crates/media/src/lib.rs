@@ -1,0 +1,160 @@
+//! # daosim-media — storage-class-memory timing model
+//!
+//! Models the persistent-memory media of a NEXTGenIO-style node: six
+//! first-generation Intel Optane DC Persistent Memory Modules per socket,
+//! configured AppDirect-interleaved, with no NVMe tier (as in the paper).
+//!
+//! The model is deliberately simple: a socket's interleaved region has an
+//! aggregate read and write bandwidth and a fixed access latency; a DAOS
+//! *target* owns a static `1/targets` share of its socket's bandwidth
+//! (matching DAOS's target-per-dedicated-thread-group design). Media
+//! access time for a request is `latency + bytes / target_share`.
+//! Contention between targets of one engine is therefore captured by the
+//! static partition; queueing *within* a target is modelled by the
+//! caller's per-target FIFO service queue.
+//!
+//! The numbers are per-socket aggregates consistent with published Optane
+//! gen-1 measurements (~6 GB/s read / ~2.2 GB/s write per DIMM, ×6
+//! interleaved, minus interleaving overheads).
+
+use daosim_kernel::SimDuration;
+
+/// One GiB in bytes, as a float.
+pub const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+/// Optane writes happen internally at 256-byte "XPLine" granularity;
+/// sub-line updates pay a read-modify-write. We fold that into latency,
+/// but expose the constant for documentation and capacity rounding.
+pub const XPLINE: u64 = 256;
+
+/// Media characteristics of one socket's interleaved SCM region.
+#[derive(Clone, Copy, Debug)]
+pub struct ScmSpec {
+    /// Aggregate sequential read bandwidth per socket, GiB/s.
+    pub read_gib: f64,
+    /// Aggregate sequential write bandwidth per socket, GiB/s.
+    pub write_gib: f64,
+    /// Read access latency (media + controller).
+    pub read_latency: SimDuration,
+    /// Write (ADR-flush visible) latency.
+    pub write_latency: SimDuration,
+    /// Capacity per socket in bytes (6 × 256 GiB on NEXTGenIO).
+    pub capacity: u64,
+}
+
+impl ScmSpec {
+    /// First-generation Optane DCPMM, 6 × 256 GiB interleaved per socket.
+    pub fn optane_gen1() -> Self {
+        ScmSpec {
+            read_gib: 37.0,
+            write_gib: 13.0,
+            read_latency: SimDuration::from_nanos(320),
+            write_latency: SimDuration::from_nanos(100),
+            capacity: 6 * 256 * 1024 * 1024 * 1024,
+        }
+    }
+}
+
+impl Default for ScmSpec {
+    fn default() -> Self {
+        Self::optane_gen1()
+    }
+}
+
+/// The static bandwidth share of one DAOS target within a socket region.
+#[derive(Clone, Copy, Debug)]
+pub struct TargetMedia {
+    spec: ScmSpec,
+    targets_per_socket: u32,
+}
+
+impl TargetMedia {
+    pub fn new(spec: ScmSpec, targets_per_socket: u32) -> Self {
+        assert!(targets_per_socket > 0, "need at least one target");
+        TargetMedia {
+            spec,
+            targets_per_socket,
+        }
+    }
+
+    pub fn spec(&self) -> &ScmSpec {
+        &self.spec
+    }
+
+    /// Bandwidth available to this target for reads, GiB/s.
+    pub fn read_share_gib(&self) -> f64 {
+        self.spec.read_gib / self.targets_per_socket as f64
+    }
+
+    /// Bandwidth available to this target for writes, GiB/s.
+    pub fn write_share_gib(&self) -> f64 {
+        self.spec.write_gib / self.targets_per_socket as f64
+    }
+
+    /// Service time to read `bytes` from this target's media share.
+    pub fn read_time(&self, bytes: u64) -> SimDuration {
+        self.spec.read_latency
+            + SimDuration::from_secs_f64(bytes as f64 / (self.read_share_gib() * GIB))
+    }
+
+    /// Service time to persist `bytes` to this target's media share.
+    pub fn write_time(&self, bytes: u64) -> SimDuration {
+        let lines = bytes.div_ceil(XPLINE) * XPLINE;
+        self.spec.write_latency
+            + SimDuration::from_secs_f64(lines as f64 / (self.write_share_gib() * GIB))
+    }
+
+    /// Capacity of this target's media slice, in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.spec.capacity / self.targets_per_socket as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_partition_socket_bandwidth() {
+        let t = TargetMedia::new(ScmSpec::optane_gen1(), 12);
+        assert!((t.read_share_gib() * 12.0 - 37.0).abs() < 1e-9);
+        assert!((t.write_share_gib() * 12.0 - 13.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn read_time_scales_with_bytes() {
+        let t = TargetMedia::new(ScmSpec::optane_gen1(), 1);
+        // 37 GiB at 37 GiB/s = 1 s (+latency).
+        let d = t.read_time((37.0 * GIB) as u64);
+        assert!((d.as_secs_f64() - 1.0).abs() < 1e-6, "{d:?}");
+        // Zero bytes costs exactly the latency.
+        assert_eq!(t.read_time(0), t.spec().read_latency);
+    }
+
+    #[test]
+    fn write_time_rounds_to_xplines() {
+        let t = TargetMedia::new(ScmSpec::optane_gen1(), 1);
+        // 1 byte is charged as a full 256-byte line.
+        assert_eq!(t.write_time(1), t.write_time(256));
+        assert!(t.write_time(257) > t.write_time(256));
+    }
+
+    #[test]
+    fn writes_slower_than_reads() {
+        let t = TargetMedia::new(ScmSpec::optane_gen1(), 12);
+        let b = 1024 * 1024;
+        assert!(t.write_time(b) > t.read_time(b));
+    }
+
+    #[test]
+    fn capacity_divides() {
+        let t = TargetMedia::new(ScmSpec::optane_gen1(), 12);
+        assert_eq!(t.capacity(), 6 * 256 * 1024 * 1024 * 1024 / 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one target")]
+    fn zero_targets_panics() {
+        let _ = TargetMedia::new(ScmSpec::optane_gen1(), 0);
+    }
+}

@@ -1,0 +1,18 @@
+//! # daosim-net — flow-level network model
+//!
+//! A fluid (flow-level) network simulator with max-min fair bandwidth
+//! sharing, shaped after the NEXTGenIO fabric the paper benchmarks on:
+//! dual-socket nodes, one OmniPath adapter per socket, dual-rail switches,
+//! and OFI provider profiles for TCP (sockets) and PSM2 (RDMA).
+//!
+//! Layers:
+//! * [`flow`] — generic links, flows, progressive-filling fairness;
+//! * [`fabric`] — the NEXTGenIO topology, routing and provider profiles;
+//! * [`mpi`] — the point-to-point bandwidth microbenchmark (Table 2).
+
+pub mod fabric;
+pub mod flow;
+pub mod mpi;
+
+pub use fabric::{Endpoint, Fabric, FabricSpec, ProviderProfile};
+pub use flow::{FlowCap, FlowNet, LinkId, GIB};

@@ -1,0 +1,190 @@
+//! MPI-style point-to-point bandwidth microbenchmark (paper Table 2).
+//!
+//! Mirrors the test the authors ran to separate raw fabric behaviour from
+//! DAOS behaviour: N process pairs on the first sockets of two nodes
+//! stream fixed-size messages to each other, varying the pair count and
+//! the transfer size; the reported figure is the aggregate bandwidth at
+//! the best-performing transfer size.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use daosim_kernel::{Sim, SimTime};
+
+use crate::fabric::{Endpoint, Fabric, FabricSpec, ProviderProfile};
+use crate::flow::GIB;
+
+/// Configuration for one p2p run.
+#[derive(Clone, Copy, Debug)]
+pub struct MpiP2pConfig {
+    pub provider: ProviderProfile,
+    pub pairs: usize,
+    pub msg_bytes: u64,
+    /// Messages sent per pair (back-to-back, as MPI bandwidth tests do).
+    pub messages: u32,
+}
+
+/// Result of one p2p run.
+#[derive(Clone, Copy, Debug)]
+pub struct MpiP2pResult {
+    pub aggregate_gib_s: f64,
+    pub wall_secs: f64,
+}
+
+/// Runs the pairwise streaming benchmark on a fresh two-node fabric.
+pub fn run_p2p(cfg: MpiP2pConfig) -> MpiP2pResult {
+    assert!(cfg.pairs > 0 && cfg.messages > 0);
+    let sim = Sim::new();
+    let fabric = Rc::new(Fabric::new(&sim, FabricSpec::new(2, cfg.provider)));
+    let t_end: Rc<Cell<SimTime>> = Rc::new(Cell::new(SimTime::ZERO));
+    for _ in 0..cfg.pairs {
+        let fabric = Rc::clone(&fabric);
+        let sim2 = sim.clone();
+        let t_end = Rc::clone(&t_end);
+        sim.spawn(async move {
+            let src = Endpoint::new(0, 0);
+            let dst = Endpoint::new(1, 0);
+            for _ in 0..cfg.messages {
+                sim2.sleep(fabric.msg_latency()).await;
+                fabric.transfer(src, dst, cfg.msg_bytes).await;
+            }
+            t_end.set(t_end.get().max(sim2.now()));
+        });
+    }
+    sim.run().expect_quiescent();
+    let wall = t_end.get().as_secs_f64();
+    let total = cfg.pairs as f64 * cfg.messages as f64 * cfg.msg_bytes as f64;
+    MpiP2pResult {
+        aggregate_gib_s: total / GIB / wall,
+        wall_secs: wall,
+    }
+}
+
+/// Sweeps transfer sizes for a pair count and returns
+/// `(optimal_size_bytes, best aggregate GiB/s)` — one row of Table 2.
+pub fn best_over_sizes(
+    provider: ProviderProfile,
+    pairs: usize,
+    sizes: &[u64],
+    messages: u32,
+) -> (u64, f64) {
+    let mut best = (0u64, 0.0f64);
+    for &s in sizes {
+        let r = run_p2p(MpiP2pConfig {
+            provider,
+            pairs,
+            msg_bytes: s,
+            messages,
+        });
+        if r.aggregate_gib_s > best.1 {
+            best = (s, r.aggregate_gib_s);
+        }
+    }
+    best
+}
+
+/// The transfer sizes the paper sweeps (powers of two up to 32 MiB).
+pub fn table2_sizes() -> Vec<u64> {
+    (0..=25).map(|p| 1u64 << p).filter(|&s| s >= 64 * 1024).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIB: u64 = 1024 * 1024;
+
+    #[test]
+    fn tcp_single_pair_approaches_stream_cap() {
+        let r = run_p2p(MpiP2pConfig {
+            provider: ProviderProfile::tcp(),
+            pairs: 1,
+            msg_bytes: 2 * MIB,
+            messages: 50,
+        });
+        assert!(
+            (2.7..=3.1).contains(&r.aggregate_gib_s),
+            "got {}",
+            r.aggregate_gib_s
+        );
+    }
+
+    #[test]
+    fn psm2_single_pair_approaches_rdma_cap() {
+        let r = run_p2p(MpiP2pConfig {
+            provider: ProviderProfile::psm2(),
+            pairs: 1,
+            msg_bytes: 8 * MIB,
+            messages: 50,
+        });
+        assert!(
+            (11.0..=12.1).contains(&r.aggregate_gib_s),
+            "got {}",
+            r.aggregate_gib_s
+        );
+    }
+
+    #[test]
+    fn tcp_pairs_scale_sublinearly_to_host_cap() {
+        let one = run_p2p(MpiP2pConfig {
+            provider: ProviderProfile::tcp(),
+            pairs: 1,
+            msg_bytes: 2 * MIB,
+            messages: 30,
+        })
+        .aggregate_gib_s;
+        let two = run_p2p(MpiP2pConfig {
+            provider: ProviderProfile::tcp(),
+            pairs: 2,
+            msg_bytes: 2 * MIB,
+            messages: 30,
+        })
+        .aggregate_gib_s;
+        let eight = run_p2p(MpiP2pConfig {
+            provider: ProviderProfile::tcp(),
+            pairs: 8,
+            msg_bytes: 16 * MIB,
+            messages: 30,
+        })
+        .aggregate_gib_s;
+        assert!(two > one, "2 pairs ({two}) must beat 1 pair ({one})");
+        assert!(
+            two < 2.0 * one * 0.95,
+            "2 pairs ({two}) must scale sub-linearly vs {one}"
+        );
+        assert!(
+            (8.5..=9.7).contains(&eight),
+            "8 pairs should saturate near the host cap, got {eight}"
+        );
+    }
+
+    #[test]
+    fn small_messages_are_latency_bound() {
+        let small = run_p2p(MpiP2pConfig {
+            provider: ProviderProfile::tcp(),
+            pairs: 1,
+            msg_bytes: 64 * 1024,
+            messages: 50,
+        })
+        .aggregate_gib_s;
+        let large = run_p2p(MpiP2pConfig {
+            provider: ProviderProfile::tcp(),
+            pairs: 1,
+            msg_bytes: 4 * MIB,
+            messages: 50,
+        })
+        .aggregate_gib_s;
+        assert!(small < large * 0.8, "small {small} vs large {large}");
+    }
+
+    #[test]
+    fn best_over_sizes_finds_a_positive_optimum() {
+        let (size, bw) = best_over_sizes(
+            ProviderProfile::tcp(),
+            1,
+            &[256 * 1024, MIB, 2 * MIB, 4 * MIB],
+            20,
+        );
+        assert!(size >= 256 * 1024 && bw > 2.0);
+    }
+}

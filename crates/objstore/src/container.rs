@@ -1,0 +1,389 @@
+//! Containers: per-dataset object namespaces with their own id space.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use crate::array::ArrayObject;
+use crate::error::{DaosError, Result};
+use crate::kv::KvObject;
+use crate::oid::Oid;
+use crate::uuid::Uuid;
+
+/// Aggregate content statistics of a container.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ContainerStats {
+    pub objects: usize,
+    pub kv_objects: usize,
+    pub array_objects: usize,
+    pub kv_entries: usize,
+    /// Live array extent bytes (trimmed extents excluded).
+    pub array_bytes: u64,
+}
+
+/// An object stored in a container.
+#[derive(Debug, Clone)]
+pub enum Object {
+    Kv(KvObject),
+    Array(ArrayObject),
+}
+
+/// A transactional object namespace. Thread-safe: the object table takes a
+/// read lock for lookups and individual objects have their own locks, so
+/// concurrent operations on distinct objects do not serialize.
+pub struct Container {
+    uuid: Uuid,
+    objects: RwLock<HashMap<Oid, Arc<RwLock<Object>>>>,
+}
+
+impl Container {
+    pub fn new(uuid: Uuid) -> Self {
+        Container {
+            uuid,
+            objects: RwLock::new(HashMap::new()),
+        }
+    }
+
+    pub fn uuid(&self) -> Uuid {
+        self.uuid
+    }
+
+    pub fn object_count(&self) -> usize {
+        self.objects.read().len()
+    }
+
+    pub fn obj_exists(&self, oid: Oid) -> bool {
+        self.objects.read().contains_key(&oid)
+    }
+
+    fn get_obj(&self, oid: Oid) -> Result<Arc<RwLock<Object>>> {
+        self.objects
+            .read()
+            .get(&oid)
+            .cloned()
+            .ok_or(DaosError::ObjNotFound(oid))
+    }
+
+    /// Fetches or lazily creates the Key-Value object `oid` (DAOS KVs
+    /// materialize on first update).
+    fn get_or_create_kv(&self, oid: Oid) -> Result<Arc<RwLock<Object>>> {
+        if let Some(o) = self.objects.read().get(&oid) {
+            return Ok(Arc::clone(o));
+        }
+        let mut table = self.objects.write();
+        Ok(Arc::clone(table.entry(oid).or_insert_with(|| {
+            Arc::new(RwLock::new(Object::Kv(KvObject::new())))
+        })))
+    }
+
+    // -- Key-Value API ----------------------------------------------------
+
+    /// Inserts `key` into KV `oid`; returns the previous value, if any.
+    pub fn kv_put(&self, oid: Oid, key: &[u8], value: Bytes) -> Result<Option<Bytes>> {
+        let obj = self.get_or_create_kv(oid)?;
+        let mut guard = obj.write();
+        match &mut *guard {
+            Object::Kv(kv) => Ok(kv.put(key, value)),
+            Object::Array(_) => Err(DaosError::WrongType(oid)),
+        }
+    }
+
+    pub fn kv_get(&self, oid: Oid, key: &[u8]) -> Result<Option<Bytes>> {
+        let obj = match self.get_obj(oid) {
+            Ok(o) => o,
+            // Reading a never-written KV behaves as an empty KV.
+            Err(DaosError::ObjNotFound(_)) => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let guard = obj.read();
+        match &*guard {
+            Object::Kv(kv) => Ok(kv.get(key)),
+            Object::Array(_) => Err(DaosError::WrongType(oid)),
+        }
+    }
+
+    pub fn kv_remove(&self, oid: Oid, key: &[u8]) -> Result<Option<Bytes>> {
+        let obj = self.get_obj(oid)?;
+        let mut guard = obj.write();
+        match &mut *guard {
+            Object::Kv(kv) => Ok(kv.remove(key)),
+            Object::Array(_) => Err(DaosError::WrongType(oid)),
+        }
+    }
+
+    pub fn kv_list_keys(&self, oid: Oid) -> Result<Vec<Vec<u8>>> {
+        let obj = match self.get_obj(oid) {
+            Ok(o) => o,
+            Err(DaosError::ObjNotFound(_)) => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let guard = obj.read();
+        match &*guard {
+            Object::Kv(kv) => Ok(kv.list_keys()),
+            Object::Array(_) => Err(DaosError::WrongType(oid)),
+        }
+    }
+
+    // -- Array API ---------------------------------------------------------
+
+    /// Creates Array `oid`; fails if an object with that id exists.
+    pub fn array_create(&self, oid: Oid) -> Result<()> {
+        let mut table = self.objects.write();
+        if table.contains_key(&oid) {
+            return Err(DaosError::ObjExists(oid));
+        }
+        table.insert(oid, Arc::new(RwLock::new(Object::Array(ArrayObject::new()))));
+        Ok(())
+    }
+
+    /// Opens Array `oid` — i.e. verifies existence and type.
+    pub fn array_open(&self, oid: Oid) -> Result<()> {
+        let obj = self.get_obj(oid)?;
+        let guard = obj.read();
+        match &*guard {
+            Object::Array(_) => Ok(()),
+            Object::Kv(_) => Err(DaosError::WrongType(oid)),
+        }
+    }
+
+    /// Creates Array `oid` if absent (the `no-index` mode re-write path,
+    /// where the md5-derived oid is stable across re-writes).
+    pub fn array_open_or_create(&self, oid: Oid) -> Result<()> {
+        match self.array_create(oid) {
+            Ok(()) => Ok(()),
+            Err(DaosError::ObjExists(_)) => self.array_open(oid),
+            Err(e) => Err(e),
+        }
+    }
+
+    pub fn array_write(&self, oid: Oid, offset: u64, data: Bytes) -> Result<()> {
+        let obj = self.get_obj(oid)?;
+        let mut guard = obj.write();
+        match &mut *guard {
+            Object::Array(a) => {
+                a.write(offset, data);
+                Ok(())
+            }
+            Object::Kv(_) => Err(DaosError::WrongType(oid)),
+        }
+    }
+
+    pub fn array_read(&self, oid: Oid, offset: u64, len: u64) -> Result<Bytes> {
+        let obj = self.get_obj(oid)?;
+        let guard = obj.read();
+        match &*guard {
+            Object::Array(a) => Ok(a.read(offset, len)),
+            Object::Kv(_) => Err(DaosError::WrongType(oid)),
+        }
+    }
+
+    pub fn array_size(&self, oid: Oid) -> Result<u64> {
+        let obj = self.get_obj(oid)?;
+        let guard = obj.read();
+        match &*guard {
+            Object::Array(a) => Ok(a.size()),
+            Object::Kv(_) => Err(DaosError::WrongType(oid)),
+        }
+    }
+
+    /// Stores the EC parity cell of an Array object.
+    pub fn array_set_parity(&self, oid: Oid, parity: Bytes) -> Result<()> {
+        let obj = self.get_obj(oid)?;
+        let mut guard = obj.write();
+        match &mut *guard {
+            Object::Array(a) => {
+                a.set_parity(parity);
+                Ok(())
+            }
+            Object::Kv(_) => Err(DaosError::WrongType(oid)),
+        }
+    }
+
+    /// Fetches the EC parity cell of an Array object.
+    pub fn array_parity(&self, oid: Oid) -> Result<Option<Bytes>> {
+        let obj = self.get_obj(oid)?;
+        let guard = obj.read();
+        match &*guard {
+            Object::Array(a) => Ok(a.parity()),
+            Object::Kv(_) => Err(DaosError::WrongType(oid)),
+        }
+    }
+
+    /// Punches (drops the contents of) an object of either type.
+    pub fn obj_punch(&self, oid: Oid) -> Result<()> {
+        let removed = self.objects.write().remove(&oid);
+        removed.map(|_| ()).ok_or(DaosError::ObjNotFound(oid))
+    }
+
+    /// Clones an object out of the container (snapshots, tooling).
+    pub fn export_object(&self, oid: Oid) -> Result<Object> {
+        let obj = self.get_obj(oid)?;
+        let guard = obj.read();
+        Ok(guard.clone())
+    }
+
+    /// Inserts a fully formed object (snapshot restore). Fails if the id
+    /// is taken.
+    pub fn import_object(&self, oid: Oid, object: Object) -> Result<()> {
+        let mut table = self.objects.write();
+        if table.contains_key(&oid) {
+            return Err(DaosError::ObjExists(oid));
+        }
+        table.insert(oid, Arc::new(RwLock::new(object)));
+        Ok(())
+    }
+
+    /// Walks the container and aggregates content statistics.
+    pub fn stats(&self) -> ContainerStats {
+        let table = self.objects.read();
+        let mut s = ContainerStats {
+            objects: table.len(),
+            ..Default::default()
+        };
+        for obj in table.values() {
+            match &*obj.read() {
+                Object::Kv(kv) => {
+                    s.kv_objects += 1;
+                    s.kv_entries += kv.len();
+                }
+                Object::Array(a) => {
+                    s.array_objects += 1;
+                    s.array_bytes += a.stored_bytes();
+                }
+            }
+        }
+        s
+    }
+
+    /// All object ids, ordered (diagnostics and tooling).
+    pub fn list_objects(&self) -> Vec<Oid> {
+        let mut v: Vec<Oid> = self.objects.read().keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// All Array object ids, ordered (reclamation passes).
+    pub fn list_arrays(&self) -> Vec<Oid> {
+        let table = self.objects.read();
+        let mut v: Vec<Oid> = table
+            .iter()
+            .filter(|(_, o)| matches!(&*o.read(), Object::Array(_)))
+            .map(|(oid, _)| *oid)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oid::ObjectClass;
+
+    fn c() -> Container {
+        Container::new(Uuid::from_name(b"test"))
+    }
+
+    fn oid(n: u64) -> Oid {
+        Oid::generate(1, n, ObjectClass::S1)
+    }
+
+    #[test]
+    fn kv_materializes_on_first_put() {
+        let c = c();
+        assert!(!c.obj_exists(oid(1)));
+        c.kv_put(oid(1), b"k", Bytes::from_static(b"v")).unwrap();
+        assert!(c.obj_exists(oid(1)));
+        assert_eq!(c.kv_get(oid(1), b"k").unwrap().unwrap().as_ref(), b"v");
+    }
+
+    #[test]
+    fn kv_get_on_missing_object_is_none() {
+        let c = c();
+        assert_eq!(c.kv_get(oid(9), b"k").unwrap(), None);
+        assert!(c.kv_list_keys(oid(9)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn array_create_then_duplicate_fails() {
+        let c = c();
+        c.array_create(oid(2)).unwrap();
+        assert_eq!(c.array_create(oid(2)), Err(DaosError::ObjExists(oid(2))));
+        c.array_open_or_create(oid(2)).unwrap();
+    }
+
+    #[test]
+    fn array_ops_require_existing_object() {
+        let c = c();
+        assert_eq!(
+            c.array_write(oid(3), 0, Bytes::from_static(b"x")),
+            Err(DaosError::ObjNotFound(oid(3)))
+        );
+        assert_eq!(c.array_open(oid(3)), Err(DaosError::ObjNotFound(oid(3))));
+    }
+
+    #[test]
+    fn type_confusion_is_rejected() {
+        let c = c();
+        c.kv_put(oid(4), b"k", Bytes::new()).unwrap();
+        assert_eq!(c.array_open(oid(4)), Err(DaosError::WrongType(oid(4))));
+        assert_eq!(
+            c.array_read(oid(4), 0, 1),
+            Err(DaosError::WrongType(oid(4)))
+        );
+        c.array_create(oid(5)).unwrap();
+        assert_eq!(
+            c.kv_put(oid(5), b"k", Bytes::new()),
+            Err(DaosError::WrongType(oid(5)))
+        );
+    }
+
+    #[test]
+    fn punch_removes_object() {
+        let c = c();
+        c.array_create(oid(6)).unwrap();
+        c.obj_punch(oid(6)).unwrap();
+        assert_eq!(c.obj_punch(oid(6)), Err(DaosError::ObjNotFound(oid(6))));
+        assert_eq!(c.object_count(), 0);
+    }
+
+    #[test]
+    fn stats_aggregate_contents() {
+        let c = c();
+        c.kv_put(oid(1), b"a", Bytes::from_static(b"x")).unwrap();
+        c.kv_put(oid(1), b"b", Bytes::from_static(b"y")).unwrap();
+        c.array_create(oid(2)).unwrap();
+        c.array_write(oid(2), 0, Bytes::from(vec![0u8; 500])).unwrap();
+        let s = c.stats();
+        assert_eq!(s.objects, 2);
+        assert_eq!(s.kv_objects, 1);
+        assert_eq!(s.array_objects, 1);
+        assert_eq!(s.kv_entries, 2);
+        assert_eq!(s.array_bytes, 500);
+    }
+
+    #[test]
+    fn concurrent_distinct_objects() {
+        use std::sync::Arc;
+        let c = Arc::new(Container::new(Uuid::from_name(b"mt")));
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        let o = oid(t * 1000 + i);
+                        c.array_create(o).unwrap();
+                        c.array_write(o, 0, Bytes::from(vec![t as u8; 64])).unwrap();
+                        assert_eq!(c.array_read(o, 0, 64).unwrap()[0], t as u8);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.object_count(), 1600);
+    }
+}

@@ -1,0 +1,96 @@
+//! Erasure-coding math for `EC_2P1`-style objects: two data cells plus
+//! one XOR parity cell.
+//!
+//! An object's payload splits into two halves placed on distinct targets;
+//! the parity cell is their byte-wise XOR (the shorter half zero-padded).
+//! Any single lost cell is reconstructible from the other two:
+//!
+//! * lost first half:  `h0 = parity ⊕ pad(h1)`
+//! * lost second half: `h1 = parity ⊕ pad(h0)`
+//!
+//! The math is deliberately tiny and total — no unsafe, no SIMD — because
+//! the simulator charges reconstruction *time* separately; these functions
+//! provide the *correctness* (degraded reads return real reconstructed
+//! bytes, not copies of the logical data).
+
+use bytes::Bytes;
+
+/// Splits a payload into its two data cells: the first gets
+/// `ceil(len/2)` bytes. Either cell may be empty for tiny payloads.
+pub fn split_halves(data: &Bytes) -> (Bytes, Bytes) {
+    let mid = data.len().div_ceil(2);
+    (data.slice(0..mid), data.slice(mid..))
+}
+
+/// Byte-wise XOR of two cells, zero-padding the shorter: the parity cell.
+/// Its length is the longer input's.
+pub fn xor_parity(a: &[u8], b: &[u8]) -> Vec<u8> {
+    let n = a.len().max(b.len());
+    let mut out = vec![0u8; n];
+    for (i, o) in out.iter_mut().enumerate() {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        *o = x ^ y;
+    }
+    out
+}
+
+/// Reconstructs a lost cell of `lost_len` bytes from the surviving cell
+/// and the parity cell. XOR is its own inverse, so this is `xor_parity`
+/// truncated to the lost cell's length.
+pub fn reconstruct_cell(survivor: &[u8], parity: &[u8], lost_len: usize) -> Vec<u8> {
+    let mut out = xor_parity(survivor, parity);
+    out.truncate(lost_len);
+    out
+}
+
+/// Reassembles the payload from both halves.
+pub fn join_halves(h0: &[u8], h1: &[u8]) -> Bytes {
+    let mut v = Vec::with_capacity(h0.len() + h1.len());
+    v.extend_from_slice(h0);
+    v.extend_from_slice(h1);
+    Bytes::from(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(n: usize) -> Bytes {
+        Bytes::from((0..n).map(|i| (i * 31 % 251) as u8).collect::<Vec<u8>>())
+    }
+
+    #[test]
+    fn split_is_lossless() {
+        for n in [0usize, 1, 2, 3, 100, 101] {
+            let data = payload(n);
+            let (h0, h1) = split_halves(&data);
+            assert_eq!(h0.len(), n.div_ceil(2));
+            assert_eq!(join_halves(&h0, &h1), data, "n={n}");
+        }
+    }
+
+    #[test]
+    fn either_lost_half_reconstructs() {
+        for n in [1usize, 2, 7, 64, 1023, 4096] {
+            let data = payload(n);
+            let (h0, h1) = split_halves(&data);
+            let parity = xor_parity(&h0, &h1);
+            assert_eq!(parity.len(), h0.len().max(h1.len()));
+            let r0 = reconstruct_cell(&h1, &parity, h0.len());
+            assert_eq!(r0, h0.as_ref(), "first half, n={n}");
+            let r1 = reconstruct_cell(&h0, &parity, h1.len());
+            assert_eq!(r1, h1.as_ref(), "second half, n={n}");
+        }
+    }
+
+    #[test]
+    fn corrupt_parity_is_detectable_as_wrong_bytes() {
+        let data = payload(64);
+        let (h0, h1) = split_halves(&data);
+        let mut parity = xor_parity(&h0, &h1);
+        parity[3] ^= 0xFF;
+        let r0 = reconstruct_cell(&h1, &parity, h0.len());
+        assert_ne!(r0, h0.as_ref());
+    }
+}

@@ -1,0 +1,47 @@
+//! Error type shared by the embedded store and the simulated cluster.
+
+use std::fmt;
+
+use crate::oid::Oid;
+use crate::uuid::Uuid;
+
+/// Errors surfaced by DAOS-like operations (a compact analogue of the
+/// `-DER_*` space actually used by the field I/O functions).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DaosError {
+    PoolNotFound(Uuid),
+    ContNotFound(Uuid),
+    ContExists(Uuid),
+    ObjNotFound(Oid),
+    ObjExists(Oid),
+    /// Object exists but has the wrong type for the attempted operation
+    /// (e.g. Array API on a Key-Value object).
+    WrongType(Oid),
+    KeyNotFound(String),
+    /// Capacity accounting rejected an allocation.
+    NoSpace,
+    /// The engine owning the object is down (failure injection).
+    EngineUnavailable(u32),
+    InvalidArg(&'static str),
+}
+
+impl fmt::Display for DaosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DaosError::PoolNotFound(u) => write!(f, "pool {u} not found"),
+            DaosError::ContNotFound(u) => write!(f, "container {u} not found"),
+            DaosError::ContExists(u) => write!(f, "container {u} already exists"),
+            DaosError::ObjNotFound(o) => write!(f, "object {o} not found"),
+            DaosError::ObjExists(o) => write!(f, "object {o} already exists"),
+            DaosError::WrongType(o) => write!(f, "object {o} has the wrong type"),
+            DaosError::KeyNotFound(k) => write!(f, "key {k:?} not found"),
+            DaosError::NoSpace => write!(f, "out of space"),
+            DaosError::EngineUnavailable(e) => write!(f, "engine {e} unavailable"),
+            DaosError::InvalidArg(m) => write!(f, "invalid argument: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DaosError {}
+
+pub type Result<T> = std::result::Result<T, DaosError>;

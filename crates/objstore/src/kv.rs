@@ -1,0 +1,110 @@
+//! Key-Value objects — the index building block of the field I/O scheme.
+//!
+//! A DAOS Key-Value object maps opaque byte keys to opaque byte values
+//! under last-writer-wins semantics. Keys are kept ordered so listings
+//! are deterministic.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+
+/// An in-memory Key-Value object.
+#[derive(Default, Debug, Clone)]
+pub struct KvObject {
+    entries: BTreeMap<Vec<u8>, Bytes>,
+}
+
+impl KvObject {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts or replaces `key`; returns the previous value, if any.
+    pub fn put(&mut self, key: &[u8], value: Bytes) -> Option<Bytes> {
+        self.entries.insert(key.to_vec(), value)
+    }
+
+    pub fn get(&self, key: &[u8]) -> Option<Bytes> {
+        self.entries.get(key).cloned()
+    }
+
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Removes `key`; returns the removed value, if any.
+    pub fn remove(&mut self, key: &[u8]) -> Option<Bytes> {
+        self.entries.remove(key)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All keys in lexicographic order.
+    pub fn list_keys(&self) -> Vec<Vec<u8>> {
+        self.entries.keys().cloned().collect()
+    }
+
+    /// Iterates entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], &Bytes)> {
+        self.entries.iter().map(|(k, v)| (k.as_slice(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut kv = KvObject::new();
+        assert!(kv.put(b"step=0", Bytes::from_static(b"ref-a")).is_none());
+        assert_eq!(kv.get(b"step=0").unwrap().as_ref(), b"ref-a");
+        assert!(kv.get(b"step=1").is_none());
+    }
+
+    #[test]
+    fn put_replaces_and_returns_previous() {
+        let mut kv = KvObject::new();
+        kv.put(b"k", Bytes::from_static(b"old"));
+        let prev = kv.put(b"k", Bytes::from_static(b"new")).unwrap();
+        assert_eq!(prev.as_ref(), b"old");
+        assert_eq!(kv.get(b"k").unwrap().as_ref(), b"new");
+        assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    fn remove_and_len() {
+        let mut kv = KvObject::new();
+        kv.put(b"a", Bytes::new());
+        kv.put(b"b", Bytes::new());
+        assert_eq!(kv.remove(b"a").map(|b| b.len()), Some(0));
+        assert!(kv.remove(b"a").is_none());
+        assert_eq!(kv.len(), 1);
+        assert!(!kv.is_empty());
+    }
+
+    #[test]
+    fn list_keys_is_ordered() {
+        let mut kv = KvObject::new();
+        for k in ["zeta", "alpha", "mid"] {
+            kv.put(k.as_bytes(), Bytes::new());
+        }
+        assert_eq!(
+            kv.list_keys(),
+            vec![b"alpha".to_vec(), b"mid".to_vec(), b"zeta".to_vec()]
+        );
+    }
+
+    #[test]
+    fn empty_key_is_legal() {
+        let mut kv = KvObject::new();
+        kv.put(b"", Bytes::from_static(b"v"));
+        assert!(kv.contains(b""));
+    }
+}

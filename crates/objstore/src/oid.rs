@@ -1,0 +1,237 @@
+//! Object identifiers and object classes.
+//!
+//! A DAOS object id is 128 bits of which 96 are user-managed; DAOS packs
+//! the *object class* (replication/striping policy) and internal metadata
+//! into the upper 32 bits when the object is "generated". We mirror that:
+//! [`Oid::generate`] combines a 96-bit user id with an [`ObjectClass`].
+
+use std::fmt;
+
+use crate::uuid::Uuid;
+
+/// Redundancy/striping policy for an object: the striped classes the
+/// paper exercises (S1/S2/SX) plus two-way replication (`OC_RP_2G1`),
+/// which the paper names (§3) but does not benchmark.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum ObjectClass {
+    /// No striping: the whole object lives on one target (`OC_S1`).
+    #[default]
+    S1,
+    /// Striped across two targets (`OC_S2`).
+    S2,
+    /// Striped across every target in the pool (`OC_SX`).
+    SX,
+    /// Two-way replicated, unstriped (`OC_RP_2G1`): writes land on both
+    /// replicas, reads fail over to the survivor when an engine is down.
+    RP2,
+    /// Erasure-coded 2+1 (`OC_EC_2P1G1`): two data cells plus one XOR
+    /// parity cell on three targets; any single loss is reconstructible.
+    EC2P1,
+}
+
+impl ObjectClass {
+    /// Number of targets an object of this class spreads over, in a pool
+    /// with `pool_targets` targets.
+    pub fn stripe_width(self, pool_targets: u32) -> u32 {
+        match self {
+            ObjectClass::S1 => 1,
+            ObjectClass::S2 => 2.min(pool_targets.max(1)),
+            ObjectClass::SX => pool_targets.max(1),
+            // Replication is redundancy, not striping: one data shard.
+            ObjectClass::RP2 => 1,
+            // Two data cells (parity is extra, placed separately).
+            ObjectClass::EC2P1 => 2.min(pool_targets.max(1)),
+        }
+    }
+
+    /// Number of parity cells per shard group (EC classes only).
+    pub fn parity_cells(self, pool_targets: u32) -> u32 {
+        match self {
+            ObjectClass::EC2P1 if pool_targets >= 3 => 1,
+            _ => 0,
+        }
+    }
+
+    /// Number of synchronous replicas each shard keeps.
+    pub fn replicas(self, pool_targets: u32) -> u32 {
+        match self {
+            ObjectClass::RP2 => 2.min(pool_targets.max(1)),
+            _ => 1,
+        }
+    }
+
+    fn code(self) -> u32 {
+        match self {
+            ObjectClass::S1 => 1,
+            ObjectClass::S2 => 2,
+            ObjectClass::SX => 3,
+            ObjectClass::RP2 => 4,
+            ObjectClass::EC2P1 => 5,
+        }
+    }
+
+    fn from_code(code: u32) -> Option<Self> {
+        match code {
+            1 => Some(ObjectClass::S1),
+            2 => Some(ObjectClass::S2),
+            3 => Some(ObjectClass::SX),
+            4 => Some(ObjectClass::RP2),
+            5 => Some(ObjectClass::EC2P1),
+            _ => None,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ObjectClass::S1 => "S1",
+            ObjectClass::S2 => "S2",
+            ObjectClass::SX => "SX",
+            ObjectClass::RP2 => "RP2",
+            ObjectClass::EC2P1 => "EC2P1",
+        }
+    }
+
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "S1" | "s1" => Some(ObjectClass::S1),
+            "S2" | "s2" => Some(ObjectClass::S2),
+            "SX" | "sx" => Some(ObjectClass::SX),
+            "RP2" | "rp2" | "RP_2G1" => Some(ObjectClass::RP2),
+            "EC2P1" | "ec2p1" | "EC_2P1G1" => Some(ObjectClass::EC2P1),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ObjectClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A 128-bit object identifier: 96 user bits + class metadata.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Oid {
+    hi: u64,
+    lo: u64,
+}
+
+impl Oid {
+    /// Combines a 96-bit user id (`user_hi` must fit in 32 bits) with an
+    /// object class, like `daos_obj_generate_oid`.
+    pub fn generate(user_hi: u32, user_lo: u64, class: ObjectClass) -> Self {
+        Oid {
+            hi: ((class.code() as u64) << 32) | user_hi as u64,
+            lo: user_lo,
+        }
+    }
+
+    /// Derives an oid from a 16-byte digest (the `no-index` mode maps
+    /// md5(field key) onto the 96 user bits).
+    pub fn from_digest(digest: &Uuid, class: ObjectClass) -> Self {
+        let b = digest.as_bytes();
+        let user_hi = u32::from_be_bytes(b[0..4].try_into().unwrap());
+        let user_lo = u64::from_be_bytes(b[4..12].try_into().unwrap());
+        Oid::generate(user_hi, user_lo, class)
+    }
+
+    pub fn class(&self) -> ObjectClass {
+        ObjectClass::from_code((self.hi >> 32) as u32)
+            .expect("oid carries an invalid object-class code")
+    }
+
+    /// The 96 user-managed bits as `(hi32, lo64)`.
+    pub fn user_bits(&self) -> (u32, u64) {
+        (self.hi as u32, self.lo)
+    }
+
+    /// Raw 128-bit value (for hashing/placement).
+    pub fn as_u128(&self) -> u128 {
+        ((self.hi as u128) << 64) | self.lo as u128
+    }
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}.{:016x}", self.hi, self.lo)
+    }
+}
+
+impl fmt::Debug for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Oid({self} class={})", self.class())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_roundtrips_user_bits_and_class() {
+        for class in [
+            ObjectClass::S1,
+            ObjectClass::S2,
+            ObjectClass::SX,
+            ObjectClass::RP2,
+        ] {
+            let oid = Oid::generate(0xdead_beef, 0x0123_4567_89ab_cdef, class);
+            assert_eq!(oid.class(), class);
+            assert_eq!(oid.user_bits(), (0xdead_beef, 0x0123_4567_89ab_cdef));
+        }
+    }
+
+    #[test]
+    fn stripe_widths() {
+        assert_eq!(ObjectClass::S1.stripe_width(24), 1);
+        assert_eq!(ObjectClass::S2.stripe_width(24), 2);
+        assert_eq!(ObjectClass::SX.stripe_width(24), 24);
+        // Degenerate pools clamp sensibly.
+        assert_eq!(ObjectClass::S2.stripe_width(1), 1);
+        assert_eq!(ObjectClass::SX.stripe_width(1), 1);
+    }
+
+    #[test]
+    fn from_digest_is_deterministic() {
+        let u = Uuid::from_name(b"param=t,level=500,step=24");
+        let a = Oid::from_digest(&u, ObjectClass::S1);
+        let b = Oid::from_digest(&u, ObjectClass::S1);
+        assert_eq!(a, b);
+        assert_ne!(
+            a,
+            Oid::from_digest(&Uuid::from_name(b"param=t,level=850,step=24"), ObjectClass::S1)
+        );
+    }
+
+    #[test]
+    fn ec_counts() {
+        assert_eq!(ObjectClass::EC2P1.stripe_width(24), 2);
+        assert_eq!(ObjectClass::EC2P1.parity_cells(24), 1);
+        assert_eq!(ObjectClass::EC2P1.parity_cells(2), 0, "needs 3 targets");
+        assert_eq!(ObjectClass::S1.parity_cells(24), 0);
+        assert_eq!(ObjectClass::EC2P1.replicas(24), 1);
+    }
+
+    #[test]
+    fn replication_counts() {
+        assert_eq!(ObjectClass::RP2.replicas(24), 2);
+        assert_eq!(ObjectClass::RP2.replicas(1), 1);
+        assert_eq!(ObjectClass::S1.replicas(24), 1);
+        assert_eq!(ObjectClass::SX.replicas(24), 1);
+        assert_eq!(ObjectClass::RP2.stripe_width(24), 1);
+    }
+
+    #[test]
+    fn class_names_roundtrip() {
+        for c in [
+            ObjectClass::S1,
+            ObjectClass::S2,
+            ObjectClass::SX,
+            ObjectClass::RP2,
+        ] {
+            assert_eq!(ObjectClass::by_name(c.name()), Some(c));
+        }
+        assert_eq!(ObjectClass::by_name("RP_2G1"), Some(ObjectClass::RP2));
+        assert_eq!(ObjectClass::by_name("EC_2P1"), None);
+    }
+}

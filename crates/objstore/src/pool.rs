@@ -1,0 +1,198 @@
+//! Pools: reserved storage spanning targets, hosting containers.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::container::{Container, ContainerStats};
+use crate::error::{DaosError, Result};
+use crate::uuid::Uuid;
+
+/// A pool: a fixed-size slice of cluster storage, distributed over
+/// `targets` targets, hosting any number of containers.
+pub struct Pool {
+    uuid: Uuid,
+    targets: u32,
+    capacity: u64,
+    used: AtomicU64,
+    containers: RwLock<HashMap<Uuid, Arc<Container>>>,
+}
+
+impl Pool {
+    pub fn new(uuid: Uuid, targets: u32, capacity: u64) -> Self {
+        assert!(targets > 0, "pool needs at least one target");
+        Pool {
+            uuid,
+            targets,
+            capacity,
+            used: AtomicU64::new(0),
+            containers: RwLock::new(HashMap::new()),
+        }
+    }
+
+    pub fn uuid(&self) -> Uuid {
+        self.uuid
+    }
+
+    pub fn targets(&self) -> u32 {
+        self.targets
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// Charges an allocation against pool space. The store never refunds
+    /// trimmed extents — matching the paper's field I/O design, which
+    /// de-references but deliberately never deletes overwritten arrays.
+    pub fn charge(&self, bytes: u64) -> Result<()> {
+        let prev = self.used.fetch_add(bytes, Ordering::Relaxed);
+        if prev + bytes > self.capacity {
+            self.used.fetch_sub(bytes, Ordering::Relaxed);
+            return Err(DaosError::NoSpace);
+        }
+        Ok(())
+    }
+
+    pub fn cont_create(&self, uuid: Uuid) -> Result<Arc<Container>> {
+        let mut table = self.containers.write();
+        if table.contains_key(&uuid) {
+            return Err(DaosError::ContExists(uuid));
+        }
+        let c = Arc::new(Container::new(uuid));
+        table.insert(uuid, Arc::clone(&c));
+        Ok(c)
+    }
+
+    pub fn cont_open(&self, uuid: Uuid) -> Result<Arc<Container>> {
+        self.containers
+            .read()
+            .get(&uuid)
+            .cloned()
+            .ok_or(DaosError::ContNotFound(uuid))
+    }
+
+    /// The create-then-open-on-race pattern the field I/O functions use
+    /// with md5-derived container ids.
+    pub fn cont_open_or_create(&self, uuid: Uuid) -> Result<Arc<Container>> {
+        match self.cont_create(uuid) {
+            Ok(c) => Ok(c),
+            Err(DaosError::ContExists(_)) => self.cont_open(uuid),
+            Err(e) => Err(e),
+        }
+    }
+
+    pub fn cont_destroy(&self, uuid: Uuid) -> Result<()> {
+        self.containers
+            .write()
+            .remove(&uuid)
+            .map(|_| ())
+            .ok_or(DaosError::ContNotFound(uuid))
+    }
+
+    pub fn cont_count(&self) -> usize {
+        self.containers.read().len()
+    }
+
+    /// Aggregates statistics over every container.
+    pub fn stats(&self) -> ContainerStats {
+        let mut total = ContainerStats::default();
+        for (_, c) in self.containers.read().iter() {
+            let s = c.stats();
+            total.objects += s.objects;
+            total.kv_objects += s.kv_objects;
+            total.array_objects += s.array_objects;
+            total.kv_entries += s.kv_entries;
+            total.array_bytes += s.array_bytes;
+        }
+        total
+    }
+
+    pub fn cont_list(&self) -> Vec<Uuid> {
+        let mut v: Vec<Uuid> = self.containers.read().keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> Pool {
+        Pool::new(Uuid::from_name(b"pool"), 24, 1 << 30)
+    }
+
+    #[test]
+    fn create_open_destroy() {
+        let p = pool();
+        let u = Uuid::from_name(b"c1");
+        p.cont_create(u).unwrap();
+        assert_eq!(p.cont_create(u).err(), Some(DaosError::ContExists(u)));
+        assert_eq!(p.cont_open(u).unwrap().uuid(), u);
+        p.cont_destroy(u).unwrap();
+        assert_eq!(p.cont_open(u).err(), Some(DaosError::ContNotFound(u)));
+    }
+
+    #[test]
+    fn open_or_create_survives_races() {
+        let p = Arc::new(pool());
+        let u = Uuid::from_name(b"shared");
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let p = Arc::clone(&p);
+                std::thread::spawn(move || p.cont_open_or_create(u).unwrap().uuid())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), u);
+        }
+        assert_eq!(p.cont_count(), 1);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let p = Pool::new(Uuid::NIL, 1, 100);
+        p.charge(60).unwrap();
+        p.charge(40).unwrap();
+        assert_eq!(p.charge(1), Err(DaosError::NoSpace));
+        assert_eq!(p.used(), 100);
+    }
+
+    #[test]
+    fn pool_stats_sum_containers() {
+        let p = pool();
+        let c1 = p.cont_create(Uuid::from_u64_pair(0, 1)).unwrap();
+        let c2 = p.cont_create(Uuid::from_u64_pair(0, 2)).unwrap();
+        use crate::oid::{ObjectClass, Oid};
+        use bytes::Bytes;
+        c1.kv_put(Oid::generate(1, 1, ObjectClass::SX), b"k", Bytes::from_static(b"v"))
+            .unwrap();
+        c2.array_create(Oid::generate(1, 2, ObjectClass::S1)).unwrap();
+        c2.array_write(Oid::generate(1, 2, ObjectClass::S1), 0, Bytes::from(vec![0u8; 64]))
+            .unwrap();
+        let s = p.stats();
+        assert_eq!(s.objects, 2);
+        assert_eq!(s.kv_entries, 1);
+        assert_eq!(s.array_bytes, 64);
+    }
+
+    #[test]
+    fn cont_list_sorted() {
+        let p = pool();
+        let mut uuids: Vec<Uuid> = (0..5)
+            .map(|i| Uuid::from_u64_pair(0, i))
+            .collect();
+        for u in uuids.iter().rev() {
+            p.cont_create(*u).unwrap();
+        }
+        uuids.sort_unstable();
+        assert_eq!(p.cont_list(), uuids);
+    }
+}

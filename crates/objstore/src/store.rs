@@ -1,0 +1,90 @@
+//! The store root: a system hosting pools.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::{DaosError, Result};
+use crate::pool::Pool;
+use crate::uuid::Uuid;
+
+/// Default pool capacity when unspecified: effectively unlimited for
+/// in-memory use.
+pub const DEFAULT_POOL_CAPACITY: u64 = u64::MAX / 2;
+
+/// The root of a DAOS-like system: the set of pools.
+#[derive(Default)]
+pub struct DaosStore {
+    pools: RwLock<HashMap<Uuid, Arc<Pool>>>,
+}
+
+impl DaosStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn pool_create(&self, uuid: Uuid, targets: u32, capacity: u64) -> Result<Arc<Pool>> {
+        let mut pools = self.pools.write();
+        if pools.contains_key(&uuid) {
+            return Err(DaosError::InvalidArg("pool already exists"));
+        }
+        let p = Arc::new(Pool::new(uuid, targets, capacity));
+        pools.insert(uuid, Arc::clone(&p));
+        Ok(p)
+    }
+
+    pub fn pool_connect(&self, uuid: Uuid) -> Result<Arc<Pool>> {
+        self.pools
+            .read()
+            .get(&uuid)
+            .cloned()
+            .ok_or(DaosError::PoolNotFound(uuid))
+    }
+
+    pub fn pool_destroy(&self, uuid: Uuid) -> Result<()> {
+        self.pools
+            .write()
+            .remove(&uuid)
+            .map(|_| ())
+            .ok_or(DaosError::PoolNotFound(uuid))
+    }
+
+    pub fn pool_count(&self) -> usize {
+        self.pools.read().len()
+    }
+
+    /// Convenience: a fresh single-pool store, returning `(store, pool)`.
+    pub fn with_single_pool(targets: u32) -> (Arc<DaosStore>, Arc<Pool>) {
+        let store = Arc::new(DaosStore::new());
+        let pool = store
+            .pool_create(Uuid::from_name(b"default-pool"), targets, DEFAULT_POOL_CAPACITY)
+            .expect("fresh store cannot have the pool already");
+        (store, pool)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_lifecycle() {
+        let s = DaosStore::new();
+        let u = Uuid::from_name(b"p");
+        s.pool_create(u, 12, 1 << 40).unwrap();
+        assert!(s.pool_create(u, 12, 1 << 40).is_err());
+        assert_eq!(s.pool_connect(u).unwrap().targets(), 12);
+        s.pool_destroy(u).unwrap();
+        assert_eq!(s.pool_connect(u).err(), Some(DaosError::PoolNotFound(u)));
+        assert_eq!(s.pool_count(), 0);
+    }
+
+    #[test]
+    fn with_single_pool_works() {
+        let (store, pool) = DaosStore::with_single_pool(24);
+        assert_eq!(store.pool_count(), 1);
+        assert_eq!(pool.targets(), 24);
+        assert_eq!(store.pool_connect(pool.uuid()).unwrap().uuid(), pool.uuid());
+    }
+}

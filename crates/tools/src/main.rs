@@ -1,0 +1,177 @@
+//! `daosctl` — manage snapshot-backed weather-field archives.
+//!
+//! ```text
+//! daosctl init     <archive> [--targets N]
+//! daosctl put      <archive> <key> [--file PATH | --text STRING]
+//! daosctl get      <archive> <key> [--out PATH]
+//! daosctl list     <archive> <forecast-key>
+//! daosctl retrieve <archive> <request>     # e.g. param=t/u,step=0/24
+//! daosctl info     <archive>
+//! ```
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use daosim_tools::{cmd_get, cmd_info, cmd_init, cmd_list, cmd_put, cmd_retrieve, cmd_simulate, cmd_synth_trace, cmd_wipe, Outcome};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: daosctl <init|put|get|list|retrieve|wipe|info> <archive> [args...]\n\
+         \n\
+         init     <archive> [--targets N]\n\
+         put      <archive> <key> [--file PATH | --text STRING]\n\
+         get      <archive> <key> [--out PATH]\n\
+         list     <archive> <forecast-key>\n\
+         retrieve <archive> <request>\n\
+         wipe     <archive> <forecast-key>\n\
+         info     <archive>\n\
+         synth-trace <out.csv> [--procs N] [--steps N] [--fields N] [--mib N] [--interval-ms N]\n\
+         simulate    <trace.csv> [--servers N] [--clients N] [--paced] [--mode full|no-containers|no-index]"
+    );
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        usage();
+    }
+    let cmd = args[0].as_str();
+    let archive = PathBuf::from(&args[1]);
+    let rest = &args[2..];
+
+    let result = match cmd {
+        "init" => {
+            let targets = flag_value(rest, "--targets")
+                .map(|v| v.parse().unwrap_or_else(|_| usage()))
+                .unwrap_or(24);
+            cmd_init(&archive, targets)
+        }
+        "put" => {
+            let key = rest.first().unwrap_or_else(|| usage());
+            let data = if let Some(path) = flag_value(rest, "--file") {
+                std::fs::read(path).unwrap_or_else(|e| {
+                    eprintln!("cannot read payload: {e}");
+                    exit(1);
+                })
+            } else if let Some(text) = flag_value(rest, "--text") {
+                text.into_bytes()
+            } else {
+                usage();
+            };
+            cmd_put(&archive, key, data)
+        }
+        "get" => {
+            let key = rest.first().unwrap_or_else(|| usage());
+            cmd_get(&archive, key)
+        }
+        "list" => {
+            let key = rest.first().unwrap_or_else(|| usage());
+            cmd_list(&archive, key)
+        }
+        "retrieve" => {
+            let req = rest.first().unwrap_or_else(|| usage());
+            cmd_retrieve(&archive, req)
+        }
+        "wipe" => {
+            let key = rest.first().unwrap_or_else(|| usage());
+            cmd_wipe(&archive, key)
+        }
+        "info" => cmd_info(&archive),
+        "synth-trace" => {
+            let num = |f: &str, d: u64| {
+                flag_value(rest, f)
+                    .map(|v| v.parse().unwrap_or_else(|_| usage()))
+                    .unwrap_or(d)
+            };
+            cmd_synth_trace(
+                &archive,
+                num("--procs", 16) as u32,
+                num("--steps", 4) as u32,
+                num("--fields", 12) as u32,
+                num("--mib", 1),
+                num("--interval-ms", 100),
+            )
+        }
+        "simulate" => {
+            let num = |f: &str, d: u64| {
+                flag_value(rest, f)
+                    .map(|v| v.parse().unwrap_or_else(|_| usage()))
+                    .unwrap_or(d)
+            };
+            let mode = flag_value(rest, "--mode").unwrap_or_else(|| "full".to_string());
+            cmd_simulate(
+                &archive,
+                num("--servers", 1) as u16,
+                num("--clients", 2) as u16,
+                rest.iter().any(|a| a == "--paced"),
+                &mode,
+            )
+        }
+        _ => usage(),
+    };
+
+    match result {
+        Ok(Outcome::Created { targets }) => {
+            println!("created {} ({} targets)", archive.display(), targets)
+        }
+        Ok(Outcome::Put { key, bytes }) => println!("archived {key} ({bytes} bytes)"),
+        Ok(Outcome::Got { key, data }) => {
+            if let Some(out) = flag_value(&args[2..], "--out") {
+                std::fs::write(&out, &data).unwrap_or_else(|e| {
+                    eprintln!("cannot write output: {e}");
+                    exit(1);
+                });
+                println!("retrieved {key} -> {out} ({} bytes)", data.len());
+            } else {
+                use std::io::Write;
+                std::io::stdout().write_all(&data).ok();
+            }
+        }
+        Ok(Outcome::Listing(entries)) => {
+            for e in &entries {
+                println!("{e}");
+            }
+            eprintln!("{} field(s)", entries.len());
+        }
+        Ok(Outcome::Retrieved { found, missing, bytes }) => {
+            println!("retrieved {found} field(s), {bytes} bytes; {missing} missing")
+        }
+        Ok(Outcome::Wiped { removed }) => println!("wiped {removed} field(s)"),
+        Ok(Outcome::TraceWritten { path, ops, gib }) => {
+            println!("trace written: {path} ({ops} ops, {gib:.2} GiB of writes)")
+        }
+        Ok(Outcome::Simulated(stats)) => {
+            println!("writes: {:.2} GiB/s ({} ops)", stats.writes.global_bw_gib, stats.writes.io_count);
+            println!("reads : {:.2} GiB/s ({} ops)", stats.reads.global_bw_gib, stats.reads.io_count);
+            println!(
+                "tardiness: mean {:.2} ms, max {:.2} ms; total {:.3} s",
+                stats.mean_tardiness_ms, stats.max_tardiness_ms, stats.end_secs
+            );
+        }
+        Ok(Outcome::Info {
+            containers,
+            used,
+            targets,
+            arrays,
+            kv_entries,
+            array_bytes,
+        }) => {
+            println!("targets:     {targets}");
+            println!("containers:  {containers}");
+            println!("arrays:      {arrays} ({array_bytes} live bytes)");
+            println!("index keys:  {kv_entries}");
+            println!("used bytes:  {used}");
+        }
+        Err(e) => {
+            eprintln!("daosctl: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}

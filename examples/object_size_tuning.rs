@@ -1,0 +1,59 @@
+//! Object size and class tuning — the Fig. 6 question in miniature.
+//!
+//! "As we move towards higher resolution data in the future, scaling will
+//! improve rather than deteriorate": sweeping field size shows per-field
+//! index costs amortising, and the striping class trade-off appears once
+//! fields span multiple chunks.
+//!
+//! ```text
+//! cargo run --release --example object_size_tuning
+//! ```
+
+use daosim::cluster::ClusterSpec;
+use daosim::core::fieldio::{FieldIoConfig, FieldIoMode};
+use daosim::core::patterns::{run_pattern_a, PatternConfig};
+use daosim::core::workload::Contention;
+use daosim::objstore::ObjectClass;
+
+const MIB: u64 = 1024 * 1024;
+
+fn main() {
+    println!("field I/O full mode, high contention, 2 server / 4 client nodes");
+    println!(
+        "{:<6} {:>9} {:>12} {:>12}",
+        "class", "size MiB", "write GiB/s", "read GiB/s"
+    );
+    let mut best: (f64, String) = (0.0, String::new());
+    for class in [ObjectClass::S1, ObjectClass::S2, ObjectClass::SX] {
+        for size_mib in [1u64, 5, 10, 20] {
+            let mut fieldio = FieldIoConfig::with_mode(FieldIoMode::Full);
+            fieldio.array_class = class;
+            fieldio.kv_class = class;
+            let cfg = PatternConfig {
+                cluster: ClusterSpec::tcp(2, 4),
+                fieldio,
+                contention: Contention::High,
+                procs_per_node: 16,
+                ops_per_proc: (60 / size_mib as u32).max(6),
+                field_bytes: size_mib * MIB,
+                verify: true,
+            };
+            let r = run_pattern_a(&cfg);
+            println!(
+                "{:<6} {:>9} {:>12.2} {:>12.2}",
+                class.name(),
+                size_mib,
+                r.write.global_bw_gib,
+                r.read.global_bw_gib
+            );
+            let agg = r.aggregate_gib();
+            if agg > best.0 {
+                best = (agg, format!("{} at {size_mib} MiB", class.name()));
+            }
+        }
+    }
+    println!();
+    println!("best aggregate configuration: {} ({:.2} GiB/s)", best.1, best.0);
+    println!("1 MiB fields pay the per-field contention/index cost in full;");
+    println!("5-10 MiB fields amortise it — higher resolution scales better.");
+}

@@ -1,0 +1,22 @@
+//! # daosim — umbrella crate
+//!
+//! Re-exports the full public API of the workspace. See the README for a
+//! guided tour; the crate-level docs of each member go deeper:
+//!
+//! * [`kernel`] — deterministic discrete-event simulation kernel,
+//! * [`net`] — flow-level fabric model (TCP/PSM2 provider profiles),
+//! * [`media`] — Optane DCPMM timing model,
+//! * [`objstore`] — embeddable object store with DAOS semantics,
+//! * [`cluster`] — the simulated DAOS cluster (engines, targets, RPCs),
+//! * [`core`] — weather-field keys, the field I/O functions (the paper's
+//!   contribution), metrics and access patterns,
+//! * [`ior`] — the IOR segments-mode benchmark.
+
+pub use bytes;
+pub use daosim_cluster as cluster;
+pub use daosim_core as core;
+pub use daosim_ior as ior;
+pub use daosim_kernel as kernel;
+pub use daosim_media as media;
+pub use daosim_net as net;
+pub use daosim_objstore as objstore;

@@ -1,0 +1,82 @@
+//! Cross-crate determinism: identical programs produce bit-identical
+//! results, and independent worlds never interfere.
+
+use daosim::cluster::ClusterSpec;
+use daosim::core::fieldio::{FieldIoConfig, FieldIoMode};
+use daosim::core::patterns::{run_pattern_a, run_pattern_b, PatternConfig};
+use daosim::core::workload::Contention;
+use daosim::ior::{run_ior, IorParams};
+use daosim::objstore::ObjectClass;
+
+const MIB: u64 = 1024 * 1024;
+
+fn cfg(mode: FieldIoMode) -> PatternConfig {
+    PatternConfig {
+        cluster: ClusterSpec::tcp(2, 2),
+        fieldio: FieldIoConfig::with_mode(mode),
+        contention: Contention::High,
+        procs_per_node: 6,
+        ops_per_proc: 8,
+        field_bytes: MIB,
+        verify: true,
+    }
+}
+
+#[test]
+fn pattern_runs_bit_identical() {
+    for mode in FieldIoMode::all() {
+        let a1 = run_pattern_a(&cfg(mode));
+        let a2 = run_pattern_a(&cfg(mode));
+        assert_eq!(a1.end_secs.to_bits(), a2.end_secs.to_bits(), "{mode}");
+        assert_eq!(
+            a1.write.global_bw_gib.to_bits(),
+            a2.write.global_bw_gib.to_bits()
+        );
+        assert_eq!(
+            a1.read.global_bw_gib.to_bits(),
+            a2.read.global_bw_gib.to_bits()
+        );
+        let b1 = run_pattern_b(&cfg(mode));
+        let b2 = run_pattern_b(&cfg(mode));
+        assert_eq!(b1.end_secs.to_bits(), b2.end_secs.to_bits(), "{mode}");
+    }
+}
+
+#[test]
+fn ior_runs_bit_identical() {
+    let params = IorParams {
+        transfer_bytes: MIB,
+        segments: 12,
+        procs_per_node: 8,
+        class: ObjectClass::S1,
+        iterations: 1,
+        file_mode: daosim_ior::FileMode::FilePerProcess,
+    };
+    let a = run_ior(ClusterSpec::tcp(1, 2), params);
+    let b = run_ior(ClusterSpec::tcp(1, 2), params);
+    assert_eq!(a.write_bw().to_bits(), b.write_bw().to_bits());
+    assert_eq!(a.read_bw().to_bits(), b.read_bw().to_bits());
+}
+
+#[test]
+fn parallel_worlds_do_not_interfere() {
+    // Run the same simulation concurrently on many OS threads; every
+    // world must produce the same answer as a lone run.
+    let reference = run_pattern_a(&cfg(FieldIoMode::Full)).end_secs.to_bits();
+    let handles: Vec<_> = (0..8)
+        .map(|_| std::thread::spawn(|| run_pattern_a(&cfg(FieldIoMode::Full)).end_secs.to_bits()))
+        .collect();
+    for h in handles {
+        assert_eq!(h.join().unwrap(), reference);
+    }
+}
+
+#[test]
+fn distinct_configs_produce_distinct_timings() {
+    // Sanity check that determinism is not degeneracy.
+    let a = run_pattern_a(&cfg(FieldIoMode::Full));
+    let mut c = cfg(FieldIoMode::Full);
+    c.ops_per_proc += 1;
+    let b = run_pattern_a(&c);
+    assert_ne!(a.end_secs.to_bits(), b.end_secs.to_bits());
+}

@@ -1,0 +1,123 @@
+//! Failure injection: engine loss during field I/O workloads.
+
+use daosim::bytes::Bytes;
+use daosim::cluster::{ClusterSpec, Deployment, SimClient};
+use daosim::core::fieldio::{FieldIoConfig, FieldIoError, FieldIoMode, FieldStore};
+use daosim::core::key::FieldKey;
+use daosim::kernel::{Sim, SimDuration};
+use daosim::objstore::DaosError;
+use std::cell::Cell;
+use std::rc::Rc;
+
+fn key(n: u32) -> FieldKey {
+    FieldKey::from_pairs([
+        ("class", "od".to_string()),
+        ("date", "20290101".to_string()),
+        ("expver", "0001".to_string()),
+        ("param", "t".to_string()),
+        ("step", n.to_string()),
+    ])
+}
+
+#[test]
+fn writes_fail_cleanly_when_all_engines_die() {
+    let sim = Sim::new();
+    let d = Deployment::new(&sim, ClusterSpec::tcp(1, 1));
+    let failures: Rc<Cell<u32>> = Rc::default();
+    let (d2, f2) = (Rc::clone(&d), Rc::clone(&failures));
+    sim.spawn(async move {
+        let client = SimClient::for_process(&d2, 0, 0);
+        let fs = FieldStore::connect(client, FieldIoConfig::default(), 1)
+            .await
+            .unwrap();
+        fs.write_field(&key(0), Bytes::from_static(b"before"))
+            .await
+            .unwrap();
+        d2.kill_engine(0);
+        d2.kill_engine(1);
+        for n in 1..5 {
+            match fs.write_field(&key(n), Bytes::from_static(b"during")).await {
+                Err(FieldIoError::Daos(DaosError::EngineUnavailable(_))) => {
+                    f2.set(f2.get() + 1)
+                }
+                other => panic!("expected EngineUnavailable, got {other:?}"),
+            }
+        }
+        d2.revive_engine(0);
+        d2.revive_engine(1);
+        fs.write_field(&key(9), Bytes::from_static(b"after"))
+            .await
+            .unwrap();
+        assert_eq!(
+            fs.read_field(&key(9)).await.unwrap().as_ref(),
+            b"after"
+        );
+        // The pre-failure field survived.
+        assert_eq!(fs.read_field(&key(0)).await.unwrap().as_ref(), b"before");
+    });
+    sim.run().expect_quiescent();
+    assert_eq!(failures.get(), 4);
+}
+
+#[test]
+fn single_engine_loss_fails_only_objects_it_owns() {
+    let sim = Sim::new();
+    let d = Deployment::new(&sim, ClusterSpec::tcp(2, 1));
+    let (ok, failed): (Rc<Cell<u32>>, Rc<Cell<u32>>) = Default::default();
+    let (d2, ok2, failed2) = (Rc::clone(&d), Rc::clone(&ok), Rc::clone(&failed));
+    sim.spawn(async move {
+        let client = SimClient::for_process(&d2, 0, 0);
+        // no-index mode: placement is a pure function of the key, so some
+        // fields land on the dead engine and some do not.
+        let fs = FieldStore::connect(
+            client,
+            FieldIoConfig::with_mode(FieldIoMode::NoIndex),
+            1,
+        )
+        .await
+        .unwrap();
+        d2.kill_engine(0);
+        for n in 0..64 {
+            match fs.write_field(&key(n), Bytes::from_static(b"x")).await {
+                Ok(()) => ok2.set(ok2.get() + 1),
+                Err(FieldIoError::Daos(DaosError::EngineUnavailable(0))) => {
+                    failed2.set(failed2.get() + 1)
+                }
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+    });
+    sim.run().expect_quiescent();
+    // 4 engines, one dead: roughly a quarter of placements fail.
+    assert!(ok.get() > 0 && failed.get() > 0, "ok={:?} failed={:?}", ok, failed);
+    assert!(failed.get() < 40, "too many failures: {}", failed.get());
+}
+
+#[test]
+fn reader_blocked_behind_failed_writer_phase_still_progresses() {
+    // A reader polling for a field that a (dead-engine) writer could not
+    // produce: the read fails with FieldNotFound rather than hanging.
+    let sim = Sim::new();
+    let d = Deployment::new(&sim, ClusterSpec::tcp(1, 1));
+    let outcome: Rc<Cell<u8>> = Rc::default();
+    let (d2, o2, sim2) = (Rc::clone(&d), Rc::clone(&outcome), sim.clone());
+    sim.spawn(async move {
+        let client = SimClient::for_process(&d2, 0, 0);
+        let fs = FieldStore::connect(client, FieldIoConfig::default(), 1)
+            .await
+            .unwrap();
+        d2.kill_engine(0);
+        d2.kill_engine(1);
+        let writer_result = fs.write_field(&key(1), Bytes::from_static(b"x")).await;
+        assert!(writer_result.is_err());
+        d2.revive_engine(0);
+        d2.revive_engine(1);
+        sim2.sleep(SimDuration::from_millis(1)).await;
+        match fs.read_field(&key(1)).await {
+            Err(FieldIoError::FieldNotFound(_)) => o2.set(1),
+            other => panic!("expected FieldNotFound, got {other:?}"),
+        }
+    });
+    sim.run().expect_quiescent();
+    assert_eq!(outcome.get(), 1);
+}

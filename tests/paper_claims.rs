@@ -1,0 +1,98 @@
+//! Full-scale assertions of the paper's headline claims. These take
+//! minutes, so they are `#[ignore]`d by default:
+//!
+//! ```text
+//! cargo test --release --test paper_claims -- --ignored
+//! ```
+
+use daosim::cluster::ClusterSpec;
+use daosim::core::fieldio::{FieldIoConfig, FieldIoMode};
+use daosim::core::patterns::{run_pattern_a, run_pattern_b, PatternConfig};
+use daosim::core::workload::Contention;
+use daosim::ior::{run_ior, IorParams};
+use daosim::objstore::ObjectClass;
+
+const MIB: u64 = 1024 * 1024;
+
+fn pattern(mode: FieldIoMode, contention: Contention, servers: u16, ppn: u32) -> PatternConfig {
+    PatternConfig {
+        cluster: ClusterSpec::tcp(servers, servers * 2),
+        fieldio: FieldIoConfig::with_mode(mode),
+        contention,
+        procs_per_node: ppn,
+        ops_per_proc: 60,
+        field_bytes: MIB,
+        verify: false,
+    }
+}
+
+/// "Using up to 12 server nodes and 20 client nodes, the aggregated
+/// bandwidth reaches up to 70 GiB/s" (conclusion; no-containers mode,
+/// pattern B, low contention).
+#[test]
+#[ignore = "minutes-long full-scale run"]
+fn aggregate_bandwidth_reaches_seventy_gib_at_twelve_servers() {
+    let r = run_pattern_b(&pattern(FieldIoMode::NoContainers, Contention::Low, 12, 32));
+    let agg = r.aggregate_gib();
+    assert!(
+        (60.0..120.0).contains(&agg),
+        "12-server aggregate {agg:.1} GiB/s should be in the ~70 GiB/s regime"
+    );
+}
+
+/// "Bandwidth scaling linearly with additional SCM nodes in most cases"
+/// (abstract) — checked as IOR write scaling from 2 to 8 server nodes.
+#[test]
+#[ignore = "minutes-long full-scale run"]
+fn ior_write_bandwidth_scales_nearly_linearly() {
+    let params = |ppn| IorParams {
+        transfer_bytes: MIB,
+        segments: 100,
+        procs_per_node: ppn,
+        class: ObjectClass::S1,
+        iterations: 1,
+        file_mode: daosim_ior::FileMode::FilePerProcess,
+    };
+    let two = run_ior(ClusterSpec::tcp(2, 4), params(24)).write_bw();
+    let eight = run_ior(ClusterSpec::tcp(8, 16), params(24)).write_bw();
+    let scaling = eight / two;
+    assert!(
+        (3.0..4.6).contains(&scaling),
+        "8-vs-2 server write scaling {scaling:.2} should be near 4x"
+    );
+}
+
+/// "Performance improves as the object size increases beyond 1 MiB"
+/// (conclusion) — the Fig. 6 mechanism at full scale.
+#[test]
+#[ignore = "minutes-long full-scale run"]
+fn larger_objects_outperform_one_mib_fields() {
+    let mut small = pattern(FieldIoMode::Full, Contention::High, 2, 32);
+    small.field_bytes = MIB;
+    let mut large = small.clone();
+    large.field_bytes = 5 * MIB;
+    large.ops_per_proc = 12;
+    let s = run_pattern_a(&small);
+    let l = run_pattern_a(&large);
+    assert!(
+        l.write.global_bw_gib > 1.5 * s.write.global_bw_gib,
+        "5 MiB fields ({:.2}) should far outrun 1 MiB fields ({:.2})",
+        l.write.global_bw_gib,
+        s.write.global_bw_gib
+    );
+}
+
+/// High contention on a shared index caps indexed-mode throughput while
+/// no-index keeps scaling (Fig. 4's core result).
+#[test]
+#[ignore = "minutes-long full-scale run"]
+fn shared_index_contention_caps_indexed_modes() {
+    let idx = run_pattern_a(&pattern(FieldIoMode::NoContainers, Contention::High, 8, 32));
+    let no_idx = run_pattern_a(&pattern(FieldIoMode::NoIndex, Contention::High, 8, 32));
+    assert!(
+        no_idx.aggregate_gib() > 2.0 * idx.aggregate_gib(),
+        "no-index {:.1} should dwarf indexed {:.1} under high contention at 8 servers",
+        no_idx.aggregate_gib(),
+        idx.aggregate_gib()
+    );
+}
