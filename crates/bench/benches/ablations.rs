@@ -130,7 +130,10 @@ fn ablation_redundancy_classes(c: &mut Criterion) {
                 for _ in 0..6 {
                     let oid = alloc.next(class);
                     client.array_create(&cont, oid).await.unwrap();
-                    client.array_write(&cont, oid, 0, payload.clone()).await.unwrap();
+                    client
+                        .array_write(&cont, oid, 0, payload.clone())
+                        .await
+                        .unwrap();
                 }
             });
         }
@@ -174,7 +177,10 @@ fn ablation_rebuild(c: &mut Criterion) {
                 for _ in 0..24 {
                     let oid = alloc.next(ObjectClass::RP2);
                     client.array_create(&cont, oid).await.unwrap();
-                    client.array_write(&cont, oid, 0, payload.clone()).await.unwrap();
+                    client
+                        .array_write(&cont, oid, 0, payload.clone())
+                        .await
+                        .unwrap();
                 }
                 d2.kill_engine(0);
                 let r = rebuild_engine(&d2, 0).await;

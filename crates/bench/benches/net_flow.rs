@@ -1,0 +1,104 @@
+//! Flow-solver throughput at cluster scale: 1024+ concurrent flows over a
+//! dual-rail fabric, incremental (route-equivalence-class) solver vs the
+//! retained per-flow baseline.
+//!
+//! Besides the usual criterion output this bench writes a machine-readable
+//! summary — per-solver ns/run and the speedup — to
+//! `results/BENCH_net.json`, so the solver's headline number is tracked in
+//! the repo alongside the experiment artifacts.
+
+use std::path::PathBuf;
+use std::rc::Rc;
+use std::time::Duration;
+
+use criterion::{BenchResult, Criterion, Throughput};
+use daosim_kernel::{Sim, SimDuration};
+use daosim_net::{Endpoint, Fabric, FabricSpec, ProviderProfile};
+
+/// Concurrent flow target (acceptance floor is 1024).
+const FLOWS: usize = 1280;
+/// Client nodes; two extra nodes act as servers.
+const CLIENTS: u16 = 32;
+
+/// One full churn: FLOWS transfers between 32 client nodes and 2 server
+/// nodes on a dual-rail TCP fabric, arrivals spread over 64 distinct
+/// instants (so same-instant batches and mid-flight arrivals both occur),
+/// run to quiescence.
+fn run_churn(naive: bool) -> u64 {
+    let sim = Sim::new();
+    let spec = FabricSpec::new(CLIENTS + 2, ProviderProfile::tcp());
+    let fabric = Rc::new(if naive {
+        Fabric::new_naive(&sim, spec)
+    } else {
+        Fabric::new(&sim, spec)
+    });
+    for i in 0..FLOWS {
+        let src = Endpoint::new((i % CLIENTS as usize) as u16, ((i / 64) % 2) as u8);
+        let dst = Endpoint::new(CLIENTS + (i % 2) as u16, ((i / 2) % 2) as u8);
+        let bytes = (4u64 + (i as u64 % 28)) << 20; // 4–32 MiB
+        let stagger = SimDuration::from_micros((i % 64) as u64 * 25);
+        let (f, s) = (Rc::clone(&fabric), sim.clone());
+        sim.spawn(async move {
+            s.sleep(stagger).await;
+            f.transfer(src, dst, bytes).await;
+        });
+    }
+    sim.run().expect_quiescent();
+    let stats = fabric.net().solver_stats();
+    assert!(stats.recomputes > 0);
+    stats.recomputes
+}
+
+fn bench_net_flow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net_flow");
+    g.throughput(Throughput::Elements(FLOWS as u64));
+    g.bench_function(format!("incremental_{FLOWS}"), |b| {
+        b.iter(|| run_churn(false))
+    });
+    g.bench_function(format!("naive_{FLOWS}"), |b| b.iter(|| run_churn(true)));
+    g.finish();
+}
+
+/// Writes `results/BENCH_net.json` with per-solver timing and the speedup.
+fn write_summary(results: &[BenchResult]) {
+    let find = |needle: &str| {
+        results
+            .iter()
+            .find(|r| r.id.contains(needle))
+            .map(|r| r.ns_per_iter)
+    };
+    let (Some(incremental), Some(naive)) = (find("incremental_"), find("naive_")) else {
+        return; // filtered run; nothing comparable to record
+    };
+    let speedup = naive / incremental;
+    let json = format!(
+        "{{\n  \"bench\": \"net_flow\",\n  \"flows\": {FLOWS},\n  \
+         \"fabric\": \"dual-rail tcp, {CLIENTS} clients + 2 servers\",\n  \
+         \"incremental_ns_per_run\": {incremental:.0},\n  \
+         \"naive_ns_per_run\": {naive:.0},\n  \"speedup\": {speedup:.2}\n}}\n"
+    );
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join("BENCH_net.json");
+        if std::fs::write(&path, &json).is_ok() {
+            println!("wrote {}", path.display());
+        }
+    }
+    println!("net_flow speedup: {speedup:.2}x (naive / incremental)");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let mut c = Criterion::default()
+        .configure_from_args()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+    bench_net_flow(&mut c);
+    let results = c.take_results();
+    // A --test smoke run measures nothing meaningful; don't clobber the
+    // recorded summary with it.
+    if !smoke {
+        write_summary(&results);
+    }
+}

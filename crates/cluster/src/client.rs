@@ -234,7 +234,10 @@ impl DaosApi for SimClient {
         self.latency().await;
         {
             let _p = self.d.pool_md.acquire_one().await;
-            self.d.sim.sleep(self.d.spec.calibration.cont_open_cost).await;
+            self.d
+                .sim
+                .sleep(self.d.spec.calibration.cont_open_cost)
+                .await;
         }
         let cont = self.d.pool.cont_open(uuid)?;
         self.latency().await;
@@ -269,8 +272,7 @@ impl DaosApi for SimClient {
                 .map(|&t| {
                     let this = self.clone();
                     async move {
-                        let service =
-                            cal.kv_op_cost + this.d.target(t).media.write_time(bytes);
+                        let service = cal.kv_op_cost + this.d.target(t).media.write_time(bytes);
                         this.target_service(t, service).await;
                     }
                 })
@@ -334,8 +336,7 @@ impl DaosApi for SimClient {
             .map(|&t| {
                 let this = self.clone();
                 async move {
-                    let service =
-                        cal.array_create_cost + this.d.target(t).media.write_time(128);
+                    let service = cal.array_create_cost + this.d.target(t).media.write_time(128);
                     this.small_rpc(t, service).await
                 }
             })
@@ -374,8 +375,8 @@ impl DaosApi for SimClient {
         // Replicated classes write every replica synchronously; erasure-
         // coded objects write two data cells plus the XOR parity cell;
         // striped classes write one shard per stripe target.
-        let is_ec = oid.class() == ObjectClass::EC2P1
-            && oid.class().parity_cells(self.pool_targets()) > 0;
+        let is_ec =
+            oid.class() == ObjectClass::EC2P1 && oid.class().parity_cells(self.pool_targets()) > 0;
         let mut ec_parity: Option<Bytes> = None;
         let shards: Vec<(u32, u64)> = if is_ec {
             if offset != 0 {
@@ -442,8 +443,8 @@ impl DaosApi for SimClient {
         offset: u64,
         len: u64,
     ) -> Result<Bytes> {
-        let is_ec = oid.class() == ObjectClass::EC2P1
-            && oid.class().parity_cells(self.pool_targets()) > 0;
+        let is_ec =
+            oid.class() == ObjectClass::EC2P1 && oid.class().parity_cells(self.pool_targets()) > 0;
         let mut ec_reconstruct: Option<u32> = None; // index of the dead data cell
         let shards: Vec<(u32, u64)> = if is_ec {
             let (dts, pt) = ec_targets(oid, self.pool_targets());
@@ -522,7 +523,9 @@ impl DaosApi for SimClient {
                     ))
                     .await;
                 let full = if lost == 0 {
-                    let h1 = cont.cont.array_read(oid, h0_len as u64, size - h0_len as u64)?;
+                    let h1 = cont
+                        .cont
+                        .array_read(oid, h0_len as u64, size - h0_len as u64)?;
                     let h0 = ec::reconstruct_cell(&h1, &parity, h0_len);
                     ec::join_halves(&h0, &h1)
                 } else {
@@ -577,9 +580,12 @@ impl DaosApi for SimClient {
             let per_obj = SimDuration::from_nanos(500);
             self.d
                 .sim
-                .sleep(cal.cont_open_cost + SimDuration::from_nanos(
-                    per_obj.as_nanos().saturating_mul(arrays.len() as u64),
-                ))
+                .sleep(
+                    cal.cont_open_cost
+                        + SimDuration::from_nanos(
+                            per_obj.as_nanos().saturating_mul(arrays.len() as u64),
+                        ),
+                )
                 .await;
         }
         self.latency().await;
@@ -615,7 +621,10 @@ mod tests {
             let oid = OidAllocator::new(0).next(ObjectClass::S1);
             client.array_create(&cont, oid).await.unwrap();
             let payload = Bytes::from(vec![42u8; MIB as usize]);
-            client.array_write(&cont, oid, 0, payload.clone()).await.unwrap();
+            client
+                .array_write(&cont, oid, 0, payload.clone())
+                .await
+                .unwrap();
             let back = client.array_read(&cont, oid, 0, MIB).await.unwrap();
             assert_eq!(back, payload);
         });

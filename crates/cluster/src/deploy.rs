@@ -322,7 +322,9 @@ impl Deployment {
                 let mut route = vec![src_engine.tx_stack];
                 route.extend(self.fabric.route(src_engine.endpoint, dst_engine.endpoint));
                 route.push(dst_engine.rx_stack);
-                let cap = self.fabric.flow_cap(src_engine.endpoint, dst_engine.endpoint);
+                let cap = self
+                    .fabric
+                    .flow_cap(src_engine.endpoint, dst_engine.endpoint);
                 self.fabric.net().transfer(&route, bytes, cap).await;
             }
         };

@@ -60,7 +60,10 @@ pub async fn rebuild_engine(d: &Rc<Deployment>, dead_engine: u32) -> RebuildRepo
     let survivors: Vec<u32> = (0..pool_targets)
         .filter(|&t| d.engine_of_target(t).is_alive())
         .collect();
-    assert!(!survivors.is_empty(), "no surviving targets to rebuild onto");
+    assert!(
+        !survivors.is_empty(),
+        "no surviving targets to rebuild onto"
+    );
 
     // 1. Pool-map update: remap each dead target onto a survivor.
     let dead_targets: Vec<u32> = (dead_engine * tpe..(dead_engine + 1) * tpe).collect();
@@ -72,9 +75,8 @@ pub async fn rebuild_engine(d: &Rc<Deployment>, dead_engine: u32) -> RebuildRepo
     //    redundancy. Work is fanned out with bounded concurrency.
     let start = d.sim.now();
     let mut report = RebuildReport::default();
-    let gate = Semaphore::new(
-        REBUILD_STREAMS_PER_ENGINE * (survivors.len() / tpe.max(1) as usize).max(1),
-    );
+    let gate =
+        Semaphore::new(REBUILD_STREAMS_PER_ENGINE * (survivors.len() / tpe.max(1) as usize).max(1));
     let mut moves = Vec::new();
     for cu in d.pool.cont_list() {
         let cont = d.pool.cont_open(cu).expect("listed container opens");
@@ -189,7 +191,10 @@ mod tests {
                 for _ in 0..12 {
                     let oid = alloc.next(ObjectClass::RP2);
                     client.array_create(&cont, oid).await.unwrap();
-                    client.array_write(&cont, oid, 0, payload.clone()).await.unwrap();
+                    client
+                        .array_write(&cont, oid, 0, payload.clone())
+                        .await
+                        .unwrap();
                     oids.push(oid);
                 }
                 d.kill_engine(0);
@@ -213,7 +218,10 @@ mod tests {
 
                 // Redundancy restored: every write succeeds again.
                 for &oid in &oids {
-                    client.array_write(&cont, oid, 0, payload.clone()).await.unwrap();
+                    client
+                        .array_write(&cont, oid, 0, payload.clone())
+                        .await
+                        .unwrap();
                     let got = client.array_read(&cont, oid, 0, MIB).await.unwrap();
                     assert_eq!(got, payload);
                 }
@@ -221,7 +229,10 @@ mod tests {
         }
         sim.run().expect_quiescent();
         let r = *report.borrow();
-        assert!(r.objects_moved > 0, "rebuild must have moved objects: {r:?}");
+        assert!(
+            r.objects_moved > 0,
+            "rebuild must have moved objects: {r:?}"
+        );
         assert!(r.bytes_moved >= r.objects_moved as u64 * MIB);
         assert!(r.duration_secs > 0.0, "data movement takes time");
     }
@@ -244,7 +255,10 @@ mod tests {
                 for _ in 0..12 {
                     let oid = alloc.next(ObjectClass::EC2P1);
                     client.array_create(&cont, oid).await.unwrap();
-                    client.array_write(&cont, oid, 0, payload.clone()).await.unwrap();
+                    client
+                        .array_write(&cont, oid, 0, payload.clone())
+                        .await
+                        .unwrap();
                     oids.push(oid);
                 }
                 d.kill_engine(2);
@@ -252,7 +266,10 @@ mod tests {
                 assert!(r.objects_moved > 0, "EC objects must rebuild: {r:?}");
                 // Full redundancy again: writes and reads succeed on all.
                 for &oid in &oids {
-                    client.array_write(&cont, oid, 0, payload.clone()).await.unwrap();
+                    client
+                        .array_write(&cont, oid, 0, payload.clone())
+                        .await
+                        .unwrap();
                     let got = client.array_read(&cont, oid, 0, MIB).await.unwrap();
                     assert_eq!(got, payload);
                 }
@@ -311,7 +328,10 @@ mod tests {
                 for _ in 0..objects {
                     let oid = alloc.next(ObjectClass::RP2);
                     client.array_create(&cont, oid).await.unwrap();
-                    client.array_write(&cont, oid, 0, payload.clone()).await.unwrap();
+                    client
+                        .array_write(&cont, oid, 0, payload.clone())
+                        .await
+                        .unwrap();
                 }
                 d2.kill_engine(0);
                 let r = rebuild_engine(&d2, 0).await;

@@ -32,7 +32,10 @@ fn write_workload(spec: ClusterSpec, procs: u32, ops: u32, mib: u64, class: Obje
             for _ in 0..ops {
                 let oid = alloc.next(class);
                 client.array_create(&cont, oid).await.unwrap();
-                client.array_write(&cont, oid, 0, payload.clone()).await.unwrap();
+                client
+                    .array_write(&cont, oid, 0, payload.clone())
+                    .await
+                    .unwrap();
                 client.array_close(&cont, oid).await.unwrap();
             }
         });
@@ -138,7 +141,10 @@ fn reads_outpace_writes_on_the_same_data() {
                     for _ in 0..ops {
                         let oid = alloc.next(ObjectClass::S1);
                         client.array_create(&cont, oid).await.unwrap();
-                        client.array_write(&cont, oid, 0, payload.clone()).await.unwrap();
+                        client
+                            .array_write(&cont, oid, 0, payload.clone())
+                            .await
+                            .unwrap();
                     }
                 }));
             }
@@ -219,7 +225,10 @@ fn utilization_accounting_is_sane() {
             for _ in 0..8 {
                 let oid = alloc.next(ObjectClass::S1);
                 client.array_create(&cont, oid).await.unwrap();
-                client.array_write(&cont, oid, 0, payload.clone()).await.unwrap();
+                client
+                    .array_write(&cont, oid, 0, payload.clone())
+                    .await
+                    .unwrap();
             }
         });
     }
@@ -241,7 +250,9 @@ fn idle_cluster_has_zero_utilization() {
     let d = Deployment::new(&sim, ClusterSpec::tcp(1, 1));
     let d2 = Rc::clone(&d);
     sim.block_on(async move {
-        d2.sim.sleep(daosim_kernel::SimDuration::from_millis(5)).await;
+        d2.sim
+            .sleep(daosim_kernel::SimDuration::from_millis(5))
+            .await;
     });
     for (mean, max) in d.engine_utilization() {
         assert_eq!(mean, 0.0);
@@ -270,9 +281,15 @@ fn replicated_reads_survive_single_engine_loss() {
                 let r = Oid::generate(1, i, ObjectClass::RP2);
                 let s = Oid::generate(2, i, ObjectClass::S1);
                 client.array_create(&cont, r).await.unwrap();
-                client.array_write(&cont, r, 0, payload.clone()).await.unwrap();
+                client
+                    .array_write(&cont, r, 0, payload.clone())
+                    .await
+                    .unwrap();
                 client.array_create(&cont, s).await.unwrap();
-                client.array_write(&cont, s, 0, payload.clone()).await.unwrap();
+                client
+                    .array_write(&cont, s, 0, payload.clone())
+                    .await
+                    .unwrap();
                 replicated.push(r);
                 plain.push(s);
             }
@@ -303,7 +320,11 @@ fn replicated_reads_survive_single_engine_loss() {
             // with a replica on engine 0 now reject writes.
             let mut write_failures = 0;
             for &r in &replicated {
-                if client.array_write(&cont, r, 0, payload.clone()).await.is_err() {
+                if client
+                    .array_write(&cont, r, 0, payload.clone())
+                    .await
+                    .is_err()
+                {
                     write_failures += 1;
                 }
             }
@@ -376,7 +397,10 @@ fn ec_objects_reconstruct_after_single_engine_loss() {
             for i in 0..24u64 {
                 let oid = Oid::generate(3, i, ObjectClass::EC2P1);
                 client.array_create(&cont, oid).await.unwrap();
-                client.array_write(&cont, oid, 0, payload.clone()).await.unwrap();
+                client
+                    .array_write(&cont, oid, 0, payload.clone())
+                    .await
+                    .unwrap();
                 oids.push(oid);
             }
             d.kill_engine(1);

@@ -43,8 +43,7 @@ enum Op {
 
 fn op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u8..6, 1u16..4096, 0u16..2048)
-            .prop_map(|(obj, len, off)| Op::Write { obj, len, off }),
+        (0u8..6, 1u16..4096, 0u16..2048).prop_map(|(obj, len, off)| Op::Write { obj, len, off }),
         (0u8..6, 1u16..4096, 0u16..2048).prop_map(|(obj, len, off)| Op::Read { obj, len, off }),
         (0u8..3, 0u8..8).prop_map(|(kv, key)| Op::KvPut { kv, key }),
         (0u8..3, 0u8..8).prop_map(|(kv, key)| Op::KvGet { kv, key }),

@@ -373,10 +373,13 @@ impl<D: DaosApi> FieldStore<D> {
     pub async fn read_field(&self, key: &FieldKey) -> FieldResult<Bytes> {
         if self.cfg.mode == FieldIoMode::NoIndex {
             let oid = self.noindex_oid(key);
-            self.client.array_open(&self.main, oid).await.map_err(|e| match e {
-                DaosError::ObjNotFound(_) => FieldIoError::FieldNotFound(key.canonical()),
-                other => FieldIoError::Daos(other),
-            })?;
+            self.client
+                .array_open(&self.main, oid)
+                .await
+                .map_err(|e| match e {
+                    DaosError::ObjNotFound(_) => FieldIoError::FieldNotFound(key.canonical()),
+                    other => FieldIoError::Daos(other),
+                })?;
             let len = self.client.array_size(&self.main, oid).await?;
             let data = self.client.array_read(&self.main, oid, 0, len).await?;
             self.client.array_close(&self.main, oid).await?;
@@ -393,7 +396,10 @@ impl<D: DaosApi> FieldStore<D> {
         let entry =
             IndexEntry::decode(&raw).ok_or_else(|| FieldIoError::BadIndexEntry(key.canonical()))?;
         self.client.array_open(&store, entry.oid).await?;
-        let data = self.client.array_read(&store, entry.oid, 0, entry.len).await?;
+        let data = self
+            .client
+            .array_read(&store, entry.oid, 0, entry.len)
+            .await?;
         self.client.array_close(&store, entry.oid).await?;
         Ok(data)
     }
@@ -730,10 +736,7 @@ mod tests {
             assert!(block_on(fs.list_fields(&key(0))).unwrap().is_empty());
             // The forecast can be repopulated afterwards.
             block_on(fs.write_field(&key(6), Bytes::from_static(b"fresh"))).unwrap();
-            assert_eq!(
-                block_on(fs.read_field(&key(6))).unwrap().as_ref(),
-                b"fresh"
-            );
+            assert_eq!(block_on(fs.read_field(&key(6))).unwrap().as_ref(), b"fresh");
         }
     }
 

@@ -125,7 +125,8 @@ pub fn run_ioserver_pipeline(cfg: &IoServerConfig) -> IoServerResult {
                 for f in 0..cfg.fields_per_rank {
                     let seq = step * cfg.fields_per_rank + f;
                     let target = ((rank + seq) % senders.len() as u32) as usize;
-                    let server_node = cfg.model_nodes + (target as u32 / cfg.ioservers_per_node) as u16;
+                    let server_node =
+                        cfg.model_nodes + (target as u32 / cfg.ioservers_per_node) as u16;
                     let server_ep =
                         d.client_endpoint(server_node, target as u32 % cfg.ioservers_per_node);
                     let key = model_field_key(rank, step, f);
@@ -176,7 +177,14 @@ pub fn run_ioserver_pipeline(cfg: &IoServerConfig) -> IoServerResult {
                     field.emitted_at,
                     0,
                 );
-                e2e_rec.record(0, field.rank, field.seq, EventKind::IoEnd, now, cfg.field_bytes);
+                e2e_rec.record(
+                    0,
+                    field.rank,
+                    field.seq,
+                    EventKind::IoEnd,
+                    now,
+                    cfg.field_bytes,
+                );
                 n += 1;
             }
         });

@@ -222,7 +222,10 @@ mod tests {
     #[test]
     fn split_follows_schema() {
         let (msk, lsk) = sample().split(&KeySchema::ecmwf());
-        assert_eq!(msk.canonical(), "class=od,date=20201224,expver=0001,time=0000");
+        assert_eq!(
+            msk.canonical(),
+            "class=od,date=20201224,expver=0001,time=0000"
+        );
         assert_eq!(lsk.canonical(), "levelist=500,param=t,step=24");
         assert_eq!(msk.get("class"), Some("od"));
         assert_eq!(lsk.get("class"), None);

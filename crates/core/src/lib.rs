@@ -22,9 +22,9 @@
 //!   tardiness accounting (did storage keep the time-critical window?).
 
 pub mod fieldio;
+pub mod ioserver;
 pub mod key;
 pub mod metrics;
-pub mod ioserver;
 pub mod patterns;
 pub mod request;
 pub mod trace;
@@ -32,8 +32,11 @@ pub mod workload;
 
 pub use fieldio::{FieldIoConfig, FieldIoError, FieldIoMode, FieldResult, FieldStore};
 pub use key::{FieldKey, KeyPart, KeySchema};
-pub use metrics::{bandwidth_timeline, events_to_csv, latency_stats, EventKind, EventRecord, LatencyStats, PhaseStats, Recorder};
+pub use metrics::{
+    bandwidth_timeline, events_to_csv, latency_stats, EventKind, EventRecord, LatencyStats,
+    PhaseStats, Recorder,
+};
+pub use patterns::{run_pattern_a, run_pattern_b, PatternConfig, PatternResult};
 pub use request::{archive_all, retrieve, Request, Retrieval};
 pub use trace::{replay, Pacing, ReplayStats, Trace, TraceEntry};
-pub use patterns::{run_pattern_a, run_pattern_b, PatternConfig, PatternResult};
 pub use workload::{payload, Contention, KeyGen};

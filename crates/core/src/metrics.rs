@@ -380,7 +380,9 @@ mod tests {
             ev(0, 1, EventKind::IoEnd, 9_000_000_000, G),
         ];
         assert_eq!(
-            single_iteration_wallclock(&events, 1).unwrap().as_secs_f64(),
+            single_iteration_wallclock(&events, 1)
+                .unwrap()
+                .as_secs_f64(),
             4.0
         );
         assert!(single_iteration_wallclock(&events, 7).is_none());

@@ -115,7 +115,9 @@ pub fn run_pattern_a(cfg: &PatternConfig) -> PatternResult {
             for op in 0..cfg.ops_per_proc {
                 let key = gen.field_key(p, op);
                 rec.record(node, p, op, EventKind::IoStart, sim2.now(), 0);
-                fs.write_field(&key, data.clone()).await.expect("write failed");
+                fs.write_field(&key, data.clone())
+                    .await
+                    .expect("write failed");
                 rec.record(node, p, op, EventKind::IoEnd, sim2.now(), cfg.field_bytes);
             }
             done.send(());
@@ -218,7 +220,9 @@ pub fn run_pattern_b(cfg: &PatternConfig) -> PatternResult {
                     let key = gen.field_key(w, 0);
                     for op in 0..cfg.ops_per_proc {
                         rec.record(node, w, op, EventKind::IoStart, sim3.now(), 0);
-                        fs.write_field(&key, data.clone()).await.expect("re-write failed");
+                        fs.write_field(&key, data.clone())
+                            .await
+                            .expect("re-write failed");
                         rec.record(node, w, op, EventKind::IoEnd, sim3.now(), cfg.field_bytes);
                     }
                 });
@@ -236,7 +240,14 @@ pub fn run_pattern_b(cfg: &PatternConfig) -> PatternResult {
                     for op in 0..cfg.ops_per_proc {
                         rec.record(node, pid, op, EventKind::IoStart, sim3.now(), 0);
                         let got = fs.read_field(&key).await.expect("read failed");
-                        rec.record(node, pid, op, EventKind::IoEnd, sim3.now(), got.len() as u64);
+                        rec.record(
+                            node,
+                            pid,
+                            op,
+                            EventKind::IoEnd,
+                            sim3.now(),
+                            got.len() as u64,
+                        );
                         if cfg.verify {
                             assert_eq!(got.len() as u64, cfg.field_bytes);
                         }

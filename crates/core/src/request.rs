@@ -44,7 +44,10 @@ impl Request {
         S: Into<String>,
     {
         let vals: Vec<String> = values.into_iter().map(Into::into).collect();
-        assert!(!vals.is_empty(), "a request keyword needs at least one value");
+        assert!(
+            !vals.is_empty(),
+            "a request keyword needs at least one value"
+        );
         self.entries.insert(keyword.into(), vals);
         self
     }
@@ -258,7 +261,13 @@ mod tests {
         let got = block_on(retrieve(&fs, &req)).unwrap();
         assert!(got.is_complete());
         assert_eq!(got.fields.len(), 12);
-        assert_eq!(got.total_bytes(), got.fields.iter().map(|(k, _)| k.canonical().len() as u64).sum::<u64>());
+        assert_eq!(
+            got.total_bytes(),
+            got.fields
+                .iter()
+                .map(|(k, _)| k.canonical().len() as u64)
+                .sum::<u64>()
+        );
     }
 
     #[test]

@@ -71,8 +71,7 @@ impl Trace {
             for p in 0..procs {
                 for f in 0..fields_per_step {
                     // Writes spread evenly through the step window.
-                    let jitter =
-                        f as u64 * step_interval.as_nanos() / (fields_per_step as u64 + 1);
+                    let jitter = f as u64 * step_interval.as_nanos() / (fields_per_step as u64 + 1);
                     let key = Self::key(p, step, f);
                     entries.push(TraceEntry {
                         t_ns: step_t + jitter,
@@ -116,7 +115,11 @@ impl Trace {
     }
 
     pub fn total_write_bytes(&self) -> u64 {
-        self.entries.iter().filter(|e| e.write).map(|e| e.bytes).sum()
+        self.entries
+            .iter()
+            .filter(|e| e.write)
+            .map(|e| e.bytes)
+            .sum()
     }
 
     /// CSV form: `t_ns,process,op,bytes,key` (the key goes last because
@@ -151,7 +154,9 @@ impl Trace {
                     .next()
                     .ok_or_else(|| format!("line {}: missing {name}", i + 1))
             };
-            let t_ns = field("t_ns")?.parse().map_err(|e| format!("line {}: {e}", i + 1))?;
+            let t_ns = field("t_ns")?
+                .parse()
+                .map_err(|e| format!("line {}: {e}", i + 1))?;
             let process = field("process")?
                 .parse()
                 .map_err(|e| format!("line {}: {e}", i + 1))?;
@@ -179,7 +184,11 @@ impl Trace {
     }
 
     pub fn process_count(&self) -> u32 {
-        self.entries.iter().map(|e| e.process + 1).max().unwrap_or(0)
+        self.entries
+            .iter()
+            .map(|e| e.process + 1)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -233,14 +242,13 @@ pub fn replay(
             continue;
         }
         let (d, fieldio, sim2, token) = (Rc::clone(&d), fieldio.clone(), sim.clone(), wg.add());
-        let (write_rec, read_rec, tardiness) = (
-            write_rec.clone(),
-            read_rec.clone(),
-            Rc::clone(&tardiness),
-        );
+        let (write_rec, read_rec, tardiness) =
+            (write_rec.clone(), read_rec.clone(), Rc::clone(&tardiness));
         sim.spawn(async move {
             let client = SimClient::for_process(&d, (p / ppn) as u16, p % ppn);
-            let fs = FieldStore::connect(client, fieldio, p + 1).await.expect("connect");
+            let fs = FieldStore::connect(client, fieldio, p + 1)
+                .await
+                .expect("connect");
             for (i, e) in mine.iter().enumerate() {
                 if pacing == Pacing::Paced {
                     let due = SimTime::from_nanos(e.t_ns);
@@ -409,9 +417,6 @@ mod tests {
             Pacing::Paced,
         );
         assert_eq!(a.end_secs.to_bits(), b.end_secs.to_bits());
-        assert_eq!(
-            a.mean_tardiness_ms.to_bits(),
-            b.mean_tardiness_ms.to_bits()
-        );
+        assert_eq!(a.mean_tardiness_ms.to_bits(), b.mean_tardiness_ms.to_bits());
     }
 }

@@ -56,7 +56,13 @@ pub fn single_stream_cap(scale: &Scale) -> Report {
     rep
 }
 
-fn field_cfg(cluster: ClusterSpec, mode: FieldIoMode, contention: Contention, ppn: u32, ops: u32) -> PatternConfig {
+fn field_cfg(
+    cluster: ClusterSpec,
+    mode: FieldIoMode,
+    contention: Contention,
+    ppn: u32,
+    ops: u32,
+) -> PatternConfig {
     PatternConfig {
         cluster,
         fieldio: FieldIoConfig::with_mode(mode),
@@ -82,7 +88,10 @@ pub fn cont_table_cost(scale: &Scale) -> Report {
     let mut zeroed = Calibration::nextgenio();
     zeroed.cont_table_cost_per_cont = SimDuration::ZERO;
     zeroed.cont_table_cost_cap = SimDuration::ZERO;
-    for (variant, cal) in [("calibrated", Calibration::nextgenio()), ("no-cont-cost", zeroed)] {
+    for (variant, cal) in [
+        ("calibrated", Calibration::nextgenio()),
+        ("no-cont-cost", zeroed),
+    ] {
         for mode in [FieldIoMode::Full, FieldIoMode::NoContainers] {
             let mut cluster = ClusterSpec::tcp(2, 4);
             cluster.calibration = cal;
@@ -110,7 +119,10 @@ pub fn kv_update_serialization(scale: &Scale) -> Report {
     );
     let mut zeroed = Calibration::nextgenio();
     zeroed.kv_update_serial_cost = SimDuration::ZERO;
-    for (variant, cal) in [("calibrated", Calibration::nextgenio()), ("no-kv-serial", zeroed)] {
+    for (variant, cal) in [
+        ("calibrated", Calibration::nextgenio()),
+        ("no-kv-serial", zeroed),
+    ] {
         for servers in [2u16, 4] {
             let mut cluster = ClusterSpec::tcp(servers, servers * 2);
             cluster.calibration = cal;

@@ -243,12 +243,7 @@ pub fn fig6(scale: &Scale) -> Report {
     let mut rep = Report::new(
         "fig6",
         "Fig. 6: Field I/O full mode, object class x size (2 servers, 4 clients)",
-        &[
-            "class",
-            "size_MiB",
-            "write_GiB/s",
-            "read_GiB/s",
-        ],
+        &["class", "size_MiB", "write_GiB/s", "read_GiB/s"],
     );
     for (class, size, r) in results {
         rep.row(vec![

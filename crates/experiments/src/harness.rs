@@ -4,12 +4,13 @@
 //! Each simulation world is single-threaded and deterministic; sweeps
 //! parallelise across configurations, one world per OS thread.
 
+use std::cell::UnsafeCell;
 use std::fmt::Write as _;
 use std::fs;
 use std::io::Write as _;
+use std::mem::MaybeUninit;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// How big to run an experiment.
 #[derive(Clone, Debug)]
@@ -52,8 +53,23 @@ impl Scale {
     }
 }
 
+/// Per-slot output cells for [`parallel_map`]. The work-index counter
+/// hands each slot to exactly one worker, so every cell has a single
+/// writer and the scope join orders all writes before the read-back —
+/// no lock needed around result storage.
+struct OutputSlots<R> {
+    cells: Vec<UnsafeCell<MaybeUninit<R>>>,
+}
+
+// SAFETY: workers access disjoint cells (one writer per index, enforced
+// by the fetch_add work counter), and the thread-scope join synchronises
+// their writes with the collecting thread.
+unsafe impl<R: Send> Sync for OutputSlots<R> {}
+
 /// Runs `f` over `items` on up to `available_parallelism` threads,
-/// preserving input order in the output.
+/// preserving input order in the output. Each worker writes results
+/// straight into its claimed slots; the only shared mutable state is the
+/// atomic work index.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send + Sync,
@@ -66,7 +82,14 @@ where
         .unwrap_or(4)
         .min(n.max(1));
     let next = AtomicUsize::new(0);
-    let out: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let out = OutputSlots {
+        cells: (0..n)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect(),
+    };
+    // Capture the Sync wrapper by reference, not its field (disjoint
+    // closure capture would otherwise grab the Vec directly).
+    let out_ref = &out;
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| loop {
@@ -75,14 +98,18 @@ where
                     break;
                 }
                 let r = f(&items[i]);
-                out.lock().unwrap()[i] = Some(r);
+                // SAFETY: `i` was claimed by this worker alone, so no
+                // other thread reads or writes `cells[i]` until the scope
+                // joins. A panic in `f` aborts the whole map via scope
+                // propagation before any uninitialised cell is read.
+                unsafe { (*out_ref.cells[i].get()).write(r) };
             });
         }
     });
-    out.into_inner()
-        .unwrap()
+    // The scope join guarantees every index < n was claimed and written.
+    out.cells
         .into_iter()
-        .map(|r| r.expect("worker skipped an item"))
+        .map(|c| unsafe { c.into_inner().assume_init() })
         .collect()
 }
 
@@ -155,7 +182,11 @@ impl Report {
         let _ = writeln!(
             s,
             "|{}|",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(s, "| {} |", row.join(" | "));
@@ -201,6 +232,25 @@ mod tests {
         let items: Vec<u64> = (0..100).collect();
         let out = parallel_map(items, |&x| x * 2);
         assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single_inputs() {
+        let out: Vec<u32> = parallel_map(Vec::<u32>::new(), |&x| x);
+        assert!(out.is_empty());
+        assert_eq!(parallel_map(vec![41u32], |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn parallel_map_slots_hold_owned_values() {
+        // Heap-owning results exercise the per-slot writes: every value
+        // must come back exactly once, in order, and drop cleanly.
+        let items: Vec<usize> = (0..257).collect();
+        let out = parallel_map(items, |&x| vec![x; (x % 5) + 1]);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v.len(), (i % 5) + 1);
+            assert!(v.iter().all(|&e| e == i));
+        }
     }
 
     #[test]

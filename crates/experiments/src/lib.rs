@@ -20,8 +20,17 @@ use harness::{Report, Scale};
 
 /// Every experiment by name.
 pub const EXPERIMENTS: [&str; 11] = [
-    "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "ablations", "pipeline",
-    "replication", "rebuild",
+    "table1",
+    "table2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "ablations",
+    "pipeline",
+    "replication",
+    "rebuild",
 ];
 
 /// Runs one experiment by name.

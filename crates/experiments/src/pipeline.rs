@@ -24,11 +24,31 @@ pub fn pipeline(scale: &Scale) -> Report {
         ioservers_per_node: u32,
     }
     let cfgs = vec![
-        Cfg { model_nodes: 2, ioserver_nodes: 1, ioservers_per_node: 2 },
-        Cfg { model_nodes: 2, ioserver_nodes: 1, ioservers_per_node: 8 },
-        Cfg { model_nodes: 4, ioserver_nodes: 1, ioservers_per_node: 8 },
-        Cfg { model_nodes: 4, ioserver_nodes: 2, ioservers_per_node: 8 },
-        Cfg { model_nodes: 8, ioserver_nodes: 2, ioservers_per_node: 8 },
+        Cfg {
+            model_nodes: 2,
+            ioserver_nodes: 1,
+            ioservers_per_node: 2,
+        },
+        Cfg {
+            model_nodes: 2,
+            ioserver_nodes: 1,
+            ioservers_per_node: 8,
+        },
+        Cfg {
+            model_nodes: 4,
+            ioserver_nodes: 1,
+            ioservers_per_node: 8,
+        },
+        Cfg {
+            model_nodes: 4,
+            ioserver_nodes: 2,
+            ioservers_per_node: 8,
+        },
+        Cfg {
+            model_nodes: 8,
+            ioserver_nodes: 2,
+            ioservers_per_node: 8,
+        },
     ];
     let fields_per_rank = (scale.ops_per_proc / 4).max(4);
     let results = parallel_map(cfgs, |c| {
@@ -68,7 +88,9 @@ pub fn pipeline(scale: &Scale) -> Report {
             format!("{:.2}", r.end_to_end.p99_us / 1000.0),
         ]);
     }
-    rep.note("more I/O servers raise storage bandwidth until DAOS saturates; \
-              over-subscribed model ranks show up as p99 latency growth");
+    rep.note(
+        "more I/O servers raise storage bandwidth until DAOS saturates; \
+              over-subscribed model ranks show up as p99 latency growth",
+    );
     rep
 }

@@ -48,7 +48,10 @@ fn run_rebuild(servers: u16, objects_per_proc: u32, procs: u32) -> Run {
                         for _ in 0..objects_per_proc {
                             let oid = alloc.next(ObjectClass::RP2);
                             client.array_create(&cont, oid).await.unwrap();
-                            client.array_write(&cont, oid, 0, payload.clone()).await.unwrap();
+                            client
+                                .array_write(&cont, oid, 0, payload.clone())
+                                .await
+                                .unwrap();
                             oids.push(oid);
                         }
                         (client, cont, oids)
@@ -77,7 +80,10 @@ fn run_rebuild(servers: u16, objects_per_proc: u32, procs: u32) -> Run {
             // Post-rebuild: every write must succeed.
             for (client, cont, oids) in &handles {
                 for &oid in oids {
-                    client.array_write(cont, oid, 0, payload.clone()).await.unwrap();
+                    client
+                        .array_write(cont, oid, 0, payload.clone())
+                        .await
+                        .unwrap();
                 }
             }
             *out.borrow_mut() = Some(Run {
@@ -87,7 +93,11 @@ fn run_rebuild(servers: u16, objects_per_proc: u32, procs: u32) -> Run {
         });
     }
     sim.run().expect_quiescent();
-    Rc::try_unwrap(out).ok().expect("run done").into_inner().expect("run completed")
+    Rc::try_unwrap(out)
+        .ok()
+        .expect("run done")
+        .into_inner()
+        .expect("run completed")
 }
 
 pub fn rebuild(scale: &Scale) -> Report {
@@ -119,7 +129,9 @@ pub fn rebuild(scale: &Scale) -> Report {
             format!("{:.1}", r.degraded_write_fail_pct),
         ]);
     }
-    rep.note("writes to objects with a dead replica fail until rebuild completes; \
-              all writes succeed afterwards (asserted)");
+    rep.note(
+        "writes to objects with a dead replica fail until rebuild completes; \
+              all writes succeed afterwards (asserted)",
+    );
     rep
 }

@@ -58,7 +58,10 @@ fn run_class(class: ObjectClass, procs: u32, ops: u32) -> Run {
                         for _ in 0..ops {
                             let oid = alloc.next(class);
                             client.array_create(&cont, oid).await.unwrap();
-                            client.array_write(&cont, oid, 0, data.clone()).await.unwrap();
+                            client
+                                .array_write(&cont, oid, 0, data.clone())
+                                .await
+                                .unwrap();
                         }
                     })
                 })
@@ -127,12 +130,7 @@ pub fn replication(scale: &Scale) -> Report {
     let mut rep = Report::new(
         "replication",
         "Extension: replication (RP_2G1) cost vs availability after engine loss",
-        &[
-            "class",
-            "write_GiB/s",
-            "degraded_read_GiB/s",
-            "survival_%",
-        ],
+        &["class", "write_GiB/s", "degraded_read_GiB/s", "survival_%"],
     );
     for (class, r) in results {
         rep.row(vec![
@@ -143,7 +141,9 @@ pub fn replication(scale: &Scale) -> Report {
         ]);
     }
     rep.note("2 dual-engine server nodes; one engine killed between write and read phases");
-    rep.note("RP2 pays ~2x write cost, EC2P1 ~1.5x; both keep 100% readable \
-              (EC degraded reads pay reconstruction)");
+    rep.note(
+        "RP2 pays ~2x write cost, EC2P1 ~1.5x; both keep 100% readable \
+              (EC degraded reads pay reconstruction)",
+    );
     rep
 }

@@ -19,12 +19,36 @@ pub fn table2(scale: &Scale) -> Report {
         paper_gib: f64,
     }
     let rows = vec![
-        Row { provider: "psm2", pairs: 1, paper_gib: 12.1 },
-        Row { provider: "tcp", pairs: 1, paper_gib: 3.1 },
-        Row { provider: "tcp", pairs: 2, paper_gib: 4.1 },
-        Row { provider: "tcp", pairs: 4, paper_gib: 6.9 },
-        Row { provider: "tcp", pairs: 8, paper_gib: 9.5 },
-        Row { provider: "tcp", pairs: 16, paper_gib: 9.0 },
+        Row {
+            provider: "psm2",
+            pairs: 1,
+            paper_gib: 12.1,
+        },
+        Row {
+            provider: "tcp",
+            pairs: 1,
+            paper_gib: 3.1,
+        },
+        Row {
+            provider: "tcp",
+            pairs: 2,
+            paper_gib: 4.1,
+        },
+        Row {
+            provider: "tcp",
+            pairs: 4,
+            paper_gib: 6.9,
+        },
+        Row {
+            provider: "tcp",
+            pairs: 8,
+            paper_gib: 9.5,
+        },
+        Row {
+            provider: "tcp",
+            pairs: 16,
+            paper_gib: 9.0,
+        },
     ];
     let sizes: Vec<u64> = (18..=25).map(|p| 1u64 << p).collect(); // 256 KiB..32 MiB
     let messages = scale.segments.max(10);
@@ -68,12 +92,48 @@ pub fn table1(scale: &Scale) -> Report {
         paper_r: f64,
     }
     let cfgs = vec![
-        Cfg { engines: 1, client_sockets: 1, client_nodes: 1, paper_w: 3.0, paper_r: 4.2 },
-        Cfg { engines: 1, client_sockets: 1, client_nodes: 2, paper_w: 2.6, paper_r: 6.2 },
-        Cfg { engines: 1, client_sockets: 2, client_nodes: 1, paper_w: 3.0, paper_r: 7.4 },
-        Cfg { engines: 1, client_sockets: 2, client_nodes: 2, paper_w: 2.9, paper_r: 7.7 },
-        Cfg { engines: 2, client_sockets: 2, client_nodes: 1, paper_w: 5.5, paper_r: 7.5 },
-        Cfg { engines: 2, client_sockets: 2, client_nodes: 2, paper_w: 5.5, paper_r: 9.5 },
+        Cfg {
+            engines: 1,
+            client_sockets: 1,
+            client_nodes: 1,
+            paper_w: 3.0,
+            paper_r: 4.2,
+        },
+        Cfg {
+            engines: 1,
+            client_sockets: 1,
+            client_nodes: 2,
+            paper_w: 2.6,
+            paper_r: 6.2,
+        },
+        Cfg {
+            engines: 1,
+            client_sockets: 2,
+            client_nodes: 1,
+            paper_w: 3.0,
+            paper_r: 7.4,
+        },
+        Cfg {
+            engines: 1,
+            client_sockets: 2,
+            client_nodes: 2,
+            paper_w: 2.9,
+            paper_r: 7.7,
+        },
+        Cfg {
+            engines: 2,
+            client_sockets: 2,
+            client_nodes: 1,
+            paper_w: 5.5,
+            paper_r: 7.5,
+        },
+        Cfg {
+            engines: 2,
+            client_sockets: 2,
+            client_nodes: 2,
+            paper_w: 5.5,
+            paper_r: 9.5,
+        },
     ];
     let ppns = scale.ppn_sweep.clone();
     let segments = scale.segments;
@@ -96,7 +156,15 @@ pub fn table1(scale: &Scale) -> Report {
             file_mode: daosim_ior::FileMode::FilePerProcess,
         };
         let (w, r) = best_over_ppn(spec, &ppns, params);
-        (c.engines, c.client_sockets, c.client_nodes, w, r, c.paper_w, c.paper_r)
+        (
+            c.engines,
+            c.client_sockets,
+            c.client_nodes,
+            w,
+            r,
+            c.paper_w,
+            c.paper_r,
+        )
     });
     let mut rep = Report::new(
         "table1",

@@ -138,9 +138,7 @@ pub fn run_ior(spec: ClusterSpec, params: IorParams) -> IorResult {
                     FileMode::FilePerProcess => client.array_create(&cont, oid).await.unwrap(),
                     // Shared file: ranks race to create-or-open the one
                     // object, as the IOR DAOS backend does without -F.
-                    FileMode::SharedFile => {
-                        client.array_open_or_create(&cont, oid).await.unwrap()
-                    }
+                    FileMode::SharedFile => client.array_open_or_create(&cont, oid).await.unwrap(),
                 }
                 write_rec.record(node, p, iter, EventKind::OpenEnd, sim2.now(), 0);
                 write_rec.record(node, p, iter, EventKind::XferStart, sim2.now(), 0);
@@ -164,7 +162,10 @@ pub fn run_ior(spec: ClusterSpec, params: IorParams) -> IorResult {
                 client.array_open(&cont, oid).await.unwrap();
                 read_rec.record(node, p, iter, EventKind::OpenEnd, sim2.now(), 0);
                 read_rec.record(node, p, iter, EventKind::XferStart, sim2.now(), 0);
-                let got = client.array_read(&cont, oid, my_offset, bytes).await.unwrap();
+                let got = client
+                    .array_read(&cont, oid, my_offset, bytes)
+                    .await
+                    .unwrap();
                 assert_eq!(got.len() as u64, bytes, "short IOR read");
                 read_rec.record(node, p, iter, EventKind::XferEnd, sim2.now(), 0);
                 read_rec.record(node, p, iter, EventKind::CloseStart, sim2.now(), 0);

@@ -162,7 +162,11 @@ impl Sim {
     /// for the same instant run in scheduling order.
     pub fn schedule_at(&self, at: SimTime, action: impl FnOnce() + 'static) {
         let mut k = self.kernel.borrow_mut();
-        assert!(at >= k.now, "cannot schedule into the past: {at} < {}", k.now);
+        assert!(
+            at >= k.now,
+            "cannot schedule into the past: {at} < {}",
+            k.now
+        );
         let seq = k.seq;
         k.seq += 1;
         k.events.push(Reverse(Scheduled {
@@ -176,6 +180,43 @@ impl Sim {
     pub fn schedule_after(&self, delay: SimDuration, action: impl FnOnce() + 'static) {
         let at = self.now() + delay;
         self.schedule_at(at, action);
+    }
+
+    /// Schedules `action` at `at` and returns a handle that can cancel it.
+    ///
+    /// Cancellation drops the action immediately (so captured state is
+    /// released right away, rather than living in the calendar until the
+    /// deadline); the calendar entry itself fires as a cheap no-op. This
+    /// is the primitive components with *moving deadlines* (e.g. the flow
+    /// network's next-completion event) should use instead of the
+    /// schedule-and-check-epoch pattern, which leaks one stale closure
+    /// into the heap per reschedule.
+    pub fn schedule_cancellable_at(
+        &self,
+        at: SimTime,
+        action: impl FnOnce() + 'static,
+    ) -> TimerHandle {
+        let shared: Rc<RefCell<Option<EventAction>>> =
+            Rc::new(RefCell::new(Some(Box::new(action))));
+        let in_heap = Rc::clone(&shared);
+        self.schedule_at(at, move || {
+            // Take before calling: the action must not observe the cell as
+            // borrowed (it may inspect or re-arm the timer).
+            let action = in_heap.borrow_mut().take();
+            if let Some(action) = action {
+                action();
+            }
+        });
+        TimerHandle { at, shared }
+    }
+
+    /// Cancellable variant of [`Sim::schedule_after`].
+    pub fn schedule_cancellable_after(
+        &self,
+        delay: SimDuration,
+        action: impl FnOnce() + 'static,
+    ) -> TimerHandle {
+        self.schedule_cancellable_at(self.now() + delay, action)
     }
 
     /// Suspends the calling task for `delay` of simulated time.
@@ -261,6 +302,33 @@ impl Sim {
     pub fn block_on(&self, fut: impl Future<Output = ()> + 'static) -> SimTime {
         self.spawn(fut);
         self.run().expect_quiescent()
+    }
+}
+
+/// Handle to a pending event scheduled with
+/// [`Sim::schedule_cancellable_at`]. Dropping the handle does *not*
+/// cancel the event (fire-and-forget remains possible); call
+/// [`TimerHandle::cancel`].
+pub struct TimerHandle {
+    at: SimTime,
+    shared: Rc<RefCell<Option<EventAction>>>,
+}
+
+impl TimerHandle {
+    /// The instant the event is scheduled for.
+    pub fn deadline(&self) -> SimTime {
+        self.at
+    }
+
+    /// True while the action has neither fired nor been cancelled.
+    pub fn is_armed(&self) -> bool {
+        self.shared.borrow().is_some()
+    }
+
+    /// Cancels the event, dropping its action immediately. Idempotent;
+    /// returns whether the action was still pending.
+    pub fn cancel(&self) -> bool {
+        self.shared.borrow_mut().take().is_some()
     }
 }
 

@@ -34,5 +34,5 @@ pub mod rng;
 pub mod sync;
 pub mod time;
 
-pub use executor::{RunOutcome, Sim, Sleep, TaskId};
+pub use executor::{RunOutcome, Sim, Sleep, TaskId, TimerHandle};
 pub use time::{SimDuration, SimTime};

@@ -280,7 +280,11 @@ impl Future for BarrierWait {
         if self.barrier.inner.generation.get() > self.generation {
             Poll::Ready(())
         } else {
-            self.barrier.inner.wakers.borrow_mut().push(cx.waker().clone());
+            self.barrier
+                .inner
+                .wakers
+                .borrow_mut()
+                .push(cx.waker().clone());
             Poll::Pending
         }
     }
@@ -862,7 +866,10 @@ mod tests {
                     7u32
                 }
             };
-            assert_eq!(timeout(&s, SimDuration::from_nanos(100), quick).await, Ok(7));
+            assert_eq!(
+                timeout(&s, SimDuration::from_nanos(100), quick).await,
+                Ok(7)
+            );
             // Misses the deadline.
             let slow = {
                 let s = s.clone();

@@ -14,10 +14,13 @@
 //! this saturates near 9.7 GiB/s (cf. the paper's Table 2, where 8 process
 //! pairs peak at 9.5 GiB/s), while PSM2's RDMA path makes it non-binding.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
+
 use daosim_kernel::sync::OneshotReceiver;
 use daosim_kernel::{Sim, SimDuration};
 
-use crate::flow::{FlowCap, FlowNet, LinkId};
+use crate::flow::{FlowCap, FlowNet, LinkId, RouteId};
 
 /// A communication endpoint: one socket of one node (i.e. one adapter).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -124,13 +127,26 @@ pub struct Fabric {
     spec: FabricSpec,
     net: FlowNet,
     nodes: Vec<NodeLinks>,
+    /// Endpoint-pair routes interned in the flow network, so repeated
+    /// transfers between the same endpoints skip route construction.
+    route_ids: RefCell<HashMap<(Endpoint, Endpoint), RouteId>>,
 }
 
 impl Fabric {
     pub fn new(sim: &Sim, spec: FabricSpec) -> Self {
+        Self::build(spec, FlowNet::new(sim))
+    }
+
+    /// A fabric whose flow network uses the reference per-flow solver
+    /// (baseline for benchmarks; see [`FlowNet::new_naive`]).
+    #[cfg(any(test, feature = "naive-flow"))]
+    pub fn new_naive(sim: &Sim, spec: FabricSpec) -> Self {
+        Self::build(spec, FlowNet::new_naive(sim))
+    }
+
+    fn build(spec: FabricSpec, net: FlowNet) -> Self {
         assert!(spec.nodes > 0 && spec.sockets_per_node > 0);
         assert!(spec.host_efficiency > 0.0 && spec.host_efficiency <= 1.0);
-        let net = FlowNet::new(sim);
         let p = &spec.provider;
         let nodes = (0..spec.nodes)
             .map(|_| NodeLinks {
@@ -144,7 +160,12 @@ impl Fabric {
                 upi: net.add_link(p.upi_cap_gib),
             })
             .collect();
-        Fabric { spec, net, nodes }
+        Fabric {
+            spec,
+            net,
+            nodes,
+            route_ids: RefCell::new(HashMap::new()),
+        }
     }
 
     pub fn spec(&self) -> &FabricSpec {
@@ -212,12 +233,23 @@ impl Fabric {
         }
     }
 
+    /// Interned id of the raw route from `src` to `dst`, cached per
+    /// endpoint pair.
+    pub fn route_id(&self, src: Endpoint, dst: Endpoint) -> RouteId {
+        if let Some(&id) = self.route_ids.borrow().get(&(src, dst)) {
+            return id;
+        }
+        let id = self.net.intern_route(&self.route(src, dst));
+        self.route_ids.borrow_mut().insert((src, dst), id);
+        id
+    }
+
     /// Starts a bulk transfer (bandwidth component only; the caller
     /// accounts message latency explicitly where the protocol dictates).
     pub fn transfer(&self, src: Endpoint, dst: Endpoint, bytes: u64) -> OneshotReceiver<()> {
-        let route = self.route(src, dst);
         let cap = self.flow_cap(src, dst);
-        self.net.transfer(&route, bytes, cap)
+        self.net
+            .transfer_interned(self.route_id(src, dst), bytes, cap)
     }
 
     /// Bulk transfer over the raw route extended with caller-provided
@@ -288,7 +320,8 @@ mod tests {
         let f = std::rc::Rc::new(f);
         let fc = std::rc::Rc::clone(&f);
         let end = sim.block_on(async move {
-            fc.transfer(Endpoint::new(0, 0), Endpoint::new(1, 0), bytes).await;
+            fc.transfer(Endpoint::new(0, 0), Endpoint::new(1, 0), bytes)
+                .await;
         });
         // 3.1 GiB at 3.1 GiB/s = 1s.
         assert!((end.as_secs_f64() - 1.0).abs() < 1e-6, "{end}");
@@ -302,7 +335,8 @@ mod tests {
         let bytes = (12.1 * crate::flow::GIB) as u64;
         let fc = std::rc::Rc::clone(&f);
         let end = sim.block_on(async move {
-            fc.transfer(Endpoint::new(0, 0), Endpoint::new(1, 0), bytes).await;
+            fc.transfer(Endpoint::new(0, 0), Endpoint::new(1, 0), bytes)
+                .await;
         });
         assert!((end.as_secs_f64() - 1.0).abs() < 1e-6, "{end}");
     }

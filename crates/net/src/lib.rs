@@ -15,4 +15,4 @@ pub mod flow;
 pub mod mpi;
 
 pub use fabric::{Endpoint, Fabric, FabricSpec, ProviderProfile};
-pub use flow::{FlowCap, FlowNet, LinkId, GIB};
+pub use flow::{FlowCap, FlowId, FlowNet, LinkId, RouteId, SolverStats, GIB};

@@ -32,8 +32,9 @@ fn flow_spec() -> impl Strategy<Value = FlowSpec> {
 }
 
 /// Builds the world, runs every flow, and returns per-flow completion
-/// times (ns) plus mid-flight rate snapshots.
-type RateSnapshot = Vec<(Vec<daosim_net::LinkId>, f64)>;
+/// times (ns) plus mid-flight rate snapshots. Snapshot routes are shared
+/// slices into the network's intern table.
+type RateSnapshot = Vec<(Rc<[daosim_net::LinkId]>, f64)>;
 
 fn run_world(specs: &[FlowSpec]) -> (Vec<u64>, Vec<RateSnapshot>) {
     let sim = Sim::new();
@@ -90,7 +91,7 @@ proptest! {
             let mut load = [0.0f64; 8];
             for (route, rate) in snap {
                 prop_assert!(*rate > 0.0, "active flow must have positive rate");
-                for l in route {
+                for l in route.iter() {
                     load[l.0 as usize] += rate;
                 }
             }

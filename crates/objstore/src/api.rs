@@ -52,8 +52,13 @@ pub trait DaosApi: Clone + 'static {
     async fn array_open_or_create(&self, cont: &Self::Cont, oid: Oid) -> Result<()>;
 
     /// Writes an extent of an (open) Array object.
-    async fn array_write(&self, cont: &Self::Cont, oid: Oid, offset: u64, data: Bytes)
-        -> Result<()>;
+    async fn array_write(
+        &self,
+        cont: &Self::Cont,
+        oid: Oid,
+        offset: u64,
+        data: Bytes,
+    ) -> Result<()>;
 
     /// Reads an extent of an (open) Array object.
     async fn array_read(&self, cont: &Self::Cont, oid: Oid, offset: u64, len: u64)
@@ -233,7 +238,12 @@ mod tests {
                 .await
                 .unwrap();
             assert_eq!(
-                client.kv_get(&cont, kv, b"step=0").await.unwrap().unwrap().as_ref(),
+                client
+                    .kv_get(&cont, kv, b"step=0")
+                    .await
+                    .unwrap()
+                    .unwrap()
+                    .as_ref(),
                 b"ref"
             );
             assert_eq!(client.kv_list_keys(&cont, kv).await.unwrap().len(), 1);

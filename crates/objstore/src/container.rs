@@ -134,7 +134,10 @@ impl Container {
         if table.contains_key(&oid) {
             return Err(DaosError::ObjExists(oid));
         }
-        table.insert(oid, Arc::new(RwLock::new(Object::Array(ArrayObject::new()))));
+        table.insert(
+            oid,
+            Arc::new(RwLock::new(Object::Array(ArrayObject::new()))),
+        );
         Ok(())
     }
 
@@ -355,7 +358,8 @@ mod tests {
         c.kv_put(oid(1), b"a", Bytes::from_static(b"x")).unwrap();
         c.kv_put(oid(1), b"b", Bytes::from_static(b"y")).unwrap();
         c.array_create(oid(2)).unwrap();
-        c.array_write(oid(2), 0, Bytes::from(vec![0u8; 500])).unwrap();
+        c.array_write(oid(2), 0, Bytes::from(vec![0u8; 500]))
+            .unwrap();
         let s = c.stats();
         assert_eq!(s.objects, 2);
         assert_eq!(s.kv_objects, 1);

@@ -199,7 +199,10 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(
             a,
-            Oid::from_digest(&Uuid::from_name(b"param=t,level=850,step=24"), ObjectClass::S1)
+            Oid::from_digest(
+                &Uuid::from_name(b"param=t,level=850,step=24"),
+                ObjectClass::S1
+            )
         );
     }
 

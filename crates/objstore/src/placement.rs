@@ -88,12 +88,7 @@ pub fn ec_targets(oid: Oid, pool_targets: u32) -> (Vec<u32>, u32) {
 /// Splits a byte extent into per-target chunks for an Array object.
 /// Returns `(target, bytes)` pairs in chunk order; consecutive chunks
 /// round-robin over the stripe.
-pub fn array_extent_shards(
-    oid: Oid,
-    offset: u64,
-    len: u64,
-    pool_targets: u32,
-) -> Vec<(u32, u64)> {
+pub fn array_extent_shards(oid: Oid, offset: u64, len: u64, pool_targets: u32) -> Vec<(u32, u64)> {
     let stripe = stripe_targets(oid, pool_targets);
     let mut shards: Vec<(u32, u64)> = Vec::new();
     let mut off = offset;
@@ -118,12 +113,7 @@ pub fn array_extent_shards(
 /// owning target), in first-touch order — one bulk RPC per target, as the
 /// DAOS client aggregates scatter-gather I/O. `S2` at 20 MiB therefore
 /// issues 2 RPCs of 10 MiB while `SX` issues one per stripe target.
-pub fn array_target_shards(
-    oid: Oid,
-    offset: u64,
-    len: u64,
-    pool_targets: u32,
-) -> Vec<(u32, u64)> {
+pub fn array_target_shards(oid: Oid, offset: u64, len: u64, pool_targets: u32) -> Vec<(u32, u64)> {
     let chunks = array_extent_shards(oid, offset, len, pool_targets);
     let mut out: Vec<(u32, u64)> = Vec::new();
     for (t, b) in chunks {

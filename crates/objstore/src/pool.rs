@@ -172,11 +172,20 @@ mod tests {
         let c2 = p.cont_create(Uuid::from_u64_pair(0, 2)).unwrap();
         use crate::oid::{ObjectClass, Oid};
         use bytes::Bytes;
-        c1.kv_put(Oid::generate(1, 1, ObjectClass::SX), b"k", Bytes::from_static(b"v"))
+        c1.kv_put(
+            Oid::generate(1, 1, ObjectClass::SX),
+            b"k",
+            Bytes::from_static(b"v"),
+        )
+        .unwrap();
+        c2.array_create(Oid::generate(1, 2, ObjectClass::S1))
             .unwrap();
-        c2.array_create(Oid::generate(1, 2, ObjectClass::S1)).unwrap();
-        c2.array_write(Oid::generate(1, 2, ObjectClass::S1), 0, Bytes::from(vec![0u8; 64]))
-            .unwrap();
+        c2.array_write(
+            Oid::generate(1, 2, ObjectClass::S1),
+            0,
+            Bytes::from(vec![0u8; 64]),
+        )
+        .unwrap();
         let s = p.stats();
         assert_eq!(s.objects, 2);
         assert_eq!(s.kv_entries, 1);
@@ -186,9 +195,7 @@ mod tests {
     #[test]
     fn cont_list_sorted() {
         let p = pool();
-        let mut uuids: Vec<Uuid> = (0..5)
-            .map(|i| Uuid::from_u64_pair(0, i))
-            .collect();
+        let mut uuids: Vec<Uuid> = (0..5).map(|i| Uuid::from_u64_pair(0, i)).collect();
         for u in uuids.iter().rev() {
             p.cont_create(*u).unwrap();
         }

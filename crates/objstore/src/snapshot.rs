@@ -169,8 +169,7 @@ pub fn load_pool(r: &mut impl Read) -> Result<Arc<Pool>, SnapshotError> {
         for _ in 0..obj_count {
             let hi = r_u64(r)?;
             let lo = r_u64(r)?;
-            let oid =
-                oid_from_raw(hi, lo).ok_or(SnapshotError::Corrupt("invalid object class"))?;
+            let oid = oid_from_raw(hi, lo).ok_or(SnapshotError::Corrupt("invalid object class"))?;
             match r_u8(r)? {
                 0 => {
                     let entries = r_u32(r)?;
@@ -241,12 +240,15 @@ mod tests {
         let c1 = pool.cont_create(Uuid::from_name(b"c1")).unwrap();
         let c2 = pool.cont_create(Uuid::from_name(b"c2")).unwrap();
         let kv = Oid::generate(1, 1, ObjectClass::SX);
-        c1.kv_put(kv, b"step=0", Bytes::from_static(b"ref0")).unwrap();
-        c1.kv_put(kv, b"step=24", Bytes::from_static(b"ref24")).unwrap();
+        c1.kv_put(kv, b"step=0", Bytes::from_static(b"ref0"))
+            .unwrap();
+        c1.kv_put(kv, b"step=24", Bytes::from_static(b"ref24"))
+            .unwrap();
         let a = Oid::generate(1, 2, ObjectClass::S1);
         c2.array_create(a).unwrap();
         c2.array_write(a, 0, Bytes::from(vec![9u8; 4096])).unwrap();
-        c2.array_write(a, 10_000, Bytes::from_static(b"tail")).unwrap();
+        c2.array_write(a, 10_000, Bytes::from_static(b"tail"))
+            .unwrap();
         pool.charge(4100).unwrap();
         pool
     }
@@ -268,7 +270,10 @@ mod tests {
         assert_eq!(c1.kv_list_keys(kv).unwrap().len(), 2);
         let c2 = loaded.cont_open(Uuid::from_name(b"c2")).unwrap();
         let a = Oid::generate(1, 2, ObjectClass::S1);
-        assert_eq!(c2.array_read(a, 0, 4096).unwrap(), Bytes::from(vec![9u8; 4096]));
+        assert_eq!(
+            c2.array_read(a, 0, 4096).unwrap(),
+            Bytes::from(vec![9u8; 4096])
+        );
         assert_eq!(c2.array_read(a, 10_000, 4).unwrap().as_ref(), b"tail");
         assert_eq!(c2.array_size(a).unwrap(), 10_004);
         // Holes survive as holes.
@@ -281,7 +286,8 @@ mod tests {
         let c = pool.cont_create(Uuid::from_name(b"ec")).unwrap();
         let o = Oid::generate(2, 9, ObjectClass::EC2P1);
         c.array_create(o).unwrap();
-        c.array_write(o, 0, Bytes::from_static(b"payload!")).unwrap();
+        c.array_write(o, 0, Bytes::from_static(b"payload!"))
+            .unwrap();
         c.array_set_parity(o, Bytes::from_static(b"par")).unwrap();
         let mut buf = Vec::new();
         save_pool(&pool, &mut buf).unwrap();

@@ -58,7 +58,11 @@ impl DaosStore {
     pub fn with_single_pool(targets: u32) -> (Arc<DaosStore>, Arc<Pool>) {
         let store = Arc::new(DaosStore::new());
         let pool = store
-            .pool_create(Uuid::from_name(b"default-pool"), targets, DEFAULT_POOL_CAPACITY)
+            .pool_create(
+                Uuid::from_name(b"default-pool"),
+                targets,
+                DEFAULT_POOL_CAPACITY,
+            )
             .expect("fresh store cannot have the pool already");
         (store, pool)
     }

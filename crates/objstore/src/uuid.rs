@@ -76,6 +76,9 @@ mod tests {
 
     #[test]
     fn nil_is_zero() {
-        assert_eq!(Uuid::NIL.to_string(), "00000000-0000-0000-0000-000000000000");
+        assert_eq!(
+            Uuid::NIL.to_string(),
+            "00000000-0000-0000-0000-000000000000"
+        );
     }
 }

@@ -27,12 +27,26 @@ use daosim_objstore::{load_pool, save_pool, Pool, Uuid};
 /// Everything a command can report back.
 #[derive(Debug)]
 pub enum Outcome {
-    Created { targets: u32 },
-    Put { key: String, bytes: u64 },
-    Got { key: String, data: Vec<u8> },
+    Created {
+        targets: u32,
+    },
+    Put {
+        key: String,
+        bytes: u64,
+    },
+    Got {
+        key: String,
+        data: Vec<u8>,
+    },
     Listing(Vec<String>),
-    Retrieved { found: usize, missing: usize, bytes: u64 },
-    Wiped { removed: usize },
+    Retrieved {
+        found: usize,
+        missing: usize,
+        bytes: u64,
+    },
+    Wiped {
+        removed: usize,
+    },
     Info {
         containers: usize,
         used: u64,
@@ -41,7 +55,11 @@ pub enum Outcome {
         kv_entries: usize,
         array_bytes: u64,
     },
-    TraceWritten { path: String, ops: usize, gib: f64 },
+    TraceWritten {
+        path: String,
+        ops: usize,
+        gib: f64,
+    },
     Simulated(Box<ReplayStats>),
 }
 
@@ -177,9 +195,10 @@ pub fn cmd_get(path: &Path, key_text: &str) -> ToolResult {
     let key = FieldKey::parse(key_text).map_err(ToolError::BadArgs)?;
     let pool = load(path)?;
     let kc = key.canonical();
-    let data = with_fieldstore(pool, move |fs| {
-        Ok(block_here(fs.read_field(&key))?.to_vec())
-    })?;
+    let data = with_fieldstore(
+        pool,
+        move |fs| Ok(block_here(fs.read_field(&key))?.to_vec()),
+    )?;
     Ok(Outcome::Got { key: kc, data })
 }
 
@@ -229,7 +248,9 @@ pub fn cmd_synth_trace(
     interval_ms: u64,
 ) -> ToolResult {
     if procs == 0 || steps == 0 || fields_per_step == 0 || field_mib == 0 {
-        return Err(ToolError::BadArgs("all trace parameters must be positive".into()));
+        return Err(ToolError::BadArgs(
+            "all trace parameters must be positive".into(),
+        ));
     }
     let trace = Trace::synthesize_operational(
         procs,
@@ -307,7 +328,8 @@ mod tests {
     struct TempArchive(std::path::PathBuf);
     impl TempArchive {
         fn new(name: &str) -> Self {
-            let p = std::env::temp_dir().join(format!("daosctl-test-{name}-{}", std::process::id()));
+            let p =
+                std::env::temp_dir().join(format!("daosctl-test-{name}-{}", std::process::id()));
             let _ = fs::remove_file(&p);
             TempArchive(p)
         }
@@ -399,7 +421,11 @@ mod tests {
         cmd_init(&a.0, 8).unwrap();
         cmd_put(&a.0, "class=od,date=20290101,param=t,step=0", b"x".to_vec()).unwrap();
         match cmd_retrieve(&a.0, "class=od,date=20290101,param=t,step=0/24").unwrap() {
-            Outcome::Retrieved { found, missing, bytes } => {
+            Outcome::Retrieved {
+                found,
+                missing,
+                bytes,
+            } => {
                 assert_eq!((found, missing, bytes), (1, 1, 1));
             }
             other => panic!("{other:?}"),
@@ -474,6 +500,9 @@ mod tests {
     fn bad_key_is_bad_args() {
         let a = TempArchive::new("badkey");
         cmd_init(&a.0, 8).unwrap();
-        assert!(matches!(cmd_put(&a.0, "no-equals", vec![]), Err(ToolError::BadArgs(_))));
+        assert!(matches!(
+            cmd_put(&a.0, "no-equals", vec![]),
+            Err(ToolError::BadArgs(_))
+        ));
     }
 }

@@ -12,7 +12,10 @@
 use std::path::PathBuf;
 use std::process::exit;
 
-use daosim_tools::{cmd_get, cmd_info, cmd_init, cmd_list, cmd_put, cmd_retrieve, cmd_simulate, cmd_synth_trace, cmd_wipe, Outcome};
+use daosim_tools::{
+    cmd_get, cmd_info, cmd_init, cmd_list, cmd_put, cmd_retrieve, cmd_simulate, cmd_synth_trace,
+    cmd_wipe, Outcome,
+};
 
 fn usage() -> ! {
     eprintln!(
@@ -134,7 +137,11 @@ fn main() {
             }
             eprintln!("{} field(s)", entries.len());
         }
-        Ok(Outcome::Retrieved { found, missing, bytes }) => {
+        Ok(Outcome::Retrieved {
+            found,
+            missing,
+            bytes,
+        }) => {
             println!("retrieved {found} field(s), {bytes} bytes; {missing} missing")
         }
         Ok(Outcome::Wiped { removed }) => println!("wiped {removed} field(s)"),
@@ -142,8 +149,14 @@ fn main() {
             println!("trace written: {path} ({ops} ops, {gib:.2} GiB of writes)")
         }
         Ok(Outcome::Simulated(stats)) => {
-            println!("writes: {:.2} GiB/s ({} ops)", stats.writes.global_bw_gib, stats.writes.io_count);
-            println!("reads : {:.2} GiB/s ({} ops)", stats.reads.global_bw_gib, stats.reads.io_count);
+            println!(
+                "writes: {:.2} GiB/s ({} ops)",
+                stats.writes.global_bw_gib, stats.writes.io_count
+            );
+            println!(
+                "reads : {:.2} GiB/s ({} ops)",
+                stats.reads.global_bw_gib, stats.reads.io_count
+            );
             println!(
                 "tardiness: mean {:.2} ms, max {:.2} ms; total {:.3} s",
                 stats.mean_tardiness_ms, stats.max_tardiness_ms, stats.end_secs

@@ -33,13 +33,9 @@ fn main() {
     let sim = Sim::new();
     let pool2 = pool.clone();
     sim.block_on(async move {
-        let fs = FieldStore::connect(
-            EmbeddedClient::new(pool2),
-            FieldIoConfig::default(),
-            1,
-        )
-        .await
-        .unwrap();
+        let fs = FieldStore::connect(EmbeddedClient::new(pool2), FieldIoConfig::default(), 1)
+            .await
+            .unwrap();
         let n = archive_all(&fs, &req, |key| {
             let mut v = format!("GRIB {key}").into_bytes();
             v.resize(128 * 1024, 0);
@@ -47,7 +43,10 @@ fn main() {
         })
         .await
         .unwrap();
-        println!("archived {n} fields ({} containers)", fs.client().pool().cont_count());
+        println!(
+            "archived {n} fields ({} containers)",
+            fs.client().pool().cont_count()
+        );
     });
 
     // ---- stage 2: persist ------------------------------------------------
@@ -67,15 +66,13 @@ fn main() {
 
     let sim = Sim::new();
     sim.block_on(async move {
-        let fs = FieldStore::connect(
-            EmbeddedClient::new(restored),
-            FieldIoConfig::default(),
-            2,
-        )
-        .await
-        .unwrap();
-        let q = Request::parse("class=od,date=20290101,expver=0001,param=t/v,levelist=500,step=0/24/48")
+        let fs = FieldStore::connect(EmbeddedClient::new(restored), FieldIoConfig::default(), 2)
+            .await
             .unwrap();
+        let q = Request::parse(
+            "class=od,date=20290101,expver=0001,param=t/v,levelist=500,step=0/24/48",
+        )
+        .unwrap();
         let got = retrieve(&fs, &q).await.unwrap();
         println!(
             "retrieved {} fields ({} bytes), {} missing",

@@ -124,14 +124,22 @@ fn drill(array_class: ObjectClass) -> (u32, u32) {
         // Show the observability surface once, on the replicated run.
         println!("\nengine utilization (mean/max target busy fraction):");
         for (i, (mean, max)) in d.engine_utilization().iter().enumerate() {
-            let state = if d.engines[i].is_alive() { "alive" } else { "DOWN" };
+            let state = if d.engines[i].is_alive() {
+                "alive"
+            } else {
+                "DOWN"
+            };
             println!("  engine {i} [{state}]: mean {mean:.2}, max {max:.2}");
         }
         let tl = bandwidth_timeline(&rec.take(), SimDuration::from_millis(50));
         println!("degraded read bandwidth over time (50 ms buckets):");
         for b in tl.iter().take(8) {
             let bar = "#".repeat((b.bw_gib * 4.0) as usize);
-            println!("  t+{:>4} ms {:>6.2} GiB/s {bar}", b.t_ns / 1_000_000, b.bw_gib);
+            println!(
+                "  t+{:>4} ms {:>6.2} GiB/s {bar}",
+                b.t_ns / 1_000_000,
+                b.bw_gib
+            );
         }
     }
     (ok.get(), lost.get())

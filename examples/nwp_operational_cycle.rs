@@ -65,7 +65,8 @@ fn main() {
             sim.clone(),
         );
         sim.spawn(async move {
-            let client = SimClient::for_process(&d, (w / IOSERVERS_PER_NODE) as u16, w % IOSERVERS_PER_NODE);
+            let client =
+                SimClient::for_process(&d, (w / IOSERVERS_PER_NODE) as u16, w % IOSERVERS_PER_NODE);
             let fs = FieldStore::connect(client, FieldIoConfig::default(), w + 1)
                 .await
                 .expect("connect");
@@ -101,13 +102,10 @@ fn main() {
                                 (2 + r / IOSERVERS_PER_NODE) as u16,
                                 r % IOSERVERS_PER_NODE,
                             );
-                            let fs = FieldStore::connect(
-                                client,
-                                FieldIoConfig::default(),
-                                1000 + r,
-                            )
-                            .await
-                            .expect("connect");
+                            let fs =
+                                FieldStore::connect(client, FieldIoConfig::default(), 1000 + r)
+                                    .await
+                                    .expect("connect");
                             for n in 0..FIELDS_PER_SERVER_PER_STEP {
                                 let k = key(step, r, n);
                                 rec.record(1, r, step, EventKind::IoStart, sim3.now(), 0);
@@ -132,8 +130,16 @@ fn main() {
 
     let writes = write_rec.take();
     let reads = read_rec.take();
-    let wrote: u64 = writes.iter().filter(|e| e.kind == EventKind::IoEnd).map(|e| e.bytes).sum();
-    let read: u64 = reads.iter().filter(|e| e.kind == EventKind::IoEnd).map(|e| e.bytes).sum();
+    let wrote: u64 = writes
+        .iter()
+        .filter(|e| e.kind == EventKind::IoEnd)
+        .map(|e| e.bytes)
+        .sum();
+    let read: u64 = reads
+        .iter()
+        .filter(|e| e.kind == EventKind::IoEnd)
+        .map(|e| e.bytes)
+        .sum();
     let w_bw = daosim::core::metrics::global_timing_bandwidth(&writes).unwrap_or(0.0);
     let r_bw = daosim::core::metrics::global_timing_bandwidth(&reads).unwrap_or(0.0);
 
@@ -150,9 +156,6 @@ fn main() {
         reads.len() / 2,
         r_bw
     );
-    println!(
-        "aggregate application throughput: {:.2} GiB/s",
-        w_bw + r_bw
-    );
+    println!("aggregate application throughput: {:.2} GiB/s", w_bw + r_bw);
     assert_eq!(wrote, read, "every field written must be read back");
 }

@@ -53,7 +53,10 @@ fn main() {
         }
     }
     println!();
-    println!("best aggregate configuration: {} ({:.2} GiB/s)", best.1, best.0);
+    println!(
+        "best aggregate configuration: {} ({:.2} GiB/s)",
+        best.1, best.0
+    );
     println!("1 MiB fields pay the per-field contention/index cost in full;");
     println!("5-10 MiB fields amortise it — higher resolution scales better.");
 }

@@ -50,7 +50,11 @@ fn main() {
 
         // List everything indexed for the forecast.
         let listed = fs.list_fields(&key).await.expect("list");
-        println!("forecast holds {} fields; first: {}", listed.len(), listed[0]);
+        println!(
+            "forecast holds {} fields; first: {}",
+            listed.len(),
+            listed[0]
+        );
         assert_eq!(listed.len(), archived as usize);
 
         // Re-writing a key re-points the index to a fresh Array; the read
@@ -59,7 +63,10 @@ fn main() {
             .await
             .expect("re-write");
         let amended = fs.read_field(&key).await.expect("read amended");
-        println!("after re-write: {:?}", std::str::from_utf8(&amended).unwrap());
+        println!(
+            "after re-write: {:?}",
+            std::str::from_utf8(&amended).unwrap()
+        );
     });
 
     println!(

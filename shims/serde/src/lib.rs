@@ -1,0 +1,16 @@
+//! Offline API-subset shim of `serde` (see `shims/README.md`).
+//!
+//! The workspace only *derives* `Serialize` on plain result structs (no
+//! serializer is ever constructed), so the trait is a no-op marker with a
+//! blanket impl and the derive macro expands to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented so any
+/// bound written against it is satisfied.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<T: ?Sized> Deserialize<'_> for T {}

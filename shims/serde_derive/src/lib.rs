@@ -1,0 +1,16 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the serde
+//! shim (see `shims/README.md`). The workspace derives `Serialize` on
+//! result structs but never invokes a serializer, so an empty expansion
+//! is sufficient: the shim `serde::Serialize` trait has a blanket impl.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -124,5 +124,8 @@ fn simulated_run_takes_simulated_time() {
         let _ = program(client, FieldIoMode::Full).await;
     });
     let end = sim.run().expect_quiescent();
-    assert!(end.as_secs_f64() > 0.001, "cluster I/O must cost time: {end}");
+    assert!(
+        end.as_secs_f64() > 0.001,
+        "cluster I/O must cost time: {end}"
+    );
 }

@@ -37,9 +37,7 @@ fn writes_fail_cleanly_when_all_engines_die() {
         d2.kill_engine(1);
         for n in 1..5 {
             match fs.write_field(&key(n), Bytes::from_static(b"during")).await {
-                Err(FieldIoError::Daos(DaosError::EngineUnavailable(_))) => {
-                    f2.set(f2.get() + 1)
-                }
+                Err(FieldIoError::Daos(DaosError::EngineUnavailable(_))) => f2.set(f2.get() + 1),
                 other => panic!("expected EngineUnavailable, got {other:?}"),
             }
         }
@@ -48,10 +46,7 @@ fn writes_fail_cleanly_when_all_engines_die() {
         fs.write_field(&key(9), Bytes::from_static(b"after"))
             .await
             .unwrap();
-        assert_eq!(
-            fs.read_field(&key(9)).await.unwrap().as_ref(),
-            b"after"
-        );
+        assert_eq!(fs.read_field(&key(9)).await.unwrap().as_ref(), b"after");
         // The pre-failure field survived.
         assert_eq!(fs.read_field(&key(0)).await.unwrap().as_ref(), b"before");
     });
@@ -69,13 +64,9 @@ fn single_engine_loss_fails_only_objects_it_owns() {
         let client = SimClient::for_process(&d2, 0, 0);
         // no-index mode: placement is a pure function of the key, so some
         // fields land on the dead engine and some do not.
-        let fs = FieldStore::connect(
-            client,
-            FieldIoConfig::with_mode(FieldIoMode::NoIndex),
-            1,
-        )
-        .await
-        .unwrap();
+        let fs = FieldStore::connect(client, FieldIoConfig::with_mode(FieldIoMode::NoIndex), 1)
+            .await
+            .unwrap();
         d2.kill_engine(0);
         for n in 0..64 {
             match fs.write_field(&key(n), Bytes::from_static(b"x")).await {
@@ -89,7 +80,12 @@ fn single_engine_loss_fails_only_objects_it_owns() {
     });
     sim.run().expect_quiescent();
     // 4 engines, one dead: roughly a quarter of placements fail.
-    assert!(ok.get() > 0 && failed.get() > 0, "ok={:?} failed={:?}", ok, failed);
+    assert!(
+        ok.get() > 0 && failed.get() > 0,
+        "ok={:?} failed={:?}",
+        ok,
+        failed
+    );
     assert!(failed.get() < 40, "too many failures: {}", failed.get());
 }
 

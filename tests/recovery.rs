@@ -39,7 +39,9 @@ fn archive_survives_loss_and_rebuild_restores_service() {
         let d = Rc::clone(&d);
         sim.spawn(async move {
             let client = SimClient::for_process(&d, 0, 0);
-            let fs = FieldStore::connect(client, replicated_cfg(), 1).await.unwrap();
+            let fs = FieldStore::connect(client, replicated_cfg(), 1)
+                .await
+                .unwrap();
             let payload = Bytes::from(vec![8u8; MIB as usize]);
             for n in 0..48 {
                 fs.write_field(&key(n), payload.clone()).await.unwrap();
