@@ -183,7 +183,9 @@ fn ablation_rebuild(c: &mut Criterion) {
                         .unwrap();
                 }
                 d2.kill_engine(0);
-                let r = rebuild_engine(&d2, 0).await;
+                let r = rebuild_engine(&d2, 0)
+                    .await
+                    .expect("rebuild of killed engine");
                 assert!(r.objects_moved > 0);
             });
             sim.run().expect_quiescent()

@@ -21,7 +21,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use bytes::Bytes;
-use daosim_kernel::sync::join_all;
+use daosim_kernel::sync::{join_all, timeout, Elapsed};
 use daosim_kernel::SimDuration;
 use daosim_net::Endpoint;
 use daosim_objstore::api::DaosApi;
@@ -33,6 +33,7 @@ use daosim_objstore::ObjectClass;
 use daosim_objstore::{Container, DaosError, Oid, Result, Uuid};
 
 use crate::deploy::{Deployment, Engine};
+use crate::fault::jitter_salt;
 
 /// Open-container handle for the simulated backend.
 #[derive(Clone)]
@@ -127,12 +128,15 @@ impl SimClient {
     }
 
     /// The first replica target whose engine is alive; errors with the
-    /// last replica's engine when every one is down. Degraded reads and
+    /// last replica's engine when every one is down, and with
+    /// [`DaosError::NoTargets`] when handed no candidates at all (so an
+    /// empty slice never blames target 0's engine). Degraded reads and
     /// metadata operations on replicated objects fail over through this.
     fn first_alive(&self, targets: &[u32]) -> Result<u32> {
-        let mut last = 0;
+        let Some(&last) = targets.last() else {
+            return Err(DaosError::NoTargets);
+        };
         for &t in targets {
-            last = t;
             if self.d.engine_of_target(t).is_alive() {
                 return Ok(t);
             }
@@ -207,12 +211,78 @@ impl SimClient {
         (&mut both).await;
         Ok(())
     }
+
+    /// Runs `attempt` under the deployment's [`RetryPolicy`]: each
+    /// attempt is deadline-bounded (when configured); transient failures
+    /// (engine unavailable, attempt timeout) back off exponentially with
+    /// deterministic jitter and re-run — re-computing placement, so
+    /// pool-map changes installed by a rebuild and engines revived in the
+    /// meantime are picked up (failover); permanent errors return
+    /// immediately. With the default fail-fast policy this is a plain
+    /// pass-through. Safe to re-run attempts: store mutations and pool
+    /// charges land only at an attempt's completion, so a timed-out
+    /// (dropped) attempt leaves no partial state.
+    async fn retrying<T, Fut>(
+        &self,
+        op: &'static str,
+        mut attempt: impl FnMut() -> Fut,
+    ) -> Result<T>
+    where
+        Fut: std::future::Future<Output = Result<T>>,
+    {
+        let policy = self.d.spec.retry;
+        if !policy.enabled() {
+            return attempt().await;
+        }
+        let sim = self.d.sim.clone();
+        let start = sim.now();
+        let stats = self.d.resilience();
+        let mut saw_unavailable = false;
+        let mut n = 0u32;
+        loop {
+            n += 1;
+            let result = if policy.attempt_timeout > SimDuration::ZERO {
+                match timeout(&sim, policy.attempt_timeout, attempt()).await {
+                    Ok(r) => r,
+                    Err(Elapsed) => {
+                        stats.note_timeout();
+                        Err(DaosError::Timeout(op))
+                    }
+                }
+            } else {
+                attempt().await
+            };
+            match result {
+                Ok(v) => {
+                    if saw_unavailable {
+                        stats.note_failover();
+                    }
+                    return Ok(v);
+                }
+                Err(e) if e.is_transient() => {
+                    saw_unavailable |= matches!(e, DaosError::EngineUnavailable(_));
+                    let deadline_hit = policy.op_deadline > SimDuration::ZERO
+                        && sim.now() - start >= policy.op_deadline;
+                    if n >= policy.max_attempts || deadline_hit {
+                        stats.note_gave_up();
+                        return Err(e);
+                    }
+                    stats.note_retry();
+                    let salt = jitter_salt(self.ep, sim.now().as_nanos(), n);
+                    sim.sleep(policy.backoff_delay(n, salt)).await;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
 }
 
-impl DaosApi for SimClient {
-    type Cont = SimCont;
-
-    async fn cont_open_or_create(&self, uuid: Uuid) -> Result<Self::Cont> {
+/// Single-attempt operation bodies: one placement computation plus one
+/// wire exchange each. The [`DaosApi`] impl re-runs these through
+/// [`SimClient::retrying`], which is how failover re-consults the pool
+/// map — placement happens inside the attempt.
+impl SimClient {
+    async fn cont_open_or_create_once(&self, uuid: Uuid) -> Result<SimCont> {
         self.latency().await;
         let cal = &self.d.spec.calibration;
         let exists = self.d.pool.cont_open(uuid).is_ok();
@@ -230,7 +300,7 @@ impl DaosApi for SimClient {
         Ok(SimCont { uuid, cont })
     }
 
-    async fn cont_open(&self, uuid: Uuid) -> Result<Self::Cont> {
+    async fn cont_open_once(&self, uuid: Uuid) -> Result<SimCont> {
         self.latency().await;
         {
             let _p = self.d.pool_md.acquire_one().await;
@@ -244,7 +314,7 @@ impl DaosApi for SimClient {
         Ok(SimCont { uuid, cont })
     }
 
-    async fn kv_put(&self, cont: &Self::Cont, oid: Oid, key: &[u8], value: Bytes) -> Result<()> {
+    async fn kv_put_once(&self, cont: &SimCont, oid: Oid, key: &[u8], value: Bytes) -> Result<()> {
         let cal = self.d.spec.calibration;
         // Updates land on every replica of the key's home target;
         // unreplicated classes have exactly one.
@@ -285,7 +355,7 @@ impl DaosApi for SimClient {
         Ok(())
     }
 
-    async fn kv_get(&self, cont: &Self::Cont, oid: Oid, key: &[u8]) -> Result<Option<Bytes>> {
+    async fn kv_get_once(&self, cont: &SimCont, oid: Oid, key: &[u8]) -> Result<Option<Bytes>> {
         let cal = self.d.spec.calibration;
         let t = if oid.class().replicas(self.pool_targets()) > 1 {
             let reps: Vec<u32> = replica_targets(oid, self.pool_targets())
@@ -314,14 +384,14 @@ impl DaosApi for SimClient {
         Ok(out)
     }
 
-    async fn kv_list_keys(&self, cont: &Self::Cont, oid: Oid) -> Result<Vec<Vec<u8>>> {
+    async fn kv_list_keys_once(&self, cont: &SimCont, oid: Oid) -> Result<Vec<Vec<u8>>> {
         let cal = self.d.spec.calibration;
         let t = self.meta_target(oid)?;
         self.small_rpc(t, cal.kv_op_cost).await?;
         cont.cont.kv_list_keys(oid)
     }
 
-    async fn array_create(&self, cont: &Self::Cont, oid: Oid) -> Result<()> {
+    async fn array_create_once(&self, cont: &SimCont, oid: Oid) -> Result<()> {
         let cal = self.d.spec.calibration;
         // Creation installs metadata on every replica, concurrently.
         let reps: Vec<u32> = replica_targets(oid, self.pool_targets())
@@ -347,7 +417,7 @@ impl DaosApi for SimClient {
         cont.cont.array_create(oid)
     }
 
-    async fn array_open(&self, cont: &Self::Cont, oid: Oid) -> Result<()> {
+    async fn array_open_once(&self, cont: &SimCont, oid: Oid) -> Result<()> {
         let cal = self.d.spec.calibration;
         let t = self.meta_target(oid)?;
         let service = cal.array_open_cost + self.d.target(t).media.read_time(128);
@@ -355,7 +425,7 @@ impl DaosApi for SimClient {
         cont.cont.array_open(oid)
     }
 
-    async fn array_open_or_create(&self, cont: &Self::Cont, oid: Oid) -> Result<()> {
+    async fn array_open_or_create_once(&self, cont: &SimCont, oid: Oid) -> Result<()> {
         let cal = self.d.spec.calibration;
         let t = self.live_target(leader_target(oid, self.pool_targets()));
         self.engine_for(t)?;
@@ -364,9 +434,9 @@ impl DaosApi for SimClient {
         cont.cont.array_open_or_create(oid)
     }
 
-    async fn array_write(
+    async fn array_write_once(
         &self,
-        cont: &Self::Cont,
+        cont: &SimCont,
         oid: Oid,
         offset: u64,
         data: Bytes,
@@ -406,8 +476,10 @@ impl DaosApi for SimClient {
             .into_iter()
             .map(|(t, b)| (self.live_target(t), b))
             .collect();
-        // Fail fast if any owning engine is down: writes require the full
-        // redundancy group.
+        // The attempt fails fast if any owning engine is down — writes
+        // require the full redundancy group; transient recovery (retry,
+        // backoff, pool-map re-consultation) lives in the `retrying`
+        // wrapper around this body.
         for (t, _) in &shards {
             self.engine_for(*t)?;
         }
@@ -436,9 +508,9 @@ impl DaosApi for SimClient {
         Ok(())
     }
 
-    async fn array_read(
+    async fn array_read_once(
         &self,
-        cont: &Self::Cont,
+        cont: &SimCont,
         oid: Oid,
         offset: u64,
         len: u64,
@@ -544,7 +616,7 @@ impl DaosApi for SimClient {
         Ok(out)
     }
 
-    async fn array_size(&self, cont: &Self::Cont, oid: Oid) -> Result<u64> {
+    async fn array_size_once(&self, cont: &SimCont, oid: Oid) -> Result<u64> {
         let cal = self.d.spec.calibration;
         let t = self.meta_target(oid)?;
         let service = cal.array_open_cost + self.d.target(t).media.read_time(128);
@@ -552,7 +624,7 @@ impl DaosApi for SimClient {
         cont.cont.array_size(oid)
     }
 
-    async fn array_close(&self, _cont: &Self::Cont, _oid: Oid) -> Result<()> {
+    async fn array_close_once(&self, _cont: &SimCont, _oid: Oid) -> Result<()> {
         // Handle close is client-local in DAOS; no RPC.
         self.d
             .sim
@@ -561,14 +633,14 @@ impl DaosApi for SimClient {
         Ok(())
     }
 
-    async fn obj_punch(&self, cont: &Self::Cont, oid: Oid) -> Result<()> {
+    async fn obj_punch_once(&self, cont: &SimCont, oid: Oid) -> Result<()> {
         let cal = self.d.spec.calibration;
         let t = self.meta_target(oid)?;
         self.small_rpc(t, cal.array_create_cost).await?;
         cont.cont.obj_punch(oid)
     }
 
-    async fn list_array_objects(&self, cont: &Self::Cont) -> Result<Vec<Oid>> {
+    async fn list_array_objects_once(&self, cont: &SimCont) -> Result<Vec<Oid>> {
         // Enumeration walks the container's object table on its engines;
         // charge a metadata RPC plus a per-object scan cost at the pool
         // metadata service.
@@ -594,6 +666,136 @@ impl DaosApi for SimClient {
 
     fn pool_targets(&self) -> u32 {
         self.d.spec.pool_targets()
+    }
+}
+
+/// The public API: every engine-touching operation runs through
+/// [`SimClient::retrying`]. Container open/create (pool-metadata only),
+/// handle close (client-local) and enumeration are left unwrapped — they
+/// never consult an engine's liveness.
+impl DaosApi for SimClient {
+    type Cont = SimCont;
+
+    async fn cont_open_or_create(&self, uuid: Uuid) -> Result<Self::Cont> {
+        self.cont_open_or_create_once(uuid).await
+    }
+
+    async fn cont_open(&self, uuid: Uuid) -> Result<Self::Cont> {
+        self.cont_open_once(uuid).await
+    }
+
+    async fn kv_put(&self, cont: &Self::Cont, oid: Oid, key: &[u8], value: Bytes) -> Result<()> {
+        let (this, cont) = (self.clone(), cont.clone());
+        self.retrying("kv_put", move || {
+            let (this, cont, value) = (this.clone(), cont.clone(), value.clone());
+            async move { this.kv_put_once(&cont, oid, key, value).await }
+        })
+        .await
+    }
+
+    async fn kv_get(&self, cont: &Self::Cont, oid: Oid, key: &[u8]) -> Result<Option<Bytes>> {
+        let (this, cont) = (self.clone(), cont.clone());
+        self.retrying("kv_get", move || {
+            let (this, cont) = (this.clone(), cont.clone());
+            async move { this.kv_get_once(&cont, oid, key).await }
+        })
+        .await
+    }
+
+    async fn kv_list_keys(&self, cont: &Self::Cont, oid: Oid) -> Result<Vec<Vec<u8>>> {
+        let (this, cont) = (self.clone(), cont.clone());
+        self.retrying("kv_list_keys", move || {
+            let (this, cont) = (this.clone(), cont.clone());
+            async move { this.kv_list_keys_once(&cont, oid).await }
+        })
+        .await
+    }
+
+    async fn array_create(&self, cont: &Self::Cont, oid: Oid) -> Result<()> {
+        let (this, cont) = (self.clone(), cont.clone());
+        self.retrying("array_create", move || {
+            let (this, cont) = (this.clone(), cont.clone());
+            async move { this.array_create_once(&cont, oid).await }
+        })
+        .await
+    }
+
+    async fn array_open(&self, cont: &Self::Cont, oid: Oid) -> Result<()> {
+        let (this, cont) = (self.clone(), cont.clone());
+        self.retrying("array_open", move || {
+            let (this, cont) = (this.clone(), cont.clone());
+            async move { this.array_open_once(&cont, oid).await }
+        })
+        .await
+    }
+
+    async fn array_open_or_create(&self, cont: &Self::Cont, oid: Oid) -> Result<()> {
+        let (this, cont) = (self.clone(), cont.clone());
+        self.retrying("array_open_or_create", move || {
+            let (this, cont) = (this.clone(), cont.clone());
+            async move { this.array_open_or_create_once(&cont, oid).await }
+        })
+        .await
+    }
+
+    async fn array_write(
+        &self,
+        cont: &Self::Cont,
+        oid: Oid,
+        offset: u64,
+        data: Bytes,
+    ) -> Result<()> {
+        let (this, cont) = (self.clone(), cont.clone());
+        self.retrying("array_write", move || {
+            let (this, cont, data) = (this.clone(), cont.clone(), data.clone());
+            async move { this.array_write_once(&cont, oid, offset, data).await }
+        })
+        .await
+    }
+
+    async fn array_read(
+        &self,
+        cont: &Self::Cont,
+        oid: Oid,
+        offset: u64,
+        len: u64,
+    ) -> Result<Bytes> {
+        let (this, cont) = (self.clone(), cont.clone());
+        self.retrying("array_read", move || {
+            let (this, cont) = (this.clone(), cont.clone());
+            async move { this.array_read_once(&cont, oid, offset, len).await }
+        })
+        .await
+    }
+
+    async fn array_size(&self, cont: &Self::Cont, oid: Oid) -> Result<u64> {
+        let (this, cont) = (self.clone(), cont.clone());
+        self.retrying("array_size", move || {
+            let (this, cont) = (this.clone(), cont.clone());
+            async move { this.array_size_once(&cont, oid).await }
+        })
+        .await
+    }
+
+    async fn array_close(&self, cont: &Self::Cont, oid: Oid) -> Result<()> {
+        self.array_close_once(cont, oid).await
+    }
+
+    async fn obj_punch(&self, cont: &Self::Cont, oid: Oid) -> Result<()> {
+        let (this, cont) = (self.clone(), cont.clone());
+        self.retrying("obj_punch", move || {
+            let (this, cont) = (this.clone(), cont.clone());
+            async move { this.obj_punch_once(&cont, oid).await }
+        })
+        .await
+    }
+
+    async fn list_array_objects(&self, cont: &Self::Cont) -> Result<Vec<Oid>> {
+        self.list_array_objects_once(cont).await
+    }
+
+    fn pool_targets(&self) -> u32 {
+        SimClient::pool_targets(self)
     }
 }
 
@@ -688,6 +890,115 @@ mod tests {
         let one = run(1);
         let four = run(4);
         assert!(four < 2.5 * one, "one={one}, four={four}");
+    }
+
+    #[test]
+    fn first_alive_on_empty_slice_reports_no_targets() {
+        // Regression: an empty candidate set used to blame target 0's
+        // engine (EngineUnavailable(0)); it must be its own error.
+        let sim = Sim::new();
+        let d = Deployment::new(&sim, ClusterSpec::tcp(1, 1));
+        let client = SimClient::for_process(&d, 0, 0);
+        assert_eq!(client.first_alive(&[]), Err(DaosError::NoTargets));
+        // Non-empty behaviour unchanged: picks the first alive target...
+        assert_eq!(client.first_alive(&[3, 17]), Ok(3));
+        d.kill_engine(0);
+        assert_eq!(client.first_alive(&[3, 17]), Ok(17));
+        // ...and blames the last candidate's engine when all are down.
+        d.kill_engine(1);
+        assert_eq!(
+            client.first_alive(&[3, 17]),
+            Err(DaosError::EngineUnavailable(1))
+        );
+    }
+
+    #[test]
+    fn brownout_shorter_than_retry_budget_is_invisible_to_clients() {
+        // A transient brownout that clears within the retry backoff
+        // budget must cause no client-visible errors, only retries.
+        let sim = Sim::new();
+        let mut spec = ClusterSpec::tcp(1, 1);
+        spec.retry = crate::fault::RetryPolicy::operational();
+        let d = Deployment::new(&sim, spec);
+        {
+            let d = Rc::clone(&d);
+            sim.spawn(async move {
+                let client = SimClient::for_process(&d, 0, 0);
+                let cont = client
+                    .cont_open_or_create(Uuid::from_name(b"bo"))
+                    .await
+                    .unwrap();
+                let mut alloc = OidAllocator::new(0);
+                let payload = Bytes::from(vec![5u8; MIB as usize]);
+                // Brown out both engines mid-workload for 100 ms — well
+                // inside the ~0.8 s cumulative backoff budget.
+                let oid0 = alloc.next(ObjectClass::S1);
+                client.array_create(&cont, oid0).await.unwrap();
+                d.brownout_engine(0);
+                d.brownout_engine(1);
+                {
+                    let d2 = Rc::clone(&d);
+                    d.sim
+                        .schedule_after(SimDuration::from_millis(100), move || {
+                            d2.clear_brownout(0);
+                            d2.clear_brownout(1);
+                        });
+                }
+                client
+                    .array_write(&cont, oid0, 0, payload.clone())
+                    .await
+                    .unwrap();
+                let back = client.array_read(&cont, oid0, 0, MIB).await.unwrap();
+                assert_eq!(back, payload);
+            });
+        }
+        sim.run().expect_quiescent();
+        let r = d.resilience().report();
+        assert!(
+            r.retries > 0,
+            "brownout must be absorbed via retries: {r:?}"
+        );
+        assert_eq!(r.gave_up, 0, "no operation may fail: {r:?}");
+    }
+
+    #[test]
+    fn retry_exhaustion_surfaces_the_transient_error() {
+        // A fault longer than the whole retry budget still fails — the
+        // policy bounds recovery, it does not mask permanent loss.
+        let sim = Sim::new();
+        let mut spec = ClusterSpec::tcp(1, 1);
+        spec.retry = crate::fault::RetryPolicy {
+            max_attempts: 3,
+            base_backoff: SimDuration::from_micros(100),
+            max_backoff: SimDuration::from_millis(1),
+            attempt_timeout: SimDuration::ZERO,
+            op_deadline: SimDuration::ZERO,
+            seed: 1,
+        };
+        let d = Deployment::new(&sim, spec);
+        let failed: Rc<Cell<bool>> = Rc::default();
+        {
+            let (d, failed) = (Rc::clone(&d), Rc::clone(&failed));
+            sim.spawn(async move {
+                let client = SimClient::for_process(&d, 0, 0);
+                let cont = client
+                    .cont_open_or_create(Uuid::from_name(b"rx"))
+                    .await
+                    .unwrap();
+                let oid = Oid::generate(0, 0, ObjectClass::S1);
+                d.kill_engine(0);
+                d.kill_engine(1);
+                match client.array_create(&cont, oid).await {
+                    Err(DaosError::EngineUnavailable(_)) => failed.set(true),
+                    other => panic!("expected exhaustion, got {other:?}"),
+                }
+            });
+        }
+        sim.run().expect_quiescent();
+        assert!(failed.get());
+        let r = d.resilience().report();
+        assert_eq!(r.retries, 2, "3 attempts = 2 retries: {r:?}");
+        assert_eq!(r.gave_up, 1, "{r:?}");
     }
 
     #[test]

@@ -20,6 +20,7 @@ use daosim_objstore::store::DEFAULT_POOL_CAPACITY;
 use daosim_objstore::{DaosStore, Oid, Pool, Uuid};
 
 use crate::calibration::Calibration;
+use crate::fault::{ResilienceStats, RetryPolicy};
 
 /// Static description of a cluster to deploy.
 #[derive(Clone, Copy, Debug)]
@@ -34,6 +35,10 @@ pub struct ClusterSpec {
     pub client_sockets: u8,
     pub provider: ProviderProfile,
     pub calibration: Calibration,
+    /// Client-side retry/deadline policy. Defaults to
+    /// [`RetryPolicy::none`] (fail fast), preserving the pre-resilience
+    /// behaviour; set [`RetryPolicy::operational`] for fault drills.
+    pub retry: RetryPolicy,
 }
 
 impl ClusterSpec {
@@ -48,6 +53,7 @@ impl ClusterSpec {
             client_sockets: 2,
             provider: ProviderProfile::tcp(),
             calibration: Calibration::nextgenio(),
+            retry: RetryPolicy::none(),
         }
     }
 
@@ -62,6 +68,7 @@ impl ClusterSpec {
             client_sockets: 1,
             provider: ProviderProfile::psm2(),
             calibration: Calibration::nextgenio(),
+            retry: RetryPolicy::none(),
         }
     }
 
@@ -104,11 +111,24 @@ pub struct Engine {
     pub meta: Semaphore,
     pub targets: Vec<Target>,
     alive: Cell<bool>,
+    /// Transiently unresponsive (brownout): the engine process is up but
+    /// not answering; clears on its own, unlike a crash.
+    browned_out: Cell<bool>,
+    /// Healthy stack-link capacities (GiB/s), the restore point for NIC
+    /// degradation faults.
+    nominal_rx_gib: f64,
+    nominal_tx_gib: f64,
 }
 
 impl Engine {
+    /// Whether the engine currently answers RPCs: up and not in a
+    /// brownout window.
     pub fn is_alive(&self) -> bool {
-        self.alive.get()
+        self.alive.get() && !self.browned_out.get()
+    }
+
+    pub fn is_browned_out(&self) -> bool {
+        self.browned_out.get()
     }
 }
 
@@ -134,6 +154,8 @@ pub struct Deployment {
     obj_locks: RefCell<HashMap<(Uuid, Oid, u64), Semaphore>>,
     /// Pool-map overrides installed by rebuild: dead target → survivor.
     target_remap: RefCell<HashMap<u32, u32>>,
+    /// Retry/timeout/failover/fault counters (see [`crate::fault`]).
+    resilience: ResilienceStats,
 }
 
 impl Deployment {
@@ -161,10 +183,12 @@ impl Deployment {
             .map(|e| {
                 let node = (e / spec.engines_per_node as u32) as u16;
                 let socket = (e % spec.engines_per_node as u32) as u8;
+                let nominal_rx_gib = cal.engine_rx_gib * stack_gain;
+                let nominal_tx_gib = cal.engine_tx_gib * stack_gain;
                 Engine {
                     endpoint: Endpoint::new(node, socket),
-                    rx_stack: fabric.net().add_link(cal.engine_rx_gib * stack_gain),
-                    tx_stack: fabric.net().add_link(cal.engine_tx_gib * stack_gain),
+                    rx_stack: fabric.net().add_link(nominal_rx_gib),
+                    tx_stack: fabric.net().add_link(nominal_tx_gib),
                     meta: Semaphore::new(1),
                     // Each engine is pinned to its own socket and thus its
                     // own interleaved DIMM set, so a target's media share
@@ -177,6 +201,9 @@ impl Deployment {
                         })
                         .collect(),
                     alive: Cell::new(true),
+                    browned_out: Cell::new(false),
+                    nominal_rx_gib,
+                    nominal_tx_gib,
                 }
             })
             .collect();
@@ -212,6 +239,7 @@ impl Deployment {
             pool_md: Semaphore::new(1),
             obj_locks: RefCell::new(HashMap::new()),
             target_remap: RefCell::new(HashMap::new()),
+            resilience: ResilienceStats::default(),
         })
     }
 
@@ -361,6 +389,41 @@ impl Deployment {
 
     pub fn revive_engine(&self, index: u32) {
         self.engines[index as usize].alive.set(true);
+    }
+
+    /// Failure injection: engine transiently unresponsive. Surfaces to
+    /// clients exactly like a crash (`EngineUnavailable`) but is expected
+    /// to clear on its own via [`Deployment::clear_brownout`].
+    pub fn brownout_engine(&self, index: u32) {
+        self.engines[index as usize].browned_out.set(true);
+    }
+
+    pub fn clear_brownout(&self, index: u32) {
+        self.engines[index as usize].browned_out.set(false);
+    }
+
+    /// Failure injection: scales the engine's NIC/stack capacity by
+    /// `factor` (in `(0, 1]`) at the current instant. In-flight flows
+    /// slow down from here on; [`Deployment::restore_engine_nic`] (or
+    /// `factor = 1.0`) returns to nominal.
+    pub fn degrade_engine_nic(&self, index: u32, factor: f64) {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "degradation factor must be in (0, 1]"
+        );
+        let e = &self.engines[index as usize];
+        let net = self.fabric.net();
+        net.set_link_capacity(e.rx_stack, e.nominal_rx_gib * factor);
+        net.set_link_capacity(e.tx_stack, e.nominal_tx_gib * factor);
+    }
+
+    pub fn restore_engine_nic(&self, index: u32) {
+        self.degrade_engine_nic(index, 1.0);
+    }
+
+    /// Live resilience counters for this deployment.
+    pub fn resilience(&self) -> &ResilienceStats {
+        &self.resilience
     }
 }
 

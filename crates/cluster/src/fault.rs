@@ -1,0 +1,457 @@
+//! Fault injection and client resilience policy.
+//!
+//! A [`FaultPlan`] is a deterministic campaign of engine-level faults —
+//! crashes (optionally followed by a rebuild), restarts, transient
+//! brownouts, and NIC/link degradation windows — scheduled at simulated
+//! times against a [`Deployment`]. Campaigns can be authored explicitly
+//! with the builder methods or generated reproducibly from a seed with
+//! [`FaultPlan::random_campaign`] (driven by the kernel's `splitmix64`,
+//! so a given seed always yields the same campaign).
+//!
+//! [`RetryPolicy`] is the client-side complement: when enabled on
+//! [`crate::ClusterSpec::retry`], every engine-touching `SimClient`
+//! operation runs under a per-attempt deadline and retries transient
+//! failures (engine unavailable, timeout) with exponential backoff and
+//! deterministic jitter, re-consulting the pool map on each attempt so a
+//! rebuild-installed remap is picked up automatically (failover).
+//! Retry/timeout/failover counts accumulate in the deployment's
+//! [`ResilienceStats`].
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use daosim_kernel::rng::splitmix64;
+use daosim_kernel::SimDuration;
+use daosim_net::Endpoint;
+
+use crate::deploy::Deployment;
+use crate::rebuild::rebuild_engine;
+
+/// Client-side retry/deadline policy, carried on
+/// [`crate::ClusterSpec::retry`]. The default ([`RetryPolicy::none`])
+/// preserves fail-fast semantics: one attempt, no deadline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per operation (1 = fail fast, no retries).
+    pub max_attempts: u32,
+    /// First backoff; doubles per retry (exponential).
+    pub base_backoff: SimDuration,
+    /// Ceiling on a single backoff interval.
+    pub max_backoff: SimDuration,
+    /// Deadline for a single attempt; `ZERO` disables the timeout.
+    pub attempt_timeout: SimDuration,
+    /// Overall deadline across all attempts of one operation (checked
+    /// between attempts); `ZERO` disables it.
+    pub op_deadline: SimDuration,
+    /// Seed for deterministic backoff jitter.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// Fail-fast: a single attempt, no deadlines. The default.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: SimDuration::ZERO,
+            max_backoff: SimDuration::ZERO,
+            attempt_timeout: SimDuration::ZERO,
+            op_deadline: SimDuration::ZERO,
+            seed: 0,
+        }
+    }
+
+    /// A policy sized for operational (time-critical window) drills:
+    /// enough backoff budget (~0.8 s cumulative) to ride out sub-second
+    /// brownouts and a kill→rebuild gap, with generous per-attempt and
+    /// overall deadlines so slow-but-progressing I/O is never cut short.
+    pub fn operational() -> Self {
+        RetryPolicy {
+            max_attempts: 12,
+            base_backoff: SimDuration::from_millis(1),
+            max_backoff: SimDuration::from_millis(200),
+            attempt_timeout: SimDuration::from_secs(5),
+            op_deadline: SimDuration::from_secs(60),
+            seed: 0x5EED_CAFE,
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.max_attempts > 1
+    }
+
+    /// Backoff before retry number `attempt` (1-based): exponential with
+    /// deterministic jitter in `[0, interval/2)`, derived from the policy
+    /// seed and the caller-supplied salt (endpoint + time + attempt), so
+    /// identical runs back off identically while distinct clients spread.
+    pub fn backoff_delay(&self, attempt: u32, salt: u64) -> SimDuration {
+        let exp = attempt.saturating_sub(1).min(16);
+        let base = self
+            .base_backoff
+            .as_nanos()
+            .saturating_mul(1u64 << exp)
+            .min(self.max_backoff.as_nanos());
+        if base == 0 {
+            return SimDuration::ZERO;
+        }
+        let jitter = splitmix64(self.seed ^ salt) % (base / 2).max(1);
+        SimDuration::from_nanos(base + jitter)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+/// Mixes an endpoint and attempt number into a jitter salt.
+pub(crate) fn jitter_salt(ep: Endpoint, now_ns: u64, attempt: u32) -> u64 {
+    ((ep.node as u64) << 40) ^ ((ep.socket as u64) << 32) ^ now_ns ^ attempt as u64
+}
+
+/// Live resilience counters on a [`Deployment`]; cheap `Cell` bumps on
+/// the client fast path, snapshot via [`ResilienceStats::report`].
+#[derive(Default)]
+pub struct ResilienceStats {
+    retries: Cell<u64>,
+    timeouts: Cell<u64>,
+    failovers: Cell<u64>,
+    gave_up: Cell<u64>,
+    faults_injected: Cell<u64>,
+}
+
+impl ResilienceStats {
+    pub fn note_retry(&self) {
+        self.retries.set(self.retries.get() + 1);
+    }
+    pub fn note_timeout(&self) {
+        self.timeouts.set(self.timeouts.get() + 1);
+    }
+    pub fn note_failover(&self) {
+        self.failovers.set(self.failovers.get() + 1);
+    }
+    pub fn note_gave_up(&self) {
+        self.gave_up.set(self.gave_up.get() + 1);
+    }
+    pub fn note_fault(&self) {
+        self.faults_injected.set(self.faults_injected.get() + 1);
+    }
+
+    pub fn report(&self) -> ResilienceReport {
+        ResilienceReport {
+            retries: self.retries.get(),
+            timeouts: self.timeouts.get(),
+            failovers: self.failovers.get(),
+            gave_up: self.gave_up.get(),
+            faults_injected: self.faults_injected.get(),
+        }
+    }
+}
+
+/// Point-in-time snapshot of [`ResilienceStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResilienceReport {
+    /// Transient-error retries performed by clients.
+    pub retries: u64,
+    /// Attempts cut short by the per-attempt deadline.
+    pub timeouts: u64,
+    /// Operations that succeeded after seeing `EngineUnavailable`.
+    pub failovers: u64,
+    /// Operations that exhausted their retry budget.
+    pub gave_up: u64,
+    /// Fault events injected by campaigns.
+    pub faults_injected: u64,
+}
+
+/// One scheduled fault. Times are offsets from the instant
+/// [`FaultPlan::apply`] is called (normally t=0).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultEvent {
+    /// Engine crash; with `rebuild`, a rebuild pass runs immediately
+    /// after (pool-map remaps + data movement, in simulated time).
+    Kill {
+        at: SimDuration,
+        engine: u32,
+        rebuild: bool,
+    },
+    /// Engine restart (revive). Note: remaps installed by an earlier
+    /// rebuild stay in place — reintegration is not modelled, so the
+    /// restarted engine serves only newly placed objects.
+    Restart { at: SimDuration, engine: u32 },
+    /// Engine unresponsive for `duration`, then recovers by itself.
+    Brownout {
+        at: SimDuration,
+        engine: u32,
+        duration: SimDuration,
+    },
+    /// Engine NIC/stack capacity scaled by `factor` for `duration`.
+    DegradeNic {
+        at: SimDuration,
+        engine: u32,
+        factor: f64,
+        duration: SimDuration,
+    },
+}
+
+impl FaultEvent {
+    pub fn at(&self) -> SimDuration {
+        match *self {
+            FaultEvent::Kill { at, .. }
+            | FaultEvent::Restart { at, .. }
+            | FaultEvent::Brownout { at, .. }
+            | FaultEvent::DegradeNic { at, .. } => at,
+        }
+    }
+}
+
+/// A deterministic campaign of [`FaultEvent`]s.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    pub fn kill(mut self, at: SimDuration, engine: u32) -> Self {
+        self.events.push(FaultEvent::Kill {
+            at,
+            engine,
+            rebuild: false,
+        });
+        self
+    }
+
+    pub fn kill_and_rebuild(mut self, at: SimDuration, engine: u32) -> Self {
+        self.events.push(FaultEvent::Kill {
+            at,
+            engine,
+            rebuild: true,
+        });
+        self
+    }
+
+    pub fn restart(mut self, at: SimDuration, engine: u32) -> Self {
+        self.events.push(FaultEvent::Restart { at, engine });
+        self
+    }
+
+    pub fn brownout(mut self, at: SimDuration, engine: u32, duration: SimDuration) -> Self {
+        self.events.push(FaultEvent::Brownout {
+            at,
+            engine,
+            duration,
+        });
+        self
+    }
+
+    pub fn degrade_nic(
+        mut self,
+        at: SimDuration,
+        engine: u32,
+        factor: f64,
+        duration: SimDuration,
+    ) -> Self {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "degradation factor must be in (0, 1]"
+        );
+        self.events.push(FaultEvent::DegradeNic {
+            at,
+            engine,
+            factor,
+            duration,
+        });
+        self
+    }
+
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// A reproducible campaign over `horizon`: a handful of brownouts and
+    /// NIC degradations spread across engines, derived entirely from
+    /// `seed` via `splitmix64` (same seed → same campaign, bit for bit).
+    pub fn random_campaign(seed: u64, engines: u32, horizon: SimDuration) -> Self {
+        assert!(engines > 0, "campaign needs at least one engine");
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            splitmix64(state)
+        };
+        let span = horizon.as_nanos().max(1);
+        let mut plan = FaultPlan::new();
+        let brownouts = 2 + (next() % 3) as usize;
+        for _ in 0..brownouts {
+            let at = SimDuration::from_nanos(next() % span);
+            let engine = (next() % engines as u64) as u32;
+            let duration = SimDuration::from_millis(20 + next() % 180);
+            plan = plan.brownout(at, engine, duration);
+        }
+        let degradations = 1 + (next() % 2) as usize;
+        for _ in 0..degradations {
+            let at = SimDuration::from_nanos(next() % span);
+            let engine = (next() % engines as u64) as u32;
+            let factor = 0.25 + (next() % 50) as f64 / 100.0;
+            let duration = SimDuration::from_millis(50 + next() % 450);
+            plan = plan.degrade_nic(at, engine, factor, duration);
+        }
+        plan
+    }
+
+    /// Failure-detection lag between an engine crash and the start of its
+    /// rebuild (SWIM-style detection plus pool-map update propagation).
+    /// During this window the dead engine is still in the pool map, so
+    /// clients see `EngineUnavailable` and retry — exactly the gap the
+    /// retry policy exists to ride out.
+    pub const REBUILD_DETECTION_DELAY: SimDuration = SimDuration::from_millis(20);
+
+    /// Spawns the campaign orchestrator on the deployment's simulation:
+    /// events fire in time order at their offsets from "now". A kill with
+    /// `rebuild` awaits the rebuild inline after
+    /// [`Self::REBUILD_DETECTION_DELAY`] (subsequent events wait for it,
+    /// as an operator-driven recovery would); brownout and NIC recoveries
+    /// are scheduled independently so windows can overlap later events.
+    pub fn apply(&self, d: &Rc<Deployment>) {
+        if self.events.is_empty() {
+            return;
+        }
+        let mut events = self.events.clone();
+        events.sort_by_key(|e| e.at());
+        let d = Rc::clone(d);
+        let sim = d.sim.clone();
+        let start = sim.now();
+        sim.clone().spawn(async move {
+            for ev in events {
+                let due = start + ev.at();
+                let now = sim.now();
+                if due > now {
+                    sim.sleep(due - now).await;
+                }
+                d.resilience().note_fault();
+                match ev {
+                    FaultEvent::Kill {
+                        engine, rebuild, ..
+                    } => {
+                        d.kill_engine(engine);
+                        if rebuild {
+                            sim.sleep(Self::REBUILD_DETECTION_DELAY).await;
+                            rebuild_engine(&d, engine)
+                                .await
+                                .expect("campaign rebuild of a just-killed engine");
+                        }
+                    }
+                    FaultEvent::Restart { engine, .. } => d.revive_engine(engine),
+                    FaultEvent::Brownout {
+                        engine, duration, ..
+                    } => {
+                        d.brownout_engine(engine);
+                        let d2 = Rc::clone(&d);
+                        sim.schedule_after(duration, move || d2.clear_brownout(engine));
+                    }
+                    FaultEvent::DegradeNic {
+                        engine,
+                        factor,
+                        duration,
+                        ..
+                    } => {
+                        d.degrade_engine_nic(engine, factor);
+                        let d2 = Rc::clone(&d);
+                        sim.schedule_after(duration, move || d2.restore_engine_nic(engine));
+                    }
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::ClusterSpec;
+    use daosim_kernel::Sim;
+
+    #[test]
+    fn random_campaign_is_deterministic() {
+        let a = FaultPlan::random_campaign(42, 4, SimDuration::from_secs(2));
+        let b = FaultPlan::random_campaign(42, 4, SimDuration::from_secs(2));
+        assert_eq!(a.events(), b.events());
+        let c = FaultPlan::random_campaign(43, 4, SimDuration::from_secs(2));
+        assert_ne!(a.events(), c.events());
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy::operational();
+        let d1 = p.backoff_delay(1, 7);
+        let d4 = p.backoff_delay(4, 7);
+        assert!(d4 > d1, "{d1:?} !< {d4:?}");
+        // 1.5x headroom: interval + up-to-half jitter.
+        let cap_ns = p.max_backoff.as_nanos() * 3 / 2;
+        for n in 1..=20 {
+            assert!(p.backoff_delay(n, 7).as_nanos() <= cap_ns);
+        }
+        // Deterministic for a fixed (attempt, salt).
+        assert_eq!(p.backoff_delay(3, 11), p.backoff_delay(3, 11));
+    }
+
+    #[test]
+    fn brownout_window_clears_itself() {
+        let sim = Sim::new();
+        let d = Deployment::new(&sim, ClusterSpec::tcp(1, 1));
+        let plan = FaultPlan::new().brownout(
+            SimDuration::from_millis(10),
+            0,
+            SimDuration::from_millis(30),
+        );
+        plan.apply(&d);
+        {
+            let d = Rc::clone(&d);
+            let sim2 = sim.clone();
+            sim.spawn(async move {
+                assert!(d.engines[0].is_alive());
+                sim2.sleep(SimDuration::from_millis(15)).await;
+                assert!(!d.engines[0].is_alive(), "browned out at t=10ms");
+                assert!(d.engines[0].is_browned_out());
+                sim2.sleep(SimDuration::from_millis(30)).await;
+                assert!(d.engines[0].is_alive(), "recovered at t=40ms");
+            });
+        }
+        sim.run().expect_quiescent();
+        assert_eq!(d.resilience().report().faults_injected, 1);
+    }
+
+    #[test]
+    fn nic_degradation_window_restores_capacity() {
+        let sim = Sim::new();
+        let d = Deployment::new(&sim, ClusterSpec::tcp(1, 1));
+        let net = d.fabric.net().clone();
+        let rx = d.engines[0].rx_stack;
+        let nominal = net.link_capacity(rx);
+        let plan = FaultPlan::new().degrade_nic(
+            SimDuration::from_millis(5),
+            0,
+            0.5,
+            SimDuration::from_millis(20),
+        );
+        plan.apply(&d);
+        {
+            let sim2 = sim.clone();
+            let net = net.clone();
+            sim.spawn(async move {
+                sim2.sleep(SimDuration::from_millis(10)).await;
+                assert!((net.link_capacity(rx) - nominal * 0.5).abs() < 1e-9);
+                sim2.sleep(SimDuration::from_millis(20)).await;
+                assert!((net.link_capacity(rx) - nominal).abs() < 1e-9);
+            });
+        }
+        sim.run().expect_quiescent();
+    }
+}

@@ -14,9 +14,11 @@
 pub mod calibration;
 pub mod client;
 pub mod deploy;
+pub mod fault;
 pub mod rebuild;
 
 pub use calibration::Calibration;
 pub use client::{SimClient, SimCont};
 pub use deploy::{ClusterSpec, Deployment, Engine, Target};
-pub use rebuild::{rebuild_engine, RebuildReport};
+pub use fault::{FaultEvent, FaultPlan, ResilienceReport, ResilienceStats, RetryPolicy};
+pub use rebuild::{rebuild_engine, RebuildError, RebuildReport};

@@ -45,25 +45,50 @@ pub struct RebuildReport {
 /// How many concurrent rebuild streams each surviving engine runs.
 const REBUILD_STREAMS_PER_ENGINE: usize = 4;
 
+/// Why a rebuild pass could not run. Misuse is reported, not panicked,
+/// so failure drills can probe invalid sequences without aborting the
+/// whole simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RebuildError {
+    /// The engine named for rebuild still answers RPCs; kill it first.
+    EngineAlive(u32),
+    /// Every engine is down — there is nothing to rebuild onto.
+    NoSurvivors,
+}
+
+impl std::fmt::Display for RebuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RebuildError::EngineAlive(e) => {
+                write!(f, "rebuild target engine {e} is still alive")
+            }
+            RebuildError::NoSurvivors => write!(f, "no surviving targets to rebuild onto"),
+        }
+    }
+}
+
+impl std::error::Error for RebuildError {}
+
 /// Rebuilds after the death of `dead_engine`. Must be awaited from a
 /// simulation task; takes simulated time proportional to the data moved.
 ///
-/// Panics if the engine is still alive (kill it first) or if no engine
-/// survives.
-pub async fn rebuild_engine(d: &Rc<Deployment>, dead_engine: u32) -> RebuildReport {
-    assert!(
-        !d.engines[dead_engine as usize].is_alive(),
-        "rebuild target engine {dead_engine} is still alive"
-    );
+/// Errors (without side effects) if the engine is still alive (kill it
+/// first) or if no engine survives to rebuild onto.
+pub async fn rebuild_engine(
+    d: &Rc<Deployment>,
+    dead_engine: u32,
+) -> Result<RebuildReport, RebuildError> {
+    if d.engines[dead_engine as usize].is_alive() {
+        return Err(RebuildError::EngineAlive(dead_engine));
+    }
     let tpe = d.spec.targets_per_engine;
     let pool_targets = d.spec.pool_targets();
     let survivors: Vec<u32> = (0..pool_targets)
         .filter(|&t| d.engine_of_target(t).is_alive())
         .collect();
-    assert!(
-        !survivors.is_empty(),
-        "no surviving targets to rebuild onto"
-    );
+    if survivors.is_empty() {
+        return Err(RebuildError::NoSurvivors);
+    }
 
     // 1. Pool-map update: remap each dead target onto a survivor.
     let dead_targets: Vec<u32> = (dead_engine * tpe..(dead_engine + 1) * tpe).collect();
@@ -137,7 +162,7 @@ pub async fn rebuild_engine(d: &Rc<Deployment>, dead_engine: u32) -> RebuildRepo
     // Fixed pool-map propagation cost bookends the pass.
     d.sim.sleep(SimDuration::from_millis(2)).await;
     report.duration_secs = (d.sim.now() - start).as_secs_f64();
-    report
+    Ok(report)
 }
 
 /// Approximate stored bytes of an object (arrays: logical size + parity;
@@ -213,7 +238,7 @@ mod tests {
                 }
                 assert!(blocked > 0, "some degraded writes must fail pre-rebuild");
 
-                let r = rebuild_engine(&d, 0).await;
+                let r = rebuild_engine(&d, 0).await.expect("valid rebuild");
                 *report.borrow_mut() = r;
 
                 // Redundancy restored: every write succeeds again.
@@ -262,7 +287,7 @@ mod tests {
                     oids.push(oid);
                 }
                 d.kill_engine(2);
-                let r = rebuild_engine(&d, 2).await;
+                let r = rebuild_engine(&d, 2).await.expect("valid rebuild");
                 assert!(r.objects_moved > 0, "EC objects must rebuild: {r:?}");
                 // Full redundancy again: writes and reads succeed on all.
                 for &oid in &oids {
@@ -301,7 +326,7 @@ mod tests {
                         .unwrap();
                 }
                 d.kill_engine(1);
-                let r = rebuild_engine(&d, 1).await;
+                let r = rebuild_engine(&d, 1).await.expect("valid rebuild");
                 lost.set(r.objects_lost);
                 assert_eq!(r.objects_moved, 0);
             });
@@ -334,7 +359,7 @@ mod tests {
                         .unwrap();
                 }
                 d2.kill_engine(0);
-                let r = rebuild_engine(&d2, 0).await;
+                let r = rebuild_engine(&d2, 0).await.expect("valid rebuild");
                 out2.set(r.duration_secs);
             });
             sim.run().expect_quiescent();
@@ -346,5 +371,39 @@ mod tests {
             large > small * 2.0,
             "8x the data should take much longer: {small:.4}s vs {large:.4}s"
         );
+    }
+
+    #[test]
+    fn rebuild_of_a_live_engine_is_an_error() {
+        let sim = Sim::new();
+        let d = Deployment::new(&sim, ClusterSpec::tcp(2, 1));
+        {
+            let d = Rc::clone(&d);
+            sim.spawn(async move {
+                assert_eq!(
+                    rebuild_engine(&d, 0).await,
+                    Err(RebuildError::EngineAlive(0))
+                );
+                // No side effects: a remap-free pool map, engine still up.
+                assert_eq!(d.resolve_target(0), 0);
+                assert!(d.engines[0].is_alive());
+            });
+        }
+        sim.run().expect_quiescent();
+    }
+
+    #[test]
+    fn rebuild_with_no_survivors_is_an_error() {
+        let sim = Sim::new();
+        let d = Deployment::new(&sim, ClusterSpec::tcp(1, 1));
+        {
+            let d = Rc::clone(&d);
+            sim.spawn(async move {
+                d.kill_engine(0);
+                d.kill_engine(1);
+                assert_eq!(rebuild_engine(&d, 0).await, Err(RebuildError::NoSurvivors));
+            });
+        }
+        sim.run().expect_quiescent();
     }
 }

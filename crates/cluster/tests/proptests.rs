@@ -71,6 +71,7 @@ proptest! {
                 ProviderProfile::psm2()
             },
             calibration: daosim_cluster::Calibration::nextgenio(),
+            retry: daosim_cluster::RetryPolicy::none(),
         };
         let d = Deployment::new(&sim, spec);
         let errors: Rc<RefCell<Vec<String>>> = Rc::default();

@@ -154,29 +154,57 @@ pub fn single_iteration_wallclock(events: &[EventRecord], iteration: u32) -> Opt
     (end >= start).then(|| SimDuration::from_nanos(end - start))
 }
 
+/// Synchronous bandwidth (Eq. 1) with fault accounting: iterations cut
+/// short by a fault (no `IoEnd`, or a degenerate zero-length window) are
+/// excluded from the average and counted instead of poisoning the whole
+/// run.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct SynchronousBandwidth {
+    /// Mean per-iteration aggregate bandwidth over *complete* iterations,
+    /// GiB/s; `None` when no iteration completed.
+    pub gib_s: Option<f64>,
+    /// Iterations that contributed to the mean.
+    pub complete_iterations: usize,
+    /// Iterations skipped: missing `IoStart`/`IoEnd` (e.g. every I/O of
+    /// the iteration was interrupted by a fault) or zero wall-clock.
+    pub dropped_iterations: usize,
+}
+
 /// Synchronous bandwidth (Eq. 1): per-iteration aggregate bandwidth,
-/// averaged over iterations. GiB/s.
+/// averaged over complete iterations. GiB/s. See
+/// [`synchronous_bandwidth_detailed`] for the dropped-iteration count.
 pub fn synchronous_bandwidth(events: &[EventRecord]) -> Option<f64> {
+    synchronous_bandwidth_detailed(events).gib_s
+}
+
+/// The computation behind [`synchronous_bandwidth`], exposing how many
+/// iterations were dropped as incomplete.
+pub fn synchronous_bandwidth_detailed(events: &[EventRecord]) -> SynchronousBandwidth {
     let mut iters: Vec<u32> = events.iter().map(|e| e.iteration).collect();
     iters.sort_unstable();
     iters.dedup();
-    if iters.is_empty() {
-        return None;
-    }
+    let mut out = SynchronousBandwidth::default();
     let mut acc = 0.0;
     for it in &iters {
+        let wall = match single_iteration_wallclock(events, *it) {
+            Some(w) if w > SimDuration::ZERO => w,
+            _ => {
+                out.dropped_iterations += 1;
+                continue;
+            }
+        };
         let bytes: u64 = events
             .iter()
             .filter(|e| e.kind == EventKind::IoEnd && e.iteration == *it)
             .map(|e| e.bytes)
             .sum();
-        let wall = single_iteration_wallclock(events, *it)?;
-        if wall == SimDuration::ZERO {
-            return None;
-        }
         acc += bytes as f64 / GIB / wall.as_secs_f64();
+        out.complete_iterations += 1;
     }
-    Some(acc / iters.len() as f64)
+    if out.complete_iterations > 0 {
+        out.gib_s = Some(acc / out.complete_iterations as f64);
+    }
+    out
 }
 
 /// Global timing bandwidth (Eq. 2). GiB/s.
@@ -193,10 +221,16 @@ pub fn global_timing_bandwidth(events: &[EventRecord]) -> Option<f64> {
     Some(bytes as f64 / GIB / wall.as_secs_f64())
 }
 
-/// Per-operation latency distribution for one phase.
+/// Per-operation latency distribution for one phase. Percentiles use the
+/// nearest-rank definition (p-th percentile = value at 1-based rank
+/// `ceil(p·n)`), so small samples report an observed latency rather than
+/// rounding up to the max.
 #[derive(Clone, Copy, Debug, Serialize)]
 pub struct LatencyStats {
     pub count: usize,
+    /// Operations whose `IoStart` or `IoEnd` had no partner event —
+    /// typically fault-interrupted I/O — excluded from the distribution.
+    pub incomplete: usize,
     pub mean_us: f64,
     pub p50_us: f64,
     pub p95_us: f64,
@@ -205,36 +239,47 @@ pub struct LatencyStats {
 }
 
 /// Matches `IoStart`/`IoEnd` pairs per `(node, process, iteration)` and
-/// summarises the per-operation latency distribution.
+/// summarises the per-operation latency distribution; unmatched events
+/// are counted in [`LatencyStats::incomplete`] rather than silently
+/// dropped. `None` when no operation completed.
 pub fn latency_stats(events: &[EventRecord]) -> Option<LatencyStats> {
     use std::collections::HashMap;
     let mut starts: HashMap<(u16, u32, u32), u64> = HashMap::new();
     let mut lats_ns: Vec<u64> = Vec::new();
+    let mut unmatched_ends = 0usize;
     for e in events {
         let id = (e.node, e.process, e.iteration);
         match e.kind {
-            EventKind::IoStart => {
-                starts.insert(id, e.t_ns);
+            // A start overwriting an unfinished start means the earlier
+            // operation never completed.
+            EventKind::IoStart if starts.insert(id, e.t_ns).is_some() => {
+                unmatched_ends += 1;
             }
+            EventKind::IoStart => {}
             EventKind::IoEnd => {
                 if let Some(s) = starts.remove(&id) {
                     lats_ns.push(e.t_ns.saturating_sub(s));
+                } else {
+                    unmatched_ends += 1;
                 }
             }
             _ => {}
         }
     }
+    let incomplete = unmatched_ends + starts.len();
     if lats_ns.is_empty() {
         return None;
     }
     lats_ns.sort_unstable();
     let pct = |p: f64| -> f64 {
-        let idx = ((lats_ns.len() as f64 - 1.0) * p).round() as usize;
-        lats_ns[idx] as f64 / 1_000.0
+        // Nearest-rank: 1-based rank ceil(p·n), clamped into range.
+        let rank = (p * lats_ns.len() as f64).ceil() as usize;
+        lats_ns[rank.clamp(1, lats_ns.len()) - 1] as f64 / 1_000.0
     };
     let mean = lats_ns.iter().sum::<u64>() as f64 / lats_ns.len() as f64 / 1_000.0;
     Some(LatencyStats {
         count: lats_ns.len(),
+        incomplete,
         mean_us: mean,
         p50_us: pct(0.50),
         p95_us: pct(0.95),
@@ -282,6 +327,35 @@ pub fn bandwidth_timeline(events: &[EventRecord], bucket: SimDuration) -> Vec<Ti
         .enumerate()
         .map(|(i, bytes)| TimelineBucket {
             t_ns: start + i as u64 * step,
+            bytes,
+            bw_gib: bytes as f64 / GIB / secs,
+        })
+        .collect()
+}
+
+/// Like [`bandwidth_timeline`], but with buckets anchored at t=0 and
+/// spanning `[0, end)`, so timelines built from different event streams
+/// of the same run (e.g. writes and reads of a replay) line up row for
+/// row. Completions at or past `end` land in the final bucket.
+pub fn anchored_bandwidth_timeline(
+    events: &[EventRecord],
+    bucket: SimDuration,
+    end: SimTime,
+) -> Vec<TimelineBucket> {
+    assert!(bucket > SimDuration::ZERO, "bucket must be positive");
+    let step = bucket.as_nanos();
+    let n = (end.as_nanos().div_ceil(step).max(1)) as usize;
+    let mut buckets = vec![0u64; n];
+    for e in events.iter().filter(|e| e.kind == EventKind::IoEnd) {
+        let idx = ((e.t_ns / step) as usize).min(n - 1);
+        buckets[idx] += e.bytes;
+    }
+    let secs = bucket.as_secs_f64();
+    buckets
+        .into_iter()
+        .enumerate()
+        .map(|(i, bytes)| TimelineBucket {
+            t_ns: i as u64 * step,
             bytes,
             bw_gib: bytes as f64 / GIB / secs,
         })
@@ -450,6 +524,62 @@ mod tests {
     }
 
     #[test]
+    fn latency_stats_count_incomplete_operations() {
+        const G: u64 = 1 << 30;
+        let events = vec![
+            // One complete op...
+            ev(0, 0, EventKind::IoStart, 0, 0),
+            ev(0, 0, EventKind::IoEnd, 1_000_000, G),
+            // ...a start with no end (fault-interrupted write)...
+            ev(1, 0, EventKind::IoStart, 0, 0),
+            // ...and an end with no start (stray record).
+            ev(2, 0, EventKind::IoEnd, 9, G),
+        ];
+        let s = latency_stats(&events).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.incomplete, 2);
+    }
+
+    #[test]
+    fn latency_percentiles_use_nearest_rank() {
+        const G: u64 = 1 << 30;
+        // 4 ops: 1, 2, 3, 4 ms. Interpolated-and-rounded p99 would pick
+        // the max by rounding up; nearest-rank p50 = rank 2 = 2 ms.
+        let mut events = Vec::new();
+        for i in 0..4u32 {
+            events.push(ev(i, 0, EventKind::IoStart, 0, 0));
+            events.push(ev(i, 0, EventKind::IoEnd, (i as u64 + 1) * 1_000_000, G));
+        }
+        let s = latency_stats(&events).unwrap();
+        assert_eq!(s.incomplete, 0);
+        assert!((s.p50_us - 2_000.0).abs() < 1e-9, "p50 {}", s.p50_us);
+        assert!((s.p95_us - 4_000.0).abs() < 1e-9);
+        assert!((s.p99_us - 4_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn synchronous_bandwidth_skips_fault_interrupted_iterations() {
+        const G: u64 = 1 << 30;
+        // Iter 0 completes at 1 GiB/s; iter 1 lost its IoEnd to a fault.
+        let events = vec![
+            ev(0, 0, EventKind::IoStart, 0, 0),
+            ev(0, 0, EventKind::IoEnd, 1_000_000_000, G),
+            ev(0, 1, EventKind::IoStart, 2_000_000_000, 0),
+        ];
+        let d = synchronous_bandwidth_detailed(&events);
+        assert_eq!(d.complete_iterations, 1);
+        assert_eq!(d.dropped_iterations, 1);
+        let bw = d.gib_s.expect("the surviving iteration still reports");
+        assert!((bw - 1.0).abs() < 1e-12, "got {bw}");
+        assert_eq!(synchronous_bandwidth(&events), d.gib_s);
+        // With every iteration interrupted there is nothing to average.
+        let all_lost = vec![ev(0, 0, EventKind::IoStart, 0, 0)];
+        let d = synchronous_bandwidth_detailed(&all_lost);
+        assert_eq!(d.gib_s, None);
+        assert_eq!(d.dropped_iterations, 1);
+    }
+
+    #[test]
     fn timeline_buckets_cover_the_phase() {
         const G: u64 = 1 << 30;
         let events = vec![
@@ -471,6 +601,33 @@ mod tests {
     #[test]
     fn timeline_of_empty_events_is_empty() {
         assert!(bandwidth_timeline(&[], SimDuration::from_secs(1)).is_empty());
+    }
+
+    #[test]
+    fn anchored_timeline_aligns_distinct_event_streams() {
+        const G: u64 = 1 << 30;
+        // Writes complete in bucket 0, reads in bucket 2; the two
+        // timelines must share bucket boundaries anchored at t=0.
+        let writes = vec![
+            ev(0, 0, EventKind::IoStart, 100_000_000, 0),
+            ev(0, 0, EventKind::IoEnd, 500_000_000, G),
+        ];
+        let reads = vec![
+            ev(0, 1, EventKind::IoStart, 2_000_000_000, 0),
+            ev(0, 1, EventKind::IoEnd, 2_500_000_000, G),
+        ];
+        let end = SimTime::from_nanos(3_000_000_000);
+        let w = anchored_bandwidth_timeline(&writes, SimDuration::from_secs(1), end);
+        let r = anchored_bandwidth_timeline(&reads, SimDuration::from_secs(1), end);
+        assert_eq!(w.len(), 3);
+        assert_eq!(r.len(), 3);
+        assert_eq!((w[0].t_ns, r[0].t_ns), (0, 0));
+        assert_eq!(w.iter().map(|b| b.bytes).collect::<Vec<_>>(), [G, 0, 0]);
+        assert_eq!(r.iter().map(|b| b.bytes).collect::<Vec<_>>(), [0, 0, G]);
+        // Completions past `end` land in the last bucket, not out of range.
+        let late = vec![ev(0, 2, EventKind::IoEnd, 9_000_000_000, G)];
+        let l = anchored_bandwidth_timeline(&late, SimDuration::from_secs(1), end);
+        assert_eq!(l[2].bytes, G);
     }
 
     #[test]

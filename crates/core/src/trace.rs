@@ -13,13 +13,13 @@ use std::rc::Rc;
 
 use serde::Serialize;
 
-use daosim_cluster::{ClusterSpec, Deployment, SimClient};
+use daosim_cluster::{ClusterSpec, Deployment, FaultPlan, ResilienceReport, SimClient};
 use daosim_kernel::sync::WaitGroup;
 use daosim_kernel::{Sim, SimDuration, SimTime};
 
 use crate::fieldio::{FieldIoConfig, FieldStore};
 use crate::key::FieldKey;
-use crate::metrics::{phase_stats, EventKind, PhaseStats, Recorder};
+use crate::metrics::{phase_stats, EventKind, EventRecord, PhaseStats, Recorder};
 use crate::workload::payload;
 
 /// One scheduled operation.
@@ -201,6 +201,34 @@ pub enum Pacing {
     AsFast,
 }
 
+/// Resilience counters for one replay: what the retry machinery did, plus
+/// how many trace operations failed outright (exhausted retries or hit a
+/// permanent error).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct ResilienceCounters {
+    pub retries: u64,
+    pub timeouts: u64,
+    pub failovers: u64,
+    pub gave_up: u64,
+    pub faults_injected: u64,
+    pub failed_writes: u64,
+    pub failed_reads: u64,
+}
+
+impl ResilienceCounters {
+    fn from_report(r: ResilienceReport, failed_writes: u64, failed_reads: u64) -> Self {
+        ResilienceCounters {
+            retries: r.retries,
+            timeouts: r.timeouts,
+            failovers: r.failovers,
+            gave_up: r.gave_up,
+            faults_injected: r.faults_injected,
+            failed_writes,
+            failed_reads,
+        }
+    }
+}
+
 /// Outcome of a trace replay.
 #[derive(Clone, Copy, Debug, Serialize)]
 pub struct ReplayStats {
@@ -212,6 +240,17 @@ pub struct ReplayStats {
     /// Worst completion lateness, milliseconds.
     pub max_tardiness_ms: f64,
     pub end_secs: f64,
+    /// Retry/timeout/failover activity observed during the replay.
+    pub resilience: ResilienceCounters,
+}
+
+/// [`ReplayStats`] plus the raw event streams, for timeline analysis
+/// (e.g. bucketing completions around an injected fault).
+#[derive(Clone, Debug)]
+pub struct ReplayOutcome {
+    pub stats: ReplayStats,
+    pub write_events: Vec<EventRecord>,
+    pub read_events: Vec<EventRecord>,
 }
 
 /// Replays `trace` on a fresh deployment of `spec`, one task per process.
@@ -221,14 +260,36 @@ pub fn replay(
     trace: &Trace,
     pacing: Pacing,
 ) -> ReplayStats {
+    replay_detailed(spec, fieldio, trace, pacing, None).stats
+}
+
+/// Like [`replay`], optionally injecting `faults` while the trace runs.
+///
+/// With faults in play operations may fail (retry budget exhausted, or
+/// fail-fast policy): failed ops are *counted* — not panicked on — and
+/// leave an `IoStart` without a matching `IoEnd`, so they also surface
+/// through [`crate::metrics::LatencyStats::incomplete`] and the dropped
+/// iteration count of bandwidth summaries.
+pub fn replay_detailed(
+    spec: ClusterSpec,
+    fieldio: FieldIoConfig,
+    trace: &Trace,
+    pacing: Pacing,
+    faults: Option<&FaultPlan>,
+) -> ReplayOutcome {
     let sim = Sim::new();
     let d = Deployment::new(&sim, spec);
+    if let Some(plan) = faults {
+        plan.apply(&d);
+    }
     let procs = trace.process_count();
     assert!(procs > 0, "empty trace");
     let ppn = procs.div_ceil(spec.client_nodes as u32);
     let write_rec = Recorder::new();
     let read_rec = Recorder::new();
     let tardiness: Rc<std::cell::RefCell<Vec<u64>>> = Rc::default();
+    let failed_writes = Rc::new(std::cell::Cell::new(0u64));
+    let failed_reads = Rc::new(std::cell::Cell::new(0u64));
     let wg = WaitGroup::new();
 
     for p in 0..procs {
@@ -244,6 +305,7 @@ pub fn replay(
         let (d, fieldio, sim2, token) = (Rc::clone(&d), fieldio.clone(), sim.clone(), wg.add());
         let (write_rec, read_rec, tardiness) =
             (write_rec.clone(), read_rec.clone(), Rc::clone(&tardiness));
+        let (failed_writes, failed_reads) = (Rc::clone(&failed_writes), Rc::clone(&failed_reads));
         sim.spawn(async move {
             let client = SimClient::for_process(&d, (p / ppn) as u16, p % ppn);
             let fs = FieldStore::connect(client, fieldio, p + 1)
@@ -261,12 +323,24 @@ pub fn replay(
                 let rec = if e.write { &write_rec } else { &read_rec };
                 rec.record(0, p, i as u32, EventKind::IoStart, sim2.now(), 0);
                 let done_bytes = if e.write {
-                    fs.write_field(&key, payload(e.bytes, e.t_ns ^ p as u64))
+                    match fs
+                        .write_field(&key, payload(e.bytes, e.t_ns ^ p as u64))
                         .await
-                        .expect("trace write");
-                    e.bytes
+                    {
+                        Ok(()) => e.bytes,
+                        Err(_) => {
+                            failed_writes.set(failed_writes.get() + 1);
+                            continue;
+                        }
+                    }
                 } else {
-                    fs.read_field(&key).await.expect("trace read").len() as u64
+                    match fs.read_field(&key).await {
+                        Ok(data) => data.len() as u64,
+                        Err(_) => {
+                            failed_reads.set(failed_reads.get() + 1);
+                            continue;
+                        }
+                    }
                 };
                 let now = sim2.now();
                 rec.record(0, p, i as u32, EventKind::IoEnd, now, done_bytes);
@@ -289,12 +363,24 @@ pub fn replay(
             *lat.iter().max().unwrap() as f64 / 1e6,
         )
     };
-    ReplayStats {
-        writes: phase_stats(&write_rec.take(), false),
-        reads: phase_stats(&read_rec.take(), false),
-        mean_tardiness_ms: mean,
-        max_tardiness_ms: max,
-        end_secs: end.as_secs_f64(),
+    let resilience = ResilienceCounters::from_report(
+        d.resilience().report(),
+        failed_writes.get(),
+        failed_reads.get(),
+    );
+    let write_events = write_rec.take();
+    let read_events = read_rec.take();
+    ReplayOutcome {
+        stats: ReplayStats {
+            writes: phase_stats(&write_events, false),
+            reads: phase_stats(&read_events, false),
+            mean_tardiness_ms: mean,
+            max_tardiness_ms: max,
+            end_secs: end.as_secs_f64(),
+            resilience,
+        },
+        write_events,
+        read_events,
     }
 }
 
@@ -399,6 +485,41 @@ mod tests {
             "an overloaded schedule must fall behind: max {} ms",
             r.max_tardiness_ms
         );
+    }
+
+    #[test]
+    fn faulted_replay_counts_failures_instead_of_panicking() {
+        use daosim_cluster::FaultPlan;
+        // Fail-fast policy (the default), an engine killed mid-trace and
+        // never rebuilt: operations placed on it must fail, and those
+        // failures must be *counted*, not panicked on.
+        let t = small_trace();
+        let plan = FaultPlan::new().kill(SimDuration::from_millis(5), 0);
+        let out = replay_detailed(
+            ClusterSpec::tcp(1, 2),
+            FieldIoConfig::with_mode(FieldIoMode::NoContainers),
+            &t,
+            Pacing::Paced,
+            Some(&plan),
+        );
+        let r = out.stats.resilience;
+        assert_eq!(r.faults_injected, 1);
+        assert!(
+            r.failed_writes + r.failed_reads > 0,
+            "a dead, never-rebuilt engine must fail some ops: {r:?}"
+        );
+        // Failed ops leave IoStart without IoEnd.
+        let started = out
+            .write_events
+            .iter()
+            .filter(|e| e.kind == EventKind::IoStart)
+            .count();
+        let ended = out
+            .write_events
+            .iter()
+            .filter(|e| e.kind == EventKind::IoEnd)
+            .count();
+        assert_eq!(started - ended, r.failed_writes as usize);
     }
 
     #[test]

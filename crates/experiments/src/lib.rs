@@ -7,6 +7,7 @@
 //! Criterion benchmarks.
 
 pub mod ablations;
+pub mod failure_drill_xp;
 pub mod figures;
 pub mod harness;
 pub mod pipeline;
@@ -19,7 +20,7 @@ use std::path::Path;
 use harness::{Report, Scale};
 
 /// Every experiment by name.
-pub const EXPERIMENTS: [&str; 11] = [
+pub const EXPERIMENTS: [&str; 12] = [
     "table1",
     "table2",
     "fig3",
@@ -31,6 +32,7 @@ pub const EXPERIMENTS: [&str; 11] = [
     "pipeline",
     "replication",
     "rebuild",
+    "failure-drill",
 ];
 
 /// Runs one experiment by name.
@@ -47,6 +49,7 @@ pub fn run_experiment(name: &str, scale: &Scale) -> Vec<Report> {
         "pipeline" => vec![pipeline::pipeline(scale)],
         "replication" => vec![replication::replication(scale)],
         "rebuild" => vec![rebuild_xp::rebuild(scale)],
+        "failure-drill" => vec![failure_drill_xp::failure_drill(scale)],
         other => panic!("unknown experiment {other:?}; known: {EXPERIMENTS:?}"),
     }
 }

@@ -76,7 +76,9 @@ fn run_rebuild(servers: u16, objects_per_proc: u32, procs: u32) -> Run {
                     }
                 }
             }
-            let report = rebuild_engine(&d, 0).await;
+            let report = rebuild_engine(&d, 0)
+                .await
+                .expect("rebuild of killed engine");
             // Post-rebuild: every write must succeed.
             for (client, cont, oids) in &handles {
                 for &oid in oids {

@@ -146,6 +146,7 @@ pub fn table1(scale: &Scale) -> Report {
             client_sockets: c.client_sockets,
             provider: ProviderProfile::tcp(),
             calibration: daosim_cluster::Calibration::nextgenio(),
+            retry: daosim_cluster::RetryPolicy::none(),
         };
         let params = IorParams {
             transfer_bytes: MIB,

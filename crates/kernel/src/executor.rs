@@ -25,12 +25,21 @@ pub struct TaskId(u64);
 type TaskFuture = Pin<Box<dyn Future<Output = ()> + 'static>>;
 type EventAction = Box<dyn FnOnce() + 'static>;
 
+/// What a calendar entry runs when it fires. Cancellable entries share
+/// their action cell with a [`TimerHandle`]; an emptied cell means the
+/// event was cancelled and the entry is discarded *without* advancing
+/// simulated time (a cancelled deadline leaves no trace on the clock).
+enum CalendarAction {
+    Fixed(EventAction),
+    Cancellable(Rc<RefCell<Option<EventAction>>>),
+}
+
 /// An entry in the event calendar. Ordered by `(at, seq)` so simultaneous
 /// events fire in the order they were scheduled.
 struct Scheduled {
     at: SimTime,
     seq: u64,
-    action: EventAction,
+    action: CalendarAction,
 }
 
 impl PartialEq for Scheduled {
@@ -172,7 +181,7 @@ impl Sim {
         k.events.push(Reverse(Scheduled {
             at,
             seq,
-            action: Box::new(action),
+            action: CalendarAction::Fixed(Box::new(action)),
         }));
     }
 
@@ -186,11 +195,13 @@ impl Sim {
     ///
     /// Cancellation drops the action immediately (so captured state is
     /// released right away, rather than living in the calendar until the
-    /// deadline); the calendar entry itself fires as a cheap no-op. This
-    /// is the primitive components with *moving deadlines* (e.g. the flow
-    /// network's next-completion event) should use instead of the
-    /// schedule-and-check-epoch pattern, which leaks one stale closure
-    /// into the heap per reschedule.
+    /// deadline), and the run loop discards the dead calendar entry
+    /// without advancing the clock — a cancelled deadline neither runs
+    /// nor stretches the simulation's end time. This is the primitive
+    /// components with *moving deadlines* (e.g. the flow network's
+    /// next-completion event, client RPC timeouts) should use instead of
+    /// the schedule-and-check-epoch pattern, which leaks one stale
+    /// closure into the heap per reschedule.
     pub fn schedule_cancellable_at(
         &self,
         at: SimTime,
@@ -198,15 +209,19 @@ impl Sim {
     ) -> TimerHandle {
         let shared: Rc<RefCell<Option<EventAction>>> =
             Rc::new(RefCell::new(Some(Box::new(action))));
-        let in_heap = Rc::clone(&shared);
-        self.schedule_at(at, move || {
-            // Take before calling: the action must not observe the cell as
-            // borrowed (it may inspect or re-arm the timer).
-            let action = in_heap.borrow_mut().take();
-            if let Some(action) = action {
-                action();
-            }
-        });
+        let mut k = self.kernel.borrow_mut();
+        assert!(
+            at >= k.now,
+            "cannot schedule into the past: {at} < {}",
+            k.now
+        );
+        let seq = k.seq;
+        k.seq += 1;
+        k.events.push(Reverse(Scheduled {
+            at,
+            seq,
+            action: CalendarAction::Cancellable(Rc::clone(&shared)),
+        }));
         TimerHandle { at, shared }
     }
 
@@ -219,20 +234,26 @@ impl Sim {
         self.schedule_cancellable_at(self.now() + delay, action)
     }
 
-    /// Suspends the calling task for `delay` of simulated time.
+    /// Suspends the calling task for `delay` of simulated time. The
+    /// wakeup is a cancellable calendar entry: dropping the `Sleep`
+    /// (e.g. when a `timeout` or `race` abandons it) disarms the entry,
+    /// so abandoned sleeps leave no trace on the simulation clock.
     pub fn sleep(&self, delay: SimDuration) -> Sleep {
         let shared = Rc::new(SleepShared {
             fired: std::cell::Cell::new(false),
             waker: RefCell::new(None),
         });
         let s2 = Rc::clone(&shared);
-        self.schedule_after(delay, move || {
+        let timer = self.schedule_cancellable_after(delay, move || {
             s2.fired.set(true);
             if let Some(w) = s2.waker.borrow_mut().take() {
                 w.wake();
             }
         });
-        Sleep { shared }
+        Sleep {
+            shared,
+            timer: Some(timer),
+        }
     }
 
     /// Runs the simulation until both the event calendar and the ready
@@ -244,13 +265,29 @@ impl Sim {
             self.poll_ready();
             let next = {
                 let mut k = self.kernel.borrow_mut();
-                match k.events.pop() {
-                    Some(Reverse(ev)) => {
-                        debug_assert!(ev.at >= k.now);
-                        k.now = ev.at;
-                        Some(ev.action)
+                loop {
+                    match k.events.pop() {
+                        Some(Reverse(ev)) => {
+                            debug_assert!(ev.at >= k.now);
+                            let action = match ev.action {
+                                CalendarAction::Fixed(a) => a,
+                                // Take before calling: the action must
+                                // not observe the cell as borrowed (it
+                                // may inspect or re-arm its timer).
+                                CalendarAction::Cancellable(cell) => {
+                                    match cell.borrow_mut().take() {
+                                        Some(a) => a,
+                                        // Cancelled: discard without
+                                        // advancing the clock.
+                                        None => continue,
+                                    }
+                                }
+                            };
+                            k.now = ev.at;
+                            break Some(action);
+                        }
+                        None => break None,
                     }
-                    None => None,
                 }
             };
             match next {
@@ -337,19 +374,30 @@ struct SleepShared {
     waker: RefCell<Option<Waker>>,
 }
 
-/// Future returned by [`Sim::sleep`].
+/// Future returned by [`Sim::sleep`]. Dropping it before the deadline
+/// cancels the underlying calendar entry.
 pub struct Sleep {
     shared: Rc<SleepShared>,
+    timer: Option<TimerHandle>,
 }
 
 impl Future for Sleep {
     type Output = ();
-    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
         if self.shared.fired.get() {
+            self.timer = None;
             Poll::Ready(())
         } else {
             *self.shared.waker.borrow_mut() = Some(cx.waker().clone());
             Poll::Pending
+        }
+    }
+}
+
+impl Drop for Sleep {
+    fn drop(&mut self) {
+        if let Some(t) = self.timer.take() {
+            t.cancel();
         }
     }
 }
@@ -483,6 +531,35 @@ mod tests {
         });
         sim.run().expect_quiescent();
         assert_eq!(*log.borrow(), vec!["a-before", "b", "a-after"]);
+    }
+
+    #[test]
+    fn cancelled_timer_neither_fires_nor_advances_the_clock() {
+        let sim = Sim::new();
+        let fired: Rc<std::cell::Cell<bool>> = Rc::default();
+        let f = Rc::clone(&fired);
+        let h = sim.schedule_cancellable_at(SimTime::from_nanos(1_000), move || f.set(true));
+        sim.schedule_at(SimTime::from_nanos(10), || {});
+        assert!(h.is_armed());
+        assert!(h.cancel());
+        assert!(!h.is_armed());
+        assert!(!h.cancel(), "cancel is idempotent");
+        let out = sim.run();
+        assert!(!fired.get());
+        // The dead entry at t=1000 must not stretch the run.
+        assert_eq!(out.end_time, SimTime::from_nanos(10));
+    }
+
+    #[test]
+    fn fired_timer_disarms_its_handle() {
+        let sim = Sim::new();
+        let fired: Rc<std::cell::Cell<bool>> = Rc::default();
+        let f = Rc::clone(&fired);
+        let h = sim.schedule_cancellable_at(SimTime::from_nanos(5), move || f.set(true));
+        let out = sim.run();
+        assert!(fired.get());
+        assert!(!h.is_armed());
+        assert_eq!(out.end_time, SimTime::from_nanos(5));
     }
 
     #[test]

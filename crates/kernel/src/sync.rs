@@ -494,9 +494,8 @@ impl<F: Future> Future for JoinAll<F> {
 
 /// Polls two futures concurrently; resolves with the first to finish
 /// (`Either::Left` on ties, since the left side is polled first). The
-/// loser is dropped, cancelling it. Note that a cancelled sleep's calendar
-/// entry still fires (as a no-op), so `Sim::run` may report an end time at
-/// the cancelled timer rather than the race's resolution.
+/// loser is dropped, cancelling it; dropped sleeps disarm their calendar
+/// entries, so an abandoned contestant leaves no trace on the clock.
 pub fn race<A: Future, B: Future>(a: A, b: B) -> Race<A, B> {
     Race {
         a: Box::pin(a),
@@ -533,15 +532,31 @@ impl<A: Future, B: Future> Future for Race<A, B> {
 
 /// Runs `fut` with a simulated-time deadline: `Ok(value)` if it resolves
 /// within `limit`, `Err(Elapsed)` otherwise (the future is dropped, i.e.
-/// cancelled). Note the cancelled side's calendar entries still fire as
-/// no-ops (see [`race`]).
+/// cancelled). The deadline is armed as a *cancellable* calendar timer:
+/// when the future wins — or the `Timeout` itself is dropped — the timer
+/// is cancelled and leaves no trace on the clock, so wrapping fast
+/// operations in generous deadlines does not stretch the simulation's
+/// end time.
 pub fn timeout<F: Future>(
     sim: &crate::executor::Sim,
     limit: crate::time::SimDuration,
     fut: F,
 ) -> Timeout<F> {
+    let shared = Rc::new(TimeoutShared {
+        fired: Cell::new(false),
+        waker: RefCell::new(None),
+    });
+    let s2 = Rc::clone(&shared);
+    let timer = sim.schedule_cancellable_after(limit, move || {
+        s2.fired.set(true);
+        if let Some(w) = s2.waker.borrow_mut().take() {
+            w.wake();
+        }
+    });
     Timeout {
-        inner: race(fut, sim.sleep(limit)),
+        fut: Box::pin(fut),
+        timer: Some(timer),
+        shared,
     }
 }
 
@@ -549,20 +564,40 @@ pub fn timeout<F: Future>(
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Elapsed;
 
+struct TimeoutShared {
+    fired: Cell<bool>,
+    waker: RefCell<Option<Waker>>,
+}
+
 pub struct Timeout<F: Future> {
-    inner: Race<F, crate::executor::Sleep>,
+    fut: Pin<Box<F>>,
+    timer: Option<crate::executor::TimerHandle>,
+    shared: Rc<TimeoutShared>,
 }
 
 impl<F: Future> Future for Timeout<F> {
     type Output = Result<F::Output, Elapsed>;
-    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
-        // Safety: `inner` is structurally pinned alongside self; Race's
-        // own poll never moves its contestants.
-        let inner = unsafe { self.map_unchecked_mut(|t| &mut t.inner) };
-        match inner.poll(cx) {
-            Poll::Ready(Either::Left(v)) => Poll::Ready(Ok(v)),
-            Poll::Ready(Either::Right(())) => Poll::Ready(Err(Elapsed)),
-            Poll::Pending => Poll::Pending,
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // The wrapped future gets the first look, so a same-instant
+        // completion beats the deadline (left-biased, like `race`).
+        if let Poll::Ready(v) = self.fut.as_mut().poll(cx) {
+            if let Some(t) = self.timer.take() {
+                t.cancel();
+            }
+            return Poll::Ready(Ok(v));
+        }
+        if self.shared.fired.get() {
+            return Poll::Ready(Err(Elapsed));
+        }
+        *self.shared.waker.borrow_mut() = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+impl<F: Future> Drop for Timeout<F> {
+    fn drop(&mut self) {
+        if let Some(t) = self.timer.take() {
+            t.cancel();
         }
     }
 }
@@ -654,7 +689,7 @@ impl Future for WaitGroupWait {
 mod tests {
     use super::*;
     use crate::executor::Sim;
-    use crate::time::SimDuration;
+    use crate::time::{SimDuration, SimTime};
     use std::rc::Rc;
 
     #[test]
@@ -832,8 +867,9 @@ mod tests {
             // The race resolved at the fast contestant's time.
             assert_eq!(resolved_at, 10);
         });
-        // The cancelled sleep's calendar entry still fires as a no-op.
-        assert_eq!(end.as_nanos(), 100);
+        // The loser's sleep is dropped with the race, cancelling its
+        // calendar entry: the abandoned deadline does not stretch the run.
+        assert_eq!(end.as_nanos(), 10);
     }
 
     #[test]
@@ -883,6 +919,27 @@ mod tests {
                 Err(Elapsed)
             );
         });
+    }
+
+    #[test]
+    fn timeout_leaves_no_calendar_residue_when_op_completes() {
+        // A generous deadline around a fast operation must not stretch the
+        // simulation's end time: the timer is cancelled when the op wins.
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.spawn(async move {
+            let quick = {
+                let s = s.clone();
+                async move {
+                    s.sleep(SimDuration::from_nanos(10)).await;
+                    1u32
+                }
+            };
+            let r = timeout(&s, SimDuration::from_millis(5), quick).await;
+            assert_eq!(r, Ok(1));
+        });
+        let outcome = sim.run();
+        assert_eq!(outcome.end_time, SimTime::from_nanos(10));
     }
 
     #[test]

@@ -264,13 +264,43 @@ impl FlowNet {
     }
 
     /// Adds a link with the given capacity (GiB/s) and returns its id.
-    /// Links can be added at any time; capacities are fixed thereafter.
+    /// Links can be added at any time; capacities can later be rescaled
+    /// with [`FlowNet::set_link_capacity`] (e.g. for fault injection).
     pub fn add_link(&self, cap_gib: f64) -> LinkId {
         assert!(cap_gib > 0.0, "link capacity must be positive");
         let mut inner = self.inner.borrow_mut();
         let id = LinkId(inner.links.len() as u32);
         inner.links.push(cap_gib * GIB);
         id
+    }
+
+    /// Rescales an existing link's capacity to `cap_gib` (GiB/s) at the
+    /// current simulated instant. In-flight flows keep the bytes already
+    /// drained at the old rate; fair shares are recomputed from here on.
+    /// Used by fault campaigns to model NIC/link degradation and recovery.
+    pub fn set_link_capacity(&self, link: LinkId, cap_gib: f64) {
+        assert!(cap_gib > 0.0, "link capacity must be positive");
+        let now = self.sim.now();
+        let queue_settle;
+        {
+            let mut inner = self.inner.borrow_mut();
+            let slot = link.0 as usize;
+            assert!(slot < inner.links.len(), "unknown link {link:?}");
+            inner.advance_to(now);
+            inner.links[slot] = cap_gib * GIB;
+            inner.dirty = true;
+            queue_settle = !inner.settle_queued;
+            inner.settle_queued = true;
+        }
+        if queue_settle {
+            let this = self.clone();
+            self.sim.schedule_at(now, move || this.settle());
+        }
+    }
+
+    /// Current capacity of `link` in GiB/s.
+    pub fn link_capacity(&self, link: LinkId) -> f64 {
+        self.inner.borrow().links[link.0 as usize] / GIB
     }
 
     pub fn link_count(&self) -> usize {
@@ -770,6 +800,38 @@ mod tests {
     }
 
     #[test]
+    fn mid_flow_capacity_rescale_changes_drain_rate() {
+        // 2 GiB over a 2 GiB/s link would finish at t=1s; degrading the
+        // link to 1 GiB/s at t=0.5s leaves 1 GiB to drain at 1 GiB/s, so
+        // the transfer completes at t=1.5s instead.
+        let sim = Sim::new();
+        let net = FlowNet::new(&sim);
+        let link = net.add_link(2.0);
+        let done: Rc<Cell<u64>> = Rc::default();
+        {
+            let (net, sim2, done) = (net.clone(), sim.clone(), Rc::clone(&done));
+            sim.spawn(async move {
+                net.transfer(&[link], 2 * GIB as u64, FlowCap::unlimited())
+                    .await;
+                done.set(sim2.now().as_nanos());
+            });
+        }
+        {
+            let net = net.clone();
+            sim.schedule_after(SimDuration::from_millis(500), move || {
+                net.set_link_capacity(link, 1.0);
+                assert!((net.link_capacity(link) - 1.0).abs() < 1e-12);
+            });
+        }
+        sim.run().expect_quiescent();
+        assert!(
+            (done.get() as f64 / 1e9 - 1.5).abs() < 1e-6,
+            "completed at {} ns, expected ~1.5e9",
+            done.get()
+        );
+    }
+
+    #[test]
     fn single_flow_takes_bytes_over_capacity() {
         // 1 GiB over a 1 GiB/s link = 1 second.
         let t = run_transfer(&[1.0], vec![(vec![0], GIB as u64, FlowCap::unlimited())]);
@@ -983,7 +1045,7 @@ mod tests {
                 // Sequential transfers reuse slot 0 with bumped generations.
                 for _ in 0..3 {
                     let rx = net.transfer(&[l], 1 << 20, FlowCap::unlimited());
-                    let mut inner = net.inner.borrow_mut();
+                    let inner = net.inner.borrow_mut();
                     ids.borrow_mut()
                         .push(FlowId::new(0, inner.slots[0].generation));
                     drop(inner);

@@ -22,7 +22,26 @@ pub enum DaosError {
     NoSpace,
     /// The engine owning the object is down (failure injection).
     EngineUnavailable(u32),
+    /// A placement query was handed an empty candidate set (e.g. a
+    /// replica read with no live copies left).
+    NoTargets,
+    /// A per-operation deadline elapsed before the engine answered;
+    /// carries the name of the operation that timed out.
+    Timeout(&'static str),
     InvalidArg(&'static str),
+}
+
+impl DaosError {
+    /// Whether a retry of the same operation could plausibly succeed.
+    /// Engine unavailability and deadline expiry are transient (engines
+    /// restart, brownouts pass); everything else is a property of the
+    /// request or the store state and will fail identically on retry.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            DaosError::EngineUnavailable(_) | DaosError::Timeout(_)
+        )
+    }
 }
 
 impl fmt::Display for DaosError {
@@ -37,6 +56,8 @@ impl fmt::Display for DaosError {
             DaosError::KeyNotFound(k) => write!(f, "key {k:?} not found"),
             DaosError::NoSpace => write!(f, "out of space"),
             DaosError::EngineUnavailable(e) => write!(f, "engine {e} unavailable"),
+            DaosError::NoTargets => write!(f, "no candidate targets"),
+            DaosError::Timeout(op) => write!(f, "operation {op} timed out"),
             DaosError::InvalidArg(m) => write!(f, "invalid argument: {m}"),
         }
     }

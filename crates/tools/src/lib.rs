@@ -15,14 +15,15 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 
-use daosim_cluster::ClusterSpec;
+use daosim_cluster::{ClusterSpec, FaultPlan, RetryPolicy};
 use daosim_core::fieldio::{FieldIoConfig, FieldIoMode, FieldStore};
 use daosim_core::key::FieldKey;
+use daosim_core::metrics::anchored_bandwidth_timeline;
 use daosim_core::request::{retrieve, Request};
-use daosim_core::trace::{replay, Pacing, ReplayStats, Trace};
-use daosim_kernel::{Sim, SimDuration};
+use daosim_core::trace::{replay, replay_detailed, Pacing, ReplayStats, Trace};
+use daosim_kernel::{Sim, SimDuration, SimTime};
 use daosim_objstore::api::EmbeddedClient;
-use daosim_objstore::{load_pool, save_pool, Pool, Uuid};
+use daosim_objstore::{load_pool, save_pool, ObjectClass, Pool, Uuid};
 
 /// Everything a command can report back.
 #[derive(Debug)]
@@ -61,6 +62,11 @@ pub enum Outcome {
         gib: f64,
     },
     Simulated(Box<ReplayStats>),
+    Drilled {
+        stats: Box<ReplayStats>,
+        /// `(t_ms, write_gib_s, read_gib_s)` per bucket.
+        timeline: Vec<(u64, f64, f64)>,
+    },
 }
 
 /// Errors from archive commands.
@@ -295,6 +301,56 @@ pub fn cmd_simulate(
     Ok(Outcome::Simulated(Box::new(stats)))
 }
 
+/// `daosctl failure-drill <trace.csv> [--servers N] [--clients N]
+/// [--kill-ms N] [--restart-ms N]`
+///
+/// Replays the trace *paced* with replicated fields (RP2 arrays and
+/// index) and the operational retry policy while engine 0 is killed,
+/// rebuilt, and later restarted. Reports the availability timeline and
+/// the resilience counters; failed operations are counted, not fatal.
+pub fn cmd_failure_drill(
+    trace_path: &Path,
+    servers: u16,
+    clients: u16,
+    kill_ms: u64,
+    restart_ms: u64,
+) -> ToolResult {
+    let text = fs::read_to_string(trace_path)?;
+    let trace = Trace::from_csv(&text).map_err(ToolError::BadArgs)?;
+    if trace.is_empty() {
+        return Err(ToolError::BadArgs("trace holds no operations".into()));
+    }
+    if restart_ms <= kill_ms {
+        return Err(ToolError::BadArgs(
+            "--restart-ms must come after --kill-ms".into(),
+        ));
+    }
+    let mut spec = ClusterSpec::tcp(servers.max(1), clients.max(1));
+    spec.retry = RetryPolicy::operational();
+    let fieldio = FieldIoConfig {
+        array_class: ObjectClass::RP2,
+        kv_class: ObjectClass::RP2,
+        ..Default::default()
+    };
+    let plan = FaultPlan::new()
+        .kill_and_rebuild(SimDuration::from_millis(kill_ms), 0)
+        .restart(SimDuration::from_millis(restart_ms), 0);
+    let out = replay_detailed(spec, fieldio, &trace, Pacing::Paced, Some(&plan));
+    let bucket = SimDuration::from_millis(50);
+    let end = SimTime::from_nanos((out.stats.end_secs * 1e9) as u64);
+    let writes = anchored_bandwidth_timeline(&out.write_events, bucket, end);
+    let reads = anchored_bandwidth_timeline(&out.read_events, bucket, end);
+    let timeline = writes
+        .iter()
+        .zip(&reads)
+        .map(|(w, r)| (w.t_ns / 1_000_000, w.bw_gib, r.bw_gib))
+        .collect();
+    Ok(Outcome::Drilled {
+        stats: Box::new(out.stats),
+        timeline,
+    })
+}
+
 /// `daosctl info <archive>`
 pub fn cmd_info(path: &Path) -> ToolResult {
     let pool = load(path)?;
@@ -469,6 +525,31 @@ mod tests {
         }
         assert!(matches!(
             cmd_simulate(&a.0, 1, 1, false, "bogus"),
+            Err(ToolError::BadArgs(_))
+        ));
+    }
+
+    #[test]
+    fn failure_drill_rides_out_a_kill_and_rebuild() {
+        let a = TempArchive::new("drill");
+        cmd_synth_trace(&a.0, 4, 3, 2, 1, 60).unwrap();
+        match cmd_failure_drill(&a.0, 1, 2, 59, 170).unwrap() {
+            Outcome::Drilled { stats, timeline } => {
+                let r = stats.resilience;
+                assert_eq!(r.faults_injected, 2, "kill+rebuild and restart");
+                assert_eq!(
+                    (r.failed_writes, r.failed_reads),
+                    (0, 0),
+                    "replicated fields must survive the drill: {r:?}"
+                );
+                assert!(r.retries > 0, "the kill must force retries: {r:?}");
+                assert!(!timeline.is_empty());
+                assert_eq!(stats.writes.io_count, 4 * 3 * 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            cmd_failure_drill(&a.0, 1, 2, 170, 59),
             Err(ToolError::BadArgs(_))
         ));
     }

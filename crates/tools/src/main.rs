@@ -13,8 +13,8 @@ use std::path::PathBuf;
 use std::process::exit;
 
 use daosim_tools::{
-    cmd_get, cmd_info, cmd_init, cmd_list, cmd_put, cmd_retrieve, cmd_simulate, cmd_synth_trace,
-    cmd_wipe, Outcome,
+    cmd_failure_drill, cmd_get, cmd_info, cmd_init, cmd_list, cmd_put, cmd_retrieve, cmd_simulate,
+    cmd_synth_trace, cmd_wipe, Outcome,
 };
 
 fn usage() -> ! {
@@ -29,7 +29,8 @@ fn usage() -> ! {
          wipe     <archive> <forecast-key>\n\
          info     <archive>\n\
          synth-trace <out.csv> [--procs N] [--steps N] [--fields N] [--mib N] [--interval-ms N]\n\
-         simulate    <trace.csv> [--servers N] [--clients N] [--paced] [--mode full|no-containers|no-index]"
+         simulate    <trace.csv> [--servers N] [--clients N] [--paced] [--mode full|no-containers|no-index]\n\
+         failure-drill <trace.csv> [--servers N] [--clients N] [--kill-ms N] [--restart-ms N]"
     );
     exit(2);
 }
@@ -111,6 +112,20 @@ fn main() {
                 &mode,
             )
         }
+        "failure-drill" => {
+            let num = |f: &str, d: u64| {
+                flag_value(rest, f)
+                    .map(|v| v.parse().unwrap_or_else(|_| usage()))
+                    .unwrap_or(d)
+            };
+            cmd_failure_drill(
+                &archive,
+                num("--servers", 1) as u16,
+                num("--clients", 2) as u16,
+                num("--kill-ms", 59),
+                num("--restart-ms", 170),
+            )
+        }
         _ => usage(),
     };
 
@@ -156,6 +171,25 @@ fn main() {
             println!(
                 "reads : {:.2} GiB/s ({} ops)",
                 stats.reads.global_bw_gib, stats.reads.io_count
+            );
+            println!(
+                "tardiness: mean {:.2} ms, max {:.2} ms; total {:.3} s",
+                stats.mean_tardiness_ms, stats.max_tardiness_ms, stats.end_secs
+            );
+        }
+        Ok(Outcome::Drilled { stats, timeline }) => {
+            println!(" t_ms  write GiB/s  read GiB/s");
+            for (t, w, r) in &timeline {
+                println!("{t:>5}  {w:>11.2}  {r:>10.2}");
+            }
+            let res = stats.resilience;
+            println!(
+                "resilience: {} retries, {} timeouts, {} failovers, {} gave up, {} faults injected",
+                res.retries, res.timeouts, res.failovers, res.gave_up, res.faults_injected
+            );
+            println!(
+                "failed ops: {} writes, {} reads",
+                res.failed_writes, res.failed_reads
             );
             println!(
                 "tardiness: mean {:.2} ms, max {:.2} ms; total {:.3} s",

@@ -170,7 +170,9 @@ fn rebuild_act() {
                 }
             }
             println!("\nrebuild act: engine 0 down; {rejected}/64 re-writes rejected degraded");
-            let report = rebuild_engine(&d, 0).await;
+            let report = rebuild_engine(&d, 0)
+                .await
+                .expect("rebuild of killed engine");
             println!(
                 "rebuild moved {} objects ({:.1} MiB) in {:.1} ms of simulated time",
                 report.objects_moved,

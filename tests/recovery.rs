@@ -72,7 +72,9 @@ fn archive_survives_loss_and_rebuild_restores_service() {
             }
             assert!(blocked > 0, "expected degraded write rejections");
 
-            let report = rebuild_engine(&d, 0).await;
+            let report = rebuild_engine(&d, 0)
+                .await
+                .expect("rebuild of killed engine");
             assert!(report.objects_moved > 0);
             assert_eq!(report.objects_lost, 0, "replicated archive loses nothing");
 
