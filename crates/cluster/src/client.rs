@@ -35,6 +35,18 @@ use daosim_objstore::{Container, DaosError, Oid, Result, Uuid};
 use crate::deploy::{Deployment, Engine};
 use crate::fault::jitter_salt;
 
+/// Bucket bounds (ns) for the `client.op_ns` latency histogram:
+/// 10 µs .. 10 s in decades, plus the implicit overflow bucket.
+const OP_NS_BOUNDS: [u64; 7] = [
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+];
+
 /// Open-container handle for the simulated backend.
 #[derive(Clone)]
 pub struct SimCont {
@@ -112,7 +124,12 @@ impl SimClient {
     /// Occupies target `t` for `service` time, FIFO behind earlier work.
     async fn target_service(&self, t: u32, service: SimDuration) {
         let tgt = self.d.target(t);
+        // Leaf spans: shard RPCs run concurrently under `join_all`, so
+        // these must not adopt children on the shared task stack.
+        let q = self.d.sim.span_leaf("media", "queue");
         let _p = tgt.sem.acquire_one().await;
+        q.end();
+        let _s = self.d.sim.span_leaf("media", "service");
         self.d.sim.sleep(service).await;
         tgt.charge_busy(service.as_nanos());
     }
@@ -181,6 +198,7 @@ impl SimClient {
         let cap = self.d.fabric.flow_cap(self.ep, engine.endpoint);
         let flow = self.d.fabric.net().transfer(&route, bytes, cap);
         let media = cal.rpc_cpu_cost + self.d.target(t).media.write_time(bytes);
+        self.d.target(t).tally.note_write(bytes);
         let service = self.target_service(t, media);
         let mut both = join_all(vec![
             Box::pin(async move {
@@ -201,6 +219,7 @@ impl SimClient {
         let cap = self.d.fabric.flow_cap(engine.endpoint, self.ep);
         let flow = self.d.fabric.net().transfer(&route, bytes, cap);
         let media = cal.rpc_cpu_cost + self.d.target(t).media.read_time(bytes);
+        self.d.target(t).tally.note_read(bytes);
         let service = self.target_service(t, media);
         let mut both = join_all(vec![
             Box::pin(async move {
@@ -230,50 +249,68 @@ impl SimClient {
     where
         Fut: std::future::Future<Output = Result<T>>,
     {
-        let policy = self.d.spec.retry;
-        if !policy.enabled() {
-            return attempt().await;
-        }
         let sim = self.d.sim.clone();
+        let op_span = sim.span("client", op);
         let start = sim.now();
-        let stats = self.d.resilience();
-        let mut saw_unavailable = false;
-        let mut n = 0u32;
-        loop {
-            n += 1;
-            let result = if policy.attempt_timeout > SimDuration::ZERO {
-                match timeout(&sim, policy.attempt_timeout, attempt()).await {
-                    Ok(r) => r,
-                    Err(Elapsed) => {
-                        stats.note_timeout();
-                        Err(DaosError::Timeout(op))
+        let result = {
+            let sim = &sim;
+            async move {
+                let policy = self.d.spec.retry;
+                if !policy.enabled() {
+                    let _a = sim.span("client", "attempt");
+                    return attempt().await;
+                }
+                let stats = self.d.resilience();
+                let mut saw_unavailable = false;
+                let mut n = 0u32;
+                loop {
+                    n += 1;
+                    let result = {
+                        let _a = sim.span("client", "attempt");
+                        if policy.attempt_timeout > SimDuration::ZERO {
+                            match timeout(sim, policy.attempt_timeout, attempt()).await {
+                                Ok(r) => r,
+                                Err(Elapsed) => {
+                                    stats.note_timeout();
+                                    Err(DaosError::Timeout(op))
+                                }
+                            }
+                        } else {
+                            attempt().await
+                        }
+                    };
+                    match result {
+                        Ok(v) => {
+                            if saw_unavailable {
+                                stats.note_failover();
+                            }
+                            return Ok(v);
+                        }
+                        Err(e) if e.is_transient() => {
+                            saw_unavailable |= matches!(e, DaosError::EngineUnavailable(_));
+                            let deadline_hit = policy.op_deadline > SimDuration::ZERO
+                                && sim.now() - start >= policy.op_deadline;
+                            if n >= policy.max_attempts || deadline_hit {
+                                stats.note_gave_up();
+                                return Err(e);
+                            }
+                            stats.note_retry();
+                            let salt = jitter_salt(self.ep, sim.now().as_nanos(), n);
+                            sim.sleep(policy.backoff_delay(n, salt)).await;
+                        }
+                        Err(e) => return Err(e),
                     }
                 }
-            } else {
-                attempt().await
-            };
-            match result {
-                Ok(v) => {
-                    if saw_unavailable {
-                        stats.note_failover();
-                    }
-                    return Ok(v);
-                }
-                Err(e) if e.is_transient() => {
-                    saw_unavailable |= matches!(e, DaosError::EngineUnavailable(_));
-                    let deadline_hit = policy.op_deadline > SimDuration::ZERO
-                        && sim.now() - start >= policy.op_deadline;
-                    if n >= policy.max_attempts || deadline_hit {
-                        stats.note_gave_up();
-                        return Err(e);
-                    }
-                    stats.note_retry();
-                    let salt = jitter_salt(self.ep, sim.now().as_nanos(), n);
-                    sim.sleep(policy.backoff_delay(n, salt)).await;
-                }
-                Err(e) => return Err(e),
             }
-        }
+            .await
+        };
+        let metrics = sim.obs().metrics();
+        metrics.counter(&format!("client.{op}.ops")).inc();
+        metrics
+            .histogram("client.op_ns", &OP_NS_BOUNDS)
+            .observe((sim.now() - start).as_nanos());
+        op_span.end();
+        result
     }
 }
 
@@ -335,6 +372,7 @@ impl SimClient {
         let lock = self.d.obj_lock(cont.uuid, oid, 0);
         {
             let _g = lock.acquire_one().await;
+            let _os = self.d.sim.span("objstore", "kv_update");
             self.d.sim.sleep(cal.kv_update_serial_cost).await;
             let bytes = (key.len() + value.len()) as u64;
             let updates: Vec<_> = targets
@@ -343,6 +381,7 @@ impl SimClient {
                     let this = self.clone();
                     async move {
                         let service = cal.kv_op_cost + this.d.target(t).media.write_time(bytes);
+                        this.d.target(t).tally.note_write(bytes);
                         this.target_service(t, service).await;
                     }
                 })
@@ -375,8 +414,10 @@ impl SimClient {
         let out;
         {
             let _g = lock.acquire_one().await;
+            let _os = self.d.sim.span("objstore", "kv_fetch");
             self.d.sim.sleep(cal.kv_fetch_serial_cost).await;
             let service = cal.kv_op_cost + self.d.target(t).media.read_time(cal.kv_entry_bytes);
+            self.d.target(t).tally.note_read(cal.kv_entry_bytes);
             self.target_service(t, service).await;
             out = cont.cont.kv_get(oid, key)?;
         }
@@ -487,6 +528,7 @@ impl SimClient {
         let lock = self.d.obj_lock(cont.uuid, oid, offset / ARRAY_CHUNK);
         {
             let _g = lock.acquire_one().await;
+            let _os = self.d.sim.span("objstore", "array_update");
             let writes: Vec<_> = shards
                 .iter()
                 .map(|&(t, bytes)| {
@@ -567,6 +609,7 @@ impl SimClient {
         let out;
         {
             let _g = lock.acquire_one().await;
+            let _os = self.d.sim.span("objstore", "array_fetch");
             let reads: Vec<_> = shards
                 .iter()
                 .map(|&(t, bytes)| {

@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use daosim_kernel::sync::Semaphore;
 use daosim_kernel::Sim;
-use daosim_media::TargetMedia;
+use daosim_media::{MediaTally, TargetMedia};
 use daosim_net::{Endpoint, Fabric, FabricSpec, LinkId, ProviderProfile};
 use daosim_objstore::store::DEFAULT_POOL_CAPACITY;
 use daosim_objstore::{DaosStore, Oid, Pool, Uuid};
@@ -85,6 +85,8 @@ impl ClusterSpec {
 pub struct Target {
     pub sem: Semaphore,
     pub media: TargetMedia,
+    /// Media operation totals, folded into the `media.*` metrics.
+    pub tally: MediaTally,
     /// Accumulated busy time (ns) — service occupancy accounting.
     busy_ns: Cell<u64>,
 }
@@ -197,6 +199,7 @@ impl Deployment {
                         .map(|_| Target {
                             sem: Semaphore::new(1),
                             media: TargetMedia::new(cal.scm, spec.targets_per_engine),
+                            tally: MediaTally::default(),
                             busy_ns: Cell::new(0),
                         })
                         .collect(),
@@ -239,7 +242,7 @@ impl Deployment {
             pool_md: Semaphore::new(1),
             obj_locks: RefCell::new(HashMap::new()),
             target_remap: RefCell::new(HashMap::new()),
-            resilience: ResilienceStats::default(),
+            resilience: ResilienceStats::new(sim.obs().metrics()),
         })
     }
 
@@ -333,17 +336,25 @@ impl Deployment {
         // pipelined like client bulk I/O.
         let read = async {
             let t = self.target(src);
+            let q = self.sim.span_leaf("media", "queue");
             let _p = t.sem.acquire_one().await;
+            q.end();
+            let _s = self.sim.span_leaf("media", "service");
             let dur = t.media.read_time(bytes);
             self.sim.sleep(dur).await;
             t.charge_busy(dur.as_nanos());
+            t.tally.note_read(bytes);
         };
         let write = async {
             let t = self.target(dst);
+            let q = self.sim.span_leaf("media", "queue");
             let _p = t.sem.acquire_one().await;
+            q.end();
+            let _s = self.sim.span_leaf("media", "service");
             let dur = t.media.write_time(bytes);
             self.sim.sleep(dur).await;
             t.charge_busy(dur.as_nanos());
+            t.tally.note_write(bytes);
         };
         let flow = async {
             if se != de {
@@ -424,6 +435,40 @@ impl Deployment {
     /// Live resilience counters for this deployment.
     pub fn resilience(&self) -> &ResilienceStats {
         &self.resilience
+    }
+
+    /// Folds the passive tallies — per-engine media counters, per-engine
+    /// busy time, pool usage, and the pool's object-store op counts —
+    /// into the world's metrics registry. Call once, after a run, before
+    /// snapshotting: the fold *sets* registry values from the tallies, so
+    /// repeated calls would double-count.
+    pub fn fold_metrics(&self) {
+        let reg = self.sim.obs().metrics();
+        for (i, e) in self.engines.iter().enumerate() {
+            let mut media = daosim_media::MediaCounts::default();
+            let mut busy = 0u64;
+            for t in &e.targets {
+                let c = t.tally.counts();
+                media.reads += c.reads;
+                media.writes += c.writes;
+                media.bytes_read += c.bytes_read;
+                media.bytes_written += c.bytes_written;
+                busy += t.busy_ns();
+            }
+            reg.counter(&format!("media.e{i}.reads")).add(media.reads);
+            reg.counter(&format!("media.e{i}.writes")).add(media.writes);
+            reg.counter(&format!("media.e{i}.bytes_read"))
+                .add(media.bytes_read);
+            reg.counter(&format!("media.e{i}.bytes_written"))
+                .add(media.bytes_written);
+            reg.counter(&format!("engine.e{i}.busy_ns")).add(busy);
+        }
+        let ops = self.pool.op_counts();
+        reg.counter("objstore.kv_updates").add(ops.kv_updates);
+        reg.counter("objstore.kv_fetches").add(ops.kv_fetches);
+        reg.counter("objstore.array_updates").add(ops.array_updates);
+        reg.counter("objstore.array_fetches").add(ops.array_fetches);
+        reg.counter("pool.used_bytes").add(self.pool.used());
     }
 }
 

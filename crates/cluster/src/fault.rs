@@ -17,11 +17,10 @@
 //! Retry/timeout/failover counts accumulate in the deployment's
 //! [`ResilienceStats`].
 
-use std::cell::Cell;
 use std::rc::Rc;
 
 use daosim_kernel::rng::splitmix64;
-use daosim_kernel::SimDuration;
+use daosim_kernel::{Counter, MetricsRegistry, SimDuration};
 use daosim_net::Endpoint;
 
 use crate::deploy::Deployment;
@@ -109,32 +108,45 @@ pub(crate) fn jitter_salt(ep: Endpoint, now_ns: u64, attempt: u32) -> u64 {
     ((ep.node as u64) << 40) ^ ((ep.socket as u64) << 32) ^ now_ns ^ attempt as u64
 }
 
-/// Live resilience counters on a [`Deployment`]; cheap `Cell` bumps on
-/// the client fast path, snapshot via [`ResilienceStats::report`].
-#[derive(Default)]
+/// Live resilience counters on a [`Deployment`]: named counters in the
+/// world's metrics registry (`resilience.*`), so fault-campaign telemetry
+/// shows up in metric snapshots alongside everything else. The `note_*`
+/// bumps stay cheap `Cell` increments through the cached handles;
+/// snapshot via [`ResilienceStats::report`].
 pub struct ResilienceStats {
-    retries: Cell<u64>,
-    timeouts: Cell<u64>,
-    failovers: Cell<u64>,
-    gave_up: Cell<u64>,
-    faults_injected: Cell<u64>,
+    retries: Counter,
+    timeouts: Counter,
+    failovers: Counter,
+    gave_up: Counter,
+    faults_injected: Counter,
 }
 
 impl ResilienceStats {
+    /// Registers the `resilience.*` counters in `metrics`.
+    pub fn new(metrics: &MetricsRegistry) -> Self {
+        ResilienceStats {
+            retries: metrics.counter("resilience.retries"),
+            timeouts: metrics.counter("resilience.timeouts"),
+            failovers: metrics.counter("resilience.failovers"),
+            gave_up: metrics.counter("resilience.gave_up"),
+            faults_injected: metrics.counter("resilience.faults_injected"),
+        }
+    }
+
     pub fn note_retry(&self) {
-        self.retries.set(self.retries.get() + 1);
+        self.retries.inc();
     }
     pub fn note_timeout(&self) {
-        self.timeouts.set(self.timeouts.get() + 1);
+        self.timeouts.inc();
     }
     pub fn note_failover(&self) {
-        self.failovers.set(self.failovers.get() + 1);
+        self.failovers.inc();
     }
     pub fn note_gave_up(&self) {
-        self.gave_up.set(self.gave_up.get() + 1);
+        self.gave_up.inc();
     }
     pub fn note_fault(&self) {
-        self.faults_injected.set(self.faults_injected.get() + 1);
+        self.faults_injected.inc();
     }
 
     pub fn report(&self) -> ResilienceReport {
@@ -335,6 +347,17 @@ impl FaultPlan {
                     sim.sleep(due - now).await;
                 }
                 d.resilience().note_fault();
+                if sim.trace_enabled() {
+                    let name = match ev {
+                        FaultEvent::Kill { engine, .. } => format!("kill e{engine}"),
+                        FaultEvent::Restart { engine, .. } => format!("restart e{engine}"),
+                        FaultEvent::Brownout { engine, .. } => format!("brownout e{engine}"),
+                        FaultEvent::DegradeNic { engine, .. } => {
+                            format!("degrade-nic e{engine}")
+                        }
+                    };
+                    sim.obs().instant("fault", &name);
+                }
                 match ev {
                     FaultEvent::Kill {
                         engine, rebuild, ..

@@ -90,11 +90,15 @@ pub async fn rebuild_engine(
         return Err(RebuildError::NoSurvivors);
     }
 
+    let _rebuild_span = d.sim.span("rebuild", "rebuild");
+
     // 1. Pool-map update: remap each dead target onto a survivor.
+    let remap_span = d.sim.span("rebuild", "remap");
     let dead_targets: Vec<u32> = (dead_engine * tpe..(dead_engine + 1) * tpe).collect();
     for (i, &t) in dead_targets.iter().enumerate() {
         d.set_target_remap(t, survivors[i % survivors.len()]);
     }
+    remap_span.end();
 
     // 2. Enumerate affected objects and stream their data back to full
     //    redundancy. Work is fanned out with bounded concurrency.
@@ -158,8 +162,12 @@ pub async fn rebuild_engine(
         }
     }
     let moves: Vec<_> = moves.into_iter().map(Box::pin).collect();
-    join_all(moves).await;
+    {
+        let _move_span = d.sim.span("rebuild", "move");
+        join_all(moves).await;
+    }
     // Fixed pool-map propagation cost bookends the pass.
+    let _prop_span = d.sim.span("rebuild", "propagate");
     d.sim.sleep(SimDuration::from_millis(2)).await;
     report.duration_secs = (d.sim.now() - start).as_secs_f64();
     Ok(report)

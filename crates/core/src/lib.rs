@@ -10,6 +10,8 @@
 //!   cluster);
 //! * [`metrics`] — the timestamped-event framework and the paper's two
 //!   throughput definitions (synchronous and global timing bandwidth);
+//! * [`obs`] — span-trace export (Chrome trace-event JSON for Perfetto,
+//!   flat CSV) and structural validation of recorded traces;
 //! * [`workload`] — realistic key/payload generation with the high- and
 //!   low-contention regimes;
 //! * [`patterns`] — access patterns A (unique writes then unique reads)
@@ -25,6 +27,7 @@ pub mod fieldio;
 pub mod ioserver;
 pub mod key;
 pub mod metrics;
+pub mod obs;
 pub mod patterns;
 pub mod request;
 pub mod trace;
@@ -36,7 +39,11 @@ pub use metrics::{
     bandwidth_timeline, events_to_csv, latency_stats, EventKind, EventRecord, LatencyStats,
     PhaseStats, Recorder,
 };
+pub use obs::{
+    chrome_trace_json, json_is_wellformed, spans_to_csv, validate_spans, MetricsSnapshot,
+    SpanEvent, TraceSummary,
+};
 pub use patterns::{run_pattern_a, run_pattern_b, PatternConfig, PatternResult};
 pub use request::{archive_all, retrieve, Request, Retrieval};
-pub use trace::{replay, Pacing, ReplayStats, Trace, TraceEntry};
+pub use trace::{replay, replay_traced, Pacing, ReplayStats, Trace, TraceEntry, TracedReplay};
 pub use workload::{payload, Contention, KeyGen};

@@ -301,25 +301,36 @@ pub struct TimelineBucket {
 
 /// Buckets completed bytes over time — the ramp-up/straggler view a
 /// single bandwidth number hides. Bytes are attributed to the bucket
-/// containing each operation's `IoEnd`. Buckets span `[min IoStart,
-/// max IoEnd]`; empty buckets are included so gaps are visible.
+/// containing each operation's `IoEnd`. Buckets are anchored at the
+/// earliest event of *any* kind (an `IoEnd` can precede the first
+/// `IoStart` when operations carry over from an earlier phase) and span
+/// through the last `IoEnd`; empty buckets are included so gaps are
+/// visible.
 pub fn bandwidth_timeline(events: &[EventRecord], bucket: SimDuration) -> Vec<TimelineBucket> {
     assert!(bucket > SimDuration::ZERO, "bucket must be positive");
-    let Some(wall) = total_parallel_io_wallclock(events) else {
+    if total_parallel_io_wallclock(events).is_none() {
         return Vec::new();
-    };
+    }
+    // Anchoring at min IoStart would underflow the bucket index of any
+    // completion that lands before it; the min over all events is a safe
+    // lower bound for every attribution.
     let start = events
         .iter()
-        .filter(|e| e.kind == EventKind::IoStart)
         .map(|e| e.t_ns)
         .min()
-        .expect("wallclock implies a start");
+        .expect("wallclock implies events");
+    let end = events
+        .iter()
+        .filter(|e| e.kind == EventKind::IoEnd)
+        .map(|e| e.t_ns)
+        .max()
+        .expect("wallclock implies an end");
     let step = bucket.as_nanos();
-    let n = (wall.as_nanos() / step + 1) as usize;
+    let n = ((end - start) / step + 1) as usize;
     let mut buckets = vec![0u64; n];
     for e in events.iter().filter(|e| e.kind == EventKind::IoEnd) {
-        let idx = ((e.t_ns - start) / step) as usize;
-        buckets[idx] += e.bytes;
+        let idx = ((e.t_ns.saturating_sub(start)) / step) as usize;
+        buckets[idx.min(n - 1)] += e.bytes;
     }
     let secs = bucket.as_secs_f64();
     buckets
@@ -601,6 +612,28 @@ mod tests {
     #[test]
     fn timeline_of_empty_events_is_empty() {
         assert!(bandwidth_timeline(&[], SimDuration::from_secs(1)).is_empty());
+    }
+
+    #[test]
+    fn timeline_survives_completion_before_first_start() {
+        const G: u64 = 1 << 30;
+        // Regression: an IoEnd carried over from an earlier phase lands
+        // *before* the first IoStart. The old code anchored buckets at
+        // min IoStart and computed `e.t_ns - start`, underflowing u64 and
+        // panicking (or indexing far out of range).
+        let events = vec![
+            ev(0, 0, EventKind::IoEnd, 5, G),
+            ev(1, 0, EventKind::IoStart, 1_000_000_000, 0),
+            ev(1, 0, EventKind::IoEnd, 2_500_000_000, G),
+        ];
+        let tl = bandwidth_timeline(&events, SimDuration::from_secs(1));
+        // Anchored at t=5 ns, spanning through the last IoEnd.
+        assert_eq!(tl[0].t_ns, 5);
+        assert_eq!(tl.len(), 3);
+        let total: u64 = tl.iter().map(|b| b.bytes).sum();
+        assert_eq!(total, 2 * G, "no completion may be dropped");
+        assert_eq!(tl[0].bytes, G, "early completion lands in bucket 0");
+        assert_eq!(tl[2].bytes, G);
     }
 
     #[test]

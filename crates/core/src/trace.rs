@@ -15,7 +15,7 @@ use serde::Serialize;
 
 use daosim_cluster::{ClusterSpec, Deployment, FaultPlan, ResilienceReport, SimClient};
 use daosim_kernel::sync::WaitGroup;
-use daosim_kernel::{Sim, SimDuration, SimTime};
+use daosim_kernel::{MetricsSnapshot, Sim, SimDuration, SimTime, SpanEvent};
 
 use crate::fieldio::{FieldIoConfig, FieldStore};
 use crate::key::FieldKey;
@@ -141,9 +141,18 @@ impl Trace {
         s
     }
 
-    /// Parses the CSV form produced by [`Trace::to_csv`].
+    /// Parses the CSV form produced by [`Trace::to_csv`], validating and
+    /// normalising the schedule:
+    ///
+    /// * timestamps must be non-decreasing — replay walks each process's
+    ///   entries in file order, so an out-of-order line would silently
+    ///   reorder the schedule; the error names the offending line;
+    /// * sparse process ids are densely renumbered (order-preserving):
+    ///   [`Trace::process_count`] is `max + 1`, so gaps would spawn
+    ///   processes with no work and skew per-process aggregation.
     pub fn from_csv(text: &str) -> Result<Trace, String> {
         let mut entries = Vec::new();
+        let mut prev_t: Option<u64> = None;
         for (i, line) in text.lines().enumerate() {
             if i == 0 || line.trim().is_empty() {
                 continue;
@@ -154,9 +163,19 @@ impl Trace {
                     .next()
                     .ok_or_else(|| format!("line {}: missing {name}", i + 1))
             };
-            let t_ns = field("t_ns")?
+            let t_ns: u64 = field("t_ns")?
                 .parse()
                 .map_err(|e| format!("line {}: {e}", i + 1))?;
+            if let Some(p) = prev_t {
+                if t_ns < p {
+                    return Err(format!(
+                        "line {}: timestamp {t_ns} goes backwards (previous line had {p}); \
+                         traces must be sorted by t_ns",
+                        i + 1
+                    ));
+                }
+            }
+            prev_t = Some(t_ns);
             let process = field("process")?
                 .parse()
                 .map_err(|e| format!("line {}: {e}", i + 1))?;
@@ -179,6 +198,20 @@ impl Trace {
                 key,
                 bytes,
             });
+        }
+        // Densify sparse process ids, preserving relative order.
+        let mut ids: Vec<u32> = entries.iter().map(|e| e.process).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        if ids.last().is_some_and(|&max| max as usize + 1 != ids.len()) {
+            let remap: std::collections::HashMap<u32, u32> = ids
+                .iter()
+                .enumerate()
+                .map(|(dense, &sparse)| (sparse, dense as u32))
+                .collect();
+            for e in &mut entries {
+                e.process = remap[&e.process];
+            }
         }
         Ok(Trace { entries })
     }
@@ -278,7 +311,62 @@ pub fn replay_detailed(
     faults: Option<&FaultPlan>,
 ) -> ReplayOutcome {
     let sim = Sim::new();
-    let d = Deployment::new(&sim, spec);
+    replay_on(&sim, spec, fieldio, trace, pacing, faults).0
+}
+
+/// A [`ReplayOutcome`] plus the run's observability artifacts: the raw
+/// span event stream and the final metrics snapshot (client op counters
+/// and latencies, per-engine media and busy-time counters, objstore op
+/// counts, resilience counters).
+#[derive(Clone, Debug)]
+pub struct TracedReplay {
+    pub outcome: ReplayOutcome,
+    pub spans: Vec<SpanEvent>,
+    pub metrics: MetricsSnapshot,
+}
+
+/// Like [`replay_detailed`], but with span tracing enabled for the whole
+/// run. Tracing is keyed on sim time only, so the replay outcome is
+/// bit-identical to an untraced run, and two traced runs of the same
+/// trace produce byte-identical span streams.
+pub fn replay_traced(
+    spec: ClusterSpec,
+    fieldio: FieldIoConfig,
+    trace: &Trace,
+    pacing: Pacing,
+    faults: Option<&FaultPlan>,
+) -> TracedReplay {
+    let sim = Sim::new();
+    sim.obs().set_enabled(true);
+    let (outcome, d) = replay_on(&sim, spec, fieldio, trace, pacing, faults);
+    d.fold_metrics();
+    let m = sim.obs().metrics();
+    m.counter("replay.write_ios")
+        .add(outcome.stats.writes.io_count as u64);
+    m.counter("replay.read_ios")
+        .add(outcome.stats.reads.io_count as u64);
+    m.counter("replay.write_bytes")
+        .add(outcome.stats.writes.total_bytes);
+    m.counter("replay.read_bytes")
+        .add(outcome.stats.reads.total_bytes);
+    let metrics = m.snapshot();
+    let spans = sim.obs().take_events();
+    TracedReplay {
+        outcome,
+        spans,
+        metrics,
+    }
+}
+
+fn replay_on(
+    sim: &Sim,
+    spec: ClusterSpec,
+    fieldio: FieldIoConfig,
+    trace: &Trace,
+    pacing: Pacing,
+    faults: Option<&FaultPlan>,
+) -> (ReplayOutcome, Rc<Deployment>) {
+    let d = Deployment::new(sim, spec);
     if let Some(plan) = faults {
         plan.apply(&d);
     }
@@ -370,7 +458,7 @@ pub fn replay_detailed(
     );
     let write_events = write_rec.take();
     let read_events = read_rec.take();
-    ReplayOutcome {
+    let outcome = ReplayOutcome {
         stats: ReplayStats {
             writes: phase_stats(&write_events, false),
             reads: phase_stats(&read_events, false),
@@ -381,7 +469,8 @@ pub fn replay_detailed(
         },
         write_events,
         read_events,
-    }
+    };
+    (outcome, d)
 }
 
 #[cfg(test)]
@@ -421,6 +510,83 @@ mod tests {
         assert_eq!(parsed, t);
         assert!(Trace::from_csv("t_ns,process,op,bytes,key\nbogus").is_err());
         assert!(Trace::from_csv("t_ns,process,op,bytes,key\n1,2,x,3,class=od").is_err());
+    }
+
+    #[test]
+    fn from_csv_rejects_unsorted_timestamps_naming_the_line() {
+        // Regression: an out-of-order line used to be accepted silently,
+        // and replay would run the schedule in file order anyway.
+        let csv = "t_ns,process,op,bytes,key\n\
+                   100,0,w,8,class=od\n\
+                   50,0,w,8,class=od\n";
+        let err = Trace::from_csv(csv).unwrap_err();
+        assert!(err.starts_with("line 3:"), "{err}");
+        assert!(err.contains("goes backwards"), "{err}");
+    }
+
+    #[test]
+    fn from_csv_densifies_sparse_process_ids() {
+        // Regression: processes {2, 7} used to parse as-is, making
+        // process_count() report 8 and replay spawn 6 idle tasks.
+        let csv = "t_ns,process,op,bytes,key\n\
+                   0,7,w,8,class=od\n\
+                   10,2,w,8,class=od\n\
+                   20,7,r,8,class=od\n";
+        let t = Trace::from_csv(csv).unwrap();
+        assert_eq!(t.process_count(), 2);
+        let procs: Vec<u32> = t.entries.iter().map(|e| e.process).collect();
+        assert_eq!(procs, [1, 0, 1], "order-preserving dense renumbering");
+        // Already-dense traces are left untouched.
+        let dense = small_trace();
+        assert_eq!(Trace::from_csv(&dense.to_csv()).unwrap(), dense);
+    }
+
+    #[test]
+    fn traced_replay_covers_the_stack_and_is_deterministic() {
+        use crate::obs::{chrome_trace_json, json_is_wellformed, validate_spans};
+        let t = Trace::synthesize_operational(4, 1, 2, 64 * 1024, SimDuration::from_millis(10));
+        let run = || {
+            replay_traced(
+                ClusterSpec::tcp(1, 1),
+                FieldIoConfig::with_mode(FieldIoMode::NoContainers),
+                &t,
+                Pacing::AsFast,
+                None,
+            )
+        };
+        let a = run();
+        // The span stream is structurally sound and covers every layer
+        // the issue names: executor, net, media, objstore, client.
+        let summary = validate_spans(&a.spans).expect("well-formed span stream");
+        assert_eq!(summary.unclosed, 0, "quiescent run must close all spans");
+        assert!(summary.spans > 0);
+        for cat in ["executor", "net", "media", "objstore", "client"] {
+            assert!(
+                summary.categories.iter().any(|c| c == cat),
+                "missing category {cat}: {:?}",
+                summary.categories
+            );
+        }
+        // Metrics absorbed the per-layer tallies.
+        let lookup = |name: &str| a.metrics.counter(name).unwrap_or(0);
+        assert!(lookup("client.array_write.ops") > 0);
+        assert!(lookup("media.e0.bytes_written") > 0);
+        assert!(lookup("objstore.kv_updates") > 0 || lookup("objstore.array_updates") > 0);
+        // Byte-identical determinism of every export.
+        let b = run();
+        assert_eq!(a.spans, b.spans);
+        let (ja, jb) = (chrome_trace_json(&a.spans), chrome_trace_json(&b.spans));
+        assert_eq!(ja, jb);
+        assert!(json_is_wellformed(&ja));
+        assert_eq!(a.metrics.to_csv(), b.metrics.to_csv());
+        // Tracing must not change the modelled outcome.
+        let plain = replay(
+            ClusterSpec::tcp(1, 1),
+            FieldIoConfig::with_mode(FieldIoMode::NoContainers),
+            &t,
+            Pacing::AsFast,
+        );
+        assert_eq!(plain.end_secs.to_bits(), a.outcome.stats.end_secs.to_bits());
     }
 
     #[test]

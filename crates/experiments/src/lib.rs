@@ -15,8 +15,14 @@ pub mod rebuild_xp;
 pub mod replication;
 pub mod tables;
 
+use std::io::Write;
 use std::path::Path;
 
+use daosim_cluster::ClusterSpec;
+use daosim_core::fieldio::{FieldIoConfig, FieldIoMode};
+use daosim_core::obs::{chrome_trace_json, json_is_wellformed, validate_spans};
+use daosim_core::trace::{replay_traced, Pacing, Trace};
+use daosim_kernel::SimDuration;
 use harness::{Report, Scale};
 
 /// Every experiment by name.
@@ -54,15 +60,77 @@ pub fn run_experiment(name: &str, scale: &Scale) -> Vec<Report> {
     }
 }
 
-/// Runs a set of experiments, printing and saving each report.
-pub fn run_and_save(names: &[&str], scale: &Scale, out_dir: &Path) {
+/// Runs a set of experiments, writing each rendered report to `out` and
+/// diagnostics to `err`, and saving report files under `out_dir`. The
+/// sinks are caller-supplied so library users (tests, harnesses
+/// capturing output) are not forced onto the process's stdout/stderr.
+pub fn run_and_save_to(
+    names: &[&str],
+    scale: &Scale,
+    out_dir: &Path,
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+) {
     for name in names {
         let reports = run_experiment(name, scale);
         for rep in reports {
-            println!("{}", rep.render());
+            let _ = writeln!(out, "{}", rep.render());
             if let Err(e) = rep.save(out_dir) {
-                eprintln!("warning: could not save {}: {e}", rep.name);
+                let _ = writeln!(err, "warning: could not save {}: {e}", rep.name);
             }
         }
     }
+}
+
+/// [`run_and_save_to`] with the process's stdout/stderr as sinks.
+pub fn run_and_save(names: &[&str], scale: &Scale, out_dir: &Path) {
+    run_and_save_to(
+        names,
+        scale,
+        out_dir,
+        &mut std::io::stdout().lock(),
+        &mut std::io::stderr().lock(),
+    );
+}
+
+/// Runs a downscaled Field I/O replay with span tracing and writes the
+/// validated Chrome trace-event JSON to `path` (the `xp --trace-out`
+/// artifact; CI loads it as a smoke test). Returns an error if the
+/// recorded span stream violates its invariants, covers fewer than four
+/// categories, or renders to malformed JSON.
+pub fn write_fieldio_trace(path: &Path, err: &mut dyn Write) -> std::io::Result<()> {
+    let bad = |m: String| std::io::Error::new(std::io::ErrorKind::InvalidData, m);
+    let trace = Trace::synthesize_operational(4, 2, 3, 256 * 1024, SimDuration::from_millis(20));
+    let traced = replay_traced(
+        ClusterSpec::tcp(1, 1),
+        FieldIoConfig::with_mode(FieldIoMode::Full),
+        &trace,
+        Pacing::Paced,
+        None,
+    );
+    let summary = validate_spans(&traced.spans).map_err(bad)?;
+    if summary.unclosed > 0 {
+        return Err(bad(format!("{} unclosed span(s)", summary.unclosed)));
+    }
+    if summary.categories.len() < 4 {
+        return Err(bad(format!(
+            "only {} span categories: {:?}",
+            summary.categories.len(),
+            summary.categories
+        )));
+    }
+    let json = chrome_trace_json(&traced.spans);
+    if !json_is_wellformed(&json) {
+        return Err(bad("exported trace JSON is malformed".into()));
+    }
+    std::fs::write(path, &json)?;
+    let _ = writeln!(
+        err,
+        "[trace] {}: {} spans, {} instants; categories: {}",
+        path.display(),
+        summary.spans,
+        summary.instants,
+        summary.categories.join(", ")
+    );
+    Ok(())
 }

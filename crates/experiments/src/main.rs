@@ -1,8 +1,9 @@
 //! `xp` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! xp <experiment>... [--quick] [--out DIR]
+//! xp <experiment>... [--quick] [--out DIR] [--trace-out FILE]
 //! xp all [--quick] [--out DIR]
+//! xp --trace-out FILE            # only write the trace artifact
 //! ```
 //!
 //! Experiments: table1 table2 fig3 fig4 fig5 fig6 fig7 ablations.
@@ -13,11 +14,11 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use daosim_experiments::harness::Scale;
-use daosim_experiments::{run_and_save, EXPERIMENTS};
+use daosim_experiments::{run_and_save_to, write_fieldio_trace, EXPERIMENTS};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: xp <experiment>... [--quick] [--out DIR]\n       \
+        "usage: xp <experiment>... [--quick] [--out DIR] [--trace-out FILE]\n       \
          experiments: {} | all",
         EXPERIMENTS.join(" ")
     );
@@ -28,6 +29,7 @@ fn main() {
     let mut names: Vec<String> = Vec::new();
     let mut scale = Scale::full();
     let mut out = PathBuf::from("results");
+    let mut trace_out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -35,19 +37,31 @@ fn main() {
             "--out" => {
                 out = PathBuf::from(args.next().unwrap_or_else(|| usage()));
             }
+            "--trace-out" => {
+                trace_out = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+            }
             "all" => names.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
             "-h" | "--help" => usage(),
             other if EXPERIMENTS.contains(&other) => names.push(other.to_string()),
             _ => usage(),
         }
     }
-    if names.is_empty() {
+    if names.is_empty() && trace_out.is_none() {
         usage();
     }
     names.dedup();
+    let (mut stdout, mut stderr) = (std::io::stdout(), std::io::stderr());
     for name in &names {
         let t0 = Instant::now();
-        run_and_save(&[name.as_str()], &scale, &out);
+        run_and_save_to(&[name.as_str()], &scale, &out, &mut stdout, &mut stderr);
         eprintln!("[{name}] completed in {:.1}s", t0.elapsed().as_secs_f64());
+    }
+    if let Some(path) = trace_out {
+        let t0 = Instant::now();
+        if let Err(e) = write_fieldio_trace(&path, &mut stderr) {
+            eprintln!("trace export failed: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[trace] completed in {:.1}s", t0.elapsed().as_secs_f64());
     }
 }

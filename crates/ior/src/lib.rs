@@ -22,7 +22,7 @@ use daosim_cluster::{ClusterSpec, Deployment, SimClient};
 use daosim_core::metrics::{phase_stats, EventKind, PhaseStats, Recorder};
 use daosim_core::workload::payload;
 use daosim_kernel::sync::Barrier;
-use daosim_kernel::Sim;
+use daosim_kernel::{Sim, SpanEvent};
 use daosim_objstore::api::DaosApi;
 use daosim_objstore::{ObjectClass, Oid, OidAllocator, Uuid};
 
@@ -91,7 +91,22 @@ impl IorResult {
 
 /// Runs IOR segments mode on a fresh deployment of `spec`.
 pub fn run_ior(spec: ClusterSpec, params: IorParams) -> IorResult {
+    run_ior_on(&Sim::new(), spec, params)
+}
+
+/// Like [`run_ior`], with span tracing enabled; returns the result plus
+/// the recorded span event stream (export it with
+/// `daosim_core::obs::chrome_trace_json`). Tracing is sim-time-only, so
+/// the bandwidth figures are identical to an untraced run.
+pub fn run_ior_traced(spec: ClusterSpec, params: IorParams) -> (IorResult, Vec<SpanEvent>) {
     let sim = Sim::new();
+    sim.obs().set_enabled(true);
+    let result = run_ior_on(&sim, spec, params);
+    (result, sim.obs().take_events())
+}
+
+fn run_ior_on(sim: &Sim, spec: ClusterSpec, params: IorParams) -> IorResult {
+    let sim = sim.clone();
     let d = Deployment::new(&sim, spec);
     let procs = spec.client_nodes as u32 * params.procs_per_node;
     assert!(procs > 0);
@@ -222,6 +237,23 @@ mod tests {
                 file_mode: FileMode::FilePerProcess,
             },
         )
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_yields_spans() {
+        let spec = ClusterSpec::tcp(1, 1);
+        let params = IorParams {
+            transfer_bytes: MIB,
+            segments: 2,
+            procs_per_node: 2,
+            class: ObjectClass::S1,
+            iterations: 1,
+            file_mode: FileMode::FilePerProcess,
+        };
+        let plain = run_ior(spec, params);
+        let (traced, spans) = run_ior_traced(spec, params);
+        assert_eq!(plain.write_bw().to_bits(), traced.write_bw().to_bits());
+        assert!(!spans.is_empty(), "tracing must record events");
     }
 
     #[test]

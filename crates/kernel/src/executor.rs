@@ -17,10 +17,19 @@ use std::rc::Rc;
 use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
 
+use crate::obs::{Obs, SpanGuard};
 use crate::time::{SimDuration, SimTime};
 
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct TaskId(u64);
+
+impl TaskId {
+    /// The task's ordinal (spawn order). Stable for the lifetime of the
+    /// sim; used as the lane id in trace exports.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
 
 type TaskFuture = Pin<Box<dyn Future<Output = ()> + 'static>>;
 type EventAction = Box<dyn FnOnce() + 'static>;
@@ -121,6 +130,7 @@ impl RunOutcome {
 pub struct Sim {
     kernel: Rc<RefCell<Kernel>>,
     wakes: Arc<WakeQueue>,
+    obs: Rc<Obs>,
 }
 
 impl Default for Sim {
@@ -141,7 +151,36 @@ impl Sim {
                 incoming: Vec::new(),
             })),
             wakes: Arc::new(WakeQueue::default()),
+            obs: Rc::new(Obs::default()),
         }
+    }
+
+    /// The observability layer (span tracer + metrics registry) of this
+    /// world. See [`crate::obs`].
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Whether span recording is on; gate dynamic span-name formatting on
+    /// this at hot call sites.
+    pub fn trace_enabled(&self) -> bool {
+        self.obs.is_enabled()
+    }
+
+    /// Opens a stacked span and returns a guard that closes it on drop.
+    /// When tracing is disabled this is a single flag check.
+    pub fn span(&self, category: &'static str, name: &str) -> SpanGuard {
+        let id = self.obs.span_begin(category, name);
+        SpanGuard::new(Rc::clone(&self.obs), id)
+    }
+
+    /// Leaf-span variant of [`Sim::span`]: parented to the current stack
+    /// top but not pushed, so concurrent branches of one task (e.g.
+    /// `join_all` arms) can hold overlapping spans without adopting each
+    /// other as children.
+    pub fn span_leaf(&self, category: &'static str, name: &str) -> SpanGuard {
+        let id = self.obs.span_begin_leaf(category, name);
+        SpanGuard::new(Rc::clone(&self.obs), id)
     }
 
     /// Current simulated time.
@@ -162,6 +201,11 @@ impl Sim {
         let id = TaskId(k.next_task);
         k.next_task += 1;
         k.incoming.push((id, Box::pin(fut)));
+        drop(k);
+        if self.obs.is_enabled() {
+            self.obs
+                .instant("executor", &format!("spawn t{}", id.as_u64()));
+        }
         // Make sure the new task gets a first poll.
         self.wakes.ready.lock().unwrap().push_back(id);
         id
@@ -284,14 +328,19 @@ impl Sim {
                                 }
                             };
                             k.now = ev.at;
-                            break Some(action);
+                            break Some((ev.at, action));
                         }
                         None => break None,
                     }
                 }
             };
             match next {
-                Some(action) => action(),
+                Some((at, action)) => {
+                    // Keep the tracer's clock mirror in step so span
+                    // probes never need to borrow the kernel.
+                    self.obs.set_now(at.as_nanos());
+                    action()
+                }
                 None => break,
             }
         }
@@ -325,8 +374,24 @@ impl Sim {
                 queue: Arc::clone(&self.wakes),
             }));
             let mut cx = Context::from_waker(&waker);
-            match fut.as_mut().poll(&mut cx) {
-                Poll::Ready(()) => {}
+            // Attribute spans opened during the poll to this task, and
+            // record the poll itself as a parentless leaf span (zero sim
+            // duration — polls never advance the clock; parentless
+            // because stacked spans open and close inside polls).
+            self.obs.set_current_task(Some(id));
+            let poll_span = self.obs.span_begin_orphan("executor", "poll");
+            let polled = fut.as_mut().poll(&mut cx);
+            if let Some(s) = poll_span {
+                self.obs.span_end(s);
+            }
+            self.obs.set_current_task(None);
+            match polled {
+                Poll::Ready(()) => {
+                    if self.obs.is_enabled() {
+                        self.obs
+                            .instant("executor", &format!("done t{}", id.as_u64()));
+                    }
+                }
                 Poll::Pending => {
                     self.kernel.borrow_mut().tasks.insert(id, fut);
                 }

@@ -30,9 +30,14 @@
 //! ```
 
 pub mod executor;
+pub mod obs;
 pub mod rng;
 pub mod sync;
 pub mod time;
 
 pub use executor::{RunOutcome, Sim, Sleep, TaskId, TimerHandle};
+pub use obs::{
+    Counter, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, Obs, SpanEvent,
+    SpanGuard, SpanId,
+};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,587 @@
+//! Deterministic sim-time observability: hierarchical spans and a
+//! metrics registry.
+//!
+//! Everything here is keyed on **simulated** time — no wall clock is ever
+//! read — so enabling tracing cannot perturb a run and two runs with the
+//! same seed produce byte-identical event streams.
+//!
+//! ## Spans
+//!
+//! A span is a named interval `[start, end]` in sim time with an optional
+//! parent. Parenting is automatic: the executor tells the tracer which
+//! task is being polled, and each task carries a stack of open spans —
+//! `span_begin` parents to the top of the current task's stack. Spans
+//! whose end fires in a *different* context than their begin (e.g. a
+//! network flow that completes inside a settle event) use
+//! [`Obs::span_begin_leaf`]: the span still parents to the current stack
+//! top but is not pushed, so it cannot accidentally adopt children that
+//! outlive it.
+//!
+//! Tracing is **off by default**; when disabled every probe is a single
+//! `Cell` read.
+//!
+//! ## Metrics
+//!
+//! [`MetricsRegistry`] holds named monotonic counters and fixed-bucket
+//! histograms. Handles are cheap `Rc` clones so hot paths bump a `Cell`
+//! instead of re-resolving names. Snapshots are sorted by name and thus
+//! deterministic.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+use crate::executor::TaskId;
+
+/// Identifier of a span, unique within one [`Obs`]. Ids are handed out in
+/// begin order, so they are deterministic.
+pub type SpanId = u64;
+
+/// One entry of the trace event stream, in emission order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpanEvent {
+    /// A span opened.
+    Begin {
+        id: SpanId,
+        parent: Option<SpanId>,
+        /// Executor task the span was opened under, if any.
+        task: Option<u64>,
+        t_ns: u64,
+        category: &'static str,
+        name: String,
+        /// Leaf span: not on its context's stack, so it may overlap its
+        /// siblings (exports render these as async events).
+        detached: bool,
+    },
+    /// A span closed. Matches the `Begin` with the same `id`.
+    End { id: SpanId, t_ns: u64 },
+    /// A point event (no duration).
+    Instant {
+        t_ns: u64,
+        task: Option<u64>,
+        category: &'static str,
+        name: String,
+    },
+}
+
+/// Where an open span lives, so `span_end` can unwind the right stack.
+struct OpenSlot {
+    /// `Some(stack_key)` if the span was pushed on a task stack;
+    /// `None` for leaf spans.
+    stack: Option<Option<u64>>,
+}
+
+/// Shared observability state of one simulation world. Obtain it with
+/// `Sim::obs()`; one instance lives for the lifetime of the `Sim`.
+pub struct Obs {
+    enabled: Cell<bool>,
+    /// Mirror of the kernel clock, maintained by the executor. Span
+    /// probes read this instead of borrowing the kernel, so span guards
+    /// are safe to drop even while the kernel itself is being torn down.
+    now_ns: Cell<u64>,
+    current_task: Cell<Option<TaskId>>,
+    next_span: Cell<SpanId>,
+    events: RefCell<Vec<SpanEvent>>,
+    /// Per-context stacks of open (stacked) spans; key is the task id, or
+    /// `None` for event-handler / setup context.
+    stacks: RefCell<HashMap<Option<u64>, Vec<SpanId>>>,
+    open: RefCell<HashMap<SpanId, OpenSlot>>,
+    metrics: MetricsRegistry,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs {
+            enabled: Cell::new(false),
+            now_ns: Cell::new(0),
+            current_task: Cell::new(None),
+            next_span: Cell::new(0),
+            events: RefCell::new(Vec::new()),
+            stacks: RefCell::new(HashMap::new()),
+            open: RefCell::new(HashMap::new()),
+            metrics: MetricsRegistry::default(),
+        }
+    }
+}
+
+impl Obs {
+    /// Turns span recording on or off. Metrics are always on.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.set(on);
+    }
+
+    /// Whether span recording is on. Call sites that build dynamic span
+    /// names should gate the formatting on this.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.get()
+    }
+
+    /// The metrics registry of this world.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    pub(crate) fn set_now(&self, t_ns: u64) {
+        self.now_ns.set(t_ns);
+    }
+
+    /// Sim time as the tracer sees it (mirrors the kernel clock).
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns.get()
+    }
+
+    pub(crate) fn set_current_task(&self, id: Option<TaskId>) {
+        self.current_task.set(id);
+    }
+
+    fn context_key(&self) -> Option<u64> {
+        self.current_task.get().map(|t| t.as_u64())
+    }
+
+    fn alloc_id(&self) -> SpanId {
+        let id = self.next_span.get() + 1;
+        self.next_span.set(id);
+        id
+    }
+
+    fn begin_common(&self, category: &'static str, name: &str, stacked: bool) -> Option<SpanId> {
+        if !self.enabled.get() {
+            return None;
+        }
+        let key = self.context_key();
+        let id = self.alloc_id();
+        let parent = {
+            let stacks = self.stacks.borrow();
+            stacks.get(&key).and_then(|s| s.last().copied())
+        };
+        self.events.borrow_mut().push(SpanEvent::Begin {
+            id,
+            parent,
+            task: key,
+            t_ns: self.now_ns.get(),
+            category,
+            name: name.to_string(),
+            detached: !stacked,
+        });
+        let stack = if stacked {
+            self.stacks.borrow_mut().entry(key).or_default().push(id);
+            Some(key)
+        } else {
+            None
+        };
+        self.open.borrow_mut().insert(id, OpenSlot { stack });
+        Some(id)
+    }
+
+    /// Opens a span parented to — and pushed onto — the current context's
+    /// stack. Use for spans that begin and end in the same async scope
+    /// (prefer the `Sim::span` guard).
+    pub fn span_begin(&self, category: &'static str, name: &str) -> Option<SpanId> {
+        self.begin_common(category, name, true)
+    }
+
+    /// Opens a parentless leaf span. The executor uses this for poll
+    /// spans: a poll brackets arbitrary stack mutations (stacked spans
+    /// open and close *inside* it), so claiming the stack top as parent
+    /// would let the poll span outlive its parent.
+    pub(crate) fn span_begin_orphan(&self, category: &'static str, name: &str) -> Option<SpanId> {
+        if !self.enabled.get() {
+            return None;
+        }
+        let id = self.alloc_id();
+        self.events.borrow_mut().push(SpanEvent::Begin {
+            id,
+            parent: None,
+            task: self.context_key(),
+            t_ns: self.now_ns.get(),
+            category,
+            name: name.to_string(),
+            detached: true,
+        });
+        self.open.borrow_mut().insert(id, OpenSlot { stack: None });
+        Some(id)
+    }
+
+    /// Opens a span parented to the current stack top but *not* pushed:
+    /// later spans in this context become its siblings, not children. Use
+    /// for spans whose end fires in another context (e.g. a flow that
+    /// completes inside a calendar event).
+    pub fn span_begin_leaf(&self, category: &'static str, name: &str) -> Option<SpanId> {
+        self.begin_common(category, name, false)
+    }
+
+    /// Closes a span at the current sim time. Unknown or already-closed
+    /// ids are ignored (spans opened while tracing was off).
+    pub fn span_end(&self, id: SpanId) {
+        let Some(slot) = self.open.borrow_mut().remove(&id) else {
+            return;
+        };
+        if let Some(key) = slot.stack {
+            let mut stacks = self.stacks.borrow_mut();
+            if let Some(stack) = stacks.get_mut(&key) {
+                // Almost always the top; out-of-order ends (dropped
+                // guards) search downwards.
+                if let Some(pos) = stack.iter().rposition(|&s| s == id) {
+                    stack.remove(pos);
+                }
+            }
+        }
+        self.events.borrow_mut().push(SpanEvent::End {
+            id,
+            t_ns: self.now_ns.get(),
+        });
+    }
+
+    /// Records a point event in the current context.
+    pub fn instant(&self, category: &'static str, name: &str) {
+        if !self.enabled.get() {
+            return;
+        }
+        self.events.borrow_mut().push(SpanEvent::Instant {
+            t_ns: self.now_ns.get(),
+            task: self.context_key(),
+            category,
+            name: name.to_string(),
+        });
+    }
+
+    /// Number of events recorded so far.
+    pub fn event_count(&self) -> usize {
+        self.events.borrow().len()
+    }
+
+    /// Drains and returns the recorded event stream.
+    pub fn take_events(&self) -> Vec<SpanEvent> {
+        std::mem::take(&mut self.events.borrow_mut())
+    }
+}
+
+/// Guard returned by `Sim::span`; closes the span when dropped. Holding
+/// it across `.await`s is the intended use: the span then covers the
+/// whole async scope in sim time.
+pub struct SpanGuard {
+    obs: Rc<Obs>,
+    id: Option<SpanId>,
+}
+
+impl SpanGuard {
+    pub(crate) fn new(obs: Rc<Obs>, id: Option<SpanId>) -> Self {
+        SpanGuard { obs, id }
+    }
+
+    /// Closes the span now, before the guard would be dropped.
+    pub fn end(mut self) {
+        if let Some(id) = self.id.take() {
+            self.obs.span_end(id);
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(id) = self.id.take() {
+            self.obs.span_end(id);
+        }
+    }
+}
+
+/// Handle to a named monotonic counter. Cloning shares the cell.
+#[derive(Clone, Default)]
+pub struct Counter(Rc<Cell<u64>>);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, delta: u64) {
+        self.0.set(self.0.get() + delta);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+struct HistInner {
+    /// Upper bounds of the buckets, strictly increasing. An implicit
+    /// overflow bucket catches values above the last bound.
+    bounds: Vec<u64>,
+    buckets: RefCell<Vec<u64>>,
+    sum: Cell<u64>,
+    count: Cell<u64>,
+}
+
+/// Handle to a fixed-bucket histogram. Cloning shares the storage.
+#[derive(Clone)]
+pub struct Histogram(Rc<HistInner>);
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        Histogram(Rc::new(HistInner {
+            bounds: bounds.to_vec(),
+            buckets: RefCell::new(vec![0; bounds.len() + 1]),
+            sum: Cell::new(0),
+            count: Cell::new(0),
+        }))
+    }
+
+    pub fn observe(&self, value: u64) {
+        let idx = self
+            .0
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.0.bounds.len());
+        self.0.buckets.borrow_mut()[idx] += 1;
+        self.0.sum.set(self.0.sum.get() + value);
+        self.0.count.set(self.0.count.get() + 1);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.count.get()
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub name: String,
+    pub bounds: Vec<u64>,
+    /// One count per bound, plus the trailing overflow bucket.
+    pub buckets: Vec<u64>,
+    pub sum: u64,
+    pub count: u64,
+}
+
+/// Point-in-time copy of a whole registry, sorted by name.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Flat CSV rendering: `metric,value` rows; histogram buckets appear
+    /// as `<name>.le_<bound>` plus `<name>.sum` / `<name>.count`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("metric,value\n");
+        for (name, v) in &self.counters {
+            out.push_str(&format!("{name},{v}\n"));
+        }
+        for h in &self.histograms {
+            for (i, b) in h.bounds.iter().enumerate() {
+                out.push_str(&format!("{}.le_{},{}\n", h.name, b, h.buckets[i]));
+            }
+            out.push_str(&format!(
+                "{}.le_inf,{}\n",
+                h.name,
+                h.buckets[h.bounds.len()]
+            ));
+            out.push_str(&format!("{}.sum,{}\n", h.name, h.sum));
+            out.push_str(&format!("{}.count,{}\n", h.name, h.count));
+        }
+        out
+    }
+}
+
+/// Named counters and histograms for one simulation world. Metrics are
+/// always on (the cost is a `Cell` bump); names are resolved once and the
+/// returned handles cached by callers.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: RefCell<BTreeMap<String, Counter>>,
+    histograms: RefCell<BTreeMap<String, Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// Returns the counter named `name`, creating it at zero on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counters
+            .borrow_mut()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns the histogram named `name`, creating it with `bounds` on
+    /// first use. Later calls ignore `bounds` and share the original.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        self.histograms
+            .borrow_mut()
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .clone()
+    }
+
+    /// Deterministic (name-sorted) copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .borrow()
+            .iter()
+            .map(|(n, c)| (n.clone(), c.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .borrow()
+            .iter()
+            .map(|(n, h)| HistogramSnapshot {
+                name: n.clone(),
+                bounds: h.0.bounds.clone(),
+                buckets: h.0.buckets.borrow().clone(),
+                sum: h.0.sum.get(),
+                count: h.0.count.get(),
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let obs = Obs::default();
+        assert_eq!(obs.span_begin("t", "a"), None);
+        obs.instant("t", "b");
+        assert_eq!(obs.event_count(), 0);
+    }
+
+    #[test]
+    fn spans_nest_by_stack() {
+        let obs = Obs::default();
+        obs.set_enabled(true);
+        let a = obs.span_begin("t", "outer").unwrap();
+        obs.set_now(10);
+        let b = obs.span_begin("t", "inner").unwrap();
+        obs.set_now(20);
+        obs.span_end(b);
+        obs.set_now(30);
+        obs.span_end(a);
+        let ev = obs.take_events();
+        assert_eq!(ev.len(), 4);
+        match &ev[1] {
+            SpanEvent::Begin { parent, .. } => assert_eq!(*parent, Some(a)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn leaf_spans_do_not_adopt_children() {
+        let obs = Obs::default();
+        obs.set_enabled(true);
+        let outer = obs.span_begin("t", "outer").unwrap();
+        let leaf = obs.span_begin_leaf("t", "leaf").unwrap();
+        let next = obs.span_begin("t", "next").unwrap();
+        let parent_of_next = match obs.take_events().last().unwrap() {
+            SpanEvent::Begin { parent, .. } => *parent,
+            other => panic!("unexpected {other:?}"),
+        };
+        // `next` is a sibling of the leaf, under `outer`.
+        assert_eq!(parent_of_next, Some(outer));
+        assert_ne!(parent_of_next, Some(leaf));
+        obs.span_end(next);
+        obs.span_end(leaf);
+        obs.span_end(outer);
+    }
+
+    #[test]
+    fn out_of_order_end_unwinds_correctly() {
+        let obs = Obs::default();
+        obs.set_enabled(true);
+        let a = obs.span_begin("t", "a").unwrap();
+        let b = obs.span_begin("t", "b").unwrap();
+        // A dropped guard may end `a` before `b` (future teardown).
+        obs.span_end(a);
+        let c = obs.span_begin("t", "c").unwrap();
+        // `c` parents to `b`, the remaining stack top.
+        let ev = obs.take_events();
+        let parent_of_c = ev
+            .iter()
+            .find_map(|e| match e {
+                SpanEvent::Begin { id, parent, .. } if *id == c => Some(*parent),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(parent_of_c, Some(b));
+        obs.span_end(c);
+        obs.span_end(b);
+    }
+
+    #[test]
+    fn span_end_is_idempotent() {
+        let obs = Obs::default();
+        obs.set_enabled(true);
+        let a = obs.span_begin("t", "a").unwrap();
+        obs.span_end(a);
+        obs.span_end(a);
+        assert_eq!(obs.take_events().len(), 2);
+    }
+
+    #[test]
+    fn counters_share_storage_by_name() {
+        let reg = MetricsRegistry::default();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.add(3);
+        b.inc();
+        assert_eq!(reg.counter("x").get(), 4);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("x"), Some(4));
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let reg = MetricsRegistry::default();
+        let h = reg.histogram("lat", &[10, 100]);
+        for v in [5, 10, 50, 1000] {
+            h.observe(v);
+        }
+        let snap = reg.snapshot();
+        let hs = &snap.histograms[0];
+        assert_eq!(hs.buckets, vec![2, 1, 1]);
+        assert_eq!(hs.sum, 1065);
+        assert_eq!(hs.count, 4);
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted() {
+        let reg = MetricsRegistry::default();
+        reg.counter("zed").inc();
+        reg.counter("abc").inc();
+        let names: Vec<_> = reg
+            .snapshot()
+            .counters
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect();
+        assert_eq!(names, vec!["abc", "zed"]);
+    }
+
+    #[test]
+    fn metrics_csv_is_deterministic() {
+        let reg = MetricsRegistry::default();
+        reg.counter("ops").add(7);
+        reg.histogram("lat", &[10]).observe(3);
+        let csv = reg.snapshot().to_csv();
+        assert_eq!(
+            csv,
+            "metric,value\nops,7\nlat.le_10,1\nlat.le_inf,0\nlat.sum,3\nlat.count,1\n"
+        );
+    }
+}

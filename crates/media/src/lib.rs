@@ -17,6 +17,8 @@
 //! gen-1 measurements (~6 GB/s read / ~2.2 GB/s write per DIMM, ×6
 //! interleaved, minus interleaving overheads).
 
+use std::cell::Cell;
+
 use daosim_kernel::SimDuration;
 
 /// One GiB in bytes, as a float.
@@ -110,9 +112,67 @@ impl TargetMedia {
     }
 }
 
+/// Running totals of media operations served by one target. The cluster
+/// layer bumps these as it charges service time; snapshots feed the
+/// per-engine `media.*` metrics of the observability registry.
+#[derive(Default, Debug)]
+pub struct MediaTally {
+    reads: Cell<u64>,
+    writes: Cell<u64>,
+    bytes_read: Cell<u64>,
+    bytes_written: Cell<u64>,
+}
+
+/// Point-in-time copy of a [`MediaTally`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MediaCounts {
+    pub reads: u64,
+    pub writes: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+}
+
+impl MediaTally {
+    pub fn note_read(&self, bytes: u64) {
+        self.reads.set(self.reads.get() + 1);
+        self.bytes_read.set(self.bytes_read.get() + bytes);
+    }
+
+    pub fn note_write(&self, bytes: u64) {
+        self.writes.set(self.writes.get() + 1);
+        self.bytes_written.set(self.bytes_written.get() + bytes);
+    }
+
+    pub fn counts(&self) -> MediaCounts {
+        MediaCounts {
+            reads: self.reads.get(),
+            writes: self.writes.get(),
+            bytes_read: self.bytes_read.get(),
+            bytes_written: self.bytes_written.get(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tally_accumulates_ops_and_bytes() {
+        let t = MediaTally::default();
+        t.note_read(100);
+        t.note_write(40);
+        t.note_write(60);
+        assert_eq!(
+            t.counts(),
+            MediaCounts {
+                reads: 1,
+                writes: 2,
+                bytes_read: 100,
+                bytes_written: 100,
+            }
+        );
+    }
 
     #[test]
     fn shares_partition_socket_bandwidth() {

@@ -45,7 +45,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use daosim_kernel::sync::{oneshot, OneshotReceiver, OneshotSender};
-use daosim_kernel::{Sim, SimDuration, SimTime, TimerHandle};
+use daosim_kernel::{Sim, SimDuration, SimTime, SpanId, TimerHandle};
 
 /// One GiB in bytes, as a float; all public bandwidths are GiB/s.
 pub const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
@@ -130,6 +130,8 @@ struct Flow {
     class: u32,
     remaining: f64, // bytes
     done: Option<OneshotSender<()>>,
+    /// Open "net" span, closed when the flow drains.
+    span: Option<SpanId>,
 }
 
 struct Slot {
@@ -173,7 +175,7 @@ struct Scratch {
     eff_cap: Vec<f64>,
     unfrozen: Vec<u32>,
     still: Vec<u32>,
-    finished: Vec<OneshotSender<()>>,
+    finished: Vec<(OneshotSender<()>, Option<SpanId>)>,
 }
 
 struct Inner {
@@ -377,10 +379,21 @@ impl FlowNet {
                 *inner.group_counts.entry(g).or_insert(0) += 1;
             }
             inner.classes[class as usize].active += 1;
+            // Leaf span: the admit side runs in the issuing task (so the
+            // span parents under its open op span), but the end fires in
+            // a settle event once the last byte drains.
+            let span = if self.sim.trace_enabled() {
+                self.sim
+                    .obs()
+                    .span_begin_leaf("net", &format!("xfer {bytes} B"))
+            } else {
+                None
+            };
             inner.insert_flow(Flow {
                 class,
                 remaining: bytes as f64,
                 done: Some(tx),
+                span,
             });
             queue_settle = !inner.settle_queued;
             inner.settle_queued = true;
@@ -430,8 +443,12 @@ impl FlowNet {
             self.inner.borrow_mut().timer = Some(handle);
         }
         // Fire completions outside the borrow: the woken tasks may start
-        // new transfers re-entering this FlowNet.
-        for tx in finished.drain(..) {
+        // new transfers re-entering this FlowNet. Spans close before the
+        // send so the flow's End precedes anything the woken task logs.
+        for (tx, span) in finished.drain(..) {
+            if let Some(s) = span {
+                self.sim.obs().span_end(s);
+            }
             tx.send(());
         }
         self.inner.borrow_mut().scratch.finished = finished;
@@ -542,7 +559,7 @@ impl Inner {
     /// Removes every drained flow, collecting its completion sender.
     /// Scans slots in index order so same-instant completions fire
     /// deterministically.
-    fn drain_completed(&mut self, finished: &mut Vec<OneshotSender<()>>) {
+    fn drain_completed(&mut self, finished: &mut Vec<(OneshotSender<()>, Option<SpanId>)>) {
         if self.active == 0 {
             return;
         }
@@ -566,7 +583,7 @@ impl Inner {
                 }
             }
             if let Some(tx) = f.done.take() {
-                finished.push(tx);
+                finished.push((tx, f.span.take()));
             }
         }
     }

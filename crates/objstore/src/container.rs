@@ -1,6 +1,7 @@
 //! Containers: per-dataset object namespaces with their own id space.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -30,12 +31,35 @@ pub enum Object {
     Array(ArrayObject),
 }
 
+/// Running operation totals of one container, kept with relaxed atomics
+/// (the container is shared across threads in snapshot tooling). The
+/// observability registry folds these into `objstore.*` counters.
+#[derive(Default, Debug)]
+struct OpTally {
+    kv_updates: AtomicU64,
+    kv_fetches: AtomicU64,
+    array_updates: AtomicU64,
+    array_fetches: AtomicU64,
+}
+
+/// Point-in-time copy of a container's operation totals. Updates count
+/// `kv_put`/`kv_remove` and `array_write`/`array_set_parity`; fetches
+/// count `kv_get`/`kv_list_keys` and `array_read`/`array_parity`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    pub kv_updates: u64,
+    pub kv_fetches: u64,
+    pub array_updates: u64,
+    pub array_fetches: u64,
+}
+
 /// A transactional object namespace. Thread-safe: the object table takes a
 /// read lock for lookups and individual objects have their own locks, so
 /// concurrent operations on distinct objects do not serialize.
 pub struct Container {
     uuid: Uuid,
     objects: RwLock<HashMap<Oid, Arc<RwLock<Object>>>>,
+    ops: OpTally,
 }
 
 impl Container {
@@ -43,6 +67,17 @@ impl Container {
         Container {
             uuid,
             objects: RwLock::new(HashMap::new()),
+            ops: OpTally::default(),
+        }
+    }
+
+    /// Operation totals since creation.
+    pub fn op_counts(&self) -> OpCounts {
+        OpCounts {
+            kv_updates: self.ops.kv_updates.load(Ordering::Relaxed),
+            kv_fetches: self.ops.kv_fetches.load(Ordering::Relaxed),
+            array_updates: self.ops.array_updates.load(Ordering::Relaxed),
+            array_fetches: self.ops.array_fetches.load(Ordering::Relaxed),
         }
     }
 
@@ -82,6 +117,7 @@ impl Container {
 
     /// Inserts `key` into KV `oid`; returns the previous value, if any.
     pub fn kv_put(&self, oid: Oid, key: &[u8], value: Bytes) -> Result<Option<Bytes>> {
+        self.ops.kv_updates.fetch_add(1, Ordering::Relaxed);
         let obj = self.get_or_create_kv(oid)?;
         let mut guard = obj.write();
         match &mut *guard {
@@ -91,6 +127,7 @@ impl Container {
     }
 
     pub fn kv_get(&self, oid: Oid, key: &[u8]) -> Result<Option<Bytes>> {
+        self.ops.kv_fetches.fetch_add(1, Ordering::Relaxed);
         let obj = match self.get_obj(oid) {
             Ok(o) => o,
             // Reading a never-written KV behaves as an empty KV.
@@ -105,6 +142,7 @@ impl Container {
     }
 
     pub fn kv_remove(&self, oid: Oid, key: &[u8]) -> Result<Option<Bytes>> {
+        self.ops.kv_updates.fetch_add(1, Ordering::Relaxed);
         let obj = self.get_obj(oid)?;
         let mut guard = obj.write();
         match &mut *guard {
@@ -114,6 +152,7 @@ impl Container {
     }
 
     pub fn kv_list_keys(&self, oid: Oid) -> Result<Vec<Vec<u8>>> {
+        self.ops.kv_fetches.fetch_add(1, Ordering::Relaxed);
         let obj = match self.get_obj(oid) {
             Ok(o) => o,
             Err(DaosError::ObjNotFound(_)) => return Ok(Vec::new()),
@@ -162,6 +201,7 @@ impl Container {
     }
 
     pub fn array_write(&self, oid: Oid, offset: u64, data: Bytes) -> Result<()> {
+        self.ops.array_updates.fetch_add(1, Ordering::Relaxed);
         let obj = self.get_obj(oid)?;
         let mut guard = obj.write();
         match &mut *guard {
@@ -174,6 +214,7 @@ impl Container {
     }
 
     pub fn array_read(&self, oid: Oid, offset: u64, len: u64) -> Result<Bytes> {
+        self.ops.array_fetches.fetch_add(1, Ordering::Relaxed);
         let obj = self.get_obj(oid)?;
         let guard = obj.read();
         match &*guard {
@@ -193,6 +234,7 @@ impl Container {
 
     /// Stores the EC parity cell of an Array object.
     pub fn array_set_parity(&self, oid: Oid, parity: Bytes) -> Result<()> {
+        self.ops.array_updates.fetch_add(1, Ordering::Relaxed);
         let obj = self.get_obj(oid)?;
         let mut guard = obj.write();
         match &mut *guard {
@@ -206,6 +248,7 @@ impl Container {
 
     /// Fetches the EC parity cell of an Array object.
     pub fn array_parity(&self, oid: Oid) -> Result<Option<Bytes>> {
+        self.ops.array_fetches.fetch_add(1, Ordering::Relaxed);
         let obj = self.get_obj(oid)?;
         let guard = obj.read();
         match &*guard {

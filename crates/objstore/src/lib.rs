@@ -37,7 +37,7 @@ pub mod uuid;
 
 pub use api::{DaosApi, EmbeddedClient, OidAllocator};
 pub use array::ArrayObject;
-pub use container::{Container, ContainerStats, Object};
+pub use container::{Container, ContainerStats, Object, OpCounts};
 pub use error::{DaosError, Result};
 pub use kv::KvObject;
 pub use oid::{ObjectClass, Oid};

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use crate::container::{Container, ContainerStats};
+use crate::container::{Container, ContainerStats, OpCounts};
 use crate::error::{DaosError, Result};
 use crate::uuid::Uuid;
 
@@ -118,6 +118,20 @@ impl Pool {
         let mut v: Vec<Uuid> = self.containers.read().keys().copied().collect();
         v.sort_unstable();
         v
+    }
+
+    /// Aggregates operation totals over every container (feeds the
+    /// `objstore.*` metrics of the observability registry).
+    pub fn op_counts(&self) -> OpCounts {
+        let mut total = OpCounts::default();
+        for (_, c) in self.containers.read().iter() {
+            let o = c.op_counts();
+            total.kv_updates += o.kv_updates;
+            total.kv_fetches += o.kv_fetches;
+            total.array_updates += o.array_updates;
+            total.array_fetches += o.array_fetches;
+        }
+        total
     }
 }
 

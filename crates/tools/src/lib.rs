@@ -19,8 +19,9 @@ use daosim_cluster::{ClusterSpec, FaultPlan, RetryPolicy};
 use daosim_core::fieldio::{FieldIoConfig, FieldIoMode, FieldStore};
 use daosim_core::key::FieldKey;
 use daosim_core::metrics::anchored_bandwidth_timeline;
+use daosim_core::obs::{chrome_trace_json, json_is_wellformed, validate_spans};
 use daosim_core::request::{retrieve, Request};
-use daosim_core::trace::{replay, replay_detailed, Pacing, ReplayStats, Trace};
+use daosim_core::trace::{replay, replay_detailed, replay_traced, Pacing, ReplayStats, Trace};
 use daosim_kernel::{Sim, SimDuration, SimTime};
 use daosim_objstore::api::EmbeddedClient;
 use daosim_objstore::{load_pool, save_pool, ObjectClass, Pool, Uuid};
@@ -62,6 +63,15 @@ pub enum Outcome {
         gib: f64,
     },
     Simulated(Box<ReplayStats>),
+    Traced {
+        /// Where the Chrome trace-event JSON landed.
+        json_path: String,
+        /// Where the metrics CSV landed.
+        metrics_path: String,
+        spans: usize,
+        instants: usize,
+        categories: Vec<String>,
+    },
     Drilled {
         stats: Box<ReplayStats>,
         /// `(t_ms, write_gib_s, read_gib_s)` per bucket.
@@ -301,6 +311,63 @@ pub fn cmd_simulate(
     Ok(Outcome::Simulated(Box::new(stats)))
 }
 
+/// `daosctl trace <trace.csv> [--servers N] [--clients N] [--paced]
+/// [--mode M] [--out trace.json] [--metrics metrics.csv]`
+///
+/// Replays the schedule with span tracing enabled and writes a Chrome
+/// trace-event JSON (loadable in Perfetto or `chrome://tracing`) plus a
+/// metrics CSV. The span stream is validated (balanced ends, parents
+/// closing after children) before anything is written; replays are
+/// deterministic, so re-running the command reproduces both artifacts
+/// byte for byte.
+pub fn cmd_trace(
+    trace_path: &Path,
+    servers: u16,
+    clients: u16,
+    paced: bool,
+    mode: &str,
+    json_out: &Path,
+    metrics_out: &Path,
+) -> ToolResult {
+    let text = fs::read_to_string(trace_path)?;
+    let trace = Trace::from_csv(&text).map_err(ToolError::BadArgs)?;
+    if trace.is_empty() {
+        return Err(ToolError::BadArgs("trace holds no operations".into()));
+    }
+    let fieldio = match mode {
+        "full" => FieldIoConfig::with_mode(FieldIoMode::Full),
+        "no-containers" => FieldIoConfig::with_mode(FieldIoMode::NoContainers),
+        "no-index" => FieldIoConfig::with_mode(FieldIoMode::NoIndex),
+        other => return Err(ToolError::BadArgs(format!("unknown mode {other:?}"))),
+    };
+    let traced = replay_traced(
+        ClusterSpec::tcp(servers.max(1), clients.max(1)),
+        fieldio,
+        &trace,
+        if paced { Pacing::Paced } else { Pacing::AsFast },
+        None,
+    );
+    let summary = validate_spans(&traced.spans)
+        .map_err(|e| ToolError::BadArgs(format!("recorded trace is malformed: {e}")))?;
+    if summary.unclosed > 0 {
+        return Err(ToolError::BadArgs(format!(
+            "recorded trace left {} span(s) unclosed",
+            summary.unclosed
+        )));
+    }
+    let json = chrome_trace_json(&traced.spans);
+    debug_assert!(json_is_wellformed(&json));
+    fs::write(json_out, &json)?;
+    fs::write(metrics_out, traced.metrics.to_csv())?;
+    Ok(Outcome::Traced {
+        json_path: json_out.display().to_string(),
+        metrics_path: metrics_out.display().to_string(),
+        spans: summary.spans,
+        instants: summary.instants,
+        categories: summary.categories,
+    })
+}
+
 /// `daosctl failure-drill <trace.csv> [--servers N] [--clients N]
 /// [--kill-ms N] [--restart-ms N]`
 ///
@@ -527,6 +594,44 @@ mod tests {
             cmd_simulate(&a.0, 1, 1, false, "bogus"),
             Err(ToolError::BadArgs(_))
         ));
+    }
+
+    #[test]
+    fn trace_command_writes_validated_byte_identical_artifacts() {
+        let a = TempArchive::new("chrome");
+        cmd_synth_trace(&a.0, 4, 1, 2, 1, 40).unwrap();
+        let json1 = TempArchive::new("chrome-json1");
+        let json2 = TempArchive::new("chrome-json2");
+        let met1 = TempArchive::new("chrome-met1");
+        let met2 = TempArchive::new("chrome-met2");
+        let run = |json: &Path, met: &Path| {
+            match cmd_trace(&a.0, 1, 1, false, "no-containers", json, met).unwrap() {
+                Outcome::Traced {
+                    spans, categories, ..
+                } => {
+                    assert!(spans > 0);
+                    // The acceptance bar: at least 4 distinct categories.
+                    assert!(categories.len() >= 4, "categories: {categories:?}");
+                }
+                other => panic!("{other:?}"),
+            }
+        };
+        run(&json1.0, &met1.0);
+        run(&json2.0, &met2.0);
+        let j1 = fs::read(&json1.0).unwrap();
+        assert_eq!(
+            j1,
+            fs::read(&json2.0).unwrap(),
+            "trace JSON must be byte-identical"
+        );
+        assert_eq!(
+            fs::read(&met1.0).unwrap(),
+            fs::read(&met2.0).unwrap(),
+            "metrics CSV must be byte-identical"
+        );
+        let text = String::from_utf8(j1).unwrap();
+        assert!(json_is_wellformed(&text));
+        assert!(text.contains("\"ph\":\"X\""));
     }
 
     #[test]

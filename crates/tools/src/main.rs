@@ -14,12 +14,12 @@ use std::process::exit;
 
 use daosim_tools::{
     cmd_failure_drill, cmd_get, cmd_info, cmd_init, cmd_list, cmd_put, cmd_retrieve, cmd_simulate,
-    cmd_synth_trace, cmd_wipe, Outcome,
+    cmd_synth_trace, cmd_trace, cmd_wipe, Outcome,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: daosctl <init|put|get|list|retrieve|wipe|info> <archive> [args...]\n\
+        "usage: daosctl <init|put|get|list|retrieve|wipe|info|synth-trace|simulate|trace|failure-drill> <archive> [args...]\n\
          \n\
          init     <archive> [--targets N]\n\
          put      <archive> <key> [--file PATH | --text STRING]\n\
@@ -30,6 +30,7 @@ fn usage() -> ! {
          info     <archive>\n\
          synth-trace <out.csv> [--procs N] [--steps N] [--fields N] [--mib N] [--interval-ms N]\n\
          simulate    <trace.csv> [--servers N] [--clients N] [--paced] [--mode full|no-containers|no-index]\n\
+         trace       <trace.csv> [--servers N] [--clients N] [--paced] [--mode M] [--out trace.json] [--metrics metrics.csv]\n\
          failure-drill <trace.csv> [--servers N] [--clients N] [--kill-ms N] [--restart-ms N]"
     );
     exit(2);
@@ -112,6 +113,28 @@ fn main() {
                 &mode,
             )
         }
+        "trace" => {
+            let num = |f: &str, d: u64| {
+                flag_value(rest, f)
+                    .map(|v| v.parse().unwrap_or_else(|_| usage()))
+                    .unwrap_or(d)
+            };
+            let mode = flag_value(rest, "--mode").unwrap_or_else(|| "full".to_string());
+            let json_out =
+                PathBuf::from(flag_value(rest, "--out").unwrap_or_else(|| "trace.json".into()));
+            let metrics_out = PathBuf::from(
+                flag_value(rest, "--metrics").unwrap_or_else(|| "metrics.csv".into()),
+            );
+            cmd_trace(
+                &archive,
+                num("--servers", 1) as u16,
+                num("--clients", 2) as u16,
+                rest.iter().any(|a| a == "--paced"),
+                &mode,
+                &json_out,
+                &metrics_out,
+            )
+        }
         "failure-drill" => {
             let num = |f: &str, d: u64| {
                 flag_value(rest, f)
@@ -176,6 +199,21 @@ fn main() {
                 "tardiness: mean {:.2} ms, max {:.2} ms; total {:.3} s",
                 stats.mean_tardiness_ms, stats.max_tardiness_ms, stats.end_secs
             );
+        }
+        Ok(Outcome::Traced {
+            json_path,
+            metrics_path,
+            spans,
+            instants,
+            categories,
+        }) => {
+            println!(
+                "trace written: {json_path} ({spans} spans, {instants} instants; \
+                 categories: {})",
+                categories.join(", ")
+            );
+            println!("metrics written: {metrics_path}");
+            println!("open {json_path} in https://ui.perfetto.dev or chrome://tracing");
         }
         Ok(Outcome::Drilled { stats, timeline }) => {
             println!(" t_ms  write GiB/s  read GiB/s");
