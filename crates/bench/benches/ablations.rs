@@ -19,7 +19,7 @@ fn cfg(mode: FieldIoMode, contention: Contention, cal: Calibration) -> PatternCo
     cluster.calibration = cal;
     PatternConfig {
         cluster,
-        fieldio: FieldIoConfig::with_mode(mode),
+        fieldio: FieldIoConfig::builder().mode(mode).build(),
         contention,
         procs_per_node: 8,
         ops_per_proc: 10,
@@ -129,9 +129,9 @@ fn ablation_redundancy_classes(c: &mut Criterion) {
                 let payload = bytes::Bytes::from(vec![1u8; MIB as usize]);
                 for _ in 0..6 {
                     let oid = alloc.next(class);
-                    client.array_create(&cont, oid).await.unwrap();
+                    let h = client.array_create(&cont, oid).await.unwrap();
                     client
-                        .array_write(&cont, oid, 0, payload.clone())
+                        .array_write(&cont, &h, 0, payload.clone())
                         .await
                         .unwrap();
                 }
@@ -176,9 +176,9 @@ fn ablation_rebuild(c: &mut Criterion) {
                 let payload = bytes::Bytes::from(vec![2u8; MIB as usize]);
                 for _ in 0..24 {
                     let oid = alloc.next(ObjectClass::RP2);
-                    client.array_create(&cont, oid).await.unwrap();
+                    let h = client.array_create(&cont, oid).await.unwrap();
                     client
-                        .array_write(&cont, oid, 0, payload.clone())
+                        .array_write(&cont, &h, 0, payload.clone())
                         .await
                         .unwrap();
                 }

@@ -23,13 +23,14 @@ fn ior_params(ppn: u32) -> IorParams {
         class: ObjectClass::S1,
         iterations: 1,
         file_mode: daosim_ior::FileMode::FilePerProcess,
+        inflight: 1,
     }
 }
 
 fn pattern_cfg(mode: FieldIoMode, contention: Contention, servers: u16) -> PatternConfig {
     PatternConfig {
         cluster: ClusterSpec::tcp(servers, servers * 2),
-        fieldio: FieldIoConfig::with_mode(mode),
+        fieldio: FieldIoConfig::builder().mode(mode).build(),
         contention,
         procs_per_node: 8,
         ops_per_proc: 10,

@@ -24,7 +24,7 @@ use bytes::Bytes;
 use daosim_kernel::sync::{join_all, timeout, Elapsed};
 use daosim_kernel::SimDuration;
 use daosim_net::Endpoint;
-use daosim_objstore::api::DaosApi;
+use daosim_objstore::api::{ArrayHandle, DaosApi};
 use daosim_objstore::ec;
 use daosim_objstore::placement::{
     array_target_shards, ec_targets, kv_target, leader_target, replica_targets, ARRAY_CHUNK,
@@ -394,6 +394,69 @@ impl SimClient {
         Ok(())
     }
 
+    /// Vectorized KV update: the whole batch rides one request — one
+    /// latency round trip, one container-handle validation and one
+    /// leader serial section — then every pair's replica services run
+    /// concurrently. This is where batching beats N sequential puts.
+    async fn kv_put_multi_once(
+        &self,
+        cont: &SimCont,
+        oid: Oid,
+        pairs: Vec<(Vec<u8>, Bytes)>,
+    ) -> Result<()> {
+        if pairs.is_empty() {
+            return Ok(());
+        }
+        let cal = self.d.spec.calibration;
+        let replicated = oid.class().replicas(self.pool_targets()) > 1;
+        // Per-pair destinations, exactly as each pair's own kv_put would
+        // place it.
+        let dests: Vec<(Vec<u32>, u64)> = pairs
+            .iter()
+            .map(|(key, value)| {
+                let targets: Vec<u32> = if replicated {
+                    replica_targets(oid, self.pool_targets())
+                } else {
+                    vec![kv_target(oid, key, self.pool_targets())]
+                };
+                let targets: Vec<u32> = targets.into_iter().map(|t| self.live_target(t)).collect();
+                (targets, (key.len() + value.len()) as u64)
+            })
+            .collect();
+        for (targets, _) in &dests {
+            for &t in targets {
+                self.engine_for(t)?;
+            }
+        }
+        let engine = self.engine_for(dests[0].0[0])?;
+        self.latency().await;
+        self.engine_meta(engine).await;
+        let lock = self.d.obj_lock(cont.uuid, oid, 0);
+        {
+            let _g = lock.acquire_one().await;
+            let _os = self.d.sim.span("objstore", "kv_update");
+            self.d.sim.sleep(cal.kv_update_serial_cost).await;
+            let updates: Vec<_> = dests
+                .iter()
+                .flat_map(|(targets, bytes)| targets.iter().map(move |&t| (t, *bytes)))
+                .map(|(t, bytes)| {
+                    let this = self.clone();
+                    async move {
+                        let service = cal.kv_op_cost + this.d.target(t).media.write_time(bytes);
+                        this.d.target(t).tally.note_write(bytes);
+                        this.target_service(t, service).await;
+                    }
+                })
+                .collect();
+            join_all(updates).await;
+            let total: u64 = dests.iter().map(|(_, b)| *b).sum();
+            self.d.pool.charge(total)?;
+            cont.cont.kv_put_multi(oid, pairs)?;
+        }
+        self.latency().await;
+        Ok(())
+    }
+
     async fn kv_get_once(&self, cont: &SimCont, oid: Oid, key: &[u8]) -> Result<Option<Bytes>> {
         let cal = self.d.spec.calibration;
         let t = if oid.class().replicas(self.pool_targets()) > 1 {
@@ -545,6 +608,82 @@ impl SimClient {
                 self.d.pool.charge(parity.len() as u64)?;
                 cont.cont.array_set_parity(oid, parity)?;
             }
+        }
+        self.latency().await;
+        Ok(())
+    }
+
+    /// Scatter-gather write: all extents ride one request and one lock
+    /// acquisition pass, their shard flows and media services running
+    /// concurrently. EC objects only support their whole-object write
+    /// shape, so multi-extent EC batches are rejected up front.
+    async fn array_write_vec_once(
+        &self,
+        cont: &SimCont,
+        oid: Oid,
+        iovs: Vec<(u64, Bytes)>,
+    ) -> Result<()> {
+        if iovs.is_empty() {
+            return Ok(());
+        }
+        let is_ec =
+            oid.class() == ObjectClass::EC2P1 && oid.class().parity_cells(self.pool_targets()) > 0;
+        if iovs.len() == 1 || is_ec {
+            if iovs.len() > 1 {
+                return Err(DaosError::InvalidArg(
+                    "EC objects support a single whole-object extent per write",
+                ));
+            }
+            let (offset, data) = iovs.into_iter().next().expect("non-empty");
+            return self.array_write_once(cont, oid, offset, data).await;
+        }
+        let replicated = oid.class().replicas(self.pool_targets()) > 1;
+        // Shards of every extent, as its own array_write would place them.
+        let mut shards: Vec<(u32, u64)> = Vec::new();
+        for (offset, data) in &iovs {
+            let len = data.len() as u64;
+            let per_iov: Vec<(u32, u64)> = if replicated {
+                replica_targets(oid, self.pool_targets())
+                    .into_iter()
+                    .map(|t| (t, len))
+                    .collect()
+            } else {
+                array_target_shards(oid, *offset, len, self.pool_targets())
+            };
+            shards.extend(per_iov.into_iter().map(|(t, b)| (self.live_target(t), b)));
+        }
+        for (t, _) in &shards {
+            self.engine_for(*t)?;
+        }
+        self.latency().await;
+        // Take the distinct chunk locks in ascending order (the global
+        // order every batch uses, so concurrent batches cannot deadlock).
+        let mut chunks: Vec<u64> = iovs.iter().map(|(off, _)| off / ARRAY_CHUNK).collect();
+        chunks.sort_unstable();
+        chunks.dedup();
+        let locks: Vec<_> = chunks
+            .iter()
+            .map(|&c| self.d.obj_lock(cont.uuid, oid, c))
+            .collect();
+        {
+            let mut guards = Vec::with_capacity(locks.len());
+            for lock in &locks {
+                guards.push(lock.acquire_one().await);
+            }
+            let _os = self.d.sim.span("objstore", "array_update");
+            let writes: Vec<_> = shards
+                .iter()
+                .map(|&(t, bytes)| {
+                    let this = self.clone();
+                    async move { this.shard_write(t, bytes).await }
+                })
+                .collect();
+            for r in join_all(writes).await {
+                r?;
+            }
+            let total: u64 = iovs.iter().map(|(_, d)| d.len() as u64).sum();
+            self.d.pool.charge(total)?;
+            cont.cont.array_write_vec(oid, iovs)?;
         }
         self.latency().await;
         Ok(())
@@ -754,41 +893,58 @@ impl DaosApi for SimClient {
         .await
     }
 
-    async fn array_create(&self, cont: &Self::Cont, oid: Oid) -> Result<()> {
+    async fn kv_put_multi(
+        &self,
+        cont: &Self::Cont,
+        oid: Oid,
+        pairs: Vec<(Vec<u8>, Bytes)>,
+    ) -> Result<()> {
+        let (this, cont) = (self.clone(), cont.clone());
+        self.retrying("kv_put_multi", move || {
+            let (this, cont, pairs) = (this.clone(), cont.clone(), pairs.clone());
+            async move { this.kv_put_multi_once(&cont, oid, pairs).await }
+        })
+        .await
+    }
+
+    async fn array_create(&self, cont: &Self::Cont, oid: Oid) -> Result<ArrayHandle> {
         let (this, cont) = (self.clone(), cont.clone());
         self.retrying("array_create", move || {
             let (this, cont) = (this.clone(), cont.clone());
             async move { this.array_create_once(&cont, oid).await }
         })
         .await
+        .map(|()| ArrayHandle::from_open(oid))
     }
 
-    async fn array_open(&self, cont: &Self::Cont, oid: Oid) -> Result<()> {
+    async fn array_open(&self, cont: &Self::Cont, oid: Oid) -> Result<ArrayHandle> {
         let (this, cont) = (self.clone(), cont.clone());
         self.retrying("array_open", move || {
             let (this, cont) = (this.clone(), cont.clone());
             async move { this.array_open_once(&cont, oid).await }
         })
         .await
+        .map(|()| ArrayHandle::from_open(oid))
     }
 
-    async fn array_open_or_create(&self, cont: &Self::Cont, oid: Oid) -> Result<()> {
+    async fn array_open_or_create(&self, cont: &Self::Cont, oid: Oid) -> Result<ArrayHandle> {
         let (this, cont) = (self.clone(), cont.clone());
         self.retrying("array_open_or_create", move || {
             let (this, cont) = (this.clone(), cont.clone());
             async move { this.array_open_or_create_once(&cont, oid).await }
         })
         .await
+        .map(|()| ArrayHandle::from_open(oid))
     }
 
     async fn array_write(
         &self,
         cont: &Self::Cont,
-        oid: Oid,
+        handle: &ArrayHandle,
         offset: u64,
         data: Bytes,
     ) -> Result<()> {
-        let (this, cont) = (self.clone(), cont.clone());
+        let (this, cont, oid) = (self.clone(), cont.clone(), handle.oid());
         self.retrying("array_write", move || {
             let (this, cont, data) = (this.clone(), cont.clone(), data.clone());
             async move { this.array_write_once(&cont, oid, offset, data).await }
@@ -796,14 +952,28 @@ impl DaosApi for SimClient {
         .await
     }
 
+    async fn array_write_vec(
+        &self,
+        cont: &Self::Cont,
+        handle: &ArrayHandle,
+        iovs: Vec<(u64, Bytes)>,
+    ) -> Result<()> {
+        let (this, cont, oid) = (self.clone(), cont.clone(), handle.oid());
+        self.retrying("array_write_vec", move || {
+            let (this, cont, iovs) = (this.clone(), cont.clone(), iovs.clone());
+            async move { this.array_write_vec_once(&cont, oid, iovs).await }
+        })
+        .await
+    }
+
     async fn array_read(
         &self,
         cont: &Self::Cont,
-        oid: Oid,
+        handle: &ArrayHandle,
         offset: u64,
         len: u64,
     ) -> Result<Bytes> {
-        let (this, cont) = (self.clone(), cont.clone());
+        let (this, cont, oid) = (self.clone(), cont.clone(), handle.oid());
         self.retrying("array_read", move || {
             let (this, cont) = (this.clone(), cont.clone());
             async move { this.array_read_once(&cont, oid, offset, len).await }
@@ -811,8 +981,8 @@ impl DaosApi for SimClient {
         .await
     }
 
-    async fn array_size(&self, cont: &Self::Cont, oid: Oid) -> Result<u64> {
-        let (this, cont) = (self.clone(), cont.clone());
+    async fn array_size(&self, cont: &Self::Cont, handle: &ArrayHandle) -> Result<u64> {
+        let (this, cont, oid) = (self.clone(), cont.clone(), handle.oid());
         self.retrying("array_size", move || {
             let (this, cont) = (this.clone(), cont.clone());
             async move { this.array_size_once(&cont, oid).await }
@@ -820,8 +990,8 @@ impl DaosApi for SimClient {
         .await
     }
 
-    async fn array_close(&self, cont: &Self::Cont, oid: Oid) -> Result<()> {
-        self.array_close_once(cont, oid).await
+    async fn array_close(&self, cont: &Self::Cont, handle: ArrayHandle) -> Result<()> {
+        self.array_close_once(cont, handle.oid()).await
     }
 
     async fn obj_punch(&self, cont: &Self::Cont, oid: Oid) -> Result<()> {
@@ -839,6 +1009,14 @@ impl DaosApi for SimClient {
 
     fn pool_targets(&self) -> u32 {
         SimClient::pool_targets(self)
+    }
+
+    fn spawn_op(&self, op: daosim_objstore::OpFuture) {
+        // Each event-queue operation is its own kernel task: it suspends
+        // and resumes independently, so in-flight operations' network
+        // flows and media services overlap in simulated time, and each
+        // carries its own retry budget, spans and metrics.
+        self.d.sim.spawn(op);
     }
 }
 
@@ -864,14 +1042,15 @@ mod tests {
                 .await
                 .unwrap();
             let oid = OidAllocator::new(0).next(ObjectClass::S1);
-            client.array_create(&cont, oid).await.unwrap();
+            let h = client.array_create(&cont, oid).await.unwrap();
             let payload = Bytes::from(vec![42u8; MIB as usize]);
             client
-                .array_write(&cont, oid, 0, payload.clone())
+                .array_write(&cont, &h, 0, payload.clone())
                 .await
                 .unwrap();
-            let back = client.array_read(&cont, oid, 0, MIB).await.unwrap();
+            let back = client.array_read(&cont, &h, 0, MIB).await.unwrap();
             assert_eq!(back, payload);
+            client.array_close(&cont, h).await.unwrap();
         });
         // A 1 MiB write + read over a ~3 GiB/s path takes real time.
         assert!(end.as_secs_f64() > 0.0005, "suspiciously fast: {end}");
@@ -892,11 +1071,12 @@ mod tests {
                         .await
                         .unwrap();
                     let oid = Oid::generate(9, 9, ObjectClass::S1);
-                    client.array_open_or_create(&cont, oid).await.unwrap();
+                    let h = client.array_open_or_create(&cont, oid).await.unwrap();
                     client
-                        .array_write(&cont, oid, 0, Bytes::from(vec![0u8; MIB as usize]))
+                        .array_write(&cont, &h, 0, Bytes::from(vec![0u8; MIB as usize]))
                         .await
                         .unwrap();
+                    client.array_close(&cont, h).await.unwrap();
                 });
             }
             sim.run().expect_quiescent().as_secs_f64()
@@ -921,11 +1101,12 @@ mod tests {
                         .await
                         .unwrap();
                     let oid = Oid::generate(10, i as u64, ObjectClass::S1);
-                    client.array_create(&cont, oid).await.unwrap();
+                    let h = client.array_create(&cont, oid).await.unwrap();
                     client
-                        .array_write(&cont, oid, 0, Bytes::from(vec![0u8; MIB as usize]))
+                        .array_write(&cont, &h, 0, Bytes::from(vec![0u8; MIB as usize]))
                         .await
                         .unwrap();
+                    client.array_close(&cont, h).await.unwrap();
                 });
             }
             sim.run().expect_quiescent().as_secs_f64()
@@ -961,7 +1142,7 @@ mod tests {
         // budget must cause no client-visible errors, only retries.
         let sim = Sim::new();
         let mut spec = ClusterSpec::tcp(1, 1);
-        spec.retry = crate::fault::RetryPolicy::operational();
+        spec.retry = crate::fault::RetryPolicy::builder().operational().build();
         let d = Deployment::new(&sim, spec);
         {
             let d = Rc::clone(&d);
@@ -976,7 +1157,7 @@ mod tests {
                 // Brown out both engines mid-workload for 100 ms — well
                 // inside the ~0.8 s cumulative backoff budget.
                 let oid0 = alloc.next(ObjectClass::S1);
-                client.array_create(&cont, oid0).await.unwrap();
+                let h0 = client.array_create(&cont, oid0).await.unwrap();
                 d.brownout_engine(0);
                 d.brownout_engine(1);
                 {
@@ -988,11 +1169,12 @@ mod tests {
                         });
                 }
                 client
-                    .array_write(&cont, oid0, 0, payload.clone())
+                    .array_write(&cont, &h0, 0, payload.clone())
                     .await
                     .unwrap();
-                let back = client.array_read(&cont, oid0, 0, MIB).await.unwrap();
+                let back = client.array_read(&cont, &h0, 0, MIB).await.unwrap();
                 assert_eq!(back, payload);
+                client.array_close(&cont, h0).await.unwrap();
             });
         }
         sim.run().expect_quiescent();
@@ -1010,14 +1192,12 @@ mod tests {
         // policy bounds recovery, it does not mask permanent loss.
         let sim = Sim::new();
         let mut spec = ClusterSpec::tcp(1, 1);
-        spec.retry = crate::fault::RetryPolicy {
-            max_attempts: 3,
-            base_backoff: SimDuration::from_micros(100),
-            max_backoff: SimDuration::from_millis(1),
-            attempt_timeout: SimDuration::ZERO,
-            op_deadline: SimDuration::ZERO,
-            seed: 1,
-        };
+        spec.retry = crate::fault::RetryPolicy::builder()
+            .max_attempts(3)
+            .base_backoff(SimDuration::from_micros(100))
+            .max_backoff(SimDuration::from_millis(1))
+            .seed(1)
+            .build();
         let d = Deployment::new(&sim, spec);
         let failed: Rc<Cell<bool>> = Rc::default();
         {
@@ -1065,7 +1245,8 @@ mod tests {
             }
             d2.revive_engine(0);
             d2.revive_engine(1);
-            client.array_create(&cont, oid).await.unwrap();
+            let h = client.array_create(&cont, oid).await.unwrap();
+            client.array_close(&cont, h).await.unwrap();
         });
         sim.run().expect_quiescent();
         assert_eq!(failed.get(), 1);
@@ -1093,12 +1274,12 @@ mod tests {
                 let mut alloc = OidAllocator::new(p);
                 for _ in 0..ops_per_proc {
                     let oid = alloc.next(ObjectClass::S1);
-                    client.array_create(&cont, oid).await.unwrap();
+                    let h = client.array_create(&cont, oid).await.unwrap();
                     client
-                        .array_write(&cont, oid, 0, payload.clone())
+                        .array_write(&cont, &h, 0, payload.clone())
                         .await
                         .unwrap();
-                    client.array_close(&cont, oid).await.unwrap();
+                    client.array_close(&cont, h).await.unwrap();
                 }
             });
         }

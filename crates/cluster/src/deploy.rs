@@ -36,8 +36,9 @@ pub struct ClusterSpec {
     pub provider: ProviderProfile,
     pub calibration: Calibration,
     /// Client-side retry/deadline policy. Defaults to
-    /// [`RetryPolicy::none`] (fail fast), preserving the pre-resilience
-    /// behaviour; set [`RetryPolicy::operational`] for fault drills.
+    /// fail fast (`RetryPolicy::builder().build()`), preserving the
+    /// pre-resilience behaviour; build with
+    /// [`crate::RetryPolicyBuilder::operational`] for fault drills.
     pub retry: RetryPolicy,
 }
 
@@ -53,7 +54,7 @@ impl ClusterSpec {
             client_sockets: 2,
             provider: ProviderProfile::tcp(),
             calibration: Calibration::nextgenio(),
-            retry: RetryPolicy::none(),
+            retry: RetryPolicy::builder().build(),
         }
     }
 
@@ -68,7 +69,7 @@ impl ClusterSpec {
             client_sockets: 1,
             provider: ProviderProfile::psm2(),
             calibration: Calibration::nextgenio(),
-            retry: RetryPolicy::none(),
+            retry: RetryPolicy::builder().build(),
         }
     }
 

@@ -47,31 +47,36 @@ pub struct RetryPolicy {
 }
 
 impl RetryPolicy {
-    /// Fail-fast: a single attempt, no deadlines. The default.
-    pub fn none() -> Self {
-        RetryPolicy {
-            max_attempts: 1,
-            base_backoff: SimDuration::ZERO,
-            max_backoff: SimDuration::ZERO,
-            attempt_timeout: SimDuration::ZERO,
-            op_deadline: SimDuration::ZERO,
-            seed: 0,
+    /// Starts a builder at the fail-fast defaults (one attempt, no
+    /// deadlines); `RetryPolicy::builder().build()` is the default
+    /// policy, and [`RetryPolicyBuilder::operational`] loads the drill
+    /// preset as a starting point.
+    pub fn builder() -> RetryPolicyBuilder {
+        RetryPolicyBuilder {
+            policy: RetryPolicy {
+                max_attempts: 1,
+                base_backoff: SimDuration::ZERO,
+                max_backoff: SimDuration::ZERO,
+                attempt_timeout: SimDuration::ZERO,
+                op_deadline: SimDuration::ZERO,
+                seed: 0,
+            },
         }
     }
 
-    /// A policy sized for operational (time-critical window) drills:
-    /// enough backoff budget (~0.8 s cumulative) to ride out sub-second
-    /// brownouts and a kill→rebuild gap, with generous per-attempt and
-    /// overall deadlines so slow-but-progressing I/O is never cut short.
+    /// Fail-fast: a single attempt, no deadlines. The default.
+    #[deprecated(since = "0.1.0", note = "use RetryPolicy::builder().build()")]
+    pub fn none() -> Self {
+        RetryPolicy::builder().build()
+    }
+
+    /// A policy sized for operational (time-critical window) drills.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use RetryPolicy::builder().operational().build()"
+    )]
     pub fn operational() -> Self {
-        RetryPolicy {
-            max_attempts: 12,
-            base_backoff: SimDuration::from_millis(1),
-            max_backoff: SimDuration::from_millis(200),
-            attempt_timeout: SimDuration::from_secs(5),
-            op_deadline: SimDuration::from_secs(60),
-            seed: 0x5EED_CAFE,
-        }
+        RetryPolicy::builder().operational().build()
     }
 
     pub fn enabled(&self) -> bool {
@@ -99,7 +104,73 @@ impl RetryPolicy {
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        RetryPolicy::none()
+        RetryPolicy::builder().build()
+    }
+}
+
+/// Builder for [`RetryPolicy`]. Starts fail-fast; each setter overrides
+/// one knob, and [`operational`](Self::operational) loads the drill
+/// preset wholesale (setters applied after it still win).
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicyBuilder {
+    policy: RetryPolicy,
+}
+
+impl RetryPolicyBuilder {
+    /// Loads the operational (time-critical window) drill preset: enough
+    /// backoff budget (~0.8 s cumulative) to ride out sub-second
+    /// brownouts and a kill→rebuild gap, with generous per-attempt and
+    /// overall deadlines so slow-but-progressing I/O is never cut short.
+    pub fn operational(mut self) -> Self {
+        self.policy = RetryPolicy {
+            max_attempts: 12,
+            base_backoff: SimDuration::from_millis(1),
+            max_backoff: SimDuration::from_millis(200),
+            attempt_timeout: SimDuration::from_secs(5),
+            op_deadline: SimDuration::from_secs(60),
+            seed: 0x5EED_CAFE,
+        };
+        self
+    }
+
+    /// Total attempts per operation (1 = fail fast, no retries).
+    pub fn max_attempts(mut self, n: u32) -> Self {
+        self.policy.max_attempts = n;
+        self
+    }
+
+    /// First backoff; doubles per retry.
+    pub fn base_backoff(mut self, d: SimDuration) -> Self {
+        self.policy.base_backoff = d;
+        self
+    }
+
+    /// Ceiling on a single backoff interval.
+    pub fn max_backoff(mut self, d: SimDuration) -> Self {
+        self.policy.max_backoff = d;
+        self
+    }
+
+    /// Deadline for a single attempt; `ZERO` disables the timeout.
+    pub fn attempt_timeout(mut self, d: SimDuration) -> Self {
+        self.policy.attempt_timeout = d;
+        self
+    }
+
+    /// Overall deadline across all attempts; `ZERO` disables it.
+    pub fn op_deadline(mut self, d: SimDuration) -> Self {
+        self.policy.op_deadline = d;
+        self
+    }
+
+    /// Seed for deterministic backoff jitter.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.policy.seed = seed;
+        self
+    }
+
+    pub fn build(self) -> RetryPolicy {
+        self.policy
     }
 }
 
@@ -411,8 +482,23 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_match_builder() {
+        assert_eq!(RetryPolicy::none(), RetryPolicy::builder().build());
+        assert_eq!(RetryPolicy::none(), RetryPolicy::default());
+        assert_eq!(
+            RetryPolicy::operational(),
+            RetryPolicy::builder().operational().build()
+        );
+        // Setters applied after a preset still win.
+        let p = RetryPolicy::builder().operational().max_attempts(3).build();
+        assert_eq!(p.max_attempts, 3);
+        assert_eq!(p.seed, 0x5EED_CAFE);
+    }
+
+    #[test]
     fn backoff_grows_and_caps() {
-        let p = RetryPolicy::operational();
+        let p = RetryPolicy::builder().operational().build();
         let d1 = p.backoff_delay(1, 7);
         let d4 = p.backoff_delay(4, 7);
         assert!(d4 > d1, "{d1:?} !< {d4:?}");

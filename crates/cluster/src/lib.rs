@@ -20,5 +20,7 @@ pub mod rebuild;
 pub use calibration::Calibration;
 pub use client::{SimClient, SimCont};
 pub use deploy::{ClusterSpec, Deployment, Engine, Target};
-pub use fault::{FaultEvent, FaultPlan, ResilienceReport, ResilienceStats, RetryPolicy};
+pub use fault::{
+    FaultEvent, FaultPlan, ResilienceReport, ResilienceStats, RetryPolicy, RetryPolicyBuilder,
+};
 pub use rebuild::{rebuild_engine, RebuildError, RebuildReport};

@@ -220,24 +220,24 @@ mod tests {
                     .unwrap();
                 let mut alloc = OidAllocator::new(1);
                 let payload = Bytes::from(vec![9u8; MIB as usize]);
-                let mut oids = Vec::new();
+                let mut handles = Vec::new();
                 for _ in 0..12 {
                     let oid = alloc.next(ObjectClass::RP2);
-                    client.array_create(&cont, oid).await.unwrap();
+                    let h = client.array_create(&cont, oid).await.unwrap();
                     client
-                        .array_write(&cont, oid, 0, payload.clone())
+                        .array_write(&cont, &h, 0, payload.clone())
                         .await
                         .unwrap();
-                    oids.push(oid);
+                    handles.push(h);
                 }
                 d.kill_engine(0);
                 // Degraded: reads work, writes to objects with a dead
                 // replica fail.
                 let mut blocked = 0;
-                for &oid in &oids {
-                    client.array_read(&cont, oid, 0, MIB).await.unwrap();
+                for h in &handles {
+                    client.array_read(&cont, h, 0, MIB).await.unwrap();
                     if client
-                        .array_write(&cont, oid, 0, payload.clone())
+                        .array_write(&cont, h, 0, payload.clone())
                         .await
                         .is_err()
                     {
@@ -250,12 +250,12 @@ mod tests {
                 *report.borrow_mut() = r;
 
                 // Redundancy restored: every write succeeds again.
-                for &oid in &oids {
+                for h in &handles {
                     client
-                        .array_write(&cont, oid, 0, payload.clone())
+                        .array_write(&cont, h, 0, payload.clone())
                         .await
                         .unwrap();
-                    let got = client.array_read(&cont, oid, 0, MIB).await.unwrap();
+                    let got = client.array_read(&cont, h, 0, MIB).await.unwrap();
                     assert_eq!(got, payload);
                 }
             });
@@ -284,26 +284,26 @@ mod tests {
                     .unwrap();
                 let mut alloc = OidAllocator::new(1);
                 let payload = Bytes::from(vec![6u8; MIB as usize]);
-                let mut oids = Vec::new();
+                let mut handles = Vec::new();
                 for _ in 0..12 {
                     let oid = alloc.next(ObjectClass::EC2P1);
-                    client.array_create(&cont, oid).await.unwrap();
+                    let h = client.array_create(&cont, oid).await.unwrap();
                     client
-                        .array_write(&cont, oid, 0, payload.clone())
+                        .array_write(&cont, &h, 0, payload.clone())
                         .await
                         .unwrap();
-                    oids.push(oid);
+                    handles.push(h);
                 }
                 d.kill_engine(2);
                 let r = rebuild_engine(&d, 2).await.expect("valid rebuild");
                 assert!(r.objects_moved > 0, "EC objects must rebuild: {r:?}");
                 // Full redundancy again: writes and reads succeed on all.
-                for &oid in &oids {
+                for h in &handles {
                     client
-                        .array_write(&cont, oid, 0, payload.clone())
+                        .array_write(&cont, h, 0, payload.clone())
                         .await
                         .unwrap();
-                    let got = client.array_read(&cont, oid, 0, MIB).await.unwrap();
+                    let got = client.array_read(&cont, h, 0, MIB).await.unwrap();
                     assert_eq!(got, payload);
                 }
             });
@@ -327,11 +327,12 @@ mod tests {
                 let mut alloc = OidAllocator::new(1);
                 for _ in 0..32 {
                     let oid = alloc.next(ObjectClass::S1);
-                    client.array_create(&cont, oid).await.unwrap();
+                    let h = client.array_create(&cont, oid).await.unwrap();
                     client
-                        .array_write(&cont, oid, 0, Bytes::from(vec![1u8; 4096]))
+                        .array_write(&cont, &h, 0, Bytes::from(vec![1u8; 4096]))
                         .await
                         .unwrap();
+                    client.array_close(&cont, h).await.unwrap();
                 }
                 d.kill_engine(1);
                 let r = rebuild_engine(&d, 1).await.expect("valid rebuild");
@@ -360,11 +361,12 @@ mod tests {
                 let payload = Bytes::from(vec![2u8; MIB as usize]);
                 for _ in 0..objects {
                     let oid = alloc.next(ObjectClass::RP2);
-                    client.array_create(&cont, oid).await.unwrap();
+                    let h = client.array_create(&cont, oid).await.unwrap();
                     client
-                        .array_write(&cont, oid, 0, payload.clone())
+                        .array_write(&cont, &h, 0, payload.clone())
                         .await
                         .unwrap();
+                    client.array_close(&cont, h).await.unwrap();
                 }
                 d2.kill_engine(0);
                 let r = rebuild_engine(&d2, 0).await.expect("valid rebuild");

@@ -31,12 +31,12 @@ fn write_workload(spec: ClusterSpec, procs: u32, ops: u32, mib: u64, class: Obje
             let mut alloc = OidAllocator::new(p + 1);
             for _ in 0..ops {
                 let oid = alloc.next(class);
-                client.array_create(&cont, oid).await.unwrap();
+                let h = client.array_create(&cont, oid).await.unwrap();
                 client
-                    .array_write(&cont, oid, 0, payload.clone())
+                    .array_write(&cont, &h, 0, payload.clone())
                     .await
                     .unwrap();
-                client.array_close(&cont, oid).await.unwrap();
+                client.array_close(&cont, h).await.unwrap();
             }
         });
     }
@@ -140,11 +140,12 @@ fn reads_outpace_writes_on_the_same_data() {
                     let mut alloc = OidAllocator::new(p + 1);
                     for _ in 0..ops {
                         let oid = alloc.next(ObjectClass::S1);
-                        client.array_create(&cont, oid).await.unwrap();
+                        let h = client.array_create(&cont, oid).await.unwrap();
                         client
-                            .array_write(&cont, oid, 0, payload.clone())
+                            .array_write(&cont, &h, 0, payload.clone())
                             .await
                             .unwrap();
+                        client.array_close(&cont, h).await.unwrap();
                     }
                 }));
             }
@@ -162,8 +163,10 @@ fn reads_outpace_writes_on_the_same_data() {
                     let mut alloc = OidAllocator::new(p + 1);
                     for _ in 0..ops {
                         let oid = alloc.next(ObjectClass::S1);
-                        let data = client.array_read(&cont, oid, 0, MIB).await.unwrap();
+                        let h = client.array_open(&cont, oid).await.unwrap();
+                        let data = client.array_read(&cont, &h, 0, MIB).await.unwrap();
                         assert_eq!(data.len() as u64, MIB);
+                        client.array_close(&cont, h).await.unwrap();
                     }
                 }));
             }
@@ -194,11 +197,12 @@ fn data_written_through_sim_is_readable_from_backing_store() {
                 .cont_open_or_create(Uuid::from_name(b"direct"))
                 .await
                 .unwrap();
-            client.array_create(&cont, oid).await.unwrap();
+            let h = client.array_create(&cont, oid).await.unwrap();
             client
-                .array_write(&cont, oid, 0, Bytes::from(vec![9u8; 3 * MIB as usize]))
+                .array_write(&cont, &h, 0, Bytes::from(vec![9u8; 3 * MIB as usize]))
                 .await
                 .unwrap();
+            client.array_close(&cont, h).await.unwrap();
         });
     }
     sim.run().expect_quiescent();
@@ -224,11 +228,12 @@ fn utilization_accounting_is_sane() {
             let mut alloc = OidAllocator::new(p + 1);
             for _ in 0..8 {
                 let oid = alloc.next(ObjectClass::S1);
-                client.array_create(&cont, oid).await.unwrap();
+                let h = client.array_create(&cont, oid).await.unwrap();
                 client
-                    .array_write(&cont, oid, 0, payload.clone())
+                    .array_write(&cont, &h, 0, payload.clone())
                     .await
                     .unwrap();
+                client.array_close(&cont, h).await.unwrap();
             }
         });
     }
@@ -280,24 +285,24 @@ fn replicated_reads_survive_single_engine_loss() {
             for i in 0..16u64 {
                 let r = Oid::generate(1, i, ObjectClass::RP2);
                 let s = Oid::generate(2, i, ObjectClass::S1);
-                client.array_create(&cont, r).await.unwrap();
+                let rh = client.array_create(&cont, r).await.unwrap();
                 client
-                    .array_write(&cont, r, 0, payload.clone())
+                    .array_write(&cont, &rh, 0, payload.clone())
                     .await
                     .unwrap();
-                client.array_create(&cont, s).await.unwrap();
+                let sh = client.array_create(&cont, s).await.unwrap();
                 client
-                    .array_write(&cont, s, 0, payload.clone())
+                    .array_write(&cont, &sh, 0, payload.clone())
                     .await
                     .unwrap();
-                replicated.push(r);
-                plain.push(s);
+                replicated.push(rh);
+                plain.push(sh);
             }
             d.kill_engine(0);
             let mut rp_ok = 0;
             let mut s1_ok = 0;
             let mut s1_failed = 0;
-            for (&r, &s) in replicated.iter().zip(&plain) {
+            for (r, s) in replicated.iter().zip(&plain) {
                 match client.array_read(&cont, r, 0, MIB).await {
                     Ok(data) => {
                         assert_eq!(data.len() as u64, MIB);
@@ -319,7 +324,7 @@ fn replicated_reads_survive_single_engine_loss() {
             // Writes to replicated objects need the full group: objects
             // with a replica on engine 0 now reject writes.
             let mut write_failures = 0;
-            for &r in &replicated {
+            for r in &replicated {
                 if client
                     .array_write(&cont, r, 0, payload.clone())
                     .await
@@ -393,28 +398,31 @@ fn ec_objects_reconstruct_after_single_engine_loss() {
                 .cont_open_or_create(Uuid::from_name(b"ec"))
                 .await
                 .unwrap();
-            let mut oids = Vec::new();
+            let mut handles = Vec::new();
             for i in 0..24u64 {
                 let oid = Oid::generate(3, i, ObjectClass::EC2P1);
-                client.array_create(&cont, oid).await.unwrap();
+                let h = client.array_create(&cont, oid).await.unwrap();
                 client
-                    .array_write(&cont, oid, 0, payload.clone())
+                    .array_write(&cont, &h, 0, payload.clone())
                     .await
                     .unwrap();
-                oids.push(oid);
+                handles.push(h);
             }
             d.kill_engine(1);
-            for &oid in &oids {
+            for h in &handles {
                 // Every object is readable; degraded ones return bytes
                 // reconstructed from survivor + parity.
                 let got = client
-                    .array_read(&cont, oid, 0, payload.len() as u64)
+                    .array_read(&cont, h, 0, payload.len() as u64)
                     .await
                     .unwrap();
-                assert_eq!(got, payload, "EC read mismatch for {oid:?}");
+                assert_eq!(got, payload, "EC read mismatch for {:?}", h.oid());
             }
             // Partial reads work degraded too.
-            let got = client.array_read(&cont, oids[0], 1000, 5000).await.unwrap();
+            let got = client
+                .array_read(&cont, &handles[0], 1000, 5000)
+                .await
+                .unwrap();
             assert_eq!(got, payload.slice(1000..6000));
         });
     }
@@ -434,19 +442,19 @@ fn ec_degraded_reads_cost_reconstruction_time() {
                 .cont_open_or_create(Uuid::from_name(b"ec2"))
                 .await
                 .unwrap();
-            let mut oids = Vec::new();
+            let mut handles = Vec::new();
             for i in 0..16u64 {
                 let oid = Oid::generate(4, i, ObjectClass::EC2P1);
-                client.array_create(&cont, oid).await.unwrap();
-                client.array_write(&cont, oid, 0, p2.clone()).await.unwrap();
-                oids.push(oid);
+                let h = client.array_create(&cont, oid).await.unwrap();
+                client.array_write(&cont, &h, 0, p2.clone()).await.unwrap();
+                handles.push(h);
             }
             if kill {
                 d2.kill_engine(0);
             }
             let t0 = d2.sim.now();
-            for &oid in &oids {
-                client.array_read(&cont, oid, 0, MIB).await.unwrap();
+            for h in &handles {
+                client.array_read(&cont, h, 0, MIB).await.unwrap();
             }
             // Stash phase duration in pool used (hack-free: assert below
             // uses total end time instead).
@@ -475,13 +483,13 @@ fn ec_write_rejects_nonzero_offsets_and_two_failures() {
                 .await
                 .unwrap();
             let oid = Oid::generate(5, 0, ObjectClass::EC2P1);
-            client.array_create(&cont, oid).await.unwrap();
+            let h = client.array_create(&cont, oid).await.unwrap();
             client
-                .array_write(&cont, oid, 0, Bytes::from(vec![1u8; 4096]))
+                .array_write(&cont, &h, 0, Bytes::from(vec![1u8; 4096]))
                 .await
                 .unwrap();
             match client
-                .array_write(&cont, oid, 100, Bytes::from_static(b"x"))
+                .array_write(&cont, &h, 100, Bytes::from_static(b"x"))
                 .await
             {
                 Err(daosim_objstore::DaosError::InvalidArg(_)) => {}
@@ -492,7 +500,7 @@ fn ec_write_rejects_nonzero_offsets_and_two_failures() {
             d.kill_engine(0);
             d.kill_engine(1);
             d.kill_engine(2);
-            match client.array_read(&cont, oid, 0, 4096).await {
+            match client.array_read(&cont, &h, 0, 4096).await {
                 Err(daosim_objstore::DaosError::EngineUnavailable(_)) => {}
                 other => panic!("expected EngineUnavailable, got {other:?}"),
             }

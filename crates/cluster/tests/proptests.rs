@@ -71,7 +71,7 @@ proptest! {
                 ProviderProfile::psm2()
             },
             calibration: daosim_cluster::Calibration::nextgenio(),
-            retry: daosim_cluster::RetryPolicy::none(),
+            retry: daosim_cluster::RetryPolicy::builder().build(),
         };
         let d = Deployment::new(&sim, spec);
         let errors: Rc<RefCell<Vec<String>>> = Rc::default();
@@ -95,18 +95,21 @@ proptest! {
                     match op {
                         Op::Write { obj, len, off } => {
                             let oid = arr(obj);
-                            client.array_open_or_create(&cont, oid).await.unwrap();
+                            let h = client.array_open_or_create(&cont, oid).await.unwrap();
                             let data = Bytes::from(vec![obj.wrapping_add(1); len as usize]);
-                            client.array_write(&cont, oid, off as u64, data).await.unwrap();
+                            client.array_write(&cont, &h, off as u64, data).await.unwrap();
+                            client.array_close(&cont, h).await.unwrap();
                             written[obj as usize] = Some((off, len));
                         }
                         Op::Read { obj, len, off } => {
                             let oid = arr(obj);
                             if written[obj as usize].is_some() {
+                                let h = client.array_open(&cont, oid).await.unwrap();
                                 let data = client
-                                    .array_read(&cont, oid, off as u64, len as u64)
+                                    .array_read(&cont, &h, off as u64, len as u64)
                                     .await
                                     .unwrap();
+                                client.array_close(&cont, h).await.unwrap();
                                 if data.len() != len as usize {
                                     errors.borrow_mut().push(format!(
                                         "short read: {} != {}",

@@ -22,14 +22,23 @@
 //!   in the main container;
 //! * [`FieldIoMode::NoIndex`] — no Key-Values at all: the Array oid is
 //!   md5 of the full field key, in the main container.
+//!
+//! On top of the blocking functions sits the pipelined layer (DESIGN.md
+//! §6): [`FieldStore::pipelined_writer`] keeps up to W field writes in
+//! flight on an [`EventQueue`], overlapping each field's index KV update
+//! with its Array data write and overlapping whole fields with each
+//! other, the way FDB's asynchronous flush does.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
 
 use bytes::{BufMut, Bytes, BytesMut};
 
-use daosim_objstore::api::{DaosApi, OidAllocator};
+use daosim_kernel::sync::join_all;
+use daosim_objstore::api::{DaosApi, Event, EventQueue, OidAllocator, OpOutput};
 use daosim_objstore::{DaosError, ObjectClass, Oid, Uuid};
 
 use crate::key::{FieldKey, KeyPart, KeySchema};
@@ -67,7 +76,8 @@ impl fmt::Display for FieldIoMode {
     }
 }
 
-/// Configuration of the field I/O functions.
+/// Configuration of the field I/O functions. Built with
+/// [`FieldIoConfig::builder`].
 #[derive(Clone, Debug)]
 pub struct FieldIoConfig {
     pub mode: FieldIoMode,
@@ -76,6 +86,9 @@ pub struct FieldIoConfig {
     /// Object class for field Arrays (paper default: `S1`).
     pub array_class: ObjectClass,
     pub schema: KeySchema,
+    /// How many field writes the pipelined paths keep in flight (W). 1
+    /// means strictly sequential — the paper's blocking Algorithm 1.
+    pub inflight_window: u32,
 }
 
 impl Default for FieldIoConfig {
@@ -85,16 +98,64 @@ impl Default for FieldIoConfig {
             kv_class: ObjectClass::SX,
             array_class: ObjectClass::S1,
             schema: KeySchema::ecmwf(),
+            inflight_window: 1,
         }
     }
 }
 
 impl FieldIoConfig {
-    pub fn with_mode(mode: FieldIoMode) -> Self {
-        FieldIoConfig {
-            mode,
-            ..Default::default()
+    /// Starts a builder at the paper defaults (`Full` mode, `SX` KVs,
+    /// `S1` arrays, ECMWF schema, window 1).
+    pub fn builder() -> FieldIoConfigBuilder {
+        FieldIoConfigBuilder {
+            cfg: FieldIoConfig::default(),
         }
+    }
+
+    #[deprecated(
+        since = "0.1.0",
+        note = "use FieldIoConfig::builder().mode(mode).build()"
+    )]
+    pub fn with_mode(mode: FieldIoMode) -> Self {
+        FieldIoConfig::builder().mode(mode).build()
+    }
+}
+
+/// Builder for [`FieldIoConfig`].
+#[derive(Clone, Debug)]
+pub struct FieldIoConfigBuilder {
+    cfg: FieldIoConfig,
+}
+
+impl FieldIoConfigBuilder {
+    pub fn mode(mut self, mode: FieldIoMode) -> Self {
+        self.cfg.mode = mode;
+        self
+    }
+
+    pub fn kv_class(mut self, class: ObjectClass) -> Self {
+        self.cfg.kv_class = class;
+        self
+    }
+
+    pub fn array_class(mut self, class: ObjectClass) -> Self {
+        self.cfg.array_class = class;
+        self
+    }
+
+    pub fn schema(mut self, schema: KeySchema) -> Self {
+        self.cfg.schema = schema;
+        self
+    }
+
+    /// Sets the pipelined in-flight window W (clamped to at least 1).
+    pub fn window(mut self, window: u32) -> Self {
+        self.cfg.inflight_window = window.max(1);
+        self
+    }
+
+    pub fn build(self) -> FieldIoConfig {
+        self.cfg
     }
 }
 
@@ -105,7 +166,41 @@ pub enum FieldIoError {
     FieldNotFound(String),
     /// A corrupt or truncated index entry.
     BadIndexEntry(String),
-    Daos(DaosError),
+    /// A DAOS operation failed, annotated with the operation name and the
+    /// field/forecast key it was serving, so callers can tell transient
+    /// faults (retryable) from permanent ones and attribute them.
+    Daos {
+        /// The client operation that failed (e.g. `"array_write"`).
+        op: &'static str,
+        /// Canonical field or forecast key the operation was serving.
+        key: String,
+        source: DaosError,
+    },
+}
+
+impl FieldIoError {
+    /// Wraps a [`DaosError`] with operation and key context.
+    pub fn daos(op: &'static str, key: impl Into<String>, source: DaosError) -> Self {
+        FieldIoError::Daos {
+            op,
+            key: key.into(),
+            source,
+        }
+    }
+
+    /// True when the underlying DAOS error is transient (a retry may
+    /// succeed). `FieldNotFound`/`BadIndexEntry` are never transient.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, FieldIoError::Daos { source, .. } if source.is_transient())
+    }
+
+    /// The wrapped DAOS error, when there is one.
+    pub fn daos_source(&self) -> Option<&DaosError> {
+        match self {
+            FieldIoError::Daos { source, .. } => Some(source),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for FieldIoError {
@@ -113,20 +208,28 @@ impl fmt::Display for FieldIoError {
         match self {
             FieldIoError::FieldNotFound(k) => write!(f, "field not found: {k}"),
             FieldIoError::BadIndexEntry(k) => write!(f, "bad index entry for {k}"),
-            FieldIoError::Daos(e) => write!(f, "daos error: {e}"),
+            FieldIoError::Daos { op, key, source } => {
+                write!(f, "daos {op} failed for {key}: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for FieldIoError {}
-
-impl From<DaosError> for FieldIoError {
-    fn from(e: DaosError) -> Self {
-        FieldIoError::Daos(e)
+impl std::error::Error for FieldIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FieldIoError::Daos { source, .. } => Some(source),
+            _ => None,
+        }
     }
 }
 
 pub type FieldResult<T> = std::result::Result<T, FieldIoError>;
+
+/// Annotates a DAOS result with field-I/O context (op name + key).
+fn dctx<T>(r: Result<T, DaosError>, op: &'static str, key: &str) -> FieldResult<T> {
+    r.map_err(|e| FieldIoError::daos(op, key, e))
+}
 
 /// An index entry: store container, array oid, field length.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -223,7 +326,11 @@ impl<D: DaosApi> FieldStore<D> {
     /// container. `client_id` must be unique per process — it namespaces
     /// the oids this process allocates.
     pub async fn connect(client: D, cfg: FieldIoConfig, client_id: u32) -> FieldResult<Self> {
-        let main = client.cont_open_or_create(main_container_uuid()).await?;
+        let main = dctx(
+            client.cont_open_or_create(main_container_uuid()).await,
+            "cont_open_or_create",
+            "main",
+        )?;
         let main_kv = Oid::from_digest(&Uuid::from_name(b"daosim:main-kv"), cfg.kv_class);
         Ok(FieldStore {
             client,
@@ -269,23 +376,30 @@ impl<D: DaosApi> FieldStore<D> {
             let pair = (self.main.clone(), self.main.clone());
             // Still register the forecast in the main KV, as the real
             // functions do (the index layering is mode-independent).
-            let registered = self
-                .client
-                .kv_get(&self.main, self.main_kv, mkey.as_bytes())
-                .await?
-                .is_some();
+            let registered = dctx(
+                self.client
+                    .kv_get(&self.main, self.main_kv, mkey.as_bytes())
+                    .await,
+                "kv_get",
+                &mkey,
+            )?
+            .is_some();
             if !registered {
                 if !create_if_absent {
                     return Err(FieldIoError::FieldNotFound(mkey));
                 }
-                self.client
-                    .kv_put(
-                        &self.main,
-                        self.main_kv,
-                        mkey.as_bytes(),
-                        Bytes::copy_from_slice(main_container_uuid().as_bytes()),
-                    )
-                    .await?;
+                dctx(
+                    self.client
+                        .kv_put(
+                            &self.main,
+                            self.main_kv,
+                            mkey.as_bytes(),
+                            Bytes::copy_from_slice(main_container_uuid().as_bytes()),
+                        )
+                        .await,
+                    "kv_put",
+                    &mkey,
+                )?;
             }
             self.cont_cache.borrow_mut().insert(mkey, pair.clone());
             return Ok(pair);
@@ -294,13 +408,16 @@ impl<D: DaosApi> FieldStore<D> {
         // Full mode: query the main KV for the forecast's index container.
         let index_uuid = Uuid::from_name(format!("cont-index:{mkey}").as_bytes());
         let store_uuid = Uuid::from_name(format!("cont-store:{mkey}").as_bytes());
-        let hit = self
-            .client
-            .kv_get(&self.main, self.main_kv, mkey.as_bytes())
-            .await?;
+        let hit = dctx(
+            self.client
+                .kv_get(&self.main, self.main_kv, mkey.as_bytes())
+                .await,
+            "kv_get",
+            &mkey,
+        )?;
         let pair = if hit.is_some() {
-            let index = self.client.cont_open(index_uuid).await?;
-            let store = self.client.cont_open(store_uuid).await?;
+            let index = dctx(self.client.cont_open(index_uuid).await, "cont_open", &mkey)?;
+            let store = dctx(self.client.cont_open(store_uuid).await, "cont_open", &mkey)?;
             (index, store)
         } else {
             if !create_if_absent {
@@ -309,51 +426,49 @@ impl<D: DaosApi> FieldStore<D> {
             // Create both containers (md5-named: racing creators agree),
             // record the store container id in a special entry of the
             // newly created forecast KV, then register in the main KV.
-            let index = self.client.cont_open_or_create(index_uuid).await?;
-            let store = self.client.cont_open_or_create(store_uuid).await?;
+            let index = dctx(
+                self.client.cont_open_or_create(index_uuid).await,
+                "cont_open_or_create",
+                &mkey,
+            )?;
+            let store = dctx(
+                self.client.cont_open_or_create(store_uuid).await,
+                "cont_open_or_create",
+                &mkey,
+            )?;
             let fkv = self.forecast_kv_oid(msk);
-            self.client
-                .kv_put(
-                    &index,
-                    fkv,
-                    b"__store_container__",
-                    Bytes::copy_from_slice(store_uuid.as_bytes()),
-                )
-                .await?;
-            self.client
-                .kv_put(
-                    &self.main,
-                    self.main_kv,
-                    mkey.as_bytes(),
-                    Bytes::copy_from_slice(index_uuid.as_bytes()),
-                )
-                .await?;
+            dctx(
+                self.client
+                    .kv_put(
+                        &index,
+                        fkv,
+                        b"__store_container__",
+                        Bytes::copy_from_slice(store_uuid.as_bytes()),
+                    )
+                    .await,
+                "kv_put",
+                &mkey,
+            )?;
+            dctx(
+                self.client
+                    .kv_put(
+                        &self.main,
+                        self.main_kv,
+                        mkey.as_bytes(),
+                        Bytes::copy_from_slice(index_uuid.as_bytes()),
+                    )
+                    .await,
+                "kv_put",
+                &mkey,
+            )?;
             (index, store)
         };
         self.cont_cache.borrow_mut().insert(mkey, pair.clone());
         Ok(pair)
     }
 
-    /// Algorithm 1: field write.
-    pub async fn write_field(&self, key: &FieldKey, data: Bytes) -> FieldResult<()> {
-        if self.cfg.mode == FieldIoMode::NoIndex {
-            let oid = self.noindex_oid(key);
-            self.client.array_open_or_create(&self.main, oid).await?;
-            self.client.array_write(&self.main, oid, 0, data).await?;
-            self.client.array_close(&self.main, oid).await?;
-            return Ok(());
-        }
-        let (msk, lsk) = key.split(&self.cfg.schema);
-        let (index, store) = self.forecast_containers(&msk, true).await?;
-        // Write the field into a brand-new Array in the store container.
-        let oid = self.alloc.borrow_mut().next(self.cfg.array_class);
-        let len = data.len() as u64;
-        self.client.array_create(&store, oid).await?;
-        self.client.array_write(&store, oid, 0, data).await?;
-        self.client.array_close(&store, oid).await?;
-        // Index it in the forecast KV (re-writes re-point the entry; the
-        // previous array is de-referenced but never deleted).
-        let entry = IndexEntry {
+    fn index_entry_for(&self, msk: &KeyPart, oid: Oid, len: u64) -> IndexEntry {
+        IndexEntry {
             store_cont: if self.cfg.mode == FieldIoMode::NoContainers {
                 main_container_uuid()
             } else {
@@ -361,46 +476,115 @@ impl<D: DaosApi> FieldStore<D> {
             },
             oid,
             len,
-        };
+        }
+    }
+
+    /// Algorithm 1: field write.
+    pub async fn write_field(&self, key: &FieldKey, data: Bytes) -> FieldResult<()> {
+        let kc = key.canonical();
+        if self.cfg.mode == FieldIoMode::NoIndex {
+            let oid = self.noindex_oid(key);
+            let h = dctx(
+                self.client.array_open_or_create(&self.main, oid).await,
+                "array_open_or_create",
+                &kc,
+            )?;
+            dctx(
+                self.client.array_write(&self.main, &h, 0, data).await,
+                "array_write",
+                &kc,
+            )?;
+            dctx(
+                self.client.array_close(&self.main, h).await,
+                "array_close",
+                &kc,
+            )?;
+            return Ok(());
+        }
+        let (msk, lsk) = key.split(&self.cfg.schema);
+        let (index, store) = self.forecast_containers(&msk, true).await?;
+        // Write the field into a brand-new Array in the store container.
+        let oid = self.alloc.borrow_mut().next(self.cfg.array_class);
+        let len = data.len() as u64;
+        let h = dctx(
+            self.client.array_create(&store, oid).await,
+            "array_create",
+            &kc,
+        )?;
+        dctx(
+            self.client.array_write(&store, &h, 0, data).await,
+            "array_write",
+            &kc,
+        )?;
+        dctx(self.client.array_close(&store, h).await, "array_close", &kc)?;
+        // Index it in the forecast KV (re-writes re-point the entry; the
+        // previous array is de-referenced but never deleted).
+        let entry = self.index_entry_for(&msk, oid, len);
         let fkv = self.forecast_kv_oid(&msk);
-        self.client
-            .kv_put(&index, fkv, lsk.canonical().as_bytes(), entry.encode())
-            .await?;
+        dctx(
+            self.client
+                .kv_put(&index, fkv, lsk.canonical().as_bytes(), entry.encode())
+                .await,
+            "kv_put",
+            &kc,
+        )?;
         Ok(())
     }
 
     /// Algorithm 2: field read.
     pub async fn read_field(&self, key: &FieldKey) -> FieldResult<Bytes> {
+        let kc = key.canonical();
         if self.cfg.mode == FieldIoMode::NoIndex {
             let oid = self.noindex_oid(key);
-            self.client
+            let h = self
+                .client
                 .array_open(&self.main, oid)
                 .await
                 .map_err(|e| match e {
-                    DaosError::ObjNotFound(_) => FieldIoError::FieldNotFound(key.canonical()),
-                    other => FieldIoError::Daos(other),
+                    DaosError::ObjNotFound(_) => FieldIoError::FieldNotFound(kc.clone()),
+                    other => FieldIoError::daos("array_open", kc.clone(), other),
                 })?;
-            let len = self.client.array_size(&self.main, oid).await?;
-            let data = self.client.array_read(&self.main, oid, 0, len).await?;
-            self.client.array_close(&self.main, oid).await?;
+            let len = dctx(
+                self.client.array_size(&self.main, &h).await,
+                "array_size",
+                &kc,
+            )?;
+            let data = dctx(
+                self.client.array_read(&self.main, &h, 0, len).await,
+                "array_read",
+                &kc,
+            )?;
+            dctx(
+                self.client.array_close(&self.main, h).await,
+                "array_close",
+                &kc,
+            )?;
             return Ok(data);
         }
         let (msk, lsk) = key.split(&self.cfg.schema);
         let (index, store) = self.forecast_containers(&msk, false).await?;
         let fkv = self.forecast_kv_oid(&msk);
-        let raw = self
-            .client
-            .kv_get(&index, fkv, lsk.canonical().as_bytes())
-            .await?
-            .ok_or_else(|| FieldIoError::FieldNotFound(key.canonical()))?;
+        let raw = dctx(
+            self.client
+                .kv_get(&index, fkv, lsk.canonical().as_bytes())
+                .await,
+            "kv_get",
+            &kc,
+        )?
+        .ok_or_else(|| FieldIoError::FieldNotFound(kc.clone()))?;
         let entry =
-            IndexEntry::decode(&raw).ok_or_else(|| FieldIoError::BadIndexEntry(key.canonical()))?;
-        self.client.array_open(&store, entry.oid).await?;
-        let data = self
-            .client
-            .array_read(&store, entry.oid, 0, entry.len)
-            .await?;
-        self.client.array_close(&store, entry.oid).await?;
+            IndexEntry::decode(&raw).ok_or_else(|| FieldIoError::BadIndexEntry(kc.clone()))?;
+        let h = dctx(
+            self.client.array_open(&store, entry.oid).await,
+            "array_open",
+            &kc,
+        )?;
+        let data = dctx(
+            self.client.array_read(&store, &h, 0, entry.len).await,
+            "array_read",
+            &kc,
+        )?;
+        dctx(self.client.array_close(&store, h).await, "array_close", &kc)?;
         Ok(data)
     }
 
@@ -415,15 +599,20 @@ impl<D: DaosApi> FieldStore<D> {
             return Ok(0);
         }
         let (msk, _) = forecast.split(&self.cfg.schema);
+        let mkey = msk.canonical();
         let (index, store) = self.forecast_containers(&msk, false).await?;
         let fkv = self.forecast_kv_oid(&msk);
         // Collect the oids the index still references.
         let mut live: std::collections::HashSet<Oid> = std::collections::HashSet::new();
-        for k in self.client.kv_list_keys(&index, fkv).await? {
+        for k in dctx(
+            self.client.kv_list_keys(&index, fkv).await,
+            "kv_list_keys",
+            &mkey,
+        )? {
             if k == b"__store_container__" {
                 continue;
             }
-            if let Some(raw) = self.client.kv_get(&index, fkv, &k).await? {
+            if let Some(raw) = dctx(self.client.kv_get(&index, fkv, &k).await, "kv_get", &mkey)? {
                 if let Some(entry) = IndexEntry::decode(&raw) {
                     live.insert(entry.oid);
                 }
@@ -437,7 +626,11 @@ impl<D: DaosApi> FieldStore<D> {
         // index no longer references. We recognise them by probing the
         // object as an Array and skipping anything still referenced.
         let mut purged = 0usize;
-        for oid in self.client.list_array_objects(&store).await? {
+        for oid in dctx(
+            self.client.list_array_objects(&store).await,
+            "list_array_objects",
+            &mkey,
+        )? {
             if live.contains(&oid) {
                 continue;
             }
@@ -453,7 +646,7 @@ impl<D: DaosApi> FieldStore<D> {
             }
             match self.client.obj_punch(&store, oid).await {
                 Ok(()) | Err(DaosError::ObjNotFound(_)) => purged += 1,
-                Err(e) => return Err(e.into()),
+                Err(e) => return Err(FieldIoError::daos("obj_punch", mkey, e)),
             }
         }
         Ok(purged)
@@ -467,26 +660,33 @@ impl<D: DaosApi> FieldStore<D> {
     /// reclaims, and the snapshot format preserves that accounting.
     pub async fn wipe_forecast(&self, forecast: &FieldKey) -> FieldResult<usize> {
         if self.cfg.mode == FieldIoMode::NoIndex {
-            return Err(FieldIoError::Daos(DaosError::InvalidArg(
-                "no-index mode keeps no listings to wipe",
-            )));
+            return Err(FieldIoError::daos(
+                "wipe_forecast",
+                forecast.canonical(),
+                DaosError::InvalidArg("no-index mode keeps no listings to wipe"),
+            ));
         }
         let (msk, _) = forecast.split(&self.cfg.schema);
+        let mkey = msk.canonical();
         let (index, store) = self.forecast_containers(&msk, false).await?;
         let fkv = self.forecast_kv_oid(&msk);
-        let keys = self.client.kv_list_keys(&index, fkv).await?;
+        let keys = dctx(
+            self.client.kv_list_keys(&index, fkv).await,
+            "kv_list_keys",
+            &mkey,
+        )?;
         let mut removed = 0usize;
         for k in keys {
             if k == b"__store_container__" {
                 continue;
             }
-            if let Some(raw) = self.client.kv_get(&index, fkv, &k).await? {
+            if let Some(raw) = dctx(self.client.kv_get(&index, fkv, &k).await, "kv_get", &mkey)? {
                 if let Some(entry) = IndexEntry::decode(&raw) {
                     // Punch may fail if a concurrent wipe raced us; treat
                     // an absent object as already punched.
                     match self.client.obj_punch(&store, entry.oid).await {
                         Ok(()) | Err(DaosError::ObjNotFound(_)) => {}
-                        Err(e) => return Err(e.into()),
+                        Err(e) => return Err(FieldIoError::daos("obj_punch", mkey, e)),
                     }
                 }
             }
@@ -495,9 +695,9 @@ impl<D: DaosApi> FieldStore<D> {
         // Drop the index object and the main registration.
         match self.client.obj_punch(&index, fkv).await {
             Ok(()) | Err(DaosError::ObjNotFound(_)) => {}
-            Err(e) => return Err(e.into()),
+            Err(e) => return Err(FieldIoError::daos("obj_punch", mkey, e)),
         }
-        self.cont_cache.borrow_mut().remove(&msk.canonical());
+        self.cont_cache.borrow_mut().remove(&mkey);
         Ok(removed)
     }
 
@@ -505,19 +705,302 @@ impl<D: DaosApi> FieldStore<D> {
     /// not part of the benchmarked hot path).
     pub async fn list_fields(&self, forecast: &FieldKey) -> FieldResult<Vec<String>> {
         if self.cfg.mode == FieldIoMode::NoIndex {
-            return Err(FieldIoError::Daos(DaosError::InvalidArg(
-                "no-index mode keeps no listings",
-            )));
+            return Err(FieldIoError::daos(
+                "list_fields",
+                forecast.canonical(),
+                DaosError::InvalidArg("no-index mode keeps no listings"),
+            ));
         }
         let (msk, _) = forecast.split(&self.cfg.schema);
         let (index, _) = self.forecast_containers(&msk, false).await?;
         let fkv = self.forecast_kv_oid(&msk);
-        let keys = self.client.kv_list_keys(&index, fkv).await?;
+        let keys = dctx(
+            self.client.kv_list_keys(&index, fkv).await,
+            "kv_list_keys",
+            &msk.canonical(),
+        )?;
         Ok(keys
             .into_iter()
             .filter(|k| k != b"__store_container__")
             .map(|k| String::from_utf8_lossy(&k).into_owned())
             .collect())
+    }
+
+    // -- pipelined layer (DESIGN.md §6) ------------------------------------
+
+    /// Starts a pipelined writer that keeps up to `window` field writes in
+    /// flight. `window <= 1` degrades to one-at-a-time (still through the
+    /// event queue, so the per-field KV-put/data-write overlap remains).
+    pub fn pipelined_writer(&self, window: u32) -> PipelinedWriter<'_, D> {
+        PipelinedWriter {
+            fs: self,
+            eq: EventQueue::new(self.client.clone()),
+            window: window.max(1) as usize,
+            pending: HashMap::new(),
+            first_err: None,
+        }
+    }
+
+    /// Launches one field write on `eq` as a composite operation: create
+    /// the array, then run the data write (and close) concurrently with
+    /// the index KV put. Containers and the oid are resolved inline so
+    /// the composite touches only its own objects.
+    async fn launch_write(
+        &self,
+        eq: &EventQueue<D>,
+        key: &FieldKey,
+        data: Bytes,
+    ) -> FieldResult<Event> {
+        let client = self.client.clone();
+        if self.cfg.mode == FieldIoMode::NoIndex {
+            let main = self.main.clone();
+            let oid = self.noindex_oid(key);
+            return Ok(eq.submit(async move {
+                let h = client.array_open_or_create(&main, oid).await?;
+                client.array_write(&main, &h, 0, data).await?;
+                client.array_close(&main, h).await?;
+                Ok(OpOutput::Unit)
+            }));
+        }
+        let (msk, lsk) = key.split(&self.cfg.schema);
+        let (index, store) = self.forecast_containers(&msk, true).await?;
+        let oid = self.alloc.borrow_mut().next(self.cfg.array_class);
+        let entry = self.index_entry_for(&msk, oid, data.len() as u64);
+        let fkv = self.forecast_kv_oid(&msk);
+        let lsk_bytes = lsk.canonical().into_bytes();
+        Ok(eq.submit(async move {
+            let h = client.array_create(&store, oid).await?;
+            // The field's Array data write and its index KV update have
+            // no mutual ordering constraint: overlap them.
+            let data_client = client.clone();
+            let data_store = store.clone();
+            let data_branch: Pin<Box<dyn Future<Output = Result<(), DaosError>>>> =
+                Box::pin(async move {
+                    data_client.array_write(&data_store, &h, 0, data).await?;
+                    data_client.array_close(&data_store, h).await
+                });
+            let index_branch: Pin<Box<dyn Future<Output = Result<(), DaosError>>>> = Box::pin(
+                async move { client.kv_put(&index, fkv, &lsk_bytes, entry.encode()).await },
+            );
+            for r in join_all(vec![data_branch, index_branch]).await {
+                r?;
+            }
+            Ok(OpOutput::Unit)
+        }))
+    }
+
+    /// Reads many fields with up to `window` in flight, returning results
+    /// in input order. Each field's index lookup, array open, data read
+    /// and close run as one composite operation; distinct fields overlap.
+    pub async fn read_fields_pipelined(
+        &self,
+        keys: &[FieldKey],
+        window: u32,
+    ) -> Vec<FieldResult<Bytes>> {
+        let window = window.max(1) as usize;
+        let eq = EventQueue::new(self.client.clone());
+        let mut results: Vec<Option<FieldResult<Bytes>>> = Vec::new();
+        results.resize_with(keys.len(), || None);
+        let mut slots: HashMap<Event, usize> = HashMap::new();
+
+        fn absorb(
+            results: &mut [Option<FieldResult<Bytes>>],
+            slots: &mut HashMap<Event, usize>,
+            keys: &[FieldKey],
+            ev: Event,
+            res: Result<OpOutput, DaosError>,
+        ) {
+            let slot = slots.remove(&ev).expect("unknown event completed");
+            let kc = keys[slot].canonical();
+            results[slot] = Some(match res {
+                Ok(OpOutput::Data(d)) => Ok(d),
+                Ok(other) => panic!("read composite resolved to {other:?}"),
+                // Sentinels the composite uses for index misses.
+                Err(DaosError::KeyNotFound(_)) | Err(DaosError::ObjNotFound(_)) => {
+                    Err(FieldIoError::FieldNotFound(kc))
+                }
+                Err(DaosError::InvalidArg("bad index entry")) => {
+                    Err(FieldIoError::BadIndexEntry(kc))
+                }
+                Err(e) => Err(FieldIoError::daos("read_field", kc, e)),
+            });
+        }
+
+        for (i, key) in keys.iter().enumerate() {
+            while eq.in_flight() >= window {
+                let (ev, res) = eq.wait().await.expect("ops in flight");
+                absorb(&mut results, &mut slots, keys, ev, res);
+            }
+            match self.launch_read(&eq, key).await {
+                Ok(ev) => {
+                    slots.insert(ev, i);
+                }
+                Err(e) => results[i] = Some(Err(e)),
+            }
+        }
+        while let Some((ev, res)) = eq.wait().await {
+            absorb(&mut results, &mut slots, keys, ev, res);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every field resolved"))
+            .collect()
+    }
+
+    /// Launches one composite field read on `eq`. Index-miss conditions
+    /// are reported through [`DaosError`] sentinels that
+    /// [`FieldStore::read_fields_pipelined`] maps back to
+    /// [`FieldIoError::FieldNotFound`]/[`FieldIoError::BadIndexEntry`].
+    async fn launch_read(&self, eq: &EventQueue<D>, key: &FieldKey) -> FieldResult<Event> {
+        let client = self.client.clone();
+        if self.cfg.mode == FieldIoMode::NoIndex {
+            let main = self.main.clone();
+            let oid = self.noindex_oid(key);
+            return Ok(eq.submit(async move {
+                let h = client.array_open(&main, oid).await?;
+                let len = client.array_size(&main, &h).await?;
+                let data = client.array_read(&main, &h, 0, len).await?;
+                client.array_close(&main, h).await?;
+                Ok(OpOutput::Data(data))
+            }));
+        }
+        let (msk, lsk) = key.split(&self.cfg.schema);
+        let (index, store) = self.forecast_containers(&msk, false).await?;
+        let fkv = self.forecast_kv_oid(&msk);
+        let lsk_bytes = lsk.canonical().into_bytes();
+        Ok(eq.submit(async move {
+            let raw = client
+                .kv_get(&index, fkv, &lsk_bytes)
+                .await?
+                .ok_or_else(|| {
+                    DaosError::KeyNotFound(String::from_utf8_lossy(&lsk_bytes).into_owned())
+                })?;
+            let entry = IndexEntry::decode(&raw).ok_or(DaosError::InvalidArg("bad index entry"))?;
+            let h = client.array_open(&store, entry.oid).await?;
+            let data = client.array_read(&store, &h, 0, entry.len).await?;
+            client.array_close(&store, h).await?;
+            Ok(OpOutput::Data(data))
+        }))
+    }
+}
+
+/// What the pipelined writer remembers about one in-flight field write.
+struct PendingWrite {
+    key: String,
+    cb: Option<Box<dyn FnOnce(FieldResult<()>)>>,
+}
+
+/// A windowed, FDB-style asynchronous field writer (DESIGN.md §6).
+///
+/// [`submit`](PipelinedWriter::submit) launches Algorithm 1 for one field
+/// as a composite event-queue operation and returns as soon as the
+/// in-flight count drops below the window — so up to W fields progress
+/// concurrently, and within each field the index KV put overlaps the
+/// Array data write. [`flush`](PipelinedWriter::flush) drains the queue.
+///
+/// Errors are write-behind: a failed field write surfaces on a later
+/// `submit` or on `flush` (first error wins), unless the field was
+/// submitted with a completion callback, which then owns the result.
+pub struct PipelinedWriter<'a, D: DaosApi> {
+    fs: &'a FieldStore<D>,
+    eq: EventQueue<D>,
+    window: usize,
+    pending: HashMap<Event, PendingWrite>,
+    first_err: Option<FieldIoError>,
+}
+
+impl<D: DaosApi> PipelinedWriter<'_, D> {
+    /// Number of field writes currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.eq.in_flight()
+    }
+
+    /// The writer's in-flight window W.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Submits one field write, waiting first if the window is full.
+    /// Returns the first write-behind error, if any has occurred.
+    pub async fn submit(&mut self, key: &FieldKey, data: Bytes) -> FieldResult<()> {
+        self.submit_inner(key, data, None).await
+    }
+
+    /// Like [`submit`](PipelinedWriter::submit), but delivers this
+    /// field's result to `cb` at completion time instead of write-behind.
+    pub async fn submit_with(
+        &mut self,
+        key: &FieldKey,
+        data: Bytes,
+        cb: impl FnOnce(FieldResult<()>) + 'static,
+    ) -> FieldResult<()> {
+        self.submit_inner(key, data, Some(Box::new(cb))).await
+    }
+
+    async fn submit_inner(
+        &mut self,
+        key: &FieldKey,
+        data: Bytes,
+        cb: Option<Box<dyn FnOnce(FieldResult<()>)>>,
+    ) -> FieldResult<()> {
+        if let Some(e) = &self.first_err {
+            return Err(e.clone());
+        }
+        while self.eq.in_flight() >= self.window {
+            let c = self.eq.wait().await.expect("ops in flight");
+            self.absorb(c);
+        }
+        let kc = key.canonical();
+        match self.fs.launch_write(&self.eq, key, data).await {
+            Ok(ev) => {
+                self.pending.insert(ev, PendingWrite { key: kc, cb });
+                Ok(())
+            }
+            // Inline resolution failed before launch; deliver the error
+            // the same way a completion would have been.
+            Err(e) => match cb {
+                Some(cb) => {
+                    cb(Err(e));
+                    Ok(())
+                }
+                None => {
+                    self.first_err.get_or_insert(e.clone());
+                    Err(e)
+                }
+            },
+        }
+    }
+
+    fn absorb(&mut self, (ev, res): (Event, Result<OpOutput, DaosError>)) {
+        let p = self
+            .pending
+            .remove(&ev)
+            .expect("completion for unknown write");
+        let out = match res {
+            Ok(_) => Ok(()),
+            Err(e) => Err(FieldIoError::daos("write_field", p.key, e)),
+        };
+        match p.cb {
+            Some(cb) => cb(out),
+            None => {
+                if let Err(e) = out {
+                    self.first_err.get_or_insert(e);
+                }
+            }
+        }
+    }
+
+    /// Waits for every in-flight write, delivering callbacks, and returns
+    /// the first write-behind error (if any). The writer is reusable
+    /// afterwards.
+    pub async fn flush(&mut self) -> FieldResult<()> {
+        while let Some(c) = self.eq.wait().await {
+            self.absorb(c);
+        }
+        match self.first_err.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 }
 
@@ -554,7 +1037,7 @@ mod tests {
         let client = EmbeddedClient::new(pool);
         block_on(FieldStore::connect(
             client,
-            FieldIoConfig::with_mode(mode),
+            FieldIoConfig::builder().mode(mode).build(),
             1,
         ))
         .unwrap()
@@ -764,13 +1247,13 @@ mod tests {
         let (_s, pool) = DaosStore::with_single_pool(24);
         let fs1 = block_on(FieldStore::connect(
             EmbeddedClient::new(pool.clone()),
-            FieldIoConfig::with_mode(FieldIoMode::Full),
+            FieldIoConfig::builder().mode(FieldIoMode::Full).build(),
             1,
         ))
         .unwrap();
         let fs2 = block_on(FieldStore::connect(
             EmbeddedClient::new(pool.clone()),
-            FieldIoConfig::with_mode(FieldIoMode::Full),
+            FieldIoConfig::builder().mode(FieldIoMode::Full).build(),
             2,
         ))
         .unwrap();
@@ -784,5 +1267,158 @@ mod tests {
         assert_eq!(pool.cont_count(), 3);
         assert_eq!(block_on(fs1.read_field(&kb)).unwrap().as_ref(), b"from-2");
         assert_eq!(block_on(fs2.read_field(&ka)).unwrap().as_ref(), b"from-1");
+    }
+
+    // -- new-in-this-PR surface --------------------------------------------
+
+    #[test]
+    fn builder_matches_deprecated_with_mode() {
+        for mode in FieldIoMode::all() {
+            let a = FieldIoConfig::builder().mode(mode).build();
+            #[allow(deprecated)]
+            let b = FieldIoConfig::with_mode(mode);
+            assert_eq!(a.mode, b.mode);
+            assert_eq!(a.kv_class, b.kv_class);
+            assert_eq!(a.array_class, b.array_class);
+            assert_eq!(a.inflight_window, b.inflight_window);
+            assert_eq!(a.inflight_window, 1);
+        }
+        let w = FieldIoConfig::builder().window(8).build();
+        assert_eq!(w.inflight_window, 8);
+        // Window 0 is meaningless; clamp to sequential.
+        assert_eq!(
+            FieldIoConfig::builder().window(0).build().inflight_window,
+            1
+        );
+    }
+
+    #[test]
+    fn errors_carry_operation_and_key_context() {
+        // Writing into an exhausted pool surfaces a contextualised DAOS
+        // error naming the failing op and the field key.
+        let store = DaosStore::new();
+        let pool = store
+            .pool_create(Uuid::from_name(b"tiny"), 4, 4096)
+            .unwrap();
+        let fs = block_on(FieldStore::connect(
+            EmbeddedClient::new(pool),
+            FieldIoConfig::default(),
+            1,
+        ))
+        .unwrap();
+        let err = block_on(fs.write_field(&key(24), Bytes::from(vec![1u8; 1 << 20]))).unwrap_err();
+        match &err {
+            FieldIoError::Daos { op, key: k, source } => {
+                assert_eq!(*op, "array_write");
+                assert!(k.contains("class=od"), "key context missing: {k}");
+                assert_eq!(*source, DaosError::NoSpace);
+            }
+            other => panic!("expected contextual Daos error, got {other:?}"),
+        }
+        assert!(!err.is_transient());
+        assert!(err.daos_source().is_some());
+        assert!(err.to_string().contains("failed for"));
+        // Not-found paths stay non-DAOS and non-transient.
+        let nf = FieldIoError::FieldNotFound("k".into());
+        assert!(!nf.is_transient());
+        assert!(nf.daos_source().is_none());
+    }
+
+    #[test]
+    fn pipelined_writer_roundtrips_on_embedded() {
+        for mode in FieldIoMode::all() {
+            for window in [1u32, 4] {
+                let fs = store(mode);
+                block_on(async {
+                    let mut w = fs.pipelined_writer(window);
+                    for step in 0..12u32 {
+                        w.submit(&key(step), Bytes::from(format!("field-{step}")))
+                            .await
+                            .unwrap();
+                    }
+                    w.flush().await.unwrap();
+                });
+                for step in 0..12u32 {
+                    assert_eq!(
+                        block_on(fs.read_field(&key(step))).unwrap().as_ref(),
+                        format!("field-{step}").as_bytes(),
+                        "mode {mode} window {window}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_writer_delivers_callbacks() {
+        use std::rc::Rc;
+        let fs = store(FieldIoMode::Full);
+        let done: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        block_on(async {
+            let mut w = fs.pipelined_writer(4);
+            for step in [0u32, 24, 48] {
+                let done = Rc::clone(&done);
+                w.submit_with(&key(step), Bytes::from_static(b"x"), move |r| {
+                    r.unwrap();
+                    done.borrow_mut().push(step);
+                })
+                .await
+                .unwrap();
+            }
+            w.flush().await.unwrap();
+        });
+        let mut got = done.borrow().clone();
+        got.sort();
+        assert_eq!(got, vec![0, 24, 48]);
+    }
+
+    #[test]
+    fn pipelined_writer_reports_write_behind_errors() {
+        // A pool too small for the field: the failure surfaces on flush
+        // (write-behind), attributed to write_field with its key.
+        let store = DaosStore::new();
+        let pool = store
+            .pool_create(Uuid::from_name(b"tiny-pipelined"), 4, 4096)
+            .unwrap();
+        let fs = block_on(FieldStore::connect(
+            EmbeddedClient::new(pool),
+            FieldIoConfig::default(),
+            1,
+        ))
+        .unwrap();
+        let err = block_on(async {
+            let mut w = fs.pipelined_writer(2);
+            let _ = w.submit(&key(0), Bytes::from(vec![0u8; 1 << 20])).await;
+            w.flush().await
+        });
+        match err {
+            Err(e) => assert!(e.daos_source().is_some(), "{e:?}"),
+            Ok(()) => panic!("expected a write-behind error"),
+        }
+    }
+
+    #[test]
+    fn read_fields_pipelined_preserves_input_order() {
+        for mode in FieldIoMode::all() {
+            let fs = store(mode);
+            for step in 0..8u32 {
+                block_on(fs.write_field(&key(step), Bytes::from(format!("v{step}")))).unwrap();
+            }
+            let mut keys: Vec<FieldKey> = (0..8u32).map(key).collect();
+            keys.push(key(999)); // never written
+            let out = block_on(fs.read_fields_pipelined(&keys, 4));
+            assert_eq!(out.len(), 9);
+            for (step, r) in out.iter().take(8).enumerate() {
+                assert_eq!(
+                    r.as_ref().unwrap().as_ref(),
+                    format!("v{step}").as_bytes(),
+                    "mode {mode}"
+                );
+            }
+            match &out[8] {
+                Err(FieldIoError::FieldNotFound(_)) => {}
+                other => panic!("mode {mode}: expected FieldNotFound, got {other:?}"),
+            }
+        }
     }
 }

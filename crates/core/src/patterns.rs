@@ -274,7 +274,7 @@ mod tests {
     fn tiny(mode: FieldIoMode, contention: Contention) -> PatternConfig {
         PatternConfig {
             cluster: ClusterSpec::tcp(1, 2),
-            fieldio: FieldIoConfig::with_mode(mode),
+            fieldio: FieldIoConfig::builder().mode(mode).build(),
             contention,
             procs_per_node: 4,
             ops_per_proc: 6,

@@ -395,10 +395,80 @@ fn replay_on(
             (write_rec.clone(), read_rec.clone(), Rc::clone(&tardiness));
         let (failed_writes, failed_reads) = (Rc::clone(&failed_writes), Rc::clone(&failed_reads));
         sim.spawn(async move {
+            let window = fieldio.inflight_window;
             let client = SimClient::for_process(&d, (p / ppn) as u16, p % ppn);
             let fs = FieldStore::connect(client, fieldio, p + 1)
                 .await
                 .expect("connect");
+            if window > 1 {
+                // Pipelined replay: writes go through the windowed writer
+                // (completion recorded from the callback); reads flush the
+                // writer first so read-after-write order is preserved.
+                let mut w = fs.pipelined_writer(window);
+                for (i, e) in mine.iter().enumerate() {
+                    if pacing == Pacing::Paced {
+                        let due = SimTime::from_nanos(e.t_ns);
+                        let now = sim2.now();
+                        if due > now {
+                            sim2.sleep(due - now).await;
+                        }
+                    }
+                    let key = FieldKey::parse(&e.key).expect("trace keys validated");
+                    if e.write {
+                        write_rec.record(0, p, i as u32, EventKind::IoStart, sim2.now(), 0);
+                        let (write_rec, tardiness, failed_writes, sim3) = (
+                            write_rec.clone(),
+                            Rc::clone(&tardiness),
+                            Rc::clone(&failed_writes),
+                            sim2.clone(),
+                        );
+                        let (t_ns, bytes, seq) = (e.t_ns, e.bytes, i as u32);
+                        w.submit_with(
+                            &key,
+                            payload(e.bytes, e.t_ns ^ p as u64),
+                            move |r| match r {
+                                Ok(()) => {
+                                    let now = sim3.now();
+                                    write_rec.record(0, p, seq, EventKind::IoEnd, now, bytes);
+                                    if pacing == Pacing::Paced {
+                                        tardiness
+                                            .borrow_mut()
+                                            .push(now.as_nanos().saturating_sub(t_ns));
+                                    }
+                                }
+                                Err(_) => failed_writes.set(failed_writes.get() + 1),
+                            },
+                        )
+                        .await
+                        .expect("pipelined submit");
+                        continue;
+                    }
+                    w.flush().await.expect("pipelined flush");
+                    read_rec.record(0, p, i as u32, EventKind::IoStart, sim2.now(), 0);
+                    match fs.read_field(&key).await {
+                        Ok(data) => {
+                            let now = sim2.now();
+                            read_rec.record(
+                                0,
+                                p,
+                                i as u32,
+                                EventKind::IoEnd,
+                                now,
+                                data.len() as u64,
+                            );
+                            if pacing == Pacing::Paced {
+                                tardiness
+                                    .borrow_mut()
+                                    .push(now.as_nanos().saturating_sub(e.t_ns));
+                            }
+                        }
+                        Err(_) => failed_reads.set(failed_reads.get() + 1),
+                    }
+                }
+                w.flush().await.expect("pipelined flush");
+                drop(token);
+                return;
+            }
             for (i, e) in mine.iter().enumerate() {
                 if pacing == Pacing::Paced {
                     let due = SimTime::from_nanos(e.t_ns);
@@ -548,7 +618,9 @@ mod tests {
         let run = || {
             replay_traced(
                 ClusterSpec::tcp(1, 1),
-                FieldIoConfig::with_mode(FieldIoMode::NoContainers),
+                FieldIoConfig::builder()
+                    .mode(FieldIoMode::NoContainers)
+                    .build(),
                 &t,
                 Pacing::AsFast,
                 None,
@@ -582,7 +654,9 @@ mod tests {
         // Tracing must not change the modelled outcome.
         let plain = replay(
             ClusterSpec::tcp(1, 1),
-            FieldIoConfig::with_mode(FieldIoMode::NoContainers),
+            FieldIoConfig::builder()
+                .mode(FieldIoMode::NoContainers)
+                .build(),
             &t,
             Pacing::AsFast,
         );
@@ -593,7 +667,9 @@ mod tests {
     fn paced_replay_keeps_up_on_an_idle_cluster() {
         let r = replay(
             ClusterSpec::tcp(1, 2),
-            FieldIoConfig::with_mode(FieldIoMode::NoContainers),
+            FieldIoConfig::builder()
+                .mode(FieldIoMode::NoContainers)
+                .build(),
             &small_trace(),
             Pacing::Paced,
         );
@@ -614,13 +690,17 @@ mod tests {
         let t = small_trace();
         let fast = replay(
             ClusterSpec::tcp(1, 2),
-            FieldIoConfig::with_mode(FieldIoMode::NoContainers),
+            FieldIoConfig::builder()
+                .mode(FieldIoMode::NoContainers)
+                .build(),
             &t,
             Pacing::AsFast,
         );
         let paced = replay(
             ClusterSpec::tcp(1, 2),
-            FieldIoConfig::with_mode(FieldIoMode::NoContainers),
+            FieldIoConfig::builder()
+                .mode(FieldIoMode::NoContainers)
+                .build(),
             &t,
             Pacing::Paced,
         );
@@ -642,7 +722,9 @@ mod tests {
         spec.engines_per_node = 1;
         let r = replay(
             spec,
-            FieldIoConfig::with_mode(FieldIoMode::NoContainers),
+            FieldIoConfig::builder()
+                .mode(FieldIoMode::NoContainers)
+                .build(),
             &t,
             Pacing::Paced,
         );
@@ -663,7 +745,9 @@ mod tests {
         let plan = FaultPlan::new().kill(SimDuration::from_millis(5), 0);
         let out = replay_detailed(
             ClusterSpec::tcp(1, 2),
-            FieldIoConfig::with_mode(FieldIoMode::NoContainers),
+            FieldIoConfig::builder()
+                .mode(FieldIoMode::NoContainers)
+                .build(),
             &t,
             Pacing::Paced,
             Some(&plan),
@@ -686,6 +770,36 @@ mod tests {
             .filter(|e| e.kind == EventKind::IoEnd)
             .count();
         assert_eq!(started - ended, r.failed_writes as usize);
+    }
+
+    #[test]
+    fn windowed_replay_completes_all_ops_no_slower() {
+        let t = small_trace();
+        let seq = replay(
+            ClusterSpec::tcp(1, 2),
+            FieldIoConfig::builder()
+                .mode(FieldIoMode::NoContainers)
+                .build(),
+            &t,
+            Pacing::AsFast,
+        );
+        let cfg = FieldIoConfig::builder()
+            .mode(FieldIoMode::NoContainers)
+            .window(8)
+            .build();
+        let pip = replay(ClusterSpec::tcp(1, 2), cfg.clone(), &t, Pacing::AsFast);
+        assert_eq!(pip.writes.io_count, seq.writes.io_count);
+        assert_eq!(pip.reads.io_count, seq.reads.io_count);
+        assert_eq!(pip.writes.total_bytes, seq.writes.total_bytes);
+        assert!(
+            pip.end_secs <= seq.end_secs,
+            "pipelined {} vs sequential {}",
+            pip.end_secs,
+            seq.end_secs
+        );
+        // Windowed replays stay deterministic.
+        let again = replay(ClusterSpec::tcp(1, 2), cfg, &t, Pacing::AsFast);
+        assert_eq!(pip.end_secs.to_bits(), again.end_secs.to_bits());
     }
 
     #[test]

@@ -65,7 +65,7 @@ fn field_cfg(
 ) -> PatternConfig {
     PatternConfig {
         cluster,
-        fieldio: FieldIoConfig::with_mode(mode),
+        fieldio: FieldIoConfig::builder().mode(mode).build(),
         contention,
         procs_per_node: ppn,
         ops_per_proc: ops,
@@ -159,6 +159,7 @@ pub fn ideal_vs_realistic(scale: &Scale) -> Report {
             class: ObjectClass::S1,
             iterations: 1,
             file_mode: daosim_ior::FileMode::FilePerProcess,
+            inflight: 1,
         },
     );
     let fio = run_pattern_a(&field_cfg(

@@ -35,7 +35,7 @@ fn step_interval() -> SimDuration {
 /// Cluster under drill: one dual-engine server node, operational retry.
 fn drill_spec() -> ClusterSpec {
     let mut spec = ClusterSpec::tcp(1, 2);
-    spec.retry = RetryPolicy::operational();
+    spec.retry = RetryPolicy::builder().operational().build();
     spec
 }
 

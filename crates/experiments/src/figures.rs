@@ -22,7 +22,7 @@ fn field_cfg(
 ) -> PatternConfig {
     PatternConfig {
         cluster,
-        fieldio: FieldIoConfig::with_mode(mode),
+        fieldio: FieldIoConfig::builder().mode(mode).build(),
         contention,
         procs_per_node: ppn,
         ops_per_proc: ops,
@@ -82,6 +82,7 @@ pub fn fig3(scale: &Scale) -> Report {
             class: ObjectClass::S1,
             iterations: 1,
             file_mode: daosim_ior::FileMode::FilePerProcess,
+            inflight: 1,
         };
         let (w, r) = best_over_ppn(spec, ppns, params);
         (servers, clients, w, r)
@@ -284,6 +285,7 @@ pub fn fig7(scale: &Scale) -> Report {
             class: ObjectClass::S1,
             iterations: 1,
             file_mode: daosim_ior::FileMode::FilePerProcess,
+            inflight: 1,
         };
         let (w, r) = best_over_ppn(spec, &ppns, params);
         (c.provider, c.clients, w, r)

@@ -120,6 +120,7 @@ pub struct Report {
     headers: Vec<String>,
     rows: Vec<Vec<String>>,
     notes: Vec<String>,
+    artifacts: Vec<(String, String)>,
 }
 
 impl Report {
@@ -130,7 +131,14 @@ impl Report {
             headers: headers.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
             notes: Vec::new(),
+            artifacts: Vec::new(),
         }
+    }
+
+    /// Attaches an extra file saved verbatim alongside the CSV/text
+    /// renderings (e.g. a machine-readable benchmark JSON).
+    pub fn artifact(&mut self, filename: impl Into<String>, contents: impl Into<String>) {
+        self.artifacts.push((filename.into(), contents.into()));
     }
 
     pub fn row(&mut self, cells: Vec<String>) {
@@ -214,6 +222,9 @@ impl Report {
         csv.write_all(self.to_csv().as_bytes())?;
         let mut txt = fs::File::create(dir.join(format!("{}.txt", self.name)))?;
         txt.write_all(self.render().as_bytes())?;
+        for (filename, contents) in &self.artifacts {
+            fs::write(dir.join(filename), contents)?;
+        }
         Ok(())
     }
 }

@@ -14,6 +14,7 @@ pub mod pipeline;
 pub mod rebuild_xp;
 pub mod replication;
 pub mod tables;
+pub mod window_sweep;
 
 use std::io::Write;
 use std::path::Path;
@@ -26,7 +27,7 @@ use daosim_kernel::SimDuration;
 use harness::{Report, Scale};
 
 /// Every experiment by name.
-pub const EXPERIMENTS: [&str; 12] = [
+pub const EXPERIMENTS: [&str; 13] = [
     "table1",
     "table2",
     "fig3",
@@ -36,6 +37,7 @@ pub const EXPERIMENTS: [&str; 12] = [
     "fig7",
     "ablations",
     "pipeline",
+    "pipeline-window",
     "replication",
     "rebuild",
     "failure-drill",
@@ -53,6 +55,7 @@ pub fn run_experiment(name: &str, scale: &Scale) -> Vec<Report> {
         "fig7" => vec![figures::fig7(scale)],
         "ablations" => ablations::all(scale),
         "pipeline" => vec![pipeline::pipeline(scale)],
+        "pipeline-window" => vec![window_sweep::window_sweep(scale)],
         "replication" => vec![replication::replication(scale)],
         "rebuild" => vec![rebuild_xp::rebuild(scale)],
         "failure-drill" => vec![failure_drill_xp::failure_drill(scale)],
@@ -103,7 +106,7 @@ pub fn write_fieldio_trace(path: &Path, err: &mut dyn Write) -> std::io::Result<
     let trace = Trace::synthesize_operational(4, 2, 3, 256 * 1024, SimDuration::from_millis(20));
     let traced = replay_traced(
         ClusterSpec::tcp(1, 1),
-        FieldIoConfig::with_mode(FieldIoMode::Full),
+        FieldIoConfig::builder().mode(FieldIoMode::Full).build(),
         &trace,
         Pacing::Paced,
         None,

@@ -54,7 +54,7 @@ pub fn pipeline(scale: &Scale) -> Report {
     let results = parallel_map(cfgs, |c| {
         let cfg = IoServerConfig {
             cluster: ClusterSpec::tcp(2, c.model_nodes + c.ioserver_nodes),
-            fieldio: FieldIoConfig::with_mode(FieldIoMode::Full),
+            fieldio: FieldIoConfig::builder().mode(FieldIoMode::Full).build(),
             model_nodes: c.model_nodes,
             ranks_per_node: 8,
             ioservers_per_node: c.ioservers_per_node,

@@ -44,17 +44,17 @@ fn run_rebuild(servers: u16, objects_per_proc: u32, procs: u32) -> Run {
                             .await
                             .unwrap();
                         let mut alloc = OidAllocator::new(p + 1);
-                        let mut oids = Vec::new();
+                        let mut open = Vec::new();
                         for _ in 0..objects_per_proc {
                             let oid = alloc.next(ObjectClass::RP2);
-                            client.array_create(&cont, oid).await.unwrap();
+                            let h = client.array_create(&cont, oid).await.unwrap();
                             client
-                                .array_write(&cont, oid, 0, payload.clone())
+                                .array_write(&cont, &h, 0, payload.clone())
                                 .await
                                 .unwrap();
-                            oids.push(oid);
+                            open.push(h);
                         }
-                        (client, cont, oids)
+                        (client, cont, open)
                     })
                 })
                 .collect();
@@ -64,11 +64,11 @@ fn run_rebuild(servers: u16, objects_per_proc: u32, procs: u32) -> Run {
             // Measure degraded write availability.
             let mut failed = 0u32;
             let mut total = 0u32;
-            for (client, cont, oids) in &handles {
-                for &oid in oids {
+            for (client, cont, open) in &handles {
+                for h in open {
                     total += 1;
                     if client
-                        .array_write(cont, oid, 0, payload.clone())
+                        .array_write(cont, h, 0, payload.clone())
                         .await
                         .is_err()
                     {
@@ -80,10 +80,10 @@ fn run_rebuild(servers: u16, objects_per_proc: u32, procs: u32) -> Run {
                 .await
                 .expect("rebuild of killed engine");
             // Post-rebuild: every write must succeed.
-            for (client, cont, oids) in &handles {
-                for &oid in oids {
+            for (client, cont, open) in &handles {
+                for h in open {
                     client
-                        .array_write(cont, oid, 0, payload.clone())
+                        .array_write(cont, h, 0, payload.clone())
                         .await
                         .unwrap();
                 }

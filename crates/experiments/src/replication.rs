@@ -15,7 +15,7 @@ use daosim_cluster::{ClusterSpec, Deployment, SimClient};
 use daosim_core::workload::payload;
 use daosim_kernel::Sim;
 use daosim_net::GIB;
-use daosim_objstore::api::DaosApi;
+use daosim_objstore::api::{ArrayHandle, DaosApi};
 use daosim_objstore::{DaosError, ObjectClass, OidAllocator, Uuid};
 
 use crate::harness::{gib, parallel_map, Report, Scale};
@@ -57,9 +57,9 @@ fn run_class(class: ObjectClass, procs: u32, ops: u32) -> Run {
                         let mut alloc = OidAllocator::new(p + 1);
                         for _ in 0..ops {
                             let oid = alloc.next(class);
-                            client.array_create(&cont, oid).await.unwrap();
+                            let h = client.array_create(&cont, oid).await.unwrap();
                             client
-                                .array_write(&cont, oid, 0, data.clone())
+                                .array_write(&cont, &h, 0, data.clone())
                                 .await
                                 .unwrap();
                         }
@@ -88,7 +88,10 @@ fn run_class(class: ObjectClass, procs: u32, ops: u32) -> Run {
                         let mut lost = 0u64;
                         for _ in 0..ops {
                             let oid = alloc.next(class);
-                            match client.array_read(&cont, oid, 0, MIB).await {
+                            // Readers skip the open round-trip on purpose:
+                            // the experiment measures raw degraded reads.
+                            let h = ArrayHandle::from_open(oid);
+                            match client.array_read(&cont, &h, 0, MIB).await {
                                 Ok(_) => ok += 1,
                                 Err(DaosError::EngineUnavailable(_)) => lost += 1,
                                 Err(e) => panic!("unexpected: {e}"),

@@ -146,7 +146,7 @@ pub fn table1(scale: &Scale) -> Report {
             client_sockets: c.client_sockets,
             provider: ProviderProfile::tcp(),
             calibration: daosim_cluster::Calibration::nextgenio(),
-            retry: daosim_cluster::RetryPolicy::none(),
+            retry: daosim_cluster::RetryPolicy::builder().build(),
         };
         let params = IorParams {
             transfer_bytes: MIB,
@@ -155,6 +155,7 @@ pub fn table1(scale: &Scale) -> Report {
             class: ObjectClass::S1,
             iterations: 1,
             file_mode: daosim_ior::FileMode::FilePerProcess,
+            inflight: 1,
         };
         let (w, r) = best_over_ppn(spec, &ppns, params);
         (

@@ -23,7 +23,7 @@ use daosim_core::metrics::{phase_stats, EventKind, PhaseStats, Recorder};
 use daosim_core::workload::payload;
 use daosim_kernel::sync::Barrier;
 use daosim_kernel::{Sim, SpanEvent};
-use daosim_objstore::api::DaosApi;
+use daosim_objstore::api::{DaosApi, EventQueue, OpOutput};
 use daosim_objstore::{ObjectClass, Oid, OidAllocator, Uuid};
 
 /// File layout, IOR's `-F` axis.
@@ -52,6 +52,12 @@ pub struct IorParams {
     pub iterations: u32,
     /// File-per-process (`-F`, the paper's mode) or shared-file layout.
     pub file_mode: FileMode,
+    /// Async in-flight window. At 1 each process issues a single blocking
+    /// transfer of `t × s` bytes (the paper's synchronous setup). Above 1
+    /// the transfer is split into `segments` parts of `transfer_bytes`
+    /// each, launched through a `daos_eq`-style event queue with at most
+    /// `inflight` operations outstanding.
+    pub inflight: u32,
 }
 
 impl IorParams {
@@ -64,6 +70,7 @@ impl IorParams {
             class: ObjectClass::S1,
             iterations: 1,
             file_mode: FileMode::FilePerProcess,
+            inflight: 1,
         }
     }
 
@@ -149,21 +156,44 @@ fn run_ior_on(sim: &Sim, spec: ClusterSpec, params: IorParams) -> IorResult {
                 barrier.wait().await; // pre-I/O barrier
                 write_rec.record(node, p, iter, EventKind::IoStart, sim2.now(), 0);
                 write_rec.record(node, p, iter, EventKind::OpenStart, sim2.now(), 0);
-                match params.file_mode {
+                let handle = match params.file_mode {
                     FileMode::FilePerProcess => client.array_create(&cont, oid).await.unwrap(),
                     // Shared file: ranks race to create-or-open the one
                     // object, as the IOR DAOS backend does without -F.
                     FileMode::SharedFile => client.array_open_or_create(&cont, oid).await.unwrap(),
-                }
+                };
                 write_rec.record(node, p, iter, EventKind::OpenEnd, sim2.now(), 0);
                 write_rec.record(node, p, iter, EventKind::XferStart, sim2.now(), 0);
-                client
-                    .array_write(&cont, oid, my_offset, data.clone())
-                    .await
-                    .unwrap();
+                if params.inflight > 1 {
+                    // Async path: one event per segment, at most `inflight`
+                    // outstanding (`daos_eq`-style pipelining).
+                    let eq = EventQueue::new(client.clone());
+                    let t = params.transfer_bytes as usize;
+                    for s in 0..params.segments {
+                        while eq.in_flight() >= params.inflight as usize {
+                            let (_, r) = eq.wait().await.expect("ops in flight");
+                            r.unwrap();
+                        }
+                        let chunk = data.slice(s as usize * t..(s as usize + 1) * t);
+                        eq.array_write(
+                            &cont,
+                            &handle,
+                            my_offset + s as u64 * params.transfer_bytes,
+                            chunk,
+                        );
+                    }
+                    for (_, r) in eq.wait_all().await {
+                        r.unwrap();
+                    }
+                } else {
+                    client
+                        .array_write(&cont, &handle, my_offset, data.clone())
+                        .await
+                        .unwrap();
+                }
                 write_rec.record(node, p, iter, EventKind::XferEnd, sim2.now(), 0);
                 write_rec.record(node, p, iter, EventKind::CloseStart, sim2.now(), 0);
-                client.array_close(&cont, oid).await.unwrap();
+                client.array_close(&cont, handle).await.unwrap();
                 write_rec.record(node, p, iter, EventKind::CloseEnd, sim2.now(), 0);
                 write_rec.record(node, p, iter, EventKind::IoEnd, sim2.now(), bytes);
                 barrier.wait().await; // post-I/O barrier
@@ -174,17 +204,42 @@ fn run_ior_on(sim: &Sim, spec: ClusterSpec, params: IorParams) -> IorResult {
                 barrier.wait().await;
                 read_rec.record(node, p, iter, EventKind::IoStart, sim2.now(), 0);
                 read_rec.record(node, p, iter, EventKind::OpenStart, sim2.now(), 0);
-                client.array_open(&cont, oid).await.unwrap();
+                let handle = client.array_open(&cont, oid).await.unwrap();
                 read_rec.record(node, p, iter, EventKind::OpenEnd, sim2.now(), 0);
                 read_rec.record(node, p, iter, EventKind::XferStart, sim2.now(), 0);
-                let got = client
-                    .array_read(&cont, oid, my_offset, bytes)
-                    .await
-                    .unwrap();
-                assert_eq!(got.len() as u64, bytes, "short IOR read");
+                if params.inflight > 1 {
+                    let eq = EventQueue::new(client.clone());
+                    let mut got_bytes = 0u64;
+                    let mut harvest = |r: Result<OpOutput, _>| match r.unwrap() {
+                        OpOutput::Data(b) => got_bytes += b.len() as u64,
+                        other => panic!("array_read returned {other:?}"),
+                    };
+                    for s in 0..params.segments {
+                        while eq.in_flight() >= params.inflight as usize {
+                            let (_, r) = eq.wait().await.expect("ops in flight");
+                            harvest(r);
+                        }
+                        eq.array_read(
+                            &cont,
+                            &handle,
+                            my_offset + s as u64 * params.transfer_bytes,
+                            params.transfer_bytes,
+                        );
+                    }
+                    for (_, r) in eq.wait_all().await {
+                        harvest(r);
+                    }
+                    assert_eq!(got_bytes, bytes, "short IOR read");
+                } else {
+                    let got = client
+                        .array_read(&cont, &handle, my_offset, bytes)
+                        .await
+                        .unwrap();
+                    assert_eq!(got.len() as u64, bytes, "short IOR read");
+                }
                 read_rec.record(node, p, iter, EventKind::XferEnd, sim2.now(), 0);
                 read_rec.record(node, p, iter, EventKind::CloseStart, sim2.now(), 0);
-                client.array_close(&cont, oid).await.unwrap();
+                client.array_close(&cont, handle).await.unwrap();
                 read_rec.record(node, p, iter, EventKind::CloseEnd, sim2.now(), 0);
                 read_rec.record(node, p, iter, EventKind::IoEnd, sim2.now(), bytes);
                 barrier.wait().await;
@@ -235,6 +290,7 @@ mod tests {
                 class: ObjectClass::S1,
                 iterations: 1,
                 file_mode: FileMode::FilePerProcess,
+                inflight: 1,
             },
         )
     }
@@ -249,6 +305,7 @@ mod tests {
             class: ObjectClass::S1,
             iterations: 1,
             file_mode: FileMode::FilePerProcess,
+            inflight: 1,
         };
         let plain = run_ior(spec, params);
         let (traced, spans) = run_ior_traced(spec, params);
@@ -318,6 +375,7 @@ mod tests {
                 class: ObjectClass::S1,
                 iterations: 3,
                 file_mode: FileMode::FilePerProcess,
+                inflight: 1,
             },
         );
         assert_eq!(r.write.io_count, 12, "4 procs x 3 iterations");
@@ -333,6 +391,7 @@ mod tests {
                 class: ObjectClass::S1,
                 iterations: 1,
                 file_mode: FileMode::FilePerProcess,
+                inflight: 1,
             },
         );
         let ratio = r.write_bw() / one.write_bw();
@@ -350,6 +409,7 @@ mod tests {
                 class: ObjectClass::SX,
                 iterations: 1,
                 file_mode: FileMode::SharedFile,
+                inflight: 1,
             },
         );
         assert!(r.write_bw() > 0.5, "shared-file write {}", r.write_bw());
@@ -371,6 +431,7 @@ mod tests {
                 class: ObjectClass::SX,
                 iterations: 1,
                 file_mode: FileMode::SharedFile,
+                inflight: 1,
             },
         );
         assert!(
@@ -379,6 +440,48 @@ mod tests {
             shared.write_bw(),
             fpp.write_bw()
         );
+    }
+
+    #[test]
+    fn pipelined_transfers_move_all_bytes_no_slower() {
+        let base = IorParams {
+            transfer_bytes: MIB,
+            segments: 16,
+            procs_per_node: 4,
+            class: ObjectClass::S1,
+            iterations: 1,
+            file_mode: FileMode::FilePerProcess,
+            inflight: 1,
+        };
+        let sync = run_ior(ClusterSpec::tcp(1, 2), base);
+        let pip = run_ior(
+            ClusterSpec::tcp(1, 2),
+            IorParams {
+                inflight: 8,
+                ..base
+            },
+        );
+        assert_eq!(pip.write.total_bytes, sync.write.total_bytes);
+        assert_eq!(pip.read.total_bytes, sync.read.total_bytes);
+        assert!(pip.write_bw() > 0.5 && pip.read_bw() > 0.5);
+        // Splitting one large transfer into pipelined segments must not
+        // collapse bandwidth.
+        assert!(
+            pip.write_bw() > sync.write_bw() * 0.5,
+            "pipelined {} vs sync {}",
+            pip.write_bw(),
+            sync.write_bw()
+        );
+        // And the async path stays deterministic.
+        let again = run_ior(
+            ClusterSpec::tcp(1, 2),
+            IorParams {
+                inflight: 8,
+                ..base
+            },
+        );
+        assert_eq!(pip.write_bw().to_bits(), again.write_bw().to_bits());
+        assert_eq!(pip.read_bw().to_bits(), again.read_bw().to_bits());
     }
 
     #[test]
@@ -393,6 +496,7 @@ mod tests {
                 class: ObjectClass::S1,
                 iterations: 1,
                 file_mode: FileMode::FilePerProcess,
+                inflight: 1,
             },
         );
         assert!(w > 0.0 && r > 0.0);

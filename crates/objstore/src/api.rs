@@ -8,9 +8,27 @@
 //!
 //! Methods are `async`: the embedded backend completes immediately, the
 //! simulated one suspends the calling task on network and service events.
+//!
+//! Two layers sit on top of the blocking operation set:
+//!
+//! * [`ArrayHandle`] — the typed open-array handle. `array_open` returns
+//!   one and `array_close` consumes it, so use-after-close and
+//!   double-close are unrepresentable at compile time (the handle is
+//!   neither `Clone` nor `Copy`).
+//! * [`EventQueue`] — the `daos_eq`-style asynchronous layer: launch N
+//!   operations, then `poll`/`wait` on completions while they progress
+//!   concurrently. See DESIGN.md §6 for the mapping onto
+//!   `daos_eq_create`/`daos_event_t`.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
 
 use bytes::Bytes;
-use std::sync::Arc;
 
 use crate::container::Container;
 use crate::error::Result;
@@ -18,6 +36,41 @@ use crate::oid::{ObjectClass, Oid};
 use crate::pool::Pool;
 
 pub use crate::uuid::Uuid;
+
+/// A boxed operation future, as handed to [`DaosApi::spawn_op`]. The
+/// future is `'static` and owns everything it touches; it resolves to
+/// `()` because completion is reported through the [`EventQueue`] that
+/// submitted it.
+pub type OpFuture = Pin<Box<dyn Future<Output = ()> + 'static>>;
+
+/// An open Array object handle.
+///
+/// Returned by `array_create`/`array_open`/`array_open_or_create` and
+/// consumed (by value) by `array_close`. The type is deliberately not
+/// `Clone`/`Copy`: a closed handle cannot be used again, and a handle
+/// cannot be closed twice, mirroring `daos_array_close` invalidating the
+/// `daos_handle_t`.
+#[must_use = "an open array handle must eventually be passed to array_close"]
+#[derive(Debug, PartialEq, Eq)]
+pub struct ArrayHandle {
+    oid: Oid,
+}
+
+impl ArrayHandle {
+    /// The object id this handle refers to (for index entries, punch and
+    /// listing — operations that outlive the open handle).
+    pub fn oid(&self) -> Oid {
+        self.oid
+    }
+
+    /// Mints a handle for an array the backend has just opened. Backends
+    /// and the event-queue helpers need this; application code should
+    /// only ever receive handles from `array_open*`.
+    #[doc(hidden)]
+    pub fn from_open(oid: Oid) -> Self {
+        ArrayHandle { oid }
+    }
+}
 
 /// The DAOS operation set the field I/O layer consumes.
 #[allow(async_fn_in_trait)]
@@ -35,40 +88,76 @@ pub trait DaosApi: Clone + 'static {
     /// Key-Value update (creates the KV object on first use).
     async fn kv_put(&self, cont: &Self::Cont, oid: Oid, key: &[u8], value: Bytes) -> Result<()>;
 
+    /// Vectorized Key-Value update: all pairs land in one request, which
+    /// the store services as a batch (one round trip, one serial-section
+    /// charge on the simulated backend). Semantically identical to
+    /// issuing the `kv_put`s in order.
+    async fn kv_put_multi(
+        &self,
+        cont: &Self::Cont,
+        oid: Oid,
+        pairs: Vec<(Vec<u8>, Bytes)>,
+    ) -> Result<()> {
+        for (key, value) in pairs {
+            self.kv_put(cont, oid, &key, value).await?;
+        }
+        Ok(())
+    }
+
     /// Key-Value fetch; `None` when the key (or the KV itself) is absent.
     async fn kv_get(&self, cont: &Self::Cont, oid: Oid, key: &[u8]) -> Result<Option<Bytes>>;
 
     /// Lists the keys of a Key-Value object.
     async fn kv_list_keys(&self, cont: &Self::Cont, oid: Oid) -> Result<Vec<Vec<u8>>>;
 
-    /// Creates a new Array object.
-    async fn array_create(&self, cont: &Self::Cont, oid: Oid) -> Result<()>;
+    /// Creates a new Array object, returning its open handle.
+    async fn array_create(&self, cont: &Self::Cont, oid: Oid) -> Result<ArrayHandle>;
 
     /// Opens an existing Array object.
-    async fn array_open(&self, cont: &Self::Cont, oid: Oid) -> Result<()>;
+    async fn array_open(&self, cont: &Self::Cont, oid: Oid) -> Result<ArrayHandle>;
 
     /// Opens an Array object, creating it if absent (`no-index` re-write
     /// path, where the md5-derived oid is stable).
-    async fn array_open_or_create(&self, cont: &Self::Cont, oid: Oid) -> Result<()>;
+    async fn array_open_or_create(&self, cont: &Self::Cont, oid: Oid) -> Result<ArrayHandle>;
 
-    /// Writes an extent of an (open) Array object.
+    /// Writes an extent of an open Array object.
     async fn array_write(
         &self,
         cont: &Self::Cont,
-        oid: Oid,
+        handle: &ArrayHandle,
         offset: u64,
         data: Bytes,
     ) -> Result<()>;
 
-    /// Reads an extent of an (open) Array object.
-    async fn array_read(&self, cont: &Self::Cont, oid: Oid, offset: u64, len: u64)
-        -> Result<Bytes>;
+    /// Scatter-gather write: every `(offset, data)` extent lands in one
+    /// request, serviced as a batch. Semantically identical to issuing
+    /// the `array_write`s in order.
+    async fn array_write_vec(
+        &self,
+        cont: &Self::Cont,
+        handle: &ArrayHandle,
+        iovs: Vec<(u64, Bytes)>,
+    ) -> Result<()> {
+        for (offset, data) in iovs {
+            self.array_write(cont, handle, offset, data).await?;
+        }
+        Ok(())
+    }
 
-    /// Size (one past highest written byte) of an Array object.
-    async fn array_size(&self, cont: &Self::Cont, oid: Oid) -> Result<u64>;
+    /// Reads an extent of an open Array object.
+    async fn array_read(
+        &self,
+        cont: &Self::Cont,
+        handle: &ArrayHandle,
+        offset: u64,
+        len: u64,
+    ) -> Result<Bytes>;
 
-    /// Closes an Array object handle.
-    async fn array_close(&self, cont: &Self::Cont, oid: Oid) -> Result<()>;
+    /// Size (one past highest written byte) of an open Array object.
+    async fn array_size(&self, cont: &Self::Cont, handle: &ArrayHandle) -> Result<u64>;
+
+    /// Closes an Array object handle, consuming it.
+    async fn array_close(&self, cont: &Self::Cont, handle: ArrayHandle) -> Result<()>;
 
     /// Drops an object's contents.
     async fn obj_punch(&self, cont: &Self::Cont, oid: Oid) -> Result<()>;
@@ -79,6 +168,13 @@ pub trait DaosApi: Clone + 'static {
     /// Number of targets in the pool backing this client (placement and
     /// striping need it).
     fn pool_targets(&self) -> u32;
+
+    /// Launches `op` as an independently progressing unit of work — the
+    /// execution primitive under the [`EventQueue`]. The embedded backend
+    /// completes the future inline (its operations never suspend); the
+    /// simulated backend spawns a kernel task, so in-flight operations
+    /// genuinely overlap in simulated time.
+    fn spawn_op(&self, op: OpFuture);
 }
 
 /// Allocates unique object ids for one client process: the 96 user bits
@@ -100,6 +196,257 @@ impl OidAllocator {
         oid
     }
 }
+
+// ---------------------------------------------------------------------------
+// Event queue
+// ---------------------------------------------------------------------------
+
+/// Identifies one launched operation on an [`EventQueue`] — the
+/// `daos_event_t` analogue. Ids are unique per queue and returned in the
+/// completion stream so callers can correlate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Event(pub u64);
+
+/// The value an asynchronously launched operation resolved to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpOutput {
+    /// Operations that return `()` (puts, writes, punch, close).
+    Unit,
+    /// `array_read`.
+    Data(Bytes),
+    /// `kv_get`.
+    MaybeData(Option<Bytes>),
+    /// `kv_list_keys`.
+    Keys(Vec<Vec<u8>>),
+    /// `array_size`.
+    Size(u64),
+}
+
+struct EqInner {
+    next: Cell<u64>,
+    in_flight: Cell<usize>,
+    completed: RefCell<VecDeque<(Event, Result<OpOutput>)>>,
+    waiters: RefCell<Vec<Waker>>,
+}
+
+/// A `daos_eq`-style event queue over any [`DaosApi`] backend.
+///
+/// `submit` (or the typed helpers) launches an operation and returns an
+/// [`Event`]; completions are harvested with [`poll`](EventQueue::poll)
+/// (non-blocking), [`wait`](EventQueue::wait) (suspends until one
+/// completes) or [`wait_all`](EventQueue::wait_all). On the simulated
+/// backend every in-flight operation is its own kernel task, so network
+/// transfer and media service of different operations overlap, each op
+/// carrying its own retry/deadline budget, spans and metrics.
+pub struct EventQueue<D: DaosApi> {
+    client: D,
+    inner: Rc<EqInner>,
+}
+
+impl<D: DaosApi> Clone for EventQueue<D> {
+    fn clone(&self) -> Self {
+        EventQueue {
+            client: self.client.clone(),
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<D: DaosApi> EventQueue<D> {
+    /// Creates an empty queue over `client` (`daos_eq_create`).
+    pub fn new(client: D) -> Self {
+        EventQueue {
+            client,
+            inner: Rc::new(EqInner {
+                next: Cell::new(0),
+                in_flight: Cell::new(0),
+                completed: RefCell::new(VecDeque::new()),
+                waiters: RefCell::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// The backend this queue launches operations on.
+    pub fn client(&self) -> &D {
+        &self.client
+    }
+
+    /// Number of launched operations that have not yet completed.
+    pub fn in_flight(&self) -> usize {
+        self.inner.in_flight.get()
+    }
+
+    /// Number of completions waiting to be harvested.
+    pub fn completed(&self) -> usize {
+        self.inner.completed.borrow().len()
+    }
+
+    /// Launches an arbitrary operation future. Prefer the typed helpers;
+    /// this is the extension point for composite operations (e.g. the
+    /// field writer's create-write-close + index-put pair).
+    pub fn submit(&self, fut: impl Future<Output = Result<OpOutput>> + 'static) -> Event {
+        let ev = Event(self.inner.next.get());
+        self.inner.next.set(ev.0 + 1);
+        self.inner.in_flight.set(self.inner.in_flight.get() + 1);
+        let inner = Rc::clone(&self.inner);
+        self.client.spawn_op(Box::pin(async move {
+            let out = fut.await;
+            inner.in_flight.set(inner.in_flight.get() - 1);
+            inner.completed.borrow_mut().push_back((ev, out));
+            for w in inner.waiters.borrow_mut().drain(..) {
+                w.wake();
+            }
+        }));
+        ev
+    }
+
+    /// Harvests one completion without blocking (`daos_eq_poll` with a
+    /// zero timeout). `None` means nothing has completed since the last
+    /// harvest — operations may still be in flight.
+    pub fn poll(&self) -> Option<(Event, Result<OpOutput>)> {
+        self.inner.completed.borrow_mut().pop_front()
+    }
+
+    /// Suspends until one completion is available and returns it
+    /// (`daos_eq_poll` with an infinite timeout). Returns `None` iff the
+    /// queue is idle: nothing in flight and nothing to harvest.
+    pub fn wait(&self) -> EqWait {
+        EqWait {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+
+    /// Waits for every in-flight operation and returns all unharvested
+    /// completions in completion order.
+    pub async fn wait_all(&self) -> Vec<(Event, Result<OpOutput>)> {
+        let mut out = Vec::new();
+        while let Some(c) = self.wait().await {
+            out.push(c);
+        }
+        out
+    }
+
+    // -- typed launch helpers ----------------------------------------------
+
+    /// Launches a `kv_put`.
+    pub fn kv_put(&self, cont: &D::Cont, oid: Oid, key: &[u8], value: Bytes) -> Event {
+        let (client, cont, key) = (self.client.clone(), cont.clone(), key.to_vec());
+        self.submit(async move {
+            client
+                .kv_put(&cont, oid, &key, value)
+                .await
+                .map(|()| OpOutput::Unit)
+        })
+    }
+
+    /// Launches a vectorized `kv_put_multi`.
+    pub fn kv_put_multi(&self, cont: &D::Cont, oid: Oid, pairs: Vec<(Vec<u8>, Bytes)>) -> Event {
+        let (client, cont) = (self.client.clone(), cont.clone());
+        self.submit(async move {
+            client
+                .kv_put_multi(&cont, oid, pairs)
+                .await
+                .map(|()| OpOutput::Unit)
+        })
+    }
+
+    /// Launches a `kv_get`; completes with [`OpOutput::MaybeData`].
+    pub fn kv_get(&self, cont: &D::Cont, oid: Oid, key: &[u8]) -> Event {
+        let (client, cont, key) = (self.client.clone(), cont.clone(), key.to_vec());
+        self.submit(async move {
+            client
+                .kv_get(&cont, oid, &key)
+                .await
+                .map(OpOutput::MaybeData)
+        })
+    }
+
+    /// Launches a `kv_list_keys`; completes with [`OpOutput::Keys`].
+    pub fn kv_list_keys(&self, cont: &D::Cont, oid: Oid) -> Event {
+        let (client, cont) = (self.client.clone(), cont.clone());
+        self.submit(async move { client.kv_list_keys(&cont, oid).await.map(OpOutput::Keys) })
+    }
+
+    /// Launches an `array_write` against an open handle. The operation
+    /// borrows the handle's identity, not the handle itself, so the
+    /// caller keeps it to close after completion.
+    pub fn array_write(
+        &self,
+        cont: &D::Cont,
+        handle: &ArrayHandle,
+        offset: u64,
+        data: Bytes,
+    ) -> Event {
+        let (client, cont) = (self.client.clone(), cont.clone());
+        let h = ArrayHandle::from_open(handle.oid());
+        self.submit(async move {
+            client
+                .array_write(&cont, &h, offset, data)
+                .await
+                .map(|()| OpOutput::Unit)
+        })
+    }
+
+    /// Launches a scatter-gather `array_write_vec`.
+    pub fn array_write_vec(
+        &self,
+        cont: &D::Cont,
+        handle: &ArrayHandle,
+        iovs: Vec<(u64, Bytes)>,
+    ) -> Event {
+        let (client, cont) = (self.client.clone(), cont.clone());
+        let h = ArrayHandle::from_open(handle.oid());
+        self.submit(async move {
+            client
+                .array_write_vec(&cont, &h, iovs)
+                .await
+                .map(|()| OpOutput::Unit)
+        })
+    }
+
+    /// Launches an `array_read`; completes with [`OpOutput::Data`].
+    pub fn array_read(&self, cont: &D::Cont, handle: &ArrayHandle, offset: u64, len: u64) -> Event {
+        let (client, cont) = (self.client.clone(), cont.clone());
+        let h = ArrayHandle::from_open(handle.oid());
+        self.submit(async move {
+            client
+                .array_read(&cont, &h, offset, len)
+                .await
+                .map(OpOutput::Data)
+        })
+    }
+
+    /// Launches an `array_size`; completes with [`OpOutput::Size`].
+    pub fn array_size(&self, cont: &D::Cont, handle: &ArrayHandle) -> Event {
+        let (client, cont) = (self.client.clone(), cont.clone());
+        let h = ArrayHandle::from_open(handle.oid());
+        self.submit(async move { client.array_size(&cont, &h).await.map(OpOutput::Size) })
+    }
+}
+
+/// Future returned by [`EventQueue::wait`].
+pub struct EqWait {
+    inner: Rc<EqInner>,
+}
+
+impl Future for EqWait {
+    type Output = Option<(Event, Result<OpOutput>)>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        if let Some(c) = self.inner.completed.borrow_mut().pop_front() {
+            return Poll::Ready(Some(c));
+        }
+        if self.inner.in_flight.get() == 0 {
+            return Poll::Ready(None);
+        }
+        self.inner.waiters.borrow_mut().push(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Embedded backend
+// ---------------------------------------------------------------------------
 
 /// The embedded (in-process, instantaneous) backend over one pool.
 #[derive(Clone)]
@@ -133,6 +480,17 @@ impl DaosApi for EmbeddedClient {
         cont.kv_put(oid, key, value).map(|_| ())
     }
 
+    async fn kv_put_multi(
+        &self,
+        cont: &Self::Cont,
+        oid: Oid,
+        pairs: Vec<(Vec<u8>, Bytes)>,
+    ) -> Result<()> {
+        let bytes: usize = pairs.iter().map(|(k, v)| k.len() + v.len()).sum();
+        self.pool.charge(bytes as u64)?;
+        cont.kv_put_multi(oid, pairs)
+    }
+
     async fn kv_get(&self, cont: &Self::Cont, oid: Oid, key: &[u8]) -> Result<Option<Bytes>> {
         cont.kv_get(oid, key)
     }
@@ -141,44 +499,58 @@ impl DaosApi for EmbeddedClient {
         cont.kv_list_keys(oid)
     }
 
-    async fn array_create(&self, cont: &Self::Cont, oid: Oid) -> Result<()> {
-        cont.array_create(oid)
+    async fn array_create(&self, cont: &Self::Cont, oid: Oid) -> Result<ArrayHandle> {
+        cont.array_create(oid)?;
+        Ok(ArrayHandle::from_open(oid))
     }
 
-    async fn array_open(&self, cont: &Self::Cont, oid: Oid) -> Result<()> {
-        cont.array_open(oid)
+    async fn array_open(&self, cont: &Self::Cont, oid: Oid) -> Result<ArrayHandle> {
+        cont.array_open(oid)?;
+        Ok(ArrayHandle::from_open(oid))
     }
 
-    async fn array_open_or_create(&self, cont: &Self::Cont, oid: Oid) -> Result<()> {
-        cont.array_open_or_create(oid)
+    async fn array_open_or_create(&self, cont: &Self::Cont, oid: Oid) -> Result<ArrayHandle> {
+        cont.array_open_or_create(oid)?;
+        Ok(ArrayHandle::from_open(oid))
     }
 
     async fn array_write(
         &self,
         cont: &Self::Cont,
-        oid: Oid,
+        handle: &ArrayHandle,
         offset: u64,
         data: Bytes,
     ) -> Result<()> {
         self.pool.charge(data.len() as u64)?;
-        cont.array_write(oid, offset, data)
+        cont.array_write(handle.oid(), offset, data)
+    }
+
+    async fn array_write_vec(
+        &self,
+        cont: &Self::Cont,
+        handle: &ArrayHandle,
+        iovs: Vec<(u64, Bytes)>,
+    ) -> Result<()> {
+        let bytes: usize = iovs.iter().map(|(_, d)| d.len()).sum();
+        self.pool.charge(bytes as u64)?;
+        cont.array_write_vec(handle.oid(), iovs)
     }
 
     async fn array_read(
         &self,
         cont: &Self::Cont,
-        oid: Oid,
+        handle: &ArrayHandle,
         offset: u64,
         len: u64,
     ) -> Result<Bytes> {
-        cont.array_read(oid, offset, len)
+        cont.array_read(handle.oid(), offset, len)
     }
 
-    async fn array_size(&self, cont: &Self::Cont, oid: Oid) -> Result<u64> {
-        cont.array_size(oid)
+    async fn array_size(&self, cont: &Self::Cont, handle: &ArrayHandle) -> Result<u64> {
+        cont.array_size(handle.oid())
     }
 
-    async fn array_close(&self, _cont: &Self::Cont, _oid: Oid) -> Result<()> {
+    async fn array_close(&self, _cont: &Self::Cont, _handle: ArrayHandle) -> Result<()> {
         Ok(())
     }
 
@@ -193,11 +565,25 @@ impl DaosApi for EmbeddedClient {
     fn pool_targets(&self) -> u32 {
         self.pool.targets()
     }
+
+    fn spawn_op(&self, op: OpFuture) {
+        // Embedded operations never suspend: complete inline, so launch
+        // order equals completion order and EventQueue programs behave
+        // like their sequential expansion.
+        let waker = Waker::noop();
+        let mut cx = Context::from_waker(waker);
+        let mut op = op;
+        match op.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {}
+            Poll::Pending => panic!("embedded backend operation suspended"),
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::DaosError;
     use crate::store::DaosStore;
 
     fn block_on<F: std::future::Future>(fut: F) -> F::Output {
@@ -222,15 +608,15 @@ mod tests {
                 .await
                 .unwrap();
             let oid = alloc.next(ObjectClass::S1);
-            client.array_create(&cont, oid).await.unwrap();
+            let h = client.array_create(&cont, oid).await.unwrap();
             client
-                .array_write(&cont, oid, 0, Bytes::from_static(b"payload"))
+                .array_write(&cont, &h, 0, Bytes::from_static(b"payload"))
                 .await
                 .unwrap();
-            let data = client.array_read(&cont, oid, 0, 7).await.unwrap();
+            let data = client.array_read(&cont, &h, 0, 7).await.unwrap();
             assert_eq!(data.as_ref(), b"payload");
-            assert_eq!(client.array_size(&cont, oid).await.unwrap(), 7);
-            client.array_close(&cont, oid).await.unwrap();
+            assert_eq!(client.array_size(&cont, &h).await.unwrap(), 7);
+            client.array_close(&cont, h).await.unwrap();
 
             let kv = alloc.next(ObjectClass::SX);
             client
@@ -247,6 +633,33 @@ mod tests {
                 b"ref"
             );
             assert_eq!(client.kv_list_keys(&cont, kv).await.unwrap().len(), 1);
+        });
+    }
+
+    #[test]
+    fn handle_carries_oid_and_open_checks_type() {
+        let (_store, pool) = DaosStore::with_single_pool(24);
+        let client = EmbeddedClient::new(pool);
+        let mut alloc = OidAllocator::new(3);
+        block_on(async {
+            let cont = client
+                .cont_open_or_create(Uuid::from_name(b"h"))
+                .await
+                .unwrap();
+            let oid = alloc.next(ObjectClass::S1);
+            let h = client.array_create(&cont, oid).await.unwrap();
+            assert_eq!(h.oid(), oid);
+            client.array_close(&cont, h).await.unwrap();
+            // Re-open the same object: a fresh handle.
+            let h2 = client.array_open(&cont, oid).await.unwrap();
+            client.array_close(&cont, h2).await.unwrap();
+            // Opening a KV as an array is a type error.
+            let kv = alloc.next(ObjectClass::SX);
+            client.kv_put(&cont, kv, b"k", Bytes::new()).await.unwrap();
+            assert_eq!(
+                client.array_open(&cont, kv).await.unwrap_err(),
+                DaosError::WrongType(kv)
+            );
         });
     }
 
@@ -268,12 +681,112 @@ mod tests {
         block_on(async {
             let cont = client.cont_open_or_create(Uuid::NIL).await.unwrap();
             let oid = OidAllocator::new(0).next(ObjectClass::S1);
-            client.array_create(&cont, oid).await.unwrap();
+            let h = client.array_create(&cont, oid).await.unwrap();
             client
-                .array_write(&cont, oid, 0, Bytes::from(vec![0u8; 1000]))
+                .array_write(&cont, &h, 0, Bytes::from(vec![0u8; 1000]))
                 .await
                 .unwrap();
+            client.array_close(&cont, h).await.unwrap();
         });
         assert_eq!(pool.used(), 1000);
+    }
+
+    #[test]
+    fn vectorized_ops_match_sequential_and_charge_once() {
+        let (_store, pool) = DaosStore::with_single_pool(8);
+        let client = EmbeddedClient::new(Arc::clone(&pool));
+        let mut alloc = OidAllocator::new(7);
+        block_on(async {
+            let cont = client.cont_open_or_create(Uuid::NIL).await.unwrap();
+            let kv = alloc.next(ObjectClass::SX);
+            client
+                .kv_put_multi(
+                    &cont,
+                    kv,
+                    vec![
+                        (b"a".to_vec(), Bytes::from_static(b"1")),
+                        (b"b".to_vec(), Bytes::from_static(b"2")),
+                    ],
+                )
+                .await
+                .unwrap();
+            assert_eq!(
+                client
+                    .kv_get(&cont, kv, b"a")
+                    .await
+                    .unwrap()
+                    .unwrap()
+                    .as_ref(),
+                b"1"
+            );
+            assert_eq!(client.kv_list_keys(&cont, kv).await.unwrap().len(), 2);
+
+            let oid = alloc.next(ObjectClass::S1);
+            let h = client.array_create(&cont, oid).await.unwrap();
+            client
+                .array_write_vec(
+                    &cont,
+                    &h,
+                    vec![
+                        (0, Bytes::from_static(b"head")),
+                        (4, Bytes::from_static(b"tail")),
+                    ],
+                )
+                .await
+                .unwrap();
+            assert_eq!(
+                client.array_read(&cont, &h, 0, 8).await.unwrap().as_ref(),
+                b"headtail"
+            );
+            client.array_close(&cont, h).await.unwrap();
+        });
+        // 1+1 + 1+1 KV bytes and 8 array bytes.
+        assert_eq!(pool.used(), 12);
+    }
+
+    #[test]
+    fn event_queue_completes_inline_on_embedded() {
+        let (_store, pool) = DaosStore::with_single_pool(24);
+        let client = EmbeddedClient::new(pool);
+        let mut alloc = OidAllocator::new(9);
+        block_on(async {
+            let cont = client
+                .cont_open_or_create(Uuid::from_name(b"eq"))
+                .await
+                .unwrap();
+            let eq = EventQueue::new(client.clone());
+            let kv = alloc.next(ObjectClass::SX);
+            let oid = alloc.next(ObjectClass::S1);
+            let h = client.array_create(&cont, oid).await.unwrap();
+
+            let e1 = eq.kv_put(&cont, kv, b"k", Bytes::from_static(b"v"));
+            let e2 = eq.array_write(&cont, &h, 0, Bytes::from_static(b"data"));
+            let e3 = eq.kv_get(&cont, kv, b"k");
+            assert_eq!(eq.in_flight(), 0, "embedded ops complete inline");
+            assert_eq!(eq.completed(), 3);
+
+            // Completion order equals launch order on the embedded backend.
+            let all = eq.wait_all().await;
+            assert_eq!(
+                all.iter().map(|(e, _)| *e).collect::<Vec<_>>(),
+                vec![e1, e2, e3]
+            );
+            assert_eq!(all[0].1.as_ref().unwrap(), &OpOutput::Unit);
+            assert_eq!(all[1].1.as_ref().unwrap(), &OpOutput::Unit);
+            assert_eq!(
+                all[2].1.as_ref().unwrap(),
+                &OpOutput::MaybeData(Some(Bytes::from_static(b"v")))
+            );
+
+            // Errors travel through the completion stream, not panics.
+            let missing = alloc.next(ObjectClass::S1);
+            let bad = ArrayHandle::from_open(missing);
+            eq.array_read(&cont, &bad, 0, 1);
+            let (_, res) = eq.wait().await.unwrap();
+            assert_eq!(res.unwrap_err(), DaosError::ObjNotFound(missing));
+            assert!(eq.wait().await.is_none(), "idle queue waits return None");
+
+            client.array_close(&cont, h).await.unwrap();
+        });
     }
 }

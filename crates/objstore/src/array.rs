@@ -69,6 +69,13 @@ impl ArrayObject {
         self.size = self.size.max(end);
     }
 
+    /// Writes every `(offset, data)` extent, in order (scatter-gather).
+    pub fn write_many(&mut self, iovs: Vec<(u64, Bytes)>) {
+        for (offset, data) in iovs {
+            self.write(offset, data);
+        }
+    }
+
     /// Reads `len` bytes at `offset`. Unwritten holes read as zero, as in
     /// DAOS. A range covered by a single segment is returned zero-copy.
     pub fn read(&self, offset: u64, len: u64) -> Bytes {

@@ -126,6 +126,24 @@ impl Container {
         }
     }
 
+    /// Vectorized insert into KV `oid`: all pairs land under one object
+    /// lock acquisition (the batch the event-queue layer ships as a
+    /// single request). Equivalent to `kv_put` of each pair in order.
+    pub fn kv_put_multi(&self, oid: Oid, pairs: Vec<(Vec<u8>, Bytes)>) -> Result<()> {
+        self.ops
+            .kv_updates
+            .fetch_add(pairs.len() as u64, Ordering::Relaxed);
+        let obj = self.get_or_create_kv(oid)?;
+        let mut guard = obj.write();
+        match &mut *guard {
+            Object::Kv(kv) => {
+                kv.put_many(pairs);
+                Ok(())
+            }
+            Object::Array(_) => Err(DaosError::WrongType(oid)),
+        }
+    }
+
     pub fn kv_get(&self, oid: Oid, key: &[u8]) -> Result<Option<Bytes>> {
         self.ops.kv_fetches.fetch_add(1, Ordering::Relaxed);
         let obj = match self.get_obj(oid) {
@@ -207,6 +225,24 @@ impl Container {
         match &mut *guard {
             Object::Array(a) => {
                 a.write(offset, data);
+                Ok(())
+            }
+            Object::Kv(_) => Err(DaosError::WrongType(oid)),
+        }
+    }
+
+    /// Scatter-gather write: every `(offset, data)` extent lands under
+    /// one object lock acquisition. Equivalent to `array_write` of each
+    /// extent in order.
+    pub fn array_write_vec(&self, oid: Oid, iovs: Vec<(u64, Bytes)>) -> Result<()> {
+        self.ops
+            .array_updates
+            .fetch_add(iovs.len() as u64, Ordering::Relaxed);
+        let obj = self.get_obj(oid)?;
+        let mut guard = obj.write();
+        match &mut *guard {
+            Object::Array(a) => {
+                a.write_many(iovs);
                 Ok(())
             }
             Object::Kv(_) => Err(DaosError::WrongType(oid)),

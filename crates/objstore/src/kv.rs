@@ -24,6 +24,13 @@ impl KvObject {
         self.entries.insert(key.to_vec(), value)
     }
 
+    /// Inserts or replaces every pair, in order (vectorized update).
+    pub fn put_many(&mut self, pairs: Vec<(Vec<u8>, Bytes)>) {
+        for (key, value) in pairs {
+            self.entries.insert(key, value);
+        }
+    }
+
     pub fn get(&self, key: &[u8]) -> Option<Bytes> {
         self.entries.get(key).cloned()
     }

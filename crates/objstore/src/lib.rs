@@ -35,7 +35,9 @@ pub mod snapshot;
 pub mod store;
 pub mod uuid;
 
-pub use api::{DaosApi, EmbeddedClient, OidAllocator};
+pub use api::{
+    ArrayHandle, DaosApi, EmbeddedClient, Event, EventQueue, OidAllocator, OpFuture, OpOutput,
+};
 pub use array::ArrayObject;
 pub use container::{Container, ContainerStats, Object, OpCounts};
 pub use error::{DaosError, Result};

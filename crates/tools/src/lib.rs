@@ -283,28 +283,36 @@ pub fn cmd_synth_trace(
     })
 }
 
-/// `daosctl simulate <trace.csv> [--servers N] [--clients N] [--paced]`
+/// Builds the replay field I/O config from the CLI's `--mode` and
+/// `--window` arguments.
+fn fieldio_for(mode: &str, window: u32) -> Result<FieldIoConfig, ToolError> {
+    let mode = match mode {
+        "full" => FieldIoMode::Full,
+        "no-containers" => FieldIoMode::NoContainers,
+        "no-index" => FieldIoMode::NoIndex,
+        other => return Err(ToolError::BadArgs(format!("unknown mode {other:?}"))),
+    };
+    Ok(FieldIoConfig::builder().mode(mode).window(window).build())
+}
+
+/// `daosctl simulate <trace.csv> [--servers N] [--clients N] [--paced]
+/// [--mode M] [--window W]`
 pub fn cmd_simulate(
     trace_path: &Path,
     servers: u16,
     clients: u16,
     paced: bool,
     mode: &str,
+    window: u32,
 ) -> ToolResult {
     let text = fs::read_to_string(trace_path)?;
     let trace = Trace::from_csv(&text).map_err(ToolError::BadArgs)?;
     if trace.is_empty() {
         return Err(ToolError::BadArgs("trace holds no operations".into()));
     }
-    let fieldio = match mode {
-        "full" => FieldIoConfig::with_mode(FieldIoMode::Full),
-        "no-containers" => FieldIoConfig::with_mode(FieldIoMode::NoContainers),
-        "no-index" => FieldIoConfig::with_mode(FieldIoMode::NoIndex),
-        other => return Err(ToolError::BadArgs(format!("unknown mode {other:?}"))),
-    };
     let stats = replay(
         ClusterSpec::tcp(servers.max(1), clients.max(1)),
-        fieldio,
+        fieldio_for(mode, window)?,
         &trace,
         if paced { Pacing::Paced } else { Pacing::AsFast },
     );
@@ -312,7 +320,7 @@ pub fn cmd_simulate(
 }
 
 /// `daosctl trace <trace.csv> [--servers N] [--clients N] [--paced]
-/// [--mode M] [--out trace.json] [--metrics metrics.csv]`
+/// [--mode M] [--window W] [--out trace.json] [--metrics metrics.csv]`
 ///
 /// Replays the schedule with span tracing enabled and writes a Chrome
 /// trace-event JSON (loadable in Perfetto or `chrome://tracing`) plus a
@@ -320,12 +328,14 @@ pub fn cmd_simulate(
 /// closing after children) before anything is written; replays are
 /// deterministic, so re-running the command reproduces both artifacts
 /// byte for byte.
+#[allow(clippy::too_many_arguments)]
 pub fn cmd_trace(
     trace_path: &Path,
     servers: u16,
     clients: u16,
     paced: bool,
     mode: &str,
+    window: u32,
     json_out: &Path,
     metrics_out: &Path,
 ) -> ToolResult {
@@ -334,15 +344,9 @@ pub fn cmd_trace(
     if trace.is_empty() {
         return Err(ToolError::BadArgs("trace holds no operations".into()));
     }
-    let fieldio = match mode {
-        "full" => FieldIoConfig::with_mode(FieldIoMode::Full),
-        "no-containers" => FieldIoConfig::with_mode(FieldIoMode::NoContainers),
-        "no-index" => FieldIoConfig::with_mode(FieldIoMode::NoIndex),
-        other => return Err(ToolError::BadArgs(format!("unknown mode {other:?}"))),
-    };
     let traced = replay_traced(
         ClusterSpec::tcp(servers.max(1), clients.max(1)),
-        fieldio,
+        fieldio_for(mode, window)?,
         &trace,
         if paced { Pacing::Paced } else { Pacing::AsFast },
         None,
@@ -393,7 +397,7 @@ pub fn cmd_failure_drill(
         ));
     }
     let mut spec = ClusterSpec::tcp(servers.max(1), clients.max(1));
-    spec.retry = RetryPolicy::operational();
+    spec.retry = RetryPolicy::builder().operational().build();
     let fieldio = FieldIoConfig {
         array_class: ObjectClass::RP2,
         kv_class: ObjectClass::RP2,
@@ -582,7 +586,7 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
-        match cmd_simulate(&a.0, 1, 1, true, "no-containers").unwrap() {
+        match cmd_simulate(&a.0, 1, 1, true, "no-containers", 1).unwrap() {
             Outcome::Simulated(stats) => {
                 assert_eq!(stats.writes.io_count, 24);
                 assert_eq!(stats.reads.io_count, 24);
@@ -591,9 +595,26 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(matches!(
-            cmd_simulate(&a.0, 1, 1, false, "bogus"),
+            cmd_simulate(&a.0, 1, 1, false, "bogus", 1),
             Err(ToolError::BadArgs(_))
         ));
+    }
+
+    #[test]
+    fn simulate_with_window_pipelines_deterministically() {
+        let a = TempArchive::new("window");
+        cmd_synth_trace(&a.0, 4, 2, 3, 1, 40).unwrap();
+        let run = |window| match cmd_simulate(&a.0, 1, 1, false, "full", window).unwrap() {
+            Outcome::Simulated(stats) => *stats,
+            other => panic!("{other:?}"),
+        };
+        let sequential = run(1);
+        let pipelined = run(8);
+        assert_eq!(pipelined.writes.io_count, sequential.writes.io_count);
+        assert_eq!(pipelined.reads.io_count, sequential.reads.io_count);
+        assert!(pipelined.end_secs <= sequential.end_secs);
+        let again = run(8);
+        assert_eq!(pipelined.end_secs.to_bits(), again.end_secs.to_bits());
     }
 
     #[test]
@@ -605,7 +626,7 @@ mod tests {
         let met1 = TempArchive::new("chrome-met1");
         let met2 = TempArchive::new("chrome-met2");
         let run = |json: &Path, met: &Path| {
-            match cmd_trace(&a.0, 1, 1, false, "no-containers", json, met).unwrap() {
+            match cmd_trace(&a.0, 1, 1, false, "no-containers", 1, json, met).unwrap() {
                 Outcome::Traced {
                     spans, categories, ..
                 } => {

@@ -29,8 +29,8 @@ fn usage() -> ! {
          wipe     <archive> <forecast-key>\n\
          info     <archive>\n\
          synth-trace <out.csv> [--procs N] [--steps N] [--fields N] [--mib N] [--interval-ms N]\n\
-         simulate    <trace.csv> [--servers N] [--clients N] [--paced] [--mode full|no-containers|no-index]\n\
-         trace       <trace.csv> [--servers N] [--clients N] [--paced] [--mode M] [--out trace.json] [--metrics metrics.csv]\n\
+         simulate    <trace.csv> [--servers N] [--clients N] [--paced] [--mode full|no-containers|no-index] [--window W]\n\
+         trace       <trace.csv> [--servers N] [--clients N] [--paced] [--mode M] [--window W] [--out trace.json] [--metrics metrics.csv]\n\
          failure-drill <trace.csv> [--servers N] [--clients N] [--kill-ms N] [--restart-ms N]"
     );
     exit(2);
@@ -111,6 +111,7 @@ fn main() {
                 num("--clients", 2) as u16,
                 rest.iter().any(|a| a == "--paced"),
                 &mode,
+                num("--window", 1) as u32,
             )
         }
         "trace" => {
@@ -131,6 +132,7 @@ fn main() {
                 num("--clients", 2) as u16,
                 rest.iter().any(|a| a == "--paced"),
                 &mode,
+                num("--window", 1) as u32,
                 &json_out,
                 &metrics_out,
             )

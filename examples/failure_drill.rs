@@ -106,7 +106,10 @@ fn drill(array_class: ObjectClass) -> (u32, u32) {
                                 );
                                 ok.set(ok.get() + 1);
                             }
-                            Err(FieldIoError::Daos(DaosError::EngineUnavailable(_))) => {
+                            Err(FieldIoError::Daos {
+                                source: DaosError::EngineUnavailable(_),
+                                ..
+                            }) => {
                                 lost.set(lost.get() + 1);
                             }
                             Err(e) => panic!("unexpected failure: {e}"),

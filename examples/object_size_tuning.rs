@@ -26,7 +26,7 @@ fn main() {
     let mut best: (f64, String) = (0.0, String::new());
     for class in [ObjectClass::S1, ObjectClass::S2, ObjectClass::SX] {
         for size_mib in [1u64, 5, 10, 20] {
-            let mut fieldio = FieldIoConfig::with_mode(FieldIoMode::Full);
+            let mut fieldio = FieldIoConfig::builder().mode(FieldIoMode::Full).build();
             fieldio.array_class = class;
             fieldio.kv_class = class;
             let cfg = PatternConfig {

@@ -24,7 +24,7 @@ fn main() {
         for servers in [1u16, 2, 4] {
             let cfg = PatternConfig {
                 cluster: ClusterSpec::tcp(servers, servers * 2),
-                fieldio: FieldIoConfig::with_mode(mode),
+                fieldio: FieldIoConfig::builder().mode(mode).build(),
                 contention: Contention::Low,
                 procs_per_node: 16,
                 ops_per_proc: 40,

@@ -45,7 +45,9 @@ fn main() {
     ] {
         let r = replay(
             spec,
-            FieldIoConfig::with_mode(FieldIoMode::NoContainers),
+            FieldIoConfig::builder()
+                .mode(FieldIoMode::NoContainers)
+                .build(),
             &trace,
             Pacing::Paced,
         );
@@ -67,7 +69,9 @@ fn main() {
     // The same trace replayed as-fast gives the classic benchmark number.
     let fast = replay(
         ClusterSpec::tcp(2, 2),
-        FieldIoConfig::with_mode(FieldIoMode::NoContainers),
+        FieldIoConfig::builder()
+            .mode(FieldIoMode::NoContainers)
+            .build(),
         &trace,
         Pacing::AsFast,
     );

@@ -31,7 +31,7 @@ fn field(step: u32, member: u32) -> Bytes {
 
 /// Runs the program against one backend and returns every read-back.
 async fn program<D: DaosApi>(client: D, mode: FieldIoMode) -> Vec<(String, Bytes)> {
-    let fs = FieldStore::connect(client, FieldIoConfig::with_mode(mode), 7)
+    let fs = FieldStore::connect(client, FieldIoConfig::builder().mode(mode).build(), 7)
         .await
         .expect("connect");
     // Write a grid of fields, re-write some of them, then read all back.

@@ -13,7 +13,7 @@ const MIB: u64 = 1024 * 1024;
 fn cfg(mode: FieldIoMode) -> PatternConfig {
     PatternConfig {
         cluster: ClusterSpec::tcp(2, 2),
-        fieldio: FieldIoConfig::with_mode(mode),
+        fieldio: FieldIoConfig::builder().mode(mode).build(),
         contention: Contention::High,
         procs_per_node: 6,
         ops_per_proc: 8,
@@ -51,6 +51,7 @@ fn ior_runs_bit_identical() {
         class: ObjectClass::S1,
         iterations: 1,
         file_mode: daosim_ior::FileMode::FilePerProcess,
+        inflight: 1,
     };
     let a = run_ior(ClusterSpec::tcp(1, 2), params);
     let b = run_ior(ClusterSpec::tcp(1, 2), params);

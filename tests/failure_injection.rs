@@ -37,7 +37,10 @@ fn writes_fail_cleanly_when_all_engines_die() {
         d2.kill_engine(1);
         for n in 1..5 {
             match fs.write_field(&key(n), Bytes::from_static(b"during")).await {
-                Err(FieldIoError::Daos(DaosError::EngineUnavailable(_))) => f2.set(f2.get() + 1),
+                Err(FieldIoError::Daos {
+                    source: DaosError::EngineUnavailable(_),
+                    ..
+                }) => f2.set(f2.get() + 1),
                 other => panic!("expected EngineUnavailable, got {other:?}"),
             }
         }
@@ -64,16 +67,21 @@ fn single_engine_loss_fails_only_objects_it_owns() {
         let client = SimClient::for_process(&d2, 0, 0);
         // no-index mode: placement is a pure function of the key, so some
         // fields land on the dead engine and some do not.
-        let fs = FieldStore::connect(client, FieldIoConfig::with_mode(FieldIoMode::NoIndex), 1)
-            .await
-            .unwrap();
+        let fs = FieldStore::connect(
+            client,
+            FieldIoConfig::builder().mode(FieldIoMode::NoIndex).build(),
+            1,
+        )
+        .await
+        .unwrap();
         d2.kill_engine(0);
         for n in 0..64 {
             match fs.write_field(&key(n), Bytes::from_static(b"x")).await {
                 Ok(()) => ok2.set(ok2.get() + 1),
-                Err(FieldIoError::Daos(DaosError::EngineUnavailable(0))) => {
-                    failed2.set(failed2.get() + 1)
-                }
+                Err(FieldIoError::Daos {
+                    source: DaosError::EngineUnavailable(0),
+                    ..
+                }) => failed2.set(failed2.get() + 1),
                 other => panic!("unexpected outcome {other:?}"),
             }
         }

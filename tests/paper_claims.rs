@@ -25,7 +25,7 @@ const MIB: u64 = 1024 * 1024;
 fn pattern(mode: FieldIoMode, contention: Contention, servers: u16, ppn: u32) -> PatternConfig {
     PatternConfig {
         cluster: ClusterSpec::tcp(servers, servers * 2),
-        fieldio: FieldIoConfig::with_mode(mode),
+        fieldio: FieldIoConfig::builder().mode(mode).build(),
         contention,
         procs_per_node: ppn,
         ops_per_proc: 60,
@@ -60,6 +60,7 @@ fn ior_write_bandwidth_scales_nearly_linearly() {
         class: ObjectClass::S1,
         iterations: 1,
         file_mode: daosim_ior::FileMode::FilePerProcess,
+        inflight: 1,
     };
     let two = run_ior(ClusterSpec::tcp(2, 4), params(24)).write_bw();
     let eight = run_ior(ClusterSpec::tcp(8, 16), params(24)).write_bw();
@@ -147,6 +148,7 @@ fn ior_write_bandwidth_scales_downscaled() {
         class: ObjectClass::S1,
         iterations: 1,
         file_mode: daosim_ior::FileMode::FilePerProcess,
+        inflight: 1,
     };
     let one = run_ior(ClusterSpec::tcp(1, 2), params(8)).write_bw();
     let four = run_ior(ClusterSpec::tcp(4, 8), params(8)).write_bw();
