@@ -15,6 +15,7 @@ pub mod calibration;
 pub mod client;
 pub mod deploy;
 pub mod fault;
+pub mod fuzz;
 pub mod rebuild;
 
 pub use calibration::Calibration;
@@ -23,4 +24,5 @@ pub use deploy::{ClusterSpec, Deployment, Engine, Target};
 pub use fault::{
     FaultEvent, FaultPlan, ResilienceReport, ResilienceStats, RetryPolicy, RetryPolicyBuilder,
 };
+pub use fuzz::{FuzzFailure, FuzzProgram, FuzzReport, Observation};
 pub use rebuild::{rebuild_engine, RebuildError, RebuildReport};

@@ -827,8 +827,7 @@ impl<D: DaosApi> FieldStore<D> {
         }
 
         for (i, key) in keys.iter().enumerate() {
-            while eq.in_flight() >= window {
-                let (ev, res) = eq.wait().await.expect("ops in flight");
+            for (ev, res) in eq.wait_capacity(window).await {
                 absorb(&mut results, &mut slots, keys, ev, res);
             }
             match self.launch_read(&eq, key).await {
@@ -946,8 +945,7 @@ impl<D: DaosApi> PipelinedWriter<'_, D> {
         if let Some(e) = &self.first_err {
             return Err(e.clone());
         }
-        while self.eq.in_flight() >= self.window {
-            let c = self.eq.wait().await.expect("ops in flight");
+        for c in self.eq.wait_capacity(self.window).await {
             self.absorb(c);
         }
         let kc = key.canonical();

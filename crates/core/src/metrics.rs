@@ -664,6 +664,56 @@ mod tests {
     }
 
     #[test]
+    fn timeline_event_exactly_on_window_end_lands_in_last_bucket() {
+        const G: u64 = 1 << 30;
+        // Boundary audit: the phase spans an exact multiple of the bucket
+        // width and the final completion sits exactly on the window end,
+        // so its raw index is the last valid bucket (and must stay there
+        // — an unclamped off-by-one here indexes out of range).
+        let events = vec![
+            ev(0, 0, EventKind::IoStart, 0, 0),
+            ev(0, 0, EventKind::IoEnd, 1_000_000_000, G),
+            ev(1, 0, EventKind::IoStart, 0, 0),
+            ev(1, 0, EventKind::IoEnd, 3_000_000_000, G),
+        ];
+        let tl = bandwidth_timeline(&events, SimDuration::from_secs(1));
+        assert_eq!(tl.len(), 4, "window end starts its own bucket");
+        assert_eq!(tl[3].t_ns, 3_000_000_000);
+        assert_eq!(tl[3].bytes, G, "boundary completion kept, not dropped");
+        let total: u64 = tl.iter().map(|b| b.bytes).sum();
+        assert_eq!(total, 2 * G);
+    }
+
+    #[test]
+    fn anchored_timeline_event_exactly_at_end_is_clamped_to_last_bucket() {
+        const G: u64 = 1 << 30;
+        // `end` divides evenly into buckets, and a completion lands
+        // exactly at `end`: its raw index equals the bucket count, one
+        // past the last slot. The clamp attributes it to the final
+        // bucket instead of panicking.
+        let end = SimTime::from_nanos(3_000_000_000);
+        let events = vec![
+            ev(0, 0, EventKind::IoStart, 0, 0),
+            ev(0, 0, EventKind::IoEnd, 3_000_000_000, G),
+        ];
+        let tl = anchored_bandwidth_timeline(&events, SimDuration::from_secs(1), end);
+        assert_eq!(tl.len(), 3, "an exactly-divisible end adds no bucket");
+        assert_eq!(tl[2].bytes, G, "boundary completion clamps into range");
+        // Interior boundaries follow the same half-open convention: an
+        // event exactly on a bucket edge opens the next bucket.
+        let edge = vec![
+            ev(0, 0, EventKind::IoStart, 0, 0),
+            ev(0, 0, EventKind::IoEnd, 1_000_000_000, G),
+        ];
+        let tl = anchored_bandwidth_timeline(&edge, SimDuration::from_secs(1), end);
+        assert_eq!(
+            tl.iter().map(|b| b.bytes).collect::<Vec<_>>(),
+            [0, G, 0],
+            "edge event belongs to the bucket it starts"
+        );
+    }
+
+    #[test]
     fn events_to_csv_shape() {
         let events = vec![
             ev(3, 0, EventKind::IoStart, 100, 0),

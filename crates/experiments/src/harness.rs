@@ -154,6 +154,12 @@ impl Report {
         &self.rows
     }
 
+    /// Attached artifacts as `(filename, contents)` pairs, in attach
+    /// order (exactly what [`save`](Self::save) writes to disk).
+    pub fn artifacts(&self) -> &[(String, String)] {
+        &self.artifacts
+    }
+
     /// Fixed-width text rendering.
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();

@@ -13,6 +13,7 @@ pub mod harness;
 pub mod pipeline;
 pub mod rebuild_xp;
 pub mod replication;
+pub mod sched_fuzz_xp;
 pub mod tables;
 pub mod window_sweep;
 
@@ -27,7 +28,7 @@ use daosim_kernel::SimDuration;
 use harness::{Report, Scale};
 
 /// Every experiment by name.
-pub const EXPERIMENTS: [&str; 13] = [
+pub const EXPERIMENTS: [&str; 14] = [
     "table1",
     "table2",
     "fig3",
@@ -41,6 +42,7 @@ pub const EXPERIMENTS: [&str; 13] = [
     "replication",
     "rebuild",
     "failure-drill",
+    "sched-fuzz",
 ];
 
 /// Runs one experiment by name.
@@ -59,6 +61,7 @@ pub fn run_experiment(name: &str, scale: &Scale) -> Vec<Report> {
         "replication" => vec![replication::replication(scale)],
         "rebuild" => vec![rebuild_xp::rebuild(scale)],
         "failure-drill" => vec![failure_drill_xp::failure_drill(scale)],
+        "sched-fuzz" => vec![sched_fuzz_xp::sched_fuzz(scale)],
         other => panic!("unknown experiment {other:?}; known: {EXPERIMENTS:?}"),
     }
 }

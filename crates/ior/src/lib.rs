@@ -112,7 +112,10 @@ pub fn run_ior_traced(spec: ClusterSpec, params: IorParams) -> (IorResult, Vec<S
     (result, sim.obs().take_events())
 }
 
-fn run_ior_on(sim: &Sim, spec: ClusterSpec, params: IorParams) -> IorResult {
+/// Like [`run_ior`], on a caller-supplied [`Sim`] — the hook for running
+/// IOR under a perturbed [`daosim_kernel::SchedPolicy`] or alongside other
+/// workloads sharing the same virtual clock.
+pub fn run_ior_on(sim: &Sim, spec: ClusterSpec, params: IorParams) -> IorResult {
     let sim = sim.clone();
     let d = Deployment::new(&sim, spec);
     let procs = spec.client_nodes as u32 * params.procs_per_node;
@@ -170,8 +173,10 @@ fn run_ior_on(sim: &Sim, spec: ClusterSpec, params: IorParams) -> IorResult {
                     let eq = EventQueue::new(client.clone());
                     let t = params.transfer_bytes as usize;
                     for s in 0..params.segments {
-                        while eq.in_flight() >= params.inflight as usize {
-                            let (_, r) = eq.wait().await.expect("ops in flight");
+                        // One capacity-wait future per submission: parked
+                        // until a completion opens a window slot, never
+                        // re-polling in a check loop.
+                        for (_, r) in eq.wait_capacity(params.inflight as usize).await {
                             r.unwrap();
                         }
                         let chunk = data.slice(s as usize * t..(s as usize + 1) * t);
@@ -215,8 +220,7 @@ fn run_ior_on(sim: &Sim, spec: ClusterSpec, params: IorParams) -> IorResult {
                         other => panic!("array_read returned {other:?}"),
                     };
                     for s in 0..params.segments {
-                        while eq.in_flight() >= params.inflight as usize {
-                            let (_, r) = eq.wait().await.expect("ops in flight");
+                        for (_, r) in eq.wait_capacity(params.inflight as usize).await {
                             harvest(r);
                         }
                         eq.array_read(
@@ -482,6 +486,45 @@ mod tests {
         );
         assert_eq!(pip.write_bw().to_bits(), again.write_bw().to_bits());
         assert_eq!(pip.read_bw().to_bits(), again.read_bw().to_bits());
+    }
+
+    #[test]
+    fn windowed_submission_quiesces_at_inflight_2_under_all_policies() {
+        // Regression for the async-path capacity wait: with a window of 2
+        // the submitter parks on a capacity future between segments, and
+        // must be woken by completions under every scheduling policy —
+        // including ones that reorder or delay wakes. A lost wakeup shows
+        // up as a deadlocked (non-quiescent) run inside expect_quiescent.
+        use daosim_kernel::SchedPolicy;
+        let params = IorParams {
+            transfer_bytes: MIB,
+            segments: 8,
+            procs_per_node: 4,
+            class: ObjectClass::S1,
+            iterations: 1,
+            file_mode: FileMode::FilePerProcess,
+            inflight: 2,
+        };
+        let policies = [
+            SchedPolicy::Fifo,
+            SchedPolicy::Lifo,
+            SchedPolicy::Random { seed: 0xF00D },
+            SchedPolicy::WakeDelay {
+                seed: 0xF00D,
+                max_delay_ns: 50_000,
+            },
+        ];
+        let mut totals = Vec::new();
+        for policy in policies {
+            // run_ior_on calls expect_quiescent internally; a stuck
+            // capacity wait panics there rather than hanging.
+            let r = run_ior_on(&Sim::with_policy(policy), ClusterSpec::tcp(1, 1), params);
+            totals.push((r.write.total_bytes, r.read.total_bytes));
+        }
+        let want = (4 * 8 * MIB, 4 * 8 * MIB);
+        for (policy, got) in policies.iter().zip(&totals) {
+            assert_eq!(*got, want, "byte totals diverged under {policy:?}");
+        }
     }
 
     #[test]

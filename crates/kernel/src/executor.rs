@@ -7,10 +7,16 @@
 //! insertion sequence and the executor is single-threaded.
 //!
 //! `Sim` is a cheap `Rc` handle; clone it freely into spawned tasks.
+//!
+//! The order in which *ready* tasks are polled within one instant is a
+//! [`SchedPolicy`]. The default ([`SchedPolicy::Fifo`]) preserves the
+//! historical wake order bit-for-bit; the other policies perturb it
+//! deterministically from a seed so schedule-invariance can be fuzzed
+//! (see DESIGN.md §7).
 
 use std::cell::RefCell;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
@@ -18,6 +24,7 @@ use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
 
 use crate::obs::{Obs, SpanGuard};
+use crate::rng::splitmix64;
 use crate::time::{SimDuration, SimTime};
 
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -68,12 +75,56 @@ impl Ord for Scheduled {
     }
 }
 
+/// How the executor picks the next task from the ready set. Every policy
+/// is deterministic: given the same seed and the same program, the same
+/// schedule replays bit-for-bit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Poll ready tasks in wake order. The default, and the contract for
+    /// every checked-in artifact: byte-identical to historical runs.
+    #[default]
+    Fifo,
+    /// Poll the most recently woken ready task first.
+    Lifo,
+    /// Poll a seeded-random member of the ready set.
+    Random {
+        /// Seed for the pick sequence (`splitmix64` stream).
+        seed: u64,
+    },
+    /// FIFO order, but each wake may be deferred by a calendar entry up
+    /// to `max_delay_ns` of virtual time (drawn per wake from `seed`).
+    /// A deferred wake is deferred at most once, so progress is bounded.
+    WakeDelay {
+        /// Seed for the delay draws (`splitmix64` stream).
+        seed: u64,
+        /// Upper bound (inclusive) on one deferral, in simulated ns.
+        max_delay_ns: u64,
+    },
+}
+
+/// The deduplicated ready set: wake order in `queue`, membership in
+/// `queued`. A task is enqueued at most once between polls — a wake
+/// storm (N wakes with no intervening poll) costs one slot, not N.
+#[derive(Default)]
+struct ReadyState {
+    queue: VecDeque<TaskId>,
+    queued: HashSet<TaskId>,
+}
+
+impl ReadyState {
+    fn push(&mut self, id: TaskId) {
+        if self.queued.insert(id) {
+            self.queue.push_back(id);
+        }
+    }
+}
+
 /// Queue of tasks whose wakers fired. A `Waker` must be `Send + Sync`, so
 /// this small piece of shared state uses a real mutex even though the
 /// executor itself is single-threaded.
 #[derive(Default)]
 struct WakeQueue {
-    ready: Mutex<VecDeque<TaskId>>,
+    ready: Mutex<ReadyState>,
 }
 
 struct TaskWaker {
@@ -83,10 +134,10 @@ struct TaskWaker {
 
 impl Wake for TaskWaker {
     fn wake(self: Arc<Self>) {
-        self.queue.ready.lock().unwrap().push_back(self.id);
+        self.queue.ready.lock().unwrap().push(self.id);
     }
     fn wake_by_ref(self: &Arc<Self>) {
-        self.queue.ready.lock().unwrap().push_back(self.id);
+        self.queue.ready.lock().unwrap().push(self.id);
     }
 }
 
@@ -99,6 +150,20 @@ struct Kernel {
     /// Tasks spawned while the executor is mid-step; folded in before the
     /// next poll round so `spawn` is safe from inside tasks and events.
     incoming: Vec<(TaskId, TaskFuture)>,
+    /// Ready-set discipline; `SchedPolicy::Fifo` unless perturbed.
+    policy: SchedPolicy,
+    /// `splitmix64` counter state behind the policy's random draws.
+    sched_rng: u64,
+    /// Tasks whose current wake was already deferred once by
+    /// `SchedPolicy::WakeDelay` (deferral is never compounded).
+    deferred: HashSet<TaskId>,
+}
+
+impl Kernel {
+    fn next_sched_rand(&mut self) -> u64 {
+        self.sched_rng = self.sched_rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        splitmix64(self.sched_rng)
+    }
 }
 
 /// Result of driving a simulation to completion.
@@ -141,6 +206,16 @@ impl Default for Sim {
 
 impl Sim {
     pub fn new() -> Self {
+        Self::with_policy(SchedPolicy::Fifo)
+    }
+
+    /// A world whose ready-set order follows `policy`. `Sim::new()` is
+    /// `with_policy(SchedPolicy::Fifo)`.
+    pub fn with_policy(policy: SchedPolicy) -> Self {
+        let sched_rng = match policy {
+            SchedPolicy::Random { seed } | SchedPolicy::WakeDelay { seed, .. } => seed,
+            SchedPolicy::Fifo | SchedPolicy::Lifo => 0,
+        };
         Sim {
             kernel: Rc::new(RefCell::new(Kernel {
                 now: SimTime::ZERO,
@@ -149,10 +224,18 @@ impl Sim {
                 events: BinaryHeap::new(),
                 tasks: HashMap::new(),
                 incoming: Vec::new(),
+                policy,
+                sched_rng,
+                deferred: HashSet::new(),
             })),
             wakes: Arc::new(WakeQueue::default()),
             obs: Rc::new(Obs::default()),
         }
+    }
+
+    /// The ready-set discipline this world runs under.
+    pub fn sched_policy(&self) -> SchedPolicy {
+        self.kernel.borrow().policy
     }
 
     /// The observability layer (span tracer + metrics registry) of this
@@ -207,7 +290,7 @@ impl Sim {
                 .instant("executor", &format!("spawn t{}", id.as_u64()));
         }
         // Make sure the new task gets a first poll.
-        self.wakes.ready.lock().unwrap().push_back(id);
+        self.wakes.ready.lock().unwrap().push(id);
         id
     }
 
@@ -351,6 +434,57 @@ impl Sim {
         }
     }
 
+    /// Picks and removes the next ready task per the scheduling policy.
+    /// `WakeDelay` picks FIFO here; its perturbation happens in
+    /// [`Sim::poll_ready`], where a pick can be re-queued as a calendar
+    /// entry instead of being polled.
+    fn next_ready(&self) -> Option<TaskId> {
+        let mut st = self.wakes.ready.lock().unwrap();
+        let len = st.queue.len();
+        if len == 0 {
+            return None;
+        }
+        let policy = self.kernel.borrow().policy;
+        let idx = match policy {
+            SchedPolicy::Fifo | SchedPolicy::WakeDelay { .. } => 0,
+            SchedPolicy::Lifo => len - 1,
+            SchedPolicy::Random { .. } => {
+                (self.kernel.borrow_mut().next_sched_rand() % len as u64) as usize
+            }
+        };
+        let id = st.queue.remove(idx).expect("index within ready queue");
+        st.queued.remove(&id);
+        Some(id)
+    }
+
+    /// Under `WakeDelay`, decides whether this pick is deferred: draws a
+    /// delay in `[0, max_delay_ns]` and, if non-zero, re-queues the task
+    /// via a calendar entry that many virtual ns from now. Each wake is
+    /// deferred at most once (the `deferred` mark is consumed on the next
+    /// pick), so a task is never pushed back indefinitely.
+    fn maybe_defer(&self, id: TaskId) -> bool {
+        let delay = {
+            let mut k = self.kernel.borrow_mut();
+            let SchedPolicy::WakeDelay { max_delay_ns, .. } = k.policy else {
+                return false;
+            };
+            if k.deferred.remove(&id) {
+                return false;
+            }
+            let d = k.next_sched_rand() % (max_delay_ns + 1);
+            if d == 0 {
+                return false;
+            }
+            k.deferred.insert(id);
+            SimDuration::from_nanos(d)
+        };
+        let wakes = Arc::clone(&self.wakes);
+        self.schedule_after(delay, move || {
+            wakes.ready.lock().unwrap().push(id);
+        });
+        true
+    }
+
     /// Polls every task currently in the ready queue (and any tasks they
     /// spawn) until the queue drains at this instant.
     fn poll_ready(&self) {
@@ -363,8 +497,10 @@ impl Sim {
                     k.tasks.insert(id, fut);
                 }
             }
-            let next = self.wakes.ready.lock().unwrap().pop_front();
-            let Some(id) = next else { break };
+            let Some(id) = self.next_ready() else { break };
+            if self.maybe_defer(id) {
+                continue;
+            }
             let fut = self.kernel.borrow_mut().tasks.remove(&id);
             let Some(mut fut) = fut else {
                 continue; // already completed; spurious wake
@@ -625,6 +761,148 @@ mod tests {
         assert!(fired.get());
         assert!(!h.is_armed());
         assert_eq!(out.end_time, SimTime::from_nanos(5));
+    }
+
+    /// A future that pends until `done` is set, recording every poll and
+    /// parking its waker where the test can reach it.
+    struct CountedPend {
+        polls: Rc<std::cell::Cell<u32>>,
+        done: Rc<std::cell::Cell<bool>>,
+        waker_out: Rc<RefCell<Option<Waker>>>,
+    }
+
+    impl Future for CountedPend {
+        type Output = ();
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            self.polls.set(self.polls.get() + 1);
+            if self.done.get() {
+                Poll::Ready(())
+            } else {
+                *self.waker_out.borrow_mut() = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+
+    /// Satellite regression: before the ready-set dedup, every wake
+    /// pushed another queue entry, so a 10k-wake storm between polls
+    /// polled the task 10k times (and grew the queue without bound).
+    /// With the in-queue flag the storm coalesces into exactly one poll.
+    #[test]
+    fn wake_storm_between_polls_coalesces_to_one_poll() {
+        let sim = Sim::new();
+        let polls: Rc<std::cell::Cell<u32>> = Rc::default();
+        let done: Rc<std::cell::Cell<bool>> = Rc::default();
+        let waker: Rc<RefCell<Option<Waker>>> = Rc::default();
+        sim.spawn(CountedPend {
+            polls: Rc::clone(&polls),
+            done: Rc::clone(&done),
+            waker_out: Rc::clone(&waker),
+        });
+        {
+            let waker = Rc::clone(&waker);
+            sim.schedule_at(SimTime::from_nanos(10), move || {
+                let w = waker.borrow().clone().expect("first poll parked a waker");
+                for _ in 0..10_000 {
+                    w.wake_by_ref();
+                }
+            });
+        }
+        {
+            let (waker, done) = (Rc::clone(&waker), Rc::clone(&done));
+            sim.schedule_at(SimTime::from_nanos(20), move || {
+                done.set(true);
+                waker.borrow().clone().expect("waker parked").wake();
+            });
+        }
+        sim.run().expect_quiescent();
+        // Initial poll + one coalesced storm poll + the completing poll.
+        assert_eq!(polls.get(), 3, "wake storm must coalesce to one poll");
+    }
+
+    #[test]
+    fn lifo_reverses_same_instant_wake_order() {
+        // Three tasks are spawned (= woken) before the run starts, so all
+        // three sit in one ready batch; FIFO polls them in wake order,
+        // LIFO in reverse.
+        let order_under = |policy: SchedPolicy| {
+            let sim = Sim::with_policy(policy);
+            let log: Rc<RefCell<Vec<u32>>> = Rc::default();
+            for i in 0..3u32 {
+                let log = Rc::clone(&log);
+                sim.spawn(async move {
+                    log.borrow_mut().push(i);
+                });
+            }
+            sim.run().expect_quiescent();
+            Rc::try_unwrap(log).unwrap().into_inner()
+        };
+        assert_eq!(order_under(SchedPolicy::Fifo), vec![0, 1, 2]);
+        assert_eq!(order_under(SchedPolicy::Lifo), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn perturbed_policies_replay_bit_identically_per_seed() {
+        let run_under = |policy: SchedPolicy| {
+            let sim = Sim::with_policy(policy);
+            let log: Rc<RefCell<Vec<(u32, u64)>>> = Rc::default();
+            for i in 0..4u32 {
+                let s = sim.clone();
+                let log = Rc::clone(&log);
+                sim.spawn(async move {
+                    for _ in 0..4u64 {
+                        s.sleep(SimDuration::from_nanos(7 + i as u64)).await;
+                        log.borrow_mut().push((i, s.now().as_nanos()));
+                    }
+                });
+            }
+            sim.run().expect_quiescent();
+            Rc::try_unwrap(log).unwrap().into_inner()
+        };
+        for policy in [
+            SchedPolicy::Random { seed: 42 },
+            SchedPolicy::WakeDelay {
+                seed: 42,
+                max_delay_ns: 50,
+            },
+        ] {
+            assert_eq!(run_under(policy), run_under(policy), "{policy:?}");
+        }
+        // Distinct seeds are allowed to differ (and these do): the point
+        // of the perturbation is to explore other legal schedules.
+        assert_ne!(
+            run_under(SchedPolicy::WakeDelay {
+                seed: 1,
+                max_delay_ns: 50
+            }),
+            run_under(SchedPolicy::WakeDelay {
+                seed: 2,
+                max_delay_ns: 50
+            }),
+        );
+    }
+
+    #[test]
+    fn wake_delay_defers_at_most_once_and_stays_quiescent() {
+        // Heavy deferral pressure must not strand tasks or livelock: every
+        // deferral is a calendar entry, so the run loop drains them all.
+        let sim = Sim::with_policy(SchedPolicy::WakeDelay {
+            seed: 7,
+            max_delay_ns: 1_000,
+        });
+        let hits: Rc<std::cell::Cell<u32>> = Rc::default();
+        for _ in 0..8 {
+            let s = sim.clone();
+            let hits = Rc::clone(&hits);
+            sim.spawn(async move {
+                for _ in 0..8 {
+                    s.sleep(SimDuration::from_nanos(3)).await;
+                }
+                hits.set(hits.get() + 1);
+            });
+        }
+        sim.run().expect_quiescent();
+        assert_eq!(hits.get(), 8);
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod rng;
 pub mod sync;
 pub mod time;
 
-pub use executor::{RunOutcome, Sim, Sleep, TaskId, TimerHandle};
+pub use executor::{RunOutcome, SchedPolicy, Sim, Sleep, TaskId, TimerHandle};
 pub use obs::{
     Counter, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, Obs, SpanEvent,
     SpanGuard, SpanId,

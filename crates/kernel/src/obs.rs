@@ -560,6 +560,20 @@ mod tests {
     }
 
     #[test]
+    fn histogram_values_exactly_on_bounds_stay_in_range() {
+        // Boundary audit: a value equal to a bound belongs to that
+        // bound's bucket (le semantics); a value one past the last bound
+        // must land in the overflow bucket, never out of range.
+        let reg = MetricsRegistry::default();
+        let h = reg.histogram("edge", &[10, 100]);
+        for v in [10, 100, 101] {
+            h.observe(v);
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.histograms[0].buckets, vec![1, 1, 1]);
+    }
+
+    #[test]
     fn snapshot_is_name_sorted() {
         let reg = MetricsRegistry::default();
         reg.counter("zed").inc();

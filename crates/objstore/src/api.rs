@@ -21,7 +21,7 @@
 //!   `daos_eq_create`/`daos_event_t`.
 
 use std::cell::{Cell, RefCell};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
@@ -31,7 +31,7 @@ use std::task::{Context, Poll, Waker};
 use bytes::Bytes;
 
 use crate::container::Container;
-use crate::error::Result;
+use crate::error::{DaosError, Result};
 use crate::oid::{ObjectClass, Oid};
 use crate::pool::Pool;
 
@@ -227,6 +227,62 @@ struct EqInner {
     in_flight: Cell<usize>,
     completed: RefCell<VecDeque<(Event, Result<OpOutput>)>>,
     waiters: RefCell<Vec<Waker>>,
+    /// Set by [`EventQueue::abort`] (explicitly, or from the last user
+    /// handle's drop). In-flight wrappers observe it at their next poll
+    /// and resolve with [`DaosError::Cancelled`] instead of running on.
+    cancelled: Cell<bool>,
+    /// Waker of each in-flight operation wrapper, keyed by event id, so
+    /// `abort` can reach tasks parked deep inside an operation.
+    op_wakers: RefCell<HashMap<u64, Waker>>,
+}
+
+impl EqInner {
+    fn push_completion(&self, ev: Event, out: Result<OpOutput>) {
+        self.in_flight.set(self.in_flight.get() - 1);
+        self.completed.borrow_mut().push_back((ev, out));
+        for w in self.waiters.borrow_mut().drain(..) {
+            w.wake();
+        }
+    }
+}
+
+/// Wrapper future around one launched operation: forwards to the real
+/// operation until the queue is cancelled, then drops it (cancelling any
+/// timers/permits it held) and resolves the event with
+/// [`DaosError::Cancelled`]. Registers its waker with the queue on every
+/// poll so [`EventQueue::abort`] can wake it out of a park.
+struct AbortableOp {
+    ev: Event,
+    inner: Rc<EqInner>,
+    fut: OpResultFuture,
+}
+
+type OpResultFuture = Pin<Box<dyn Future<Output = Result<OpOutput>> + 'static>>;
+
+impl Future for AbortableOp {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        if this.inner.cancelled.get() {
+            this.inner.op_wakers.borrow_mut().remove(&this.ev.0);
+            this.inner
+                .push_completion(this.ev, Err(DaosError::Cancelled));
+            return Poll::Ready(());
+        }
+        this.inner
+            .op_wakers
+            .borrow_mut()
+            .insert(this.ev.0, cx.waker().clone());
+        match this.fut.as_mut().poll(cx) {
+            Poll::Ready(out) => {
+                this.inner.op_wakers.borrow_mut().remove(&this.ev.0);
+                this.inner.push_completion(this.ev, out);
+                Poll::Ready(())
+            }
+            Poll::Pending => Poll::Pending,
+        }
+    }
 }
 
 /// A `daos_eq`-style event queue over any [`DaosApi`] backend.
@@ -241,6 +297,10 @@ struct EqInner {
 pub struct EventQueue<D: DaosApi> {
     client: D,
     inner: Rc<EqInner>,
+    /// Counts *user-facing* handles only (operation wrappers hold
+    /// `EqInner` but never this token), so the drop of the last clone is
+    /// detectable and triggers [`EventQueue::abort`].
+    handle: Rc<()>,
 }
 
 impl<D: DaosApi> Clone for EventQueue<D> {
@@ -248,6 +308,18 @@ impl<D: DaosApi> Clone for EventQueue<D> {
         EventQueue {
             client: self.client.clone(),
             inner: Rc::clone(&self.inner),
+            handle: Rc::clone(&self.handle),
+        }
+    }
+}
+
+impl<D: DaosApi> Drop for EventQueue<D> {
+    /// Dropping the last user handle destroys the queue
+    /// (`daos_eq_destroy`): outstanding operations are cancelled rather
+    /// than left running as orphaned kernel tasks.
+    fn drop(&mut self) {
+        if Rc::strong_count(&self.handle) == 1 {
+            self.abort();
         }
     }
 }
@@ -262,8 +334,42 @@ impl<D: DaosApi> EventQueue<D> {
                 in_flight: Cell::new(0),
                 completed: RefCell::new(VecDeque::new()),
                 waiters: RefCell::new(Vec::new()),
+                cancelled: Cell::new(false),
+                op_wakers: RefCell::new(HashMap::new()),
             }),
+            handle: Rc::new(()),
         }
+    }
+
+    /// Destroys the queue (`daos_eq_destroy`): every in-flight operation
+    /// is woken, dropped without running further (releasing any timers or
+    /// permits it held), and resolved as [`DaosError::Cancelled`] in the
+    /// completion stream. Later submissions fail the same way without
+    /// spawning anything. Idempotent; also runs implicitly when the last
+    /// user handle is dropped.
+    pub fn abort(&self) {
+        if self.inner.cancelled.replace(true) {
+            return;
+        }
+        let wakers: Vec<Waker> = self
+            .inner
+            .op_wakers
+            .borrow_mut()
+            .drain()
+            .map(|(_, w)| w)
+            .collect();
+        for w in wakers {
+            w.wake();
+        }
+        // Waiters re-poll: they drain cancelled completions as they land.
+        for w in self.inner.waiters.borrow_mut().drain(..) {
+            w.wake();
+        }
+    }
+
+    /// Whether [`EventQueue::abort`] has run (explicitly or via drop).
+    pub fn is_aborted(&self) -> bool {
+        self.inner.cancelled.get()
     }
 
     /// The backend this queue launches operations on.
@@ -287,15 +393,19 @@ impl<D: DaosApi> EventQueue<D> {
     pub fn submit(&self, fut: impl Future<Output = Result<OpOutput>> + 'static) -> Event {
         let ev = Event(self.inner.next.get());
         self.inner.next.set(ev.0 + 1);
+        if self.inner.cancelled.get() {
+            // Destroyed queue: fail the event without spawning.
+            self.inner
+                .completed
+                .borrow_mut()
+                .push_back((ev, Err(DaosError::Cancelled)));
+            return ev;
+        }
         self.inner.in_flight.set(self.inner.in_flight.get() + 1);
-        let inner = Rc::clone(&self.inner);
-        self.client.spawn_op(Box::pin(async move {
-            let out = fut.await;
-            inner.in_flight.set(inner.in_flight.get() - 1);
-            inner.completed.borrow_mut().push_back((ev, out));
-            for w in inner.waiters.borrow_mut().drain(..) {
-                w.wake();
-            }
+        self.client.spawn_op(Box::pin(AbortableOp {
+            ev,
+            inner: Rc::clone(&self.inner),
+            fut: Box::pin(fut),
         }));
         ev
     }
@@ -324,6 +434,23 @@ impl<D: DaosApi> EventQueue<D> {
             out.push(c);
         }
         out
+    }
+
+    /// Suspends until fewer than `limit` operations are in flight,
+    /// returning every completion harvested along the way (in completion
+    /// order) so the caller's bookkeeping sees each event exactly once.
+    ///
+    /// This is the windowed-submission primitive: unlike an open-coded
+    /// `while in_flight() >= limit { wait().await }` loop, the whole wait
+    /// is one future, parked on the queue's waiter list and advanced only
+    /// by completions — there is no ready/recheck cycle for a perturbed
+    /// scheduler to spin or livelock.
+    pub fn wait_capacity(&self, limit: usize) -> EqCapacity {
+        EqCapacity {
+            inner: Rc::clone(&self.inner),
+            limit: limit.max(1),
+            harvested: Vec::new(),
+        }
     }
 
     // -- typed launch helpers ----------------------------------------------
@@ -440,6 +567,34 @@ impl Future for EqWait {
             return Poll::Ready(None);
         }
         self.inner.waiters.borrow_mut().push(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// Future returned by [`EventQueue::wait_capacity`]: resolves with the
+/// completions harvested while waiting for the in-flight count to drop
+/// below the limit.
+pub struct EqCapacity {
+    inner: Rc<EqInner>,
+    limit: usize,
+    harvested: Vec<(Event, Result<OpOutput>)>,
+}
+
+impl Future for EqCapacity {
+    type Output = Vec<(Event, Result<OpOutput>)>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        // Harvest everything available first: completions seen by this
+        // future must reach the caller even if capacity already opened,
+        // or per-event bookkeeping would leak them.
+        while let Some(c) = this.inner.completed.borrow_mut().pop_front() {
+            this.harvested.push(c);
+        }
+        if this.inner.in_flight.get() < this.limit {
+            return Poll::Ready(std::mem::take(&mut this.harvested));
+        }
+        this.inner.waiters.borrow_mut().push(cx.waker().clone());
         Poll::Pending
     }
 }
@@ -787,6 +942,60 @@ mod tests {
             assert!(eq.wait().await.is_none(), "idle queue waits return None");
 
             client.array_close(&cont, h).await.unwrap();
+        });
+    }
+
+    #[test]
+    fn aborted_queue_cancels_completions_and_rejects_new_submissions() {
+        let (_store, pool) = DaosStore::with_single_pool(24);
+        let client = EmbeddedClient::new(pool);
+        let mut alloc = OidAllocator::new(10);
+        block_on(async {
+            let cont = client
+                .cont_open_or_create(Uuid::from_name(b"eq-abort"))
+                .await
+                .unwrap();
+            let eq = EventQueue::new(client.clone());
+            let kv = alloc.next(ObjectClass::SX);
+            eq.kv_put(&cont, kv, b"k", Bytes::from_static(b"v"));
+            // Embedded ops complete inline, so the pre-abort completion
+            // keeps its real outcome...
+            eq.abort();
+            assert!(eq.is_aborted());
+            let (_, res) = eq.wait().await.unwrap();
+            assert_eq!(res.unwrap(), OpOutput::Unit);
+            // ...but a destroyed queue fails later launches without
+            // spawning (daos_eq_destroy semantics).
+            let ev = eq.kv_get(&cont, kv, b"k");
+            let (got, res) = eq.wait().await.unwrap();
+            assert_eq!(got, ev);
+            assert_eq!(res.unwrap_err(), DaosError::Cancelled);
+            assert_eq!(eq.in_flight(), 0);
+        });
+    }
+
+    #[test]
+    fn wait_capacity_returns_harvest_and_respects_limit() {
+        let (_store, pool) = DaosStore::with_single_pool(24);
+        let client = EmbeddedClient::new(pool);
+        let mut alloc = OidAllocator::new(11);
+        block_on(async {
+            let cont = client
+                .cont_open_or_create(Uuid::from_name(b"eq-cap"))
+                .await
+                .unwrap();
+            let eq = EventQueue::new(client.clone());
+            let kv = alloc.next(ObjectClass::SX);
+            // Embedded: nothing stays in flight, so capacity is granted
+            // immediately and pending completions ride back with it.
+            let e1 = eq.kv_put(&cont, kv, b"a", Bytes::from_static(b"1"));
+            let e2 = eq.kv_put(&cont, kv, b"b", Bytes::from_static(b"2"));
+            let harvested = eq.wait_capacity(1).await;
+            assert_eq!(
+                harvested.iter().map(|(e, _)| *e).collect::<Vec<_>>(),
+                vec![e1, e2]
+            );
+            assert!(eq.wait_capacity(1).await.is_empty(), "nothing left");
         });
     }
 }

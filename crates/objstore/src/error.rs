@@ -28,6 +28,9 @@ pub enum DaosError {
     /// A per-operation deadline elapsed before the engine answered;
     /// carries the name of the operation that timed out.
     Timeout(&'static str),
+    /// The event queue the operation was launched on was destroyed
+    /// before the operation completed (`daos_eq_destroy` semantics).
+    Cancelled,
     InvalidArg(&'static str),
 }
 
@@ -58,6 +61,7 @@ impl fmt::Display for DaosError {
             DaosError::EngineUnavailable(e) => write!(f, "engine {e} unavailable"),
             DaosError::NoTargets => write!(f, "no candidate targets"),
             DaosError::Timeout(op) => write!(f, "operation {op} timed out"),
+            DaosError::Cancelled => write!(f, "operation cancelled (event queue destroyed)"),
             DaosError::InvalidArg(m) => write!(f, "invalid argument: {m}"),
         }
     }

@@ -36,7 +36,8 @@ pub mod store;
 pub mod uuid;
 
 pub use api::{
-    ArrayHandle, DaosApi, EmbeddedClient, Event, EventQueue, OidAllocator, OpFuture, OpOutput,
+    ArrayHandle, DaosApi, EmbeddedClient, EqCapacity, EqWait, Event, EventQueue, OidAllocator,
+    OpFuture, OpOutput,
 };
 pub use array::ArrayObject;
 pub use container::{Container, ContainerStats, Object, OpCounts};

@@ -15,6 +15,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 
+use daosim_cluster::fuzz::{fuzz_corpus, FuzzReport};
 use daosim_cluster::{ClusterSpec, FaultPlan, RetryPolicy};
 use daosim_core::fieldio::{FieldIoConfig, FieldIoMode, FieldStore};
 use daosim_core::key::FieldKey;
@@ -22,6 +23,7 @@ use daosim_core::metrics::anchored_bandwidth_timeline;
 use daosim_core::obs::{chrome_trace_json, json_is_wellformed, validate_spans};
 use daosim_core::request::{retrieve, Request};
 use daosim_core::trace::{replay, replay_detailed, replay_traced, Pacing, ReplayStats, Trace};
+use daosim_kernel::SchedPolicy;
 use daosim_kernel::{Sim, SimDuration, SimTime};
 use daosim_objstore::api::EmbeddedClient;
 use daosim_objstore::{load_pool, save_pool, ObjectClass, Pool, Uuid};
@@ -76,6 +78,12 @@ pub enum Outcome {
         stats: Box<ReplayStats>,
         /// `(t_ms, write_gib_s, read_gib_s)` per bucket.
         timeline: Vec<(u64, f64, f64)>,
+    },
+    Fuzzed {
+        seeds_run: usize,
+        policies_per_seed: usize,
+        /// Pre-formatted failure reports (empty on a clean corpus).
+        failures: Vec<String>,
     },
 }
 
@@ -419,6 +427,89 @@ pub fn cmd_failure_drill(
     Ok(Outcome::Drilled {
         stats: Box::new(out.stats),
         timeline,
+    })
+}
+
+/// `daosctl fuzz --seeds N [--start S] [--policy all|lifo|random|wake-delay|fifo]`
+///
+/// Differential schedule-perturbation fuzzing (see
+/// [`daosim_cluster::fuzz`]): every seed in `start..start + seeds` is run
+/// under FIFO (the reference) plus the selected perturbed policies, and
+/// any divergence in per-event outcomes, final pool state, byte
+/// conservation or quiescence is reported with a shrunk repro. Seeds are
+/// fanned out over `jobs` threads; the report order is deterministic, so
+/// reruns of the same corpus print byte-identical output.
+pub fn cmd_fuzz(seeds: u64, start: u64, policy: &str, jobs: usize) -> ToolResult {
+    fn sel_all(_: &SchedPolicy) -> bool {
+        true
+    }
+    fn sel_none(_: &SchedPolicy) -> bool {
+        false
+    }
+    fn sel_lifo(p: &SchedPolicy) -> bool {
+        matches!(p, SchedPolicy::Lifo)
+    }
+    fn sel_random(p: &SchedPolicy) -> bool {
+        matches!(p, SchedPolicy::Random { .. })
+    }
+    fn sel_wake_delay(p: &SchedPolicy) -> bool {
+        matches!(p, SchedPolicy::WakeDelay { .. })
+    }
+    let select: fn(&SchedPolicy) -> bool = match policy {
+        "all" => sel_all,
+        "fifo" => sel_none,
+        "lifo" => sel_lifo,
+        "random" => sel_random,
+        "wake-delay" => sel_wake_delay,
+        other => {
+            return Err(ToolError::BadArgs(format!(
+                "unknown --policy {other} (expected all|fifo|lifo|random|wake-delay)"
+            )))
+        }
+    };
+    if seeds == 0 {
+        return Err(ToolError::BadArgs("--seeds must be positive".into()));
+    }
+
+    let corpus: Vec<u64> = (start..start.saturating_add(seeds)).collect();
+    let jobs = jobs
+        .max(1)
+        .min(corpus.len())
+        .min(std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let per_chunk = corpus.len().div_ceil(jobs);
+    let reports: Vec<FuzzReport> = std::thread::scope(|s| {
+        let handles: Vec<_> = corpus
+            .chunks(per_chunk)
+            .map(|chunk| s.spawn(move || fuzz_corpus(chunk.iter().copied(), select)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fuzz worker panicked"))
+            .collect()
+    });
+
+    let mut seeds_run = 0;
+    let mut policies_per_seed = 0;
+    let mut failures = Vec::new();
+    for r in reports {
+        seeds_run += r.seeds_run;
+        policies_per_seed = policies_per_seed.max(r.policies_per_seed);
+        for f in &r.failures {
+            failures.push(format!(
+                "seed {} diverged under {:?}: {}\n  minimized to {} op(s): {:?}\n  repro: {}",
+                f.seed,
+                f.policy,
+                f.detail,
+                f.minimized.ops.len(),
+                f.minimized.ops,
+                f.repro()
+            ));
+        }
+    }
+    Ok(Outcome::Fuzzed {
+        seeds_run,
+        policies_per_seed,
+        failures,
     })
 }
 

@@ -13,8 +13,8 @@ use std::path::PathBuf;
 use std::process::exit;
 
 use daosim_tools::{
-    cmd_failure_drill, cmd_get, cmd_info, cmd_init, cmd_list, cmd_put, cmd_retrieve, cmd_simulate,
-    cmd_synth_trace, cmd_trace, cmd_wipe, Outcome,
+    cmd_failure_drill, cmd_fuzz, cmd_get, cmd_info, cmd_init, cmd_list, cmd_put, cmd_retrieve,
+    cmd_simulate, cmd_synth_trace, cmd_trace, cmd_wipe, Outcome,
 };
 
 fn usage() -> ! {
@@ -31,13 +31,55 @@ fn usage() -> ! {
          synth-trace <out.csv> [--procs N] [--steps N] [--fields N] [--mib N] [--interval-ms N]\n\
          simulate    <trace.csv> [--servers N] [--clients N] [--paced] [--mode full|no-containers|no-index] [--window W]\n\
          trace       <trace.csv> [--servers N] [--clients N] [--paced] [--mode M] [--window W] [--out trace.json] [--metrics metrics.csv]\n\
-         failure-drill <trace.csv> [--servers N] [--clients N] [--kill-ms N] [--restart-ms N]"
+         failure-drill <trace.csv> [--servers N] [--clients N] [--kill-ms N] [--restart-ms N]\n\
+         fuzz        [--seeds N] [--start S] [--policy all|fifo|lifo|random|wake-delay] [--jobs N]"
     );
     exit(2);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `fuzz` takes no archive argument; handle it before the archive parse.
+    if args.first().map(String::as_str) == Some("fuzz") {
+        let rest = &args[1..];
+        let num = |f: &str, d: u64| {
+            flag_value(rest, f)
+                .map(|v| v.parse().unwrap_or_else(|_| usage()))
+                .unwrap_or(d)
+        };
+        let policy = flag_value(rest, "--policy").unwrap_or_else(|| "all".to_string());
+        let result = cmd_fuzz(
+            num("--seeds", 64),
+            num("--start", 0),
+            &policy,
+            num("--jobs", 8) as usize,
+        );
+        match result {
+            Ok(Outcome::Fuzzed {
+                seeds_run,
+                policies_per_seed,
+                failures,
+            }) => {
+                for f in &failures {
+                    eprintln!("FAIL: {f}");
+                }
+                println!(
+                    "fuzzed {seeds_run} seed(s) x {policies_per_seed} policies: {}",
+                    if failures.is_empty() {
+                        "schedule-invariant".to_string()
+                    } else {
+                        format!("{} divergence(s)", failures.len())
+                    }
+                );
+                exit(if failures.is_empty() { 0 } else { 1 });
+            }
+            Ok(_) => unreachable!("cmd_fuzz returns Outcome::Fuzzed"),
+            Err(e) => {
+                eprintln!("daosctl: {e}");
+                exit(1);
+            }
+        }
+    }
     if args.len() < 2 {
         usage();
     }
@@ -250,6 +292,7 @@ fn main() {
             println!("index keys:  {kv_entries}");
             println!("used bytes:  {used}");
         }
+        Ok(Outcome::Fuzzed { .. }) => unreachable!("fuzz is handled before the archive parse"),
         Err(e) => {
             eprintln!("daosctl: {e}");
             exit(1);
