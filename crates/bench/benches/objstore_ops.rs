@@ -48,6 +48,61 @@ fn bench_kv(c: &mut Criterion) {
     g.finish();
 }
 
+/// Million-key forecast index: the KV shape a year of archived fields
+/// produces. Keys follow the canonical `keyword=value,...` scheme, so
+/// prefix listing selects one forecast date out of many.
+fn index_1m_pairs() -> Vec<(Bytes, Bytes)> {
+    let mut pairs = Vec::with_capacity(1_000_000);
+    for date in 0..250u32 {
+        for param in ["t", "u", "v", "z"] {
+            for level in [1000u32, 850, 500, 250, 100] {
+                for step in 0..200u32 {
+                    let key = format!("date={date:03},levelist={level},param={param},step={step}");
+                    pairs.push((Bytes::from(key.into_bytes()), Bytes::from_static(b"ref")));
+                }
+            }
+        }
+    }
+    pairs
+}
+
+fn bench_index_1m(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index_1m");
+    g.sample_size(10);
+    let pairs = index_1m_pairs();
+    g.throughput(Throughput::Elements(pairs.len() as u64));
+    g.bench_function("build_put_many", |b| {
+        b.iter_batched(
+            || pairs.clone(), // Bytes clones: refcount bumps, no byte copies
+            |batch| {
+                let mut kv = KvObject::new();
+                kv.put_many(batch);
+                kv
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    let mut kv = KvObject::new();
+    kv.put_many(pairs.clone());
+
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("point_get", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 997) % pairs.len();
+            kv.get(&pairs[i].0).unwrap()
+        });
+    });
+
+    // One forecast date out of 250: 4_000 of the 1M keys.
+    g.throughput(Throughput::Elements(4_000));
+    g.bench_function("prefix_list_one_date", |b| {
+        b.iter(|| kv.list_prefix(b"date=125,"))
+    });
+    g.finish();
+}
+
 fn bench_array(c: &mut Criterion) {
     let mut g = c.benchmark_group("array");
     let payload = Bytes::from(vec![7u8; MIB]);
@@ -132,6 +187,7 @@ criterion_group!(
     benches,
     bench_md5,
     bench_kv,
+    bench_index_1m,
     bench_array,
     bench_container,
     bench_placement

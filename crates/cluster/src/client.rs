@@ -22,7 +22,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use daosim_kernel::sync::{join_all, timeout, Elapsed};
-use daosim_kernel::SimDuration;
+use daosim_kernel::{CounterHandle, HistogramHandle, MetricsRegistry, SimDuration};
 use daosim_net::Endpoint;
 use daosim_objstore::api::{ArrayHandle, DaosApi};
 use daosim_objstore::ec;
@@ -46,6 +46,108 @@ const OP_NS_BOUNDS: [u64; 7] = [
     1_000_000_000,
     10_000_000_000,
 ];
+
+/// The client operations that run under [`SimClient::retrying`]. Each op
+/// owns a completion counter (`client.<op>.ops`) and shares the
+/// `client.op_ns` latency histogram; [`ClientMetrics`] resolves the
+/// handles once per deployment so completing an op is two `Cell` bumps,
+/// not a `format!` plus string-keyed map lookups.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClientOp {
+    KvPut,
+    KvGet,
+    KvListKeys,
+    KvListRange,
+    KvPutMulti,
+    ArrayCreate,
+    ArrayOpen,
+    ArrayOpenOrCreate,
+    ArrayWrite,
+    ArrayWriteVec,
+    ArrayRead,
+    ArraySize,
+    ObjPunch,
+}
+
+impl ClientOp {
+    pub const ALL: [ClientOp; 13] = [
+        ClientOp::KvPut,
+        ClientOp::KvGet,
+        ClientOp::KvListKeys,
+        ClientOp::KvListRange,
+        ClientOp::KvPutMulti,
+        ClientOp::ArrayCreate,
+        ClientOp::ArrayOpen,
+        ClientOp::ArrayOpenOrCreate,
+        ClientOp::ArrayWrite,
+        ClientOp::ArrayWriteVec,
+        ClientOp::ArrayRead,
+        ClientOp::ArraySize,
+        ClientOp::ObjPunch,
+    ];
+
+    /// Wire name: span label and the tag inside `DaosError::Timeout`.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClientOp::KvPut => "kv_put",
+            ClientOp::KvGet => "kv_get",
+            ClientOp::KvListKeys => "kv_list_keys",
+            ClientOp::KvListRange => "kv_list_range",
+            ClientOp::KvPutMulti => "kv_put_multi",
+            ClientOp::ArrayCreate => "array_create",
+            ClientOp::ArrayOpen => "array_open",
+            ClientOp::ArrayOpenOrCreate => "array_open_or_create",
+            ClientOp::ArrayWrite => "array_write",
+            ClientOp::ArrayWriteVec => "array_write_vec",
+            ClientOp::ArrayRead => "array_read",
+            ClientOp::ArraySize => "array_size",
+            ClientOp::ObjPunch => "obj_punch",
+        }
+    }
+
+    /// Name of this op's completion counter in the metrics registry.
+    fn ops_metric(self) -> &'static str {
+        match self {
+            ClientOp::KvPut => "client.kv_put.ops",
+            ClientOp::KvGet => "client.kv_get.ops",
+            ClientOp::KvListKeys => "client.kv_list_keys.ops",
+            ClientOp::KvListRange => "client.kv_list_range.ops",
+            ClientOp::KvPutMulti => "client.kv_put_multi.ops",
+            ClientOp::ArrayCreate => "client.array_create.ops",
+            ClientOp::ArrayOpen => "client.array_open.ops",
+            ClientOp::ArrayOpenOrCreate => "client.array_open_or_create.ops",
+            ClientOp::ArrayWrite => "client.array_write.ops",
+            ClientOp::ArrayWriteVec => "client.array_write_vec.ops",
+            ClientOp::ArrayRead => "client.array_read.ops",
+            ClientOp::ArraySize => "client.array_size.ops",
+            ClientOp::ObjPunch => "client.obj_punch.ops",
+        }
+    }
+}
+
+/// Pre-resolved `client.*` metric handles, one set per deployment (the
+/// same interning pattern as [`crate::fault::ResilienceStats`]).
+pub struct ClientMetrics {
+    ops: [CounterHandle; ClientOp::ALL.len()],
+    op_ns: HistogramHandle,
+}
+
+impl ClientMetrics {
+    /// Registers every per-op counter and the latency histogram in
+    /// `metrics`, so they appear in snapshots from time zero.
+    pub fn new(metrics: &MetricsRegistry) -> Self {
+        ClientMetrics {
+            ops: ClientOp::ALL.map(|op| metrics.counter(op.ops_metric())),
+            op_ns: metrics.histogram("client.op_ns", &OP_NS_BOUNDS),
+        }
+    }
+
+    /// Records one completed op and its end-to-end latency.
+    fn note_op(&self, op: ClientOp, dur_ns: u64) {
+        self.ops[op as usize].inc();
+        self.op_ns.observe(dur_ns);
+    }
+}
 
 /// Open-container handle for the simulated backend.
 #[derive(Clone)]
@@ -241,16 +343,12 @@ impl SimClient {
     /// pass-through. Safe to re-run attempts: store mutations and pool
     /// charges land only at an attempt's completion, so a timed-out
     /// (dropped) attempt leaves no partial state.
-    async fn retrying<T, Fut>(
-        &self,
-        op: &'static str,
-        mut attempt: impl FnMut() -> Fut,
-    ) -> Result<T>
+    async fn retrying<T, Fut>(&self, op: ClientOp, mut attempt: impl FnMut() -> Fut) -> Result<T>
     where
         Fut: std::future::Future<Output = Result<T>>,
     {
         let sim = self.d.sim.clone();
-        let op_span = sim.span("client", op);
+        let op_span = sim.span("client", op.name());
         let start = sim.now();
         let result = {
             let sim = &sim;
@@ -272,7 +370,7 @@ impl SimClient {
                                 Ok(r) => r,
                                 Err(Elapsed) => {
                                     stats.note_timeout();
-                                    Err(DaosError::Timeout(op))
+                                    Err(DaosError::Timeout(op.name()))
                                 }
                             }
                         } else {
@@ -304,11 +402,9 @@ impl SimClient {
             }
             .await
         };
-        let metrics = sim.obs().metrics();
-        metrics.counter(&format!("client.{op}.ops")).inc();
-        metrics
-            .histogram("client.op_ns", &OP_NS_BOUNDS)
-            .observe((sim.now() - start).as_nanos());
+        self.d
+            .client_metrics()
+            .note_op(op, (sim.now() - start).as_nanos());
         op_span.end();
         result
     }
@@ -402,7 +498,7 @@ impl SimClient {
         &self,
         cont: &SimCont,
         oid: Oid,
-        pairs: Vec<(Vec<u8>, Bytes)>,
+        pairs: Vec<(Bytes, Bytes)>,
     ) -> Result<()> {
         if pairs.is_empty() {
             return Ok(());
@@ -488,11 +584,26 @@ impl SimClient {
         Ok(out)
     }
 
-    async fn kv_list_keys_once(&self, cont: &SimCont, oid: Oid) -> Result<Vec<Vec<u8>>> {
+    async fn kv_list_keys_once(&self, cont: &SimCont, oid: Oid) -> Result<Vec<Bytes>> {
         let cal = self.d.spec.calibration;
         let t = self.meta_target(oid)?;
         self.small_rpc(t, cal.kv_op_cost).await?;
         cont.cont.kv_list_keys(oid)
+    }
+
+    /// Range listing: same RPC shape and cost as a full listing — the
+    /// server walks less of the key space, not more.
+    async fn kv_list_range_once(
+        &self,
+        cont: &SimCont,
+        oid: Oid,
+        from: &[u8],
+        until: Option<&[u8]>,
+    ) -> Result<Vec<Bytes>> {
+        let cal = self.d.spec.calibration;
+        let t = self.meta_target(oid)?;
+        self.small_rpc(t, cal.kv_op_cost).await?;
+        cont.cont.kv_list_range(oid, from, until)
     }
 
     async fn array_create_once(&self, cont: &SimCont, oid: Oid) -> Result<()> {
@@ -868,7 +979,7 @@ impl DaosApi for SimClient {
 
     async fn kv_put(&self, cont: &Self::Cont, oid: Oid, key: &[u8], value: Bytes) -> Result<()> {
         let (this, cont) = (self.clone(), cont.clone());
-        self.retrying("kv_put", move || {
+        self.retrying(ClientOp::KvPut, move || {
             let (this, cont, value) = (this.clone(), cont.clone(), value.clone());
             async move { this.kv_put_once(&cont, oid, key, value).await }
         })
@@ -877,18 +988,37 @@ impl DaosApi for SimClient {
 
     async fn kv_get(&self, cont: &Self::Cont, oid: Oid, key: &[u8]) -> Result<Option<Bytes>> {
         let (this, cont) = (self.clone(), cont.clone());
-        self.retrying("kv_get", move || {
+        self.retrying(ClientOp::KvGet, move || {
             let (this, cont) = (this.clone(), cont.clone());
             async move { this.kv_get_once(&cont, oid, key).await }
         })
         .await
     }
 
-    async fn kv_list_keys(&self, cont: &Self::Cont, oid: Oid) -> Result<Vec<Vec<u8>>> {
+    async fn kv_list_keys(&self, cont: &Self::Cont, oid: Oid) -> Result<Vec<Bytes>> {
         let (this, cont) = (self.clone(), cont.clone());
-        self.retrying("kv_list_keys", move || {
+        self.retrying(ClientOp::KvListKeys, move || {
             let (this, cont) = (this.clone(), cont.clone());
             async move { this.kv_list_keys_once(&cont, oid).await }
+        })
+        .await
+    }
+
+    async fn kv_list_range(
+        &self,
+        cont: &Self::Cont,
+        oid: Oid,
+        from: Bytes,
+        until: Option<Bytes>,
+    ) -> Result<Vec<Bytes>> {
+        let (this, cont) = (self.clone(), cont.clone());
+        self.retrying(ClientOp::KvListRange, move || {
+            let (this, cont, from, until) =
+                (this.clone(), cont.clone(), from.clone(), until.clone());
+            async move {
+                this.kv_list_range_once(&cont, oid, &from, until.as_deref())
+                    .await
+            }
         })
         .await
     }
@@ -897,10 +1027,10 @@ impl DaosApi for SimClient {
         &self,
         cont: &Self::Cont,
         oid: Oid,
-        pairs: Vec<(Vec<u8>, Bytes)>,
+        pairs: Vec<(Bytes, Bytes)>,
     ) -> Result<()> {
         let (this, cont) = (self.clone(), cont.clone());
-        self.retrying("kv_put_multi", move || {
+        self.retrying(ClientOp::KvPutMulti, move || {
             let (this, cont, pairs) = (this.clone(), cont.clone(), pairs.clone());
             async move { this.kv_put_multi_once(&cont, oid, pairs).await }
         })
@@ -909,7 +1039,7 @@ impl DaosApi for SimClient {
 
     async fn array_create(&self, cont: &Self::Cont, oid: Oid) -> Result<ArrayHandle> {
         let (this, cont) = (self.clone(), cont.clone());
-        self.retrying("array_create", move || {
+        self.retrying(ClientOp::ArrayCreate, move || {
             let (this, cont) = (this.clone(), cont.clone());
             async move { this.array_create_once(&cont, oid).await }
         })
@@ -919,7 +1049,7 @@ impl DaosApi for SimClient {
 
     async fn array_open(&self, cont: &Self::Cont, oid: Oid) -> Result<ArrayHandle> {
         let (this, cont) = (self.clone(), cont.clone());
-        self.retrying("array_open", move || {
+        self.retrying(ClientOp::ArrayOpen, move || {
             let (this, cont) = (this.clone(), cont.clone());
             async move { this.array_open_once(&cont, oid).await }
         })
@@ -929,7 +1059,7 @@ impl DaosApi for SimClient {
 
     async fn array_open_or_create(&self, cont: &Self::Cont, oid: Oid) -> Result<ArrayHandle> {
         let (this, cont) = (self.clone(), cont.clone());
-        self.retrying("array_open_or_create", move || {
+        self.retrying(ClientOp::ArrayOpenOrCreate, move || {
             let (this, cont) = (this.clone(), cont.clone());
             async move { this.array_open_or_create_once(&cont, oid).await }
         })
@@ -945,7 +1075,7 @@ impl DaosApi for SimClient {
         data: Bytes,
     ) -> Result<()> {
         let (this, cont, oid) = (self.clone(), cont.clone(), handle.oid());
-        self.retrying("array_write", move || {
+        self.retrying(ClientOp::ArrayWrite, move || {
             let (this, cont, data) = (this.clone(), cont.clone(), data.clone());
             async move { this.array_write_once(&cont, oid, offset, data).await }
         })
@@ -959,7 +1089,7 @@ impl DaosApi for SimClient {
         iovs: Vec<(u64, Bytes)>,
     ) -> Result<()> {
         let (this, cont, oid) = (self.clone(), cont.clone(), handle.oid());
-        self.retrying("array_write_vec", move || {
+        self.retrying(ClientOp::ArrayWriteVec, move || {
             let (this, cont, iovs) = (this.clone(), cont.clone(), iovs.clone());
             async move { this.array_write_vec_once(&cont, oid, iovs).await }
         })
@@ -974,7 +1104,7 @@ impl DaosApi for SimClient {
         len: u64,
     ) -> Result<Bytes> {
         let (this, cont, oid) = (self.clone(), cont.clone(), handle.oid());
-        self.retrying("array_read", move || {
+        self.retrying(ClientOp::ArrayRead, move || {
             let (this, cont) = (this.clone(), cont.clone());
             async move { this.array_read_once(&cont, oid, offset, len).await }
         })
@@ -983,7 +1113,7 @@ impl DaosApi for SimClient {
 
     async fn array_size(&self, cont: &Self::Cont, handle: &ArrayHandle) -> Result<u64> {
         let (this, cont, oid) = (self.clone(), cont.clone(), handle.oid());
-        self.retrying("array_size", move || {
+        self.retrying(ClientOp::ArraySize, move || {
             let (this, cont) = (this.clone(), cont.clone());
             async move { this.array_size_once(&cont, oid).await }
         })
@@ -996,7 +1126,7 @@ impl DaosApi for SimClient {
 
     async fn obj_punch(&self, cont: &Self::Cont, oid: Oid) -> Result<()> {
         let (this, cont) = (self.clone(), cont.clone());
-        self.retrying("obj_punch", move || {
+        self.retrying(ClientOp::ObjPunch, move || {
             let (this, cont) = (this.clone(), cont.clone());
             async move { this.obj_punch_once(&cont, oid).await }
         })

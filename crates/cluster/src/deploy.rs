@@ -20,6 +20,7 @@ use daosim_objstore::store::DEFAULT_POOL_CAPACITY;
 use daosim_objstore::{DaosStore, Oid, Pool, Uuid};
 
 use crate::calibration::Calibration;
+use crate::client::ClientMetrics;
 use crate::fault::{ResilienceStats, RetryPolicy};
 
 /// Static description of a cluster to deploy.
@@ -159,6 +160,9 @@ pub struct Deployment {
     target_remap: RefCell<HashMap<u32, u32>>,
     /// Retry/timeout/failover/fault counters (see [`crate::fault`]).
     resilience: ResilienceStats,
+    /// Pre-resolved per-op `client.*` metric handles (hot-path interning,
+    /// see [`crate::client::ClientMetrics`]).
+    client_metrics: ClientMetrics,
 }
 
 impl Deployment {
@@ -244,6 +248,7 @@ impl Deployment {
             obj_locks: RefCell::new(HashMap::new()),
             target_remap: RefCell::new(HashMap::new()),
             resilience: ResilienceStats::new(sim.obs().metrics()),
+            client_metrics: ClientMetrics::new(sim.obs().metrics()),
         })
     }
 
@@ -436,6 +441,11 @@ impl Deployment {
     /// Live resilience counters for this deployment.
     pub fn resilience(&self) -> &ResilienceStats {
         &self.resilience
+    }
+
+    /// Pre-resolved client-op metric handles for this deployment.
+    pub fn client_metrics(&self) -> &ClientMetrics {
+        &self.client_metrics
     }
 
     /// Folds the passive tallies — per-engine media counters, per-engine

@@ -243,7 +243,7 @@ fn describe(out: &Result<OpOutput, DaosError>) -> String {
         Ok(OpOutput::Data(b)) => format!("data:{:02x?}", &b[..]),
         Ok(OpOutput::MaybeData(v)) => format!("maybe:{:02x?}", v.as_deref()),
         Ok(OpOutput::Keys(k)) => {
-            let mut k = k.clone();
+            let mut k: Vec<&[u8]> = k.iter().map(|b| &b[..]).collect();
             k.sort();
             format!("keys:{k:02x?}")
         }
@@ -325,7 +325,7 @@ async fn run_actor(
                 let pairs = (0..n)
                     .map(|j| {
                         (
-                            vec![0xE0, idx as u8, j],
+                            Bytes::from(vec![0xE0, idx as u8, j]),
                             Bytes::from(vec![val.wrapping_add(j); 8]),
                         )
                     })
@@ -476,7 +476,7 @@ pub fn run_program(program: &FuzzProgram, policy: SchedPolicy) -> Observation {
                 keys.sort();
                 for key in keys {
                     let v = client.kv_get(&cont, oid, &key).await.expect("audit get");
-                    state.push_str(&format!("{key:02x?}={:02x?};", v.as_deref()));
+                    state.push_str(&format!("{:02x?}={:02x?};", &key[..], v.as_deref()));
                 }
             }
             for &oid in arr_oids.iter() {

@@ -19,7 +19,7 @@ pub mod fuzz;
 pub mod rebuild;
 
 pub use calibration::Calibration;
-pub use client::{SimClient, SimCont};
+pub use client::{ClientMetrics, ClientOp, SimClient, SimCont};
 pub use deploy::{ClusterSpec, Deployment, Engine, Target};
 pub use fault::{
     FaultEvent, FaultPlan, ResilienceReport, ResilienceStats, RetryPolicy, RetryPolicyBuilder,

@@ -321,6 +321,17 @@ pub fn main_container_uuid() -> Uuid {
     Uuid::from_name(b"daosim:main-container")
 }
 
+/// Lower bound for range-listing the field entries of a forecast KV.
+///
+/// Bookkeeping entries use the reserved `__` key prefix (today only
+/// `__store_container__`); field entries are canonical
+/// `keyword=value,...` strings, which always start with a lowercase
+/// schema keyword and therefore sort after the reserved prefix. Listing
+/// from the end of the `__` range — `[0x5f, 0x60]`, the prefix's
+/// successor — yields exactly the field entries in one range-scan RPC,
+/// with no client-side filtering.
+const FIELD_KEYS_FROM: &[u8] = b"_\x60";
+
 impl<D: DaosApi> FieldStore<D> {
     /// Connects a process to the store: opens (or creates) the main
     /// container. `client_id` must be unique per process — it namespaces
@@ -605,13 +616,12 @@ impl<D: DaosApi> FieldStore<D> {
         // Collect the oids the index still references.
         let mut live: std::collections::HashSet<Oid> = std::collections::HashSet::new();
         for k in dctx(
-            self.client.kv_list_keys(&index, fkv).await,
-            "kv_list_keys",
+            self.client
+                .kv_list_range(&index, fkv, Bytes::from_static(FIELD_KEYS_FROM), None)
+                .await,
+            "kv_list_range",
             &mkey,
         )? {
-            if k == b"__store_container__" {
-                continue;
-            }
             if let Some(raw) = dctx(self.client.kv_get(&index, fkv, &k).await, "kv_get", &mkey)? {
                 if let Some(entry) = IndexEntry::decode(&raw) {
                     live.insert(entry.oid);
@@ -671,15 +681,14 @@ impl<D: DaosApi> FieldStore<D> {
         let (index, store) = self.forecast_containers(&msk, false).await?;
         let fkv = self.forecast_kv_oid(&msk);
         let keys = dctx(
-            self.client.kv_list_keys(&index, fkv).await,
-            "kv_list_keys",
+            self.client
+                .kv_list_range(&index, fkv, Bytes::from_static(FIELD_KEYS_FROM), None)
+                .await,
+            "kv_list_range",
             &mkey,
         )?;
         let mut removed = 0usize;
         for k in keys {
-            if k == b"__store_container__" {
-                continue;
-            }
             if let Some(raw) = dctx(self.client.kv_get(&index, fkv, &k).await, "kv_get", &mkey)? {
                 if let Some(entry) = IndexEntry::decode(&raw) {
                     // Punch may fail if a concurrent wipe raced us; treat
@@ -715,13 +724,14 @@ impl<D: DaosApi> FieldStore<D> {
         let (index, _) = self.forecast_containers(&msk, false).await?;
         let fkv = self.forecast_kv_oid(&msk);
         let keys = dctx(
-            self.client.kv_list_keys(&index, fkv).await,
-            "kv_list_keys",
+            self.client
+                .kv_list_range(&index, fkv, Bytes::from_static(FIELD_KEYS_FROM), None)
+                .await,
+            "kv_list_range",
             &msk.canonical(),
         )?;
         Ok(keys
             .into_iter()
-            .filter(|k| k != b"__store_container__")
             .map(|k| String::from_utf8_lossy(&k).into_owned())
             .collect())
     }

@@ -10,6 +10,7 @@ pub mod ablations;
 pub mod failure_drill_xp;
 pub mod figures;
 pub mod harness;
+pub mod kernel_bench_xp;
 pub mod pipeline;
 pub mod rebuild_xp;
 pub mod replication;
@@ -28,7 +29,7 @@ use daosim_kernel::SimDuration;
 use harness::{Report, Scale};
 
 /// Every experiment by name.
-pub const EXPERIMENTS: [&str; 14] = [
+pub const EXPERIMENTS: [&str; 15] = [
     "table1",
     "table2",
     "fig3",
@@ -43,6 +44,7 @@ pub const EXPERIMENTS: [&str; 14] = [
     "rebuild",
     "failure-drill",
     "sched-fuzz",
+    "kernel-bench",
 ];
 
 /// Runs one experiment by name.
@@ -62,6 +64,7 @@ pub fn run_experiment(name: &str, scale: &Scale) -> Vec<Report> {
         "rebuild" => vec![rebuild_xp::rebuild(scale)],
         "failure-drill" => vec![failure_drill_xp::failure_drill(scale)],
         "sched-fuzz" => vec![sched_fuzz_xp::sched_fuzz(scale)],
+        "kernel-bench" => vec![kernel_bench_xp::kernel_bench(scale)],
         other => panic!("unknown experiment {other:?}; known: {EXPERIMENTS:?}"),
     }
 }

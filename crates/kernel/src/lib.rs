@@ -29,6 +29,7 @@
 //! assert_eq!(end.as_nanos(), 3_000);
 //! ```
 
+pub mod calendar;
 pub mod executor;
 pub mod obs;
 pub mod rng;
@@ -37,7 +38,7 @@ pub mod time;
 
 pub use executor::{RunOutcome, SchedPolicy, Sim, Sleep, TaskId, TimerHandle};
 pub use obs::{
-    Counter, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, Obs, SpanEvent,
-    SpanGuard, SpanId,
+    Counter, CounterHandle, Histogram, HistogramHandle, HistogramSnapshot, MetricsRegistry,
+    MetricsSnapshot, Obs, SpanEvent, SpanGuard, SpanId,
 };
 pub use time::{SimDuration, SimTime};

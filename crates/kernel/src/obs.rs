@@ -289,6 +289,15 @@ impl Drop for SpanGuard {
 #[derive(Clone, Default)]
 pub struct Counter(Rc<Cell<u64>>);
 
+/// A pre-resolved counter handle. Resolving a name through
+/// [`MetricsRegistry::counter`] walks a string-keyed map; hot paths
+/// resolve once at setup, hold the handle, and bump a `Cell` per event.
+/// The alias marks struct fields that exist for exactly that purpose.
+pub type CounterHandle = Counter;
+
+/// A pre-resolved histogram handle; see [`CounterHandle`].
+pub type HistogramHandle = Histogram;
+
 impl Counter {
     pub fn inc(&self) {
         self.add(1);

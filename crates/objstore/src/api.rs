@@ -96,7 +96,7 @@ pub trait DaosApi: Clone + 'static {
         &self,
         cont: &Self::Cont,
         oid: Oid,
-        pairs: Vec<(Vec<u8>, Bytes)>,
+        pairs: Vec<(Bytes, Bytes)>,
     ) -> Result<()> {
         for (key, value) in pairs {
             self.kv_put(cont, oid, &key, value).await?;
@@ -108,7 +108,27 @@ pub trait DaosApi: Clone + 'static {
     async fn kv_get(&self, cont: &Self::Cont, oid: Oid, key: &[u8]) -> Result<Option<Bytes>>;
 
     /// Lists the keys of a Key-Value object.
-    async fn kv_list_keys(&self, cont: &Self::Cont, oid: Oid) -> Result<Vec<Vec<u8>>>;
+    async fn kv_list_keys(&self, cont: &Self::Cont, oid: Oid) -> Result<Vec<Bytes>>;
+
+    /// Lists the keys of a Key-Value object in `[from, until)`
+    /// (`until = None` means unbounded) — the server-side range scan
+    /// behind prefix listings, one RPC regardless of how much of the key
+    /// space it skips. The default implementation filters a full
+    /// listing; backends with ordered storage override it with a real
+    /// range scan.
+    async fn kv_list_range(
+        &self,
+        cont: &Self::Cont,
+        oid: Oid,
+        from: Bytes,
+        until: Option<Bytes>,
+    ) -> Result<Vec<Bytes>> {
+        let keys = self.kv_list_keys(cont, oid).await?;
+        Ok(keys
+            .into_iter()
+            .filter(|k| **k >= *from && until.as_ref().is_none_or(|end| **k < **end))
+            .collect())
+    }
 
     /// Creates a new Array object, returning its open handle.
     async fn array_create(&self, cont: &Self::Cont, oid: Oid) -> Result<ArrayHandle>;
@@ -216,8 +236,8 @@ pub enum OpOutput {
     Data(Bytes),
     /// `kv_get`.
     MaybeData(Option<Bytes>),
-    /// `kv_list_keys`.
-    Keys(Vec<Vec<u8>>),
+    /// `kv_list_keys` / `kv_list_range`.
+    Keys(Vec<Bytes>),
     /// `array_size`.
     Size(u64),
 }
@@ -467,7 +487,7 @@ impl<D: DaosApi> EventQueue<D> {
     }
 
     /// Launches a vectorized `kv_put_multi`.
-    pub fn kv_put_multi(&self, cont: &D::Cont, oid: Oid, pairs: Vec<(Vec<u8>, Bytes)>) -> Event {
+    pub fn kv_put_multi(&self, cont: &D::Cont, oid: Oid, pairs: Vec<(Bytes, Bytes)>) -> Event {
         let (client, cont) = (self.client.clone(), cont.clone());
         self.submit(async move {
             client
@@ -492,6 +512,23 @@ impl<D: DaosApi> EventQueue<D> {
     pub fn kv_list_keys(&self, cont: &D::Cont, oid: Oid) -> Event {
         let (client, cont) = (self.client.clone(), cont.clone());
         self.submit(async move { client.kv_list_keys(&cont, oid).await.map(OpOutput::Keys) })
+    }
+
+    /// Launches a `kv_list_range`; completes with [`OpOutput::Keys`].
+    pub fn kv_list_range(
+        &self,
+        cont: &D::Cont,
+        oid: Oid,
+        from: Bytes,
+        until: Option<Bytes>,
+    ) -> Event {
+        let (client, cont) = (self.client.clone(), cont.clone());
+        self.submit(async move {
+            client
+                .kv_list_range(&cont, oid, from, until)
+                .await
+                .map(OpOutput::Keys)
+        })
     }
 
     /// Launches an `array_write` against an open handle. The operation
@@ -639,7 +676,7 @@ impl DaosApi for EmbeddedClient {
         &self,
         cont: &Self::Cont,
         oid: Oid,
-        pairs: Vec<(Vec<u8>, Bytes)>,
+        pairs: Vec<(Bytes, Bytes)>,
     ) -> Result<()> {
         let bytes: usize = pairs.iter().map(|(k, v)| k.len() + v.len()).sum();
         self.pool.charge(bytes as u64)?;
@@ -650,8 +687,18 @@ impl DaosApi for EmbeddedClient {
         cont.kv_get(oid, key)
     }
 
-    async fn kv_list_keys(&self, cont: &Self::Cont, oid: Oid) -> Result<Vec<Vec<u8>>> {
+    async fn kv_list_keys(&self, cont: &Self::Cont, oid: Oid) -> Result<Vec<Bytes>> {
         cont.kv_list_keys(oid)
+    }
+
+    async fn kv_list_range(
+        &self,
+        cont: &Self::Cont,
+        oid: Oid,
+        from: Bytes,
+        until: Option<Bytes>,
+    ) -> Result<Vec<Bytes>> {
+        cont.kv_list_range(oid, &from, until.as_deref())
     }
 
     async fn array_create(&self, cont: &Self::Cont, oid: Oid) -> Result<ArrayHandle> {
@@ -859,8 +906,8 @@ mod tests {
                     &cont,
                     kv,
                     vec![
-                        (b"a".to_vec(), Bytes::from_static(b"1")),
-                        (b"b".to_vec(), Bytes::from_static(b"2")),
+                        (Bytes::from_static(b"a"), Bytes::from_static(b"1")),
+                        (Bytes::from_static(b"b"), Bytes::from_static(b"2")),
                     ],
                 )
                 .await

@@ -129,7 +129,7 @@ impl Container {
     /// Vectorized insert into KV `oid`: all pairs land under one object
     /// lock acquisition (the batch the event-queue layer ships as a
     /// single request). Equivalent to `kv_put` of each pair in order.
-    pub fn kv_put_multi(&self, oid: Oid, pairs: Vec<(Vec<u8>, Bytes)>) -> Result<()> {
+    pub fn kv_put_multi(&self, oid: Oid, pairs: Vec<(Bytes, Bytes)>) -> Result<()> {
         self.ops
             .kv_updates
             .fetch_add(pairs.len() as u64, Ordering::Relaxed);
@@ -169,7 +169,13 @@ impl Container {
         }
     }
 
-    pub fn kv_list_keys(&self, oid: Oid) -> Result<Vec<Vec<u8>>> {
+    pub fn kv_list_keys(&self, oid: Oid) -> Result<Vec<Bytes>> {
+        self.kv_list_range(oid, b"", None)
+    }
+
+    /// Keys of KV `oid` in `[from, until)` (`until = None` means
+    /// unbounded), ordered. A never-written KV lists as empty.
+    pub fn kv_list_range(&self, oid: Oid, from: &[u8], until: Option<&[u8]>) -> Result<Vec<Bytes>> {
         self.ops.kv_fetches.fetch_add(1, Ordering::Relaxed);
         let obj = match self.get_obj(oid) {
             Ok(o) => o,
@@ -178,7 +184,22 @@ impl Container {
         };
         let guard = obj.read();
         match &*guard {
-            Object::Kv(kv) => Ok(kv.list_keys()),
+            Object::Kv(kv) => Ok(kv.list_range(from, until)),
+            Object::Array(_) => Err(DaosError::WrongType(oid)),
+        }
+    }
+
+    /// Keys of KV `oid` starting with `prefix`, ordered.
+    pub fn kv_list_prefix(&self, oid: Oid, prefix: &[u8]) -> Result<Vec<Bytes>> {
+        self.ops.kv_fetches.fetch_add(1, Ordering::Relaxed);
+        let obj = match self.get_obj(oid) {
+            Ok(o) => o,
+            Err(DaosError::ObjNotFound(_)) => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let guard = obj.read();
+        match &*guard {
+            Object::Kv(kv) => Ok(kv.list_prefix(prefix)),
             Object::Array(_) => Err(DaosError::WrongType(oid)),
         }
     }

@@ -3,15 +3,22 @@
 //! A DAOS Key-Value object maps opaque byte keys to opaque byte values
 //! under last-writer-wins semantics. Keys are kept ordered so listings
 //! are deterministic.
+//!
+//! Keys are stored as [`Bytes`] so listings hand back cheap refcount
+//! clones instead of deep-copying every key, and `put` on an existing
+//! key replaces the value in place without copying key bytes at all.
+//! Lookups still take `&[u8]` (the map is queried through
+//! `Borrow<[u8]>`), so callers never allocate to probe.
 
 use std::collections::BTreeMap;
+use std::ops::Bound;
 
 use bytes::Bytes;
 
 /// An in-memory Key-Value object.
 #[derive(Default, Debug, Clone)]
 pub struct KvObject {
-    entries: BTreeMap<Vec<u8>, Bytes>,
+    entries: BTreeMap<Bytes, Bytes>,
 }
 
 impl KvObject {
@@ -20,12 +27,24 @@ impl KvObject {
     }
 
     /// Inserts or replaces `key`; returns the previous value, if any.
+    /// Replacing an existing key swaps the value in place — the key
+    /// bytes are only copied when the key is first inserted.
     pub fn put(&mut self, key: &[u8], value: Bytes) -> Option<Bytes> {
-        self.entries.insert(key.to_vec(), value)
+        if let Some(slot) = self.entries.get_mut(key) {
+            return Some(std::mem::replace(slot, value));
+        }
+        self.entries.insert(Bytes::copy_from_slice(key), value);
+        None
+    }
+
+    /// Inserts or replaces `key` without copying it — for callers that
+    /// already hold the key as [`Bytes`].
+    pub fn put_owned(&mut self, key: Bytes, value: Bytes) -> Option<Bytes> {
+        self.entries.insert(key, value)
     }
 
     /// Inserts or replaces every pair, in order (vectorized update).
-    pub fn put_many(&mut self, pairs: Vec<(Vec<u8>, Bytes)>) {
+    pub fn put_many(&mut self, pairs: Vec<(Bytes, Bytes)>) {
         for (key, value) in pairs {
             self.entries.insert(key, value);
         }
@@ -52,14 +71,38 @@ impl KvObject {
         self.entries.is_empty()
     }
 
-    /// All keys in lexicographic order.
-    pub fn list_keys(&self) -> Vec<Vec<u8>> {
-        self.entries.keys().cloned().collect()
+    /// All keys in lexicographic order (refcount clones, not deep
+    /// copies).
+    pub fn list_keys(&self) -> Vec<Bytes> {
+        self.list_range(b"", None)
+    }
+
+    /// Keys starting with `prefix`, in lexicographic order.
+    pub fn list_prefix(&self, prefix: &[u8]) -> Vec<Bytes> {
+        self.entries
+            .range::<[u8], _>((Bound::Included(prefix), Bound::Unbounded))
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Keys in `[from, until)` (`until = None` means unbounded), in
+    /// lexicographic order. The half-open contract matches the usual
+    /// scan idiom: the end of a prefix range is the prefix's successor.
+    pub fn list_range(&self, from: &[u8], until: Option<&[u8]>) -> Vec<Bytes> {
+        let upper = match until {
+            Some(end) => Bound::Excluded(end),
+            None => Bound::Unbounded,
+        };
+        self.entries
+            .range::<[u8], _>((Bound::Included(from), upper))
+            .map(|(k, _)| k.clone())
+            .collect()
     }
 
     /// Iterates entries in key order.
     pub fn iter(&self) -> impl Iterator<Item = (&[u8], &Bytes)> {
-        self.entries.iter().map(|(k, v)| (k.as_slice(), v))
+        self.entries.iter().map(|(k, v)| (&k[..], v))
     }
 }
 
@@ -106,6 +149,48 @@ mod tests {
             kv.list_keys(),
             vec![b"alpha".to_vec(), b"mid".to_vec(), b"zeta".to_vec()]
         );
+    }
+
+    #[test]
+    fn list_prefix_selects_exactly_the_prefix() {
+        let mut kv = KvObject::new();
+        for k in ["step=0", "step=1", "step=10", "stop", "alpha"] {
+            kv.put(k.as_bytes(), Bytes::new());
+        }
+        assert_eq!(
+            kv.list_prefix(b"step="),
+            vec![b"step=0".to_vec(), b"step=1".to_vec(), b"step=10".to_vec()]
+        );
+        assert_eq!(kv.list_prefix(b""), kv.list_keys());
+        assert!(kv.list_prefix(b"zz").is_empty());
+    }
+
+    #[test]
+    fn list_range_is_half_open() {
+        let mut kv = KvObject::new();
+        for k in ["a", "b", "c", "d"] {
+            kv.put(k.as_bytes(), Bytes::new());
+        }
+        assert_eq!(
+            kv.list_range(b"b", Some(b"d")),
+            vec![b"b".to_vec(), b"c".to_vec()]
+        );
+        assert_eq!(
+            kv.list_range(b"c", None),
+            vec![b"c".to_vec(), b"d".to_vec()]
+        );
+        assert!(kv.list_range(b"x", Some(b"x")).is_empty());
+    }
+
+    #[test]
+    fn put_owned_and_existing_key_share_storage() {
+        let mut kv = KvObject::new();
+        let key = Bytes::from_static(b"shared");
+        kv.put_owned(key.clone(), Bytes::from_static(b"v1"));
+        // Replacing through the slice path must not clone the key.
+        kv.put(b"shared", Bytes::from_static(b"v2"));
+        assert_eq!(kv.len(), 1);
+        assert_eq!(kv.get(b"shared").unwrap().as_ref(), b"v2");
     }
 
     #[test]

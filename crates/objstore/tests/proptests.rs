@@ -124,6 +124,18 @@ proptest! {
         }
         let keys: Vec<Vec<u8>> = model.keys().cloned().collect();
         prop_assert_eq!(kv.list_keys(), keys);
+        // Range and prefix listings agree with the model's view.
+        let from_mid: Vec<Vec<u8>> = model.range(vec![0x40u8]..).map(|(k, _)| k.clone()).collect();
+        prop_assert_eq!(kv.list_range(&[0x40], None), from_mid);
+        let below_mid: Vec<Vec<u8>> =
+            model.range(..vec![0x40u8]).map(|(k, _)| k.clone()).collect();
+        prop_assert_eq!(kv.list_range(b"", Some(&[0x40])), below_mid);
+        let prefixed: Vec<Vec<u8>> = model
+            .keys()
+            .filter(|k| k.starts_with(&[0x40]))
+            .cloned()
+            .collect();
+        prop_assert_eq!(kv.list_prefix(&[0x40]), prefixed);
     }
 }
 

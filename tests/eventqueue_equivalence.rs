@@ -76,7 +76,7 @@ fn describe(out: &Result<OpOutput, daosim::objstore::DaosError>) -> String {
         Ok(OpOutput::Data(b)) => format!("data:{:02x?}", &b[..]),
         Ok(OpOutput::MaybeData(v)) => format!("maybe:{:02x?}", v.as_deref()),
         Ok(OpOutput::Keys(k)) => {
-            let mut k = k.clone();
+            let mut k: Vec<&[u8]> = k.iter().map(|b| &b[..]).collect();
             k.sort();
             format!("keys:{k:02x?}")
         }
@@ -133,7 +133,7 @@ async fn run_program<D: DaosApi>(client: D, ops: Vec<EqOp>) -> (BTreeMap<u64, St
             EqOp::KvPutMulti { kv, n, val } => {
                 let pairs = (0..*n)
                     .map(|j| {
-                        let key = vec![0xE0, slot as u8, (slot >> 8) as u8, j];
+                        let key = Bytes::from(vec![0xE0, slot as u8, (slot >> 8) as u8, j]);
                         (key, Bytes::from(vec![val.wrapping_add(j); 8]))
                     })
                     .collect();
@@ -176,7 +176,7 @@ async fn run_program<D: DaosApi>(client: D, ops: Vec<EqOp>) -> (BTreeMap<u64, St
         keys.sort();
         for key in keys {
             let v = client.kv_get(&cont, oid, &key).await.expect("get");
-            state.push_str(&format!("{key:02x?}={:02x?};", v.as_deref()));
+            state.push_str(&format!("{:02x?}={:02x?};", &key[..], v.as_deref()));
         }
     }
     for h in handles {
@@ -226,7 +226,7 @@ async fn kv_state<D: DaosApi>(client: D, pairs: Vec<(u8, u8)>, batched: bool) ->
     if batched {
         let pairs = pairs
             .iter()
-            .map(|&(k, v)| (vec![k], Bytes::from(vec![v; 4])))
+            .map(|&(k, v)| (Bytes::from(vec![k]), Bytes::from(vec![v; 4])))
             .collect();
         client.kv_put_multi(&cont, oid, pairs).await.expect("multi");
     } else {
@@ -242,7 +242,7 @@ async fn kv_state<D: DaosApi>(client: D, pairs: Vec<(u8, u8)>, batched: bool) ->
     let mut state = String::new();
     for key in keys {
         let v = client.kv_get(&cont, oid, &key).await.expect("get");
-        state.push_str(&format!("{key:02x?}={:02x?};", v.as_deref()));
+        state.push_str(&format!("{:02x?}={:02x?};", &key[..], v.as_deref()));
     }
     state
 }
