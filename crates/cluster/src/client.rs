@@ -125,27 +125,63 @@ impl ClientOp {
     }
 }
 
+/// Workload class a client belongs to, for QoS accounting. Classified
+/// clients record their op latencies into a per-class histogram
+/// (`client.writer.op_ns` / `client.reader.op_ns`) on top of the shared
+/// `client.op_ns`, so time-critical model output and bulk product
+/// generation can be told apart in one registry snapshot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QosClass {
+    /// No class: only the shared histogram is fed (the default).
+    #[default]
+    Unclassified,
+    /// Deadline-carrying model-output writer.
+    Writer,
+    /// Product-generation reader.
+    Reader,
+}
+
+impl QosClass {
+    pub fn name(self) -> &'static str {
+        match self {
+            QosClass::Unclassified => "unclassified",
+            QosClass::Writer => "writer",
+            QosClass::Reader => "reader",
+        }
+    }
+}
+
 /// Pre-resolved `client.*` metric handles, one set per deployment (the
 /// same interning pattern as [`crate::fault::ResilienceStats`]).
 pub struct ClientMetrics {
     ops: [CounterHandle; ClientOp::ALL.len()],
     op_ns: HistogramHandle,
+    writer_op_ns: HistogramHandle,
+    reader_op_ns: HistogramHandle,
 }
 
 impl ClientMetrics {
-    /// Registers every per-op counter and the latency histogram in
+    /// Registers every per-op counter and the latency histograms in
     /// `metrics`, so they appear in snapshots from time zero.
     pub fn new(metrics: &MetricsRegistry) -> Self {
         ClientMetrics {
             ops: ClientOp::ALL.map(|op| metrics.counter(op.ops_metric())),
             op_ns: metrics.histogram("client.op_ns", &OP_NS_BOUNDS),
+            writer_op_ns: metrics.histogram("client.writer.op_ns", &OP_NS_BOUNDS),
+            reader_op_ns: metrics.histogram("client.reader.op_ns", &OP_NS_BOUNDS),
         }
     }
 
-    /// Records one completed op and its end-to-end latency.
-    fn note_op(&self, op: ClientOp, dur_ns: u64) {
+    /// Records one completed op and its end-to-end latency, splitting it
+    /// by the issuing client's QoS class.
+    fn note_op(&self, op: ClientOp, class: QosClass, dur_ns: u64) {
         self.ops[op as usize].inc();
         self.op_ns.observe(dur_ns);
+        match class {
+            QosClass::Unclassified => {}
+            QosClass::Writer => self.writer_op_ns.observe(dur_ns),
+            QosClass::Reader => self.reader_op_ns.observe(dur_ns),
+        }
     }
 }
 
@@ -168,17 +204,33 @@ impl SimCont {
 pub struct SimClient {
     d: Rc<Deployment>,
     ep: Endpoint,
+    qos: QosClass,
 }
 
 impl SimClient {
     pub fn new(d: Rc<Deployment>, ep: Endpoint) -> Self {
-        SimClient { d, ep }
+        SimClient {
+            d,
+            ep,
+            qos: QosClass::Unclassified,
+        }
     }
 
     /// Convenience: the client for process `rank_on_node` of `client_node`.
     pub fn for_process(d: &Rc<Deployment>, client_node: u16, rank_on_node: u32) -> Self {
         let ep = d.client_endpoint(client_node, rank_on_node);
         SimClient::new(Rc::clone(d), ep)
+    }
+
+    /// Tags this client with a QoS class; every completed op's latency is
+    /// then also recorded into the class's own histogram.
+    pub fn with_qos(mut self, class: QosClass) -> Self {
+        self.qos = class;
+        self
+    }
+
+    pub fn qos(&self) -> QosClass {
+        self.qos
     }
 
     pub fn endpoint(&self) -> Endpoint {
@@ -229,7 +281,11 @@ impl SimClient {
         // Leaf spans: shard RPCs run concurrently under `join_all`, so
         // these must not adopt children on the shared task stack.
         let q = self.d.sim.span_leaf("media", "queue");
+        // The backlog token covers exactly the queue wait; its Drop makes
+        // the gauge exact even when an attempt timeout cancels the wait.
+        let backlog = self.d.backlog().enter();
         let _p = tgt.sem.acquire_one().await;
+        drop(backlog);
         q.end();
         let _s = self.d.sim.span_leaf("media", "service");
         self.d.sim.sleep(service).await;
@@ -404,7 +460,7 @@ impl SimClient {
         };
         self.d
             .client_metrics()
-            .note_op(op, (sim.now() - start).as_nanos());
+            .note_op(op, self.qos, (sim.now() - start).as_nanos());
         op_span.end();
         result
     }
@@ -460,7 +516,13 @@ impl SimClient {
         for &t in &targets {
             self.engine_for(t)?;
         }
-        let engine = self.engine_for(targets[0])?;
+        // Placement can legitimately come back empty mid-fault-campaign
+        // (a just-killed pool can remap every candidate away); error like
+        // `first_alive` does instead of indexing into nothing.
+        let Some(&primary) = targets.first() else {
+            return Err(DaosError::NoTargets);
+        };
+        let engine = self.engine_for(primary)?;
         self.latency().await;
         self.engine_meta(engine).await;
         // Conflicting updates to one object serialize on its update lock
@@ -524,7 +586,14 @@ impl SimClient {
                 self.engine_for(t)?;
             }
         }
-        let engine = self.engine_for(dests[0].0[0])?;
+        // `pairs` is non-empty here, but a pair's target list can still be
+        // empty under a hostile pool map — fail like `first_alive`, don't
+        // index.
+        let primary = dests
+            .first()
+            .and_then(|(targets, _)| targets.first().copied())
+            .ok_or(DaosError::NoTargets)?;
+        let engine = self.engine_for(primary)?;
         self.latency().await;
         self.engine_meta(engine).await;
         let lock = self.d.obj_lock(cont.uuid, oid, 0);
@@ -671,10 +740,16 @@ impl SimClient {
             }
             let (h0, h1) = ec::split_halves(&data);
             let parity = Bytes::from(ec::xor_parity(&h0, &h1));
+            // EC2P1 placement always yields two data cells; destructure
+            // instead of indexing so a malformed layout errors rather
+            // than panicking mid-campaign.
             let (dts, pt) = ec_targets(oid, self.pool_targets());
+            let &[d0, d1] = &dts[..] else {
+                return Err(DaosError::NoTargets);
+            };
             let shards = vec![
-                (dts[0], h0.len() as u64),
-                (dts[1], h1.len() as u64),
+                (d0, h0.len() as u64),
+                (d1, h1.len() as u64),
                 (pt, parity.len() as u64),
             ];
             ec_parity = Some(parity);
@@ -745,7 +820,9 @@ impl SimClient {
                     "EC objects support a single whole-object extent per write",
                 ));
             }
-            let (offset, data) = iovs.into_iter().next().expect("non-empty");
+            let Some((offset, data)) = iovs.into_iter().next() else {
+                return Ok(());
+            };
             return self.array_write_once(cont, oid, offset, data).await;
         }
         let replicated = oid.class().replicas(self.pool_targets()) > 1;
@@ -813,28 +890,31 @@ impl SimClient {
         let shards: Vec<(u32, u64)> = if is_ec {
             let (dts, pt) = ec_targets(oid, self.pool_targets());
             let dts: Vec<u32> = dts.into_iter().map(|t| self.live_target(t)).collect();
+            let &[d0, d1] = &dts[..] else {
+                return Err(DaosError::NoTargets);
+            };
             let pt = self.live_target(pt);
             let size = cont.cont.array_size(oid)?;
             let h0_len = size.div_ceil(2);
             let h1_len = size - h0_len;
-            let alive0 = self.d.engine_of_target(dts[0]).is_alive();
-            let alive1 = self.d.engine_of_target(dts[1]).is_alive();
+            let alive0 = self.d.engine_of_target(d0).is_alive();
+            let alive1 = self.d.engine_of_target(d1).is_alive();
             match (alive0, alive1) {
-                (true, true) => vec![(dts[0], h0_len.min(len)), (dts[1], h1_len.min(len))],
+                (true, true) => vec![(d0, h0_len.min(len)), (d1, h1_len.min(len))],
                 (false, true) => {
                     // Reconstruct cell 0 from cell 1 + parity.
                     self.engine_for(pt)?;
                     ec_reconstruct = Some(0);
-                    vec![(dts[1], h1_len), (pt, h0_len)]
+                    vec![(d1, h1_len), (pt, h0_len)]
                 }
                 (true, false) => {
                     self.engine_for(pt)?;
                     ec_reconstruct = Some(1);
-                    vec![(dts[0], h0_len), (pt, h0_len)]
+                    vec![(d0, h0_len), (pt, h0_len)]
                 }
                 (false, false) => {
                     return Err(DaosError::EngineUnavailable(
-                        self.d.engine_index_of_target(dts[0]),
+                        self.d.engine_index_of_target(d0),
                     ))
                 }
             }
@@ -1420,5 +1500,242 @@ mod tests {
             (3.5..=6.5).contains(&bw),
             "aggregate write bandwidth {bw:.2} GiB/s outside calibrated range"
         );
+    }
+
+    #[test]
+    fn kv_put_on_dead_pool_errors_instead_of_panicking() {
+        // Regression: kv_put_once indexed `targets[0]` after the liveness
+        // loop; with every engine dead the op must surface
+        // EngineUnavailable through the normal error path — replicated
+        // and unreplicated classes alike.
+        let sim = Sim::new();
+        let d = Deployment::new(&sim, ClusterSpec::tcp(1, 1));
+        let done: Rc<Cell<u32>> = Rc::default();
+        let (d2, done2) = (Rc::clone(&d), Rc::clone(&done));
+        sim.spawn(async move {
+            let client = SimClient::for_process(&d2, 0, 0);
+            let cont = client
+                .cont_open_or_create(Uuid::from_name(b"kp"))
+                .await
+                .unwrap();
+            d2.kill_engine(0);
+            d2.kill_engine(1);
+            for class in [ObjectClass::S1, ObjectClass::RP2] {
+                let oid = Oid::generate(20, class as u64, class);
+                match client
+                    .kv_put(&cont, oid, b"k", Bytes::from_static(b"v"))
+                    .await
+                {
+                    Err(DaosError::EngineUnavailable(_)) => done2.set(done2.get() + 1),
+                    other => panic!("expected EngineUnavailable, got {other:?}"),
+                }
+            }
+        });
+        sim.run().expect_quiescent();
+        assert_eq!(done.get(), 2);
+    }
+
+    #[test]
+    fn kv_put_multi_on_dead_pool_errors_instead_of_panicking() {
+        // Regression: kv_put_multi_once indexed `dests[0].0[0]`. An empty
+        // batch is a no-op even on a dead pool; a non-empty one errors.
+        let sim = Sim::new();
+        let d = Deployment::new(&sim, ClusterSpec::tcp(1, 1));
+        let done: Rc<Cell<u32>> = Rc::default();
+        let (d2, done2) = (Rc::clone(&d), Rc::clone(&done));
+        sim.spawn(async move {
+            let client = SimClient::for_process(&d2, 0, 0);
+            let cont = client
+                .cont_open_or_create(Uuid::from_name(b"km"))
+                .await
+                .unwrap();
+            d2.kill_engine(0);
+            d2.kill_engine(1);
+            let oid = Oid::generate(21, 0, ObjectClass::S1);
+            client.kv_put_multi(&cont, oid, Vec::new()).await.unwrap();
+            let pairs = vec![(Bytes::from_static(b"a"), Bytes::from_static(b"1"))];
+            match client.kv_put_multi(&cont, oid, pairs).await {
+                Err(DaosError::EngineUnavailable(_)) => done2.set(1),
+                other => panic!("expected EngineUnavailable, got {other:?}"),
+            }
+        });
+        sim.run().expect_quiescent();
+        assert_eq!(done.get(), 1);
+    }
+
+    #[test]
+    fn array_write_vec_empty_batch_and_dead_pool() {
+        // Regression: the single-extent fast path held an
+        // `.expect("non-empty")`; the empty batch stays a no-op and a
+        // dead pool errors through the single-extent path.
+        let sim = Sim::new();
+        let d = Deployment::new(&sim, ClusterSpec::tcp(1, 1));
+        let done: Rc<Cell<u32>> = Rc::default();
+        let (d2, done2) = (Rc::clone(&d), Rc::clone(&done));
+        sim.spawn(async move {
+            let client = SimClient::for_process(&d2, 0, 0);
+            let cont = client
+                .cont_open_or_create(Uuid::from_name(b"wv"))
+                .await
+                .unwrap();
+            let oid = Oid::generate(22, 0, ObjectClass::S1);
+            let h = client.array_create(&cont, oid).await.unwrap();
+            client.array_write_vec(&cont, &h, Vec::new()).await.unwrap();
+            d2.kill_engine(0);
+            d2.kill_engine(1);
+            let iovs = vec![(0u64, Bytes::from_static(b"x"))];
+            match client.array_write_vec(&cont, &h, iovs).await {
+                Err(DaosError::EngineUnavailable(_)) => done2.set(1),
+                other => panic!("expected EngineUnavailable, got {other:?}"),
+            }
+        });
+        sim.run().expect_quiescent();
+        assert_eq!(done.get(), 1);
+    }
+
+    #[test]
+    fn ec_write_and_read_on_dead_pool_error_instead_of_panicking() {
+        // Regression: the EC2P1 paths indexed `dts[0]`/`dts[1]` while
+        // engines were dying around them; both directions must error.
+        let sim = Sim::new();
+        let d = Deployment::new(&sim, ClusterSpec::tcp(1, 1));
+        let done: Rc<Cell<u32>> = Rc::default();
+        let (d2, done2) = (Rc::clone(&d), Rc::clone(&done));
+        sim.spawn(async move {
+            let client = SimClient::for_process(&d2, 0, 0);
+            let cont = client
+                .cont_open_or_create(Uuid::from_name(b"ec"))
+                .await
+                .unwrap();
+            let oid = Oid::generate(23, 0, ObjectClass::EC2P1);
+            let h = client.array_create(&cont, oid).await.unwrap();
+            let payload = Bytes::from(vec![9u8; 4096]);
+            client
+                .array_write(&cont, &h, 0, payload.clone())
+                .await
+                .unwrap();
+            d2.kill_engine(0);
+            d2.kill_engine(1);
+            match client.array_write(&cont, &h, 0, payload).await {
+                Err(DaosError::EngineUnavailable(_)) => done2.set(done2.get() + 1),
+                other => panic!("EC write: expected EngineUnavailable, got {other:?}"),
+            }
+            match client.array_read(&cont, &h, 0, 4096).await {
+                Err(DaosError::EngineUnavailable(_)) => done2.set(done2.get() + 1),
+                other => panic!("EC read: expected EngineUnavailable, got {other:?}"),
+            }
+        });
+        sim.run().expect_quiescent();
+        assert_eq!(done.get(), 2);
+    }
+
+    #[test]
+    fn random_fault_campaigns_never_panic_the_client_path() {
+        // Drive seeded random campaigns (kills, rebuilds, restarts,
+        // brownouts, NIC faults) against a mixed KV/array workload under
+        // the operational retry policy. Every op may succeed or fail —
+        // but nothing on the client path is allowed to panic.
+        for seed in 0..4u64 {
+            let sim = Sim::new();
+            let mut spec = ClusterSpec::tcp(1, 1);
+            spec.retry = crate::fault::RetryPolicy::builder().operational().build();
+            let d = Deployment::new(&sim, spec);
+            let horizon = SimDuration::from_secs(2);
+            crate::fault::FaultPlan::random_campaign(seed, d.spec.engines(), horizon).apply(&d);
+            for p in 0..4u32 {
+                let d = Rc::clone(&d);
+                sim.spawn(async move {
+                    let client = SimClient::for_process(&d, 0, p);
+                    let Ok(cont) = client.cont_open_or_create(Uuid::from_name(b"cc")).await else {
+                        return;
+                    };
+                    let mut alloc = OidAllocator::new(p.into());
+                    for i in 0..6u64 {
+                        let class = match i % 3 {
+                            0 => ObjectClass::S1,
+                            1 => ObjectClass::RP2,
+                            _ => ObjectClass::EC2P1,
+                        };
+                        let oid = alloc.next(class);
+                        let kv = Oid::generate(30 + p, i, ObjectClass::RP2);
+                        let _ = client
+                            .kv_put(&cont, kv, b"key", Bytes::from_static(b"val"))
+                            .await;
+                        let _ = client.kv_get(&cont, kv, b"key").await;
+                        if let Ok(h) = client.array_open_or_create(&cont, oid).await {
+                            let _ = client
+                                .array_write(&cont, &h, 0, Bytes::from(vec![1u8; 8192]))
+                                .await;
+                            let _ = client.array_read(&cont, &h, 0, 8192).await;
+                            let _ = client.array_close(&cont, h).await;
+                        }
+                    }
+                });
+            }
+            sim.run().expect_quiescent();
+        }
+    }
+
+    #[test]
+    fn backlog_gauge_counts_waiters_and_drains_to_zero() {
+        // Many writers to one object pile up on its target's FIFO: the
+        // gauge's peak must see them and the depth must drain by the end.
+        let sim = Sim::new();
+        let d = Deployment::new(&sim, ClusterSpec::tcp(1, 1));
+        for i in 0..8u32 {
+            let d = Rc::clone(&d);
+            sim.spawn(async move {
+                let client = SimClient::for_process(&d, 0, i);
+                let cont = client
+                    .cont_open_or_create(Uuid::from_name(b"bg"))
+                    .await
+                    .unwrap();
+                let oid = Oid::generate(40, 0, ObjectClass::S1);
+                let h = client.array_open_or_create(&cont, oid).await.unwrap();
+                client
+                    .array_write(&cont, &h, 0, Bytes::from(vec![0u8; MIB as usize]))
+                    .await
+                    .unwrap();
+                client.array_close(&cont, h).await.unwrap();
+            });
+        }
+        sim.run().expect_quiescent();
+        assert!(d.backlog().peak() > 0, "contention must register a peak");
+        assert_eq!(d.backlog().depth(), 0, "gauge must drain at quiescence");
+    }
+
+    #[test]
+    fn qos_classes_split_the_op_latency_histograms() {
+        let sim = Sim::new();
+        let d = Deployment::new(&sim, ClusterSpec::tcp(1, 1));
+        {
+            let d = Rc::clone(&d);
+            sim.spawn(async move {
+                let writer = SimClient::for_process(&d, 0, 0).with_qos(QosClass::Writer);
+                let reader = SimClient::for_process(&d, 0, 1).with_qos(QosClass::Reader);
+                assert_eq!(writer.qos(), QosClass::Writer);
+                let cont = writer
+                    .cont_open_or_create(Uuid::from_name(b"qs"))
+                    .await
+                    .unwrap();
+                let oid = Oid::generate(41, 0, ObjectClass::S1);
+                writer
+                    .kv_put(&cont, oid, b"k", Bytes::from_static(b"v"))
+                    .await
+                    .unwrap();
+                let rcont = reader.cont_open(Uuid::from_name(b"qs")).await.unwrap();
+                assert!(reader.kv_get(&rcont, oid, b"k").await.unwrap().is_some());
+            });
+        }
+        sim.run().expect_quiescent();
+        let snap = sim.obs().metrics().snapshot();
+        let count = |name: &str| {
+            snap.histogram(name)
+                .unwrap_or_else(|| panic!("histogram {name} missing"))
+                .count
+        };
+        assert_eq!(count("client.writer.op_ns"), 1, "one classified put");
+        assert_eq!(count("client.reader.op_ns"), 1, "one classified get");
+        assert_eq!(count("client.op_ns"), 2, "shared histogram sees both");
     }
 }

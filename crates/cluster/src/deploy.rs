@@ -83,6 +83,51 @@ impl ClusterSpec {
     }
 }
 
+/// Pool-wide queue-backlog gauge: how many client operations are waiting
+/// for a target service slot right now, plus the high-water mark. The
+/// client increments on entering a target's FIFO and decrements when the
+/// slot is granted (or the wait is cancelled), so `depth()` is the
+/// instantaneous contention the operational-NWP workload binds on and
+/// `peak()` its worst case over the run.
+#[derive(Default)]
+pub struct BacklogGauge {
+    depth: Cell<u64>,
+    peak: Cell<u64>,
+}
+
+/// RAII witness of one queued operation; dropping it (slot granted or
+/// wait abandoned via attempt timeout) decrements the gauge, so the
+/// depth can never leak upward across cancelled attempts.
+pub struct BacklogToken<'a>(&'a BacklogGauge);
+
+impl BacklogGauge {
+    /// Registers one waiter; the returned token undoes it on drop.
+    pub fn enter(&self) -> BacklogToken<'_> {
+        let d = self.depth.get() + 1;
+        self.depth.set(d);
+        if d > self.peak.get() {
+            self.peak.set(d);
+        }
+        BacklogToken(self)
+    }
+
+    /// Operations currently waiting for a target slot.
+    pub fn depth(&self) -> u64 {
+        self.depth.get()
+    }
+
+    /// Deepest the queue has ever been.
+    pub fn peak(&self) -> u64 {
+        self.peak.get()
+    }
+}
+
+impl Drop for BacklogToken<'_> {
+    fn drop(&mut self) {
+        self.0.depth.set(self.0.depth.get().saturating_sub(1));
+    }
+}
+
 /// One DAOS target: a FIFO service queue plus its media share.
 pub struct Target {
     pub sem: Semaphore,
@@ -163,6 +208,8 @@ pub struct Deployment {
     /// Pre-resolved per-op `client.*` metric handles (hot-path interning,
     /// see [`crate::client::ClientMetrics`]).
     client_metrics: ClientMetrics,
+    /// Pool-wide target-queue backlog (instantaneous depth + peak).
+    backlog: BacklogGauge,
 }
 
 impl Deployment {
@@ -249,6 +296,7 @@ impl Deployment {
             target_remap: RefCell::new(HashMap::new()),
             resilience: ResilienceStats::new(sim.obs().metrics()),
             client_metrics: ClientMetrics::new(sim.obs().metrics()),
+            backlog: BacklogGauge::default(),
         })
     }
 
@@ -448,6 +496,12 @@ impl Deployment {
         &self.client_metrics
     }
 
+    /// Pool-wide target-queue backlog gauge. Sample `depth()` from a
+    /// timed task for a time series, or read `peak()` after a run.
+    pub fn backlog(&self) -> &BacklogGauge {
+        &self.backlog
+    }
+
     /// Folds the passive tallies — per-engine media counters, per-engine
     /// busy time, pool usage, and the pool's object-store op counts —
     /// into the world's metrics registry. Call once, after a run, before
@@ -480,6 +534,7 @@ impl Deployment {
         reg.counter("objstore.array_updates").add(ops.array_updates);
         reg.counter("objstore.array_fetches").add(ops.array_fetches);
         reg.counter("pool.used_bytes").add(self.pool.used());
+        reg.counter("client.backlog_peak").add(self.backlog.peak());
     }
 }
 

@@ -19,8 +19,8 @@ pub mod fuzz;
 pub mod rebuild;
 
 pub use calibration::Calibration;
-pub use client::{ClientMetrics, ClientOp, SimClient, SimCont};
-pub use deploy::{ClusterSpec, Deployment, Engine, Target};
+pub use client::{ClientMetrics, ClientOp, QosClass, SimClient, SimCont};
+pub use deploy::{BacklogGauge, ClusterSpec, Deployment, Engine, Target};
 pub use fault::{
     FaultEvent, FaultPlan, ResilienceReport, ResilienceStats, RetryPolicy, RetryPolicyBuilder,
 };

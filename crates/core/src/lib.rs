@@ -23,6 +23,7 @@
 //! * [`trace`] — schedule-driven workload traces with paced replay and
 //!   tardiness accounting (did storage keep the time-critical window?).
 
+pub mod cycle;
 pub mod fieldio;
 pub mod ioserver;
 pub mod key;
@@ -33,6 +34,9 @@ pub mod request;
 pub mod trace;
 pub mod workload;
 
+pub use cycle::{
+    cycle_contents, run_nwp_cycle, CycleConfig, CycleOutcome, DeadlineLedger, IndexLayout,
+};
 pub use fieldio::{FieldIoConfig, FieldIoError, FieldIoMode, FieldResult, FieldStore};
 pub use key::{FieldKey, KeyPart, KeySchema};
 pub use metrics::{

@@ -425,6 +425,52 @@ mod tests {
     }
 
     #[test]
+    fn latency_stats_zero_samples_is_none_not_nan() {
+        // An idle reader fleet at cycle start yields no events at all —
+        // that must be `None`, never a NaN/underflowed percentile row.
+        assert!(latency_stats(&[]).is_none());
+        // Only unmatched events (fault-interrupted I/O): still no
+        // distribution to take percentiles over.
+        let only_start = vec![ev(0, 0, EventKind::IoStart, 5, 0)];
+        assert!(latency_stats(&only_start).is_none());
+        let only_end = vec![ev(0, 0, EventKind::IoEnd, 5, 1)];
+        assert!(latency_stats(&only_end).is_none());
+    }
+
+    #[test]
+    fn latency_stats_one_sample_has_finite_degenerate_percentiles() {
+        // Nearest-rank with n=1: every percentile is the one sample;
+        // the rank clamp must not underflow to index -1.
+        let evs = vec![
+            ev(3, 0, EventKind::IoStart, 1_000, 0),
+            ev(3, 0, EventKind::IoEnd, 4_000, 64),
+        ];
+        let s = latency_stats(&evs).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.incomplete, 0);
+        for v in [s.mean_us, s.p50_us, s.p95_us, s.p99_us, s.max_us] {
+            assert!(v.is_finite(), "degenerate percentile must be finite: {s:?}");
+            assert_eq!(v, 3.0, "all stats equal the single 3 µs sample: {s:?}");
+        }
+    }
+
+    #[test]
+    fn latency_stats_one_complete_among_incomplete() {
+        // One matched pair amid unmatched starts: count=1 percentiles,
+        // incomplete tallied, everything finite.
+        let evs = vec![
+            ev(0, 0, EventKind::IoStart, 0, 0),
+            ev(1, 0, EventKind::IoStart, 10, 0),
+            ev(1, 0, EventKind::IoEnd, 2_010, 8),
+        ];
+        let s = latency_stats(&evs).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.incomplete, 1);
+        assert_eq!(s.p99_us, 2.0);
+        assert!(s.p99_us.is_finite());
+    }
+
+    #[test]
     fn total_wallclock_spans_min_start_to_max_end() {
         let d = total_parallel_io_wallclock(&simple_phase()).unwrap();
         assert_eq!(d.as_secs_f64(), 10.0);

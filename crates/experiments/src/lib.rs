@@ -11,6 +11,7 @@ pub mod failure_drill_xp;
 pub mod figures;
 pub mod harness;
 pub mod kernel_bench_xp;
+pub mod nwp_cycle_xp;
 pub mod pipeline;
 pub mod rebuild_xp;
 pub mod replication;
@@ -29,7 +30,7 @@ use daosim_kernel::SimDuration;
 use harness::{Report, Scale};
 
 /// Every experiment by name.
-pub const EXPERIMENTS: [&str; 15] = [
+pub const EXPERIMENTS: [&str; 16] = [
     "table1",
     "table2",
     "fig3",
@@ -45,6 +46,7 @@ pub const EXPERIMENTS: [&str; 15] = [
     "failure-drill",
     "sched-fuzz",
     "kernel-bench",
+    "nwp-cycle",
 ];
 
 /// Runs one experiment by name.
@@ -65,6 +67,7 @@ pub fn run_experiment(name: &str, scale: &Scale) -> Vec<Report> {
         "failure-drill" => vec![failure_drill_xp::failure_drill(scale)],
         "sched-fuzz" => vec![sched_fuzz_xp::sched_fuzz(scale)],
         "kernel-bench" => vec![kernel_bench_xp::kernel_bench(scale)],
+        "nwp-cycle" => vec![nwp_cycle_xp::nwp_cycle(scale)],
         other => panic!("unknown experiment {other:?}; known: {EXPERIMENTS:?}"),
     }
 }

@@ -1,0 +1,235 @@
+//! The operational NWP contention cycle: mixed writer/reader fleets
+//! under shared-index vs index-per-process layouts, with an optional
+//! fault campaign riding on top.
+//!
+//! Reproduces the central comparison of "Reducing the Impact of I/O
+//! Contention in NWP Workflows at Scale Using DAOS" (arXiv 2404.03107):
+//! deadline-carrying model writers stream fields every step while a
+//! larger product-generation reader fleet fetches the previous step's
+//! fields from the same pool. The report compares writer/reader p99 op
+//! latency, missed-deadline counts and target-queue backlog depth
+//! across the two index layouts, clean and under a seeded fault
+//! campaign; `BENCH_nwp_cycle.json` carries the full rows including the
+//! backlog time series. Everything is sim-derived and seed-fixed, so
+//! reruns are byte-identical.
+
+use std::fmt::Write as _;
+
+use daosim_cluster::{ClusterSpec, FaultPlan, RetryPolicy};
+use daosim_core::cycle::{run_nwp_cycle, CycleConfig, CycleOutcome, IndexLayout};
+use daosim_kernel::SimDuration;
+
+use crate::harness::{parallel_map, Report, Scale};
+
+/// The experiment's deployment: one dual-engine server node, clients on
+/// two nodes — small enough for CI, contended enough to separate the
+/// layouts.
+fn spec(faults: bool) -> ClusterSpec {
+    let mut spec = ClusterSpec::tcp(1, 2);
+    if faults {
+        spec.retry = RetryPolicy::builder().operational().build();
+    }
+    spec
+}
+
+/// Cycle shape at `scale`: the quick (CI) shape is the core crate's
+/// small contended cycle; the full shape triples the fleet and doubles
+/// the fields so the shared-index serialization is unmistakable.
+fn cycle_config(scale: &Scale, layout: IndexLayout) -> CycleConfig {
+    let mut cfg = CycleConfig::small(layout);
+    if scale.ops_per_proc >= 30 {
+        cfg.writers = 12;
+        cfg.readers = 36;
+        cfg.steps = 3;
+        cfg.fields_per_step = 6;
+        cfg.field_bytes = 1024 * 1024;
+        cfg.step_interval = SimDuration::from_millis(80);
+        cfg.write_window = 8;
+        cfg.read_window = 8;
+        cfg.reads_per_step = 4;
+    }
+    cfg
+}
+
+/// The optional contention + failure axis: a seeded random campaign over
+/// the first half of the cycle.
+fn campaign(cfg: &CycleConfig, engines: u32) -> FaultPlan {
+    let horizon = SimDuration::from_nanos(cfg.step_interval.as_nanos() * cfg.steps as u64 / 2);
+    FaultPlan::random_campaign(11, engines, horizon)
+}
+
+fn p50_p99(lat: &Option<daosim_core::metrics::LatencyStats>) -> (f64, f64) {
+    lat.as_ref().map_or((0.0, 0.0), |l| (l.p50_us, l.p99_us))
+}
+
+/// Runs the four configurations (layouts × faults) and renders the
+/// report plus the `BENCH_nwp_cycle.json` artifact.
+pub fn nwp_cycle(scale: &Scale) -> Report {
+    let configs: Vec<(IndexLayout, bool)> = IndexLayout::all()
+        .into_iter()
+        .flat_map(|l| [(l, false), (l, true)])
+        .collect();
+    let results: Vec<(bool, CycleOutcome)> = parallel_map(configs, |&(layout, faults)| {
+        let spec = spec(faults);
+        let cfg = cycle_config(scale, layout);
+        let plan = faults.then(|| campaign(&cfg, spec.engines()));
+        (faults, run_nwp_cycle(spec, &cfg, plan.as_ref()))
+    });
+
+    let cfg = cycle_config(scale, IndexLayout::Shared);
+    let mut rep = Report::new(
+        "nwp-cycle",
+        "Extension: operational NWP cycle — writer deadlines vs reader fleet, shared vs split index",
+        &[
+            "layout",
+            "faults",
+            "writer_p99_us",
+            "reader_p99_us",
+            "missed_deadlines",
+            "backlog_peak",
+            "failed_reads",
+            "secs",
+        ],
+    );
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"experiment\": \"nwp-cycle\",");
+    let _ = writeln!(
+        json,
+        "  \"cluster\": \"tcp(server_nodes=1, client_nodes=2)\","
+    );
+    let _ = writeln!(json, "  \"writers\": {},", cfg.writers);
+    let _ = writeln!(json, "  \"readers\": {},", cfg.readers);
+    let _ = writeln!(json, "  \"steps\": {},", cfg.steps);
+    let _ = writeln!(json, "  \"fields_per_step\": {},", cfg.fields_per_step);
+    let _ = writeln!(json, "  \"field_bytes\": {},", cfg.field_bytes);
+    let _ = writeln!(
+        json,
+        "  \"step_interval_ms\": {},",
+        cfg.step_interval.as_nanos() / 1_000_000
+    );
+    let _ = writeln!(json, "  \"rows\": [");
+    for (i, (faults, out)) in results.iter().enumerate() {
+        let (wp50, wp99) = p50_p99(&out.writer_lat);
+        let (rp50, rp99) = p50_p99(&out.reader_lat);
+        rep.row(vec![
+            out.layout.name().to_string(),
+            faults.to_string(),
+            format!("{wp99:.1}"),
+            format!("{rp99:.1}"),
+            out.deadlines_missed.to_string(),
+            out.backlog_peak.to_string(),
+            out.resilience.failed_reads.to_string(),
+            format!("{:.4}", out.end_secs),
+        ]);
+        let series: Vec<String> = out
+            .backlog_series
+            .iter()
+            .map(|(t, d)| format!("[{t}, {d}]"))
+            .collect();
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"layout\": \"{}\",", out.layout.name());
+        let _ = writeln!(json, "      \"faults\": {faults},");
+        let _ = writeln!(json, "      \"end_secs\": {},", out.end_secs);
+        let _ = writeln!(json, "      \"writer_p50_us\": {wp50},");
+        let _ = writeln!(json, "      \"writer_p99_us\": {wp99},");
+        let _ = writeln!(json, "      \"reader_p50_us\": {rp50},");
+        let _ = writeln!(json, "      \"reader_p99_us\": {rp99},");
+        let _ = writeln!(
+            json,
+            "      \"writer_class_p99_us\": {},",
+            out.writer_p99_us
+        );
+        let _ = writeln!(
+            json,
+            "      \"reader_class_p99_us\": {},",
+            out.reader_p99_us
+        );
+        let _ = writeln!(json, "      \"deadlines_met\": {},", out.deadlines_met);
+        let _ = writeln!(
+            json,
+            "      \"deadlines_missed\": {},",
+            out.deadlines_missed
+        );
+        let _ = writeln!(
+            json,
+            "      \"worst_lateness_ms\": {},",
+            out.worst_lateness_ms
+        );
+        let _ = writeln!(json, "      \"backlog_peak\": {},", out.backlog_peak);
+        let _ = writeln!(json, "      \"backlog_series\": [{}],", series.join(", "));
+        let _ = writeln!(json, "      \"fields_written\": {},", out.fields_written);
+        let _ = writeln!(json, "      \"fields_read\": {},", out.fields_read);
+        let _ = writeln!(
+            json,
+            "      \"failed_writes\": {},",
+            out.resilience.failed_writes
+        );
+        let _ = writeln!(
+            json,
+            "      \"failed_reads\": {},",
+            out.resilience.failed_reads
+        );
+        let _ = writeln!(json, "      \"retries\": {}", out.resilience.retries);
+        let _ = writeln!(json, "    }}{comma}");
+    }
+    let _ = writeln!(json, "  ],");
+
+    // The crossover figure: shared-index cost relative to split, clean.
+    let shared = &results[0].1;
+    let split = &results[2].1;
+    let end_ratio = shared.end_secs / split.end_secs;
+    let (_, shared_p99) = p50_p99(&shared.writer_lat);
+    let (_, split_p99) = p50_p99(&split.writer_lat);
+    let p99_ratio = if split_p99 > 0.0 {
+        shared_p99 / split_p99
+    } else {
+        0.0
+    };
+    let _ = writeln!(json, "  \"crossover\": {{");
+    let _ = writeln!(json, "    \"shared_over_split_end_ratio\": {end_ratio},");
+    let _ = writeln!(
+        json,
+        "    \"shared_over_split_writer_p99_ratio\": {p99_ratio}"
+    );
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    rep.note(format!(
+        "{} writers ({} steps x {} fields, deadline = step interval) vs {} readers x {} reads/step; \
+         shared index is {end_ratio:.2}x split on cycle end, {p99_ratio:.2}x on writer p99",
+        cfg.writers, cfg.steps, cfg.fields_per_step, cfg.readers, cfg.reads_per_step
+    ));
+    rep.artifact("BENCH_nwp_cycle.json", json);
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_every_layout_fault_combination() {
+        let rep = nwp_cycle(&Scale::quick());
+        assert_eq!(rep.rows().len(), 4, "2 layouts x faults on/off");
+        assert_eq!(rep.artifacts().len(), 1);
+        assert_eq!(rep.artifacts()[0].0, "BENCH_nwp_cycle.json");
+        // Clean shared-index must never beat split on cycle end time.
+        let secs: Vec<f64> = rep.rows().iter().map(|r| r[7].parse().unwrap()).collect();
+        assert!(
+            secs[0] >= secs[2],
+            "shared {} vs split {}",
+            secs[0],
+            secs[2]
+        );
+    }
+
+    #[test]
+    fn cycle_experiment_is_deterministic() {
+        let a = nwp_cycle(&Scale::quick());
+        let b = nwp_cycle(&Scale::quick());
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.artifacts(), b.artifacts());
+    }
+}

@@ -364,6 +364,34 @@ pub struct HistogramSnapshot {
     pub count: u64,
 }
 
+impl HistogramSnapshot {
+    /// Nearest-rank quantile estimate from the bucketed counts: the upper
+    /// bound of the bucket holding the rank-`⌈q·count⌉` observation
+    /// (an upper bound on the true quantile, resolution-limited by the
+    /// bucket layout). Observations in the overflow bucket report
+    /// `u64::MAX`. Returns `None` for an empty histogram, so degenerate
+    /// inputs can never produce a fabricated percentile.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        debug_assert!((0.0..=1.0).contains(&q));
+        // Nearest-rank with the same clamp discipline as
+        // `latency_stats`: rank 0 (q == 0.0) still selects the first
+        // observation instead of underflowing.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(self.bounds.get(i).copied().unwrap_or(u64::MAX));
+            }
+        }
+        // Unreachable when buckets sum to count; be safe, not sorry.
+        Some(u64::MAX)
+    }
+}
+
 /// Point-in-time copy of a whole registry, sorted by name.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
@@ -378,6 +406,11 @@ impl MetricsSnapshot {
             .iter()
             .find(|(n, _)| n == name)
             .map(|&(_, v)| v)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
     }
 
     /// Flat CSV rendering: `metric,value` rows; histogram buckets appear
@@ -462,6 +495,45 @@ impl MetricsRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn histogram_quantile_boundaries() {
+        let reg = MetricsRegistry::default();
+        let h = reg.histogram("q", &[10, 100, 1000]);
+        // 0 samples: no quantile at all, never a fabricated value.
+        let empty = reg.snapshot();
+        let hs = empty.histogram("q").unwrap();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(hs.quantile(q), None);
+        }
+        // 1 sample: every quantile (including q=0) is that sample's
+        // bucket bound — rank clamping must not underflow.
+        h.observe(7);
+        let one = reg.snapshot();
+        let hs = one.histogram("q").unwrap();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(hs.quantile(q), Some(10));
+        }
+        // Spread samples: p50 and p99 land in different buckets, and an
+        // overflow observation reports the sentinel.
+        for v in [5, 50, 500, 5000] {
+            h.observe(v);
+        }
+        let many = reg.snapshot();
+        let hs = many.histogram("q").unwrap();
+        assert_eq!(hs.quantile(0.5), Some(100));
+        assert_eq!(hs.quantile(0.99), Some(u64::MAX));
+        assert_eq!(hs.quantile(0.75), Some(1000));
+    }
+
+    #[test]
+    fn snapshot_histogram_lookup() {
+        let reg = MetricsRegistry::default();
+        reg.histogram("a", &[1]);
+        let snap = reg.snapshot();
+        assert!(snap.histogram("a").is_some());
+        assert!(snap.histogram("b").is_none());
+    }
 
     #[test]
     fn disabled_tracer_records_nothing() {

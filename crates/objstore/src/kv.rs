@@ -89,8 +89,11 @@ impl KvObject {
     /// Keys in `[from, until)` (`until = None` means unbounded), in
     /// lexicographic order. The half-open contract matches the usual
     /// scan idiom: the end of a prefix range is the prefix's successor.
+    /// A degenerate window (`until <= from`) is the empty range —
+    /// `BTreeMap::range` would panic on inverted bounds.
     pub fn list_range(&self, from: &[u8], until: Option<&[u8]>) -> Vec<Bytes> {
         let upper = match until {
+            Some(end) if end <= from => return Vec::new(),
             Some(end) => Bound::Excluded(end),
             None => Bound::Unbounded,
         };
@@ -180,6 +183,91 @@ mod tests {
             vec![b"c".to_vec(), b"d".to_vec()]
         );
         assert!(kv.list_range(b"x", Some(b"x")).is_empty());
+    }
+
+    #[test]
+    fn list_boundaries_on_empty_and_degenerate_ranges() {
+        // Empty object: every listing shape is empty, no underflow.
+        let kv = KvObject::new();
+        assert!(kv.list_keys().is_empty());
+        assert!(kv.list_prefix(b"").is_empty());
+        assert!(kv.list_range(b"", None).is_empty());
+        assert!(kv.list_range(b"a", Some(b"a")).is_empty());
+
+        // start == end is the empty half-open range even when a key sits
+        // exactly on the bound.
+        let mut kv = KvObject::new();
+        kv.put(b"a", Bytes::new());
+        assert!(kv.list_range(b"a", Some(b"a")).is_empty());
+        // Inverted bounds are just an empty range, not a panic.
+        assert!(kv.list_range(b"b", Some(b"a")).is_empty());
+    }
+
+    #[test]
+    fn list_prefix_at_the_field_keys_sentinel() {
+        // The fieldio index scans from the reserved-prefix successor
+        // b"_\x60" ("_`"); a prefix equal to that sentinel must select
+        // exactly the keys it lexically covers.
+        let mut kv = KvObject::new();
+        for k in [&b"_\x5f"[..], b"_\x60", b"_\x60abc", b"_\x61", b"_"] {
+            kv.put(k, Bytes::new());
+        }
+        assert_eq!(
+            kv.list_prefix(b"_\x60"),
+            vec![
+                Bytes::from_static(b"_\x60"),
+                Bytes::from_static(b"_\x60abc")
+            ]
+        );
+        // And the fieldio scan shape — range from the sentinel, open
+        // end — sees everything at or above it.
+        assert_eq!(
+            kv.list_range(b"_\x60", None),
+            vec![
+                Bytes::from_static(b"_\x60"),
+                Bytes::from_static(b"_\x60abc"),
+                Bytes::from_static(b"_\x61"),
+            ]
+        );
+    }
+
+    #[test]
+    fn list_handles_0xff_keys_at_the_top_of_the_order() {
+        // 0xff has no single-byte successor; prefix and range listings
+        // must still terminate and include the right keys.
+        let mut kv = KvObject::new();
+        for k in [&[0xfeu8][..], &[0xff], &[0xff, 0x00], &[0xff, 0xff]] {
+            kv.put(k, Bytes::new());
+        }
+        assert_eq!(
+            kv.list_prefix(&[0xff]),
+            vec![
+                Bytes::from_static(&[0xff]),
+                Bytes::from_static(&[0xff, 0x00]),
+                Bytes::from_static(&[0xff, 0xff]),
+            ]
+        );
+        assert_eq!(
+            kv.list_range(&[0xff], None),
+            vec![
+                Bytes::from_static(&[0xff]),
+                Bytes::from_static(&[0xff, 0x00]),
+                Bytes::from_static(&[0xff, 0xff]),
+            ]
+        );
+        // An exclusive 0xff bound keeps everything below it.
+        assert_eq!(
+            kv.list_range(&[], Some(&[0xff])),
+            vec![Bytes::from_static(&[0xfe])]
+        );
+        // A key that IS 0xff... can still be the exclusive bound.
+        assert_eq!(
+            kv.list_range(&[0xff], Some(&[0xff, 0xff])),
+            vec![
+                Bytes::from_static(&[0xff]),
+                Bytes::from_static(&[0xff, 0x00])
+            ]
+        );
     }
 
     #[test]

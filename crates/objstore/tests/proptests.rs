@@ -140,6 +140,85 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Range/prefix listing boundary semantics vs the list_keys oracle
+// ---------------------------------------------------------------------------
+
+/// Keys drawn from a deliberately nasty alphabet: the bytes around the
+/// fieldio `FIELD_KEYS_FROM` sentinel (`b"_\x60"`), plus `0xfe`/`0xff`
+/// so ranges and prefixes hit the top of the byte order, with short
+/// lengths to force boundary collisions.
+fn boundary_key() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(0x5eu8),
+            Just(0x5f),
+            Just(0x60),
+            Just(0x61),
+            Just(0xfe),
+            Just(0xff)
+        ],
+        0..4,
+    )
+}
+
+proptest! {
+    /// `list_range`/`list_prefix` agree with filtering the naive
+    /// `list_keys` oracle for arbitrary bounds — including empty ranges
+    /// (start == end), bounds equal to the `b"_\x60"` sentinel, and keys
+    /// containing 0xff.
+    #[test]
+    fn kv_listings_match_list_keys_oracle(
+        keys in proptest::collection::vec(boundary_key(), 0..24),
+        from in boundary_key(),
+        until_key in boundary_key(),
+        bounded in any::<bool>(),
+        prefix in boundary_key(),
+    ) {
+        let until = bounded.then_some(until_key);
+        let mut kv = KvObject::new();
+        for k in &keys {
+            kv.put(k, Bytes::new());
+        }
+        let oracle = kv.list_keys();
+        // The oracle itself is the deduplicated, sorted key set.
+        let sorted: Vec<Vec<u8>> = keys
+            .iter()
+            .cloned()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        prop_assert_eq!(
+            oracle.iter().map(|b| b.to_vec()).collect::<Vec<_>>(),
+            sorted
+        );
+
+        let want_range: Vec<Bytes> = oracle
+            .iter()
+            .filter(|k| {
+                k.as_ref() >= from.as_slice()
+                    && until.as_ref().is_none_or(|u| k.as_ref() < u.as_slice())
+            })
+            .cloned()
+            .collect();
+        prop_assert_eq!(kv.list_range(&from, until.as_deref()), want_range);
+
+        // start == end is always the empty half-open range, even when a
+        // key sits exactly on the bound.
+        prop_assert!(kv.list_range(&from, Some(&from)).is_empty());
+
+        let want_prefix: Vec<Bytes> = oracle
+            .iter()
+            .filter(|k| k.starts_with(&prefix))
+            .cloned()
+            .collect();
+        prop_assert_eq!(kv.list_prefix(&prefix), want_prefix);
+
+        // An unbounded scan from the empty key IS the oracle.
+        prop_assert_eq!(kv.list_range(b"", None), oracle);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Placement invariants
 // ---------------------------------------------------------------------------
 

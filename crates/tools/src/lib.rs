@@ -17,6 +17,7 @@ use bytes::Bytes;
 
 use daosim_cluster::fuzz::{fuzz_corpus, FuzzReport};
 use daosim_cluster::{ClusterSpec, FaultPlan, RetryPolicy};
+use daosim_core::cycle::{run_nwp_cycle, CycleConfig, CycleOutcome, IndexLayout};
 use daosim_core::fieldio::{FieldIoConfig, FieldIoMode, FieldStore};
 use daosim_core::key::FieldKey;
 use daosim_core::metrics::anchored_bandwidth_timeline;
@@ -84,6 +85,12 @@ pub enum Outcome {
         policies_per_seed: usize,
         /// Pre-formatted failure reports (empty on a clean corpus).
         failures: Vec<String>,
+    },
+    Cycled {
+        /// One outcome per index layout, in the order requested.
+        outcomes: Vec<CycleOutcome>,
+        /// Whether a fault campaign rode on the cycle.
+        faults: bool,
     },
 }
 
@@ -513,6 +520,69 @@ pub fn cmd_fuzz(seeds: u64, start: u64, policy: &str, jobs: usize) -> ToolResult
     })
 }
 
+/// `daosctl nwp-cycle [--writers N] [--readers N] [--steps N] [--fields N]
+/// [--kib N] [--interval-ms N] [--layout shared|per-process|both]
+/// [--seed S] [--faults]`
+///
+/// Runs the operational contention cycle ([`daosim_core::cycle`]) on a
+/// simulated `tcp(1, 2)` cluster: deadline-carrying writers stream
+/// fields each step while a reader fleet fetches the previous step's
+/// fields from the same pool. With `--layout both` the shared-index and
+/// index-per-process runs share every other parameter, so the printed
+/// rows are directly comparable. `--faults` seeds a random engine-fault
+/// campaign over the first half of the cycle (with the operational
+/// retry policy, so the cycle degrades instead of failing).
+#[allow(clippy::too_many_arguments)]
+pub fn cmd_nwp_cycle(
+    writers: u32,
+    readers: u32,
+    steps: u32,
+    fields: u32,
+    kib: u64,
+    interval_ms: u64,
+    layout: &str,
+    seed: u64,
+    faults: bool,
+) -> ToolResult {
+    let layouts: Vec<IndexLayout> = match layout {
+        "shared" => vec![IndexLayout::Shared],
+        "per-process" => vec![IndexLayout::PerProcess],
+        "both" => IndexLayout::all().to_vec(),
+        other => {
+            return Err(ToolError::BadArgs(format!(
+                "unknown --layout {other} (expected shared|per-process|both)"
+            )))
+        }
+    };
+    if writers == 0 || steps == 0 || fields == 0 {
+        return Err(ToolError::BadArgs(
+            "--writers, --steps and --fields must be positive".into(),
+        ));
+    }
+    let outcomes = layouts
+        .into_iter()
+        .map(|l| {
+            let mut cfg = CycleConfig::small(l);
+            cfg.writers = writers;
+            cfg.readers = readers;
+            cfg.steps = steps;
+            cfg.fields_per_step = fields;
+            cfg.field_bytes = kib * 1024;
+            cfg.step_interval = SimDuration::from_millis(interval_ms);
+            cfg.seed = seed;
+            let mut spec = ClusterSpec::tcp(1, 2);
+            let plan = faults.then(|| {
+                spec.retry = RetryPolicy::builder().operational().build();
+                let horizon =
+                    SimDuration::from_nanos(cfg.step_interval.as_nanos() * cfg.steps as u64 / 2);
+                FaultPlan::random_campaign(seed, spec.engines(), horizon)
+            });
+            run_nwp_cycle(spec, &cfg, plan.as_ref())
+        })
+        .collect();
+    Ok(Outcome::Cycled { outcomes, faults })
+}
+
 /// `daosctl info <archive>`
 pub fn cmd_info(path: &Path) -> ToolResult {
     let pool = load(path)?;
@@ -802,5 +872,47 @@ mod tests {
             cmd_put(&a.0, "no-equals", vec![]),
             Err(ToolError::BadArgs(_))
         ));
+    }
+
+    #[test]
+    fn nwp_cycle_runs_both_layouts_with_closed_accounting() {
+        let out = cmd_nwp_cycle(2, 4, 2, 2, 64, 40, "both", 7, false).unwrap();
+        match out {
+            Outcome::Cycled { outcomes, faults } => {
+                assert!(!faults);
+                assert_eq!(outcomes.len(), 2);
+                for o in &outcomes {
+                    assert_eq!(o.deadlines_met + o.deadlines_missed, 2 * 2);
+                    assert_eq!(o.fields_written, 2 * 2 * 2);
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn nwp_cycle_rejects_bad_layout_and_zero_fleet() {
+        assert!(matches!(
+            cmd_nwp_cycle(2, 4, 2, 2, 64, 40, "triple", 7, false),
+            Err(ToolError::BadArgs(_))
+        ));
+        assert!(matches!(
+            cmd_nwp_cycle(0, 4, 2, 2, 64, 40, "both", 7, false),
+            Err(ToolError::BadArgs(_))
+        ));
+    }
+
+    #[test]
+    fn nwp_cycle_with_faults_still_accounts_every_step() {
+        let out = cmd_nwp_cycle(2, 2, 2, 2, 64, 40, "shared", 3, true).unwrap();
+        match out {
+            Outcome::Cycled { outcomes, faults } => {
+                assert!(faults);
+                assert_eq!(outcomes.len(), 1);
+                let o = &outcomes[0];
+                assert_eq!(o.deadlines_met + o.deadlines_missed, 2 * 2);
+            }
+            other => panic!("{other:?}"),
+        }
     }
 }

@@ -13,8 +13,8 @@ use std::path::PathBuf;
 use std::process::exit;
 
 use daosim_tools::{
-    cmd_failure_drill, cmd_fuzz, cmd_get, cmd_info, cmd_init, cmd_list, cmd_put, cmd_retrieve,
-    cmd_simulate, cmd_synth_trace, cmd_trace, cmd_wipe, Outcome,
+    cmd_failure_drill, cmd_fuzz, cmd_get, cmd_info, cmd_init, cmd_list, cmd_nwp_cycle, cmd_put,
+    cmd_retrieve, cmd_simulate, cmd_synth_trace, cmd_trace, cmd_wipe, Outcome,
 };
 
 fn usage() -> ! {
@@ -32,7 +32,9 @@ fn usage() -> ! {
          simulate    <trace.csv> [--servers N] [--clients N] [--paced] [--mode full|no-containers|no-index] [--window W]\n\
          trace       <trace.csv> [--servers N] [--clients N] [--paced] [--mode M] [--window W] [--out trace.json] [--metrics metrics.csv]\n\
          failure-drill <trace.csv> [--servers N] [--clients N] [--kill-ms N] [--restart-ms N]\n\
-         fuzz        [--seeds N] [--start S] [--policy all|fifo|lifo|random|wake-delay] [--jobs N]"
+         fuzz        [--seeds N] [--start S] [--policy all|fifo|lifo|random|wake-delay] [--jobs N]\n\
+         nwp-cycle   [--writers N] [--readers N] [--steps N] [--fields N] [--kib N]\n\
+                     [--interval-ms N] [--layout shared|per-process|both] [--seed S] [--faults]"
     );
     exit(2);
 }
@@ -74,6 +76,78 @@ fn main() {
                 exit(if failures.is_empty() { 0 } else { 1 });
             }
             Ok(_) => unreachable!("cmd_fuzz returns Outcome::Fuzzed"),
+            Err(e) => {
+                eprintln!("daosctl: {e}");
+                exit(1);
+            }
+        }
+    }
+    // `nwp-cycle` also takes no archive: it runs purely in the simulator.
+    if args.first().map(String::as_str) == Some("nwp-cycle") {
+        let rest = &args[1..];
+        let num = |f: &str, d: u64| {
+            flag_value(rest, f)
+                .map(|v| v.parse().unwrap_or_else(|_| usage()))
+                .unwrap_or(d)
+        };
+        let layout = flag_value(rest, "--layout").unwrap_or_else(|| "both".to_string());
+        let result = cmd_nwp_cycle(
+            num("--writers", 4) as u32,
+            num("--readers", 8) as u32,
+            num("--steps", 2) as u32,
+            num("--fields", 3) as u32,
+            num("--kib", 256),
+            num("--interval-ms", 40),
+            &layout,
+            num("--seed", 7),
+            rest.iter().any(|a| a == "--faults"),
+        );
+        match result {
+            Ok(Outcome::Cycled { outcomes, faults }) => {
+                println!(
+                    "{:<18} {:>4} {:>6} {:>13} {:>13} {:>13} {:>12} {:>8}",
+                    "layout",
+                    "met",
+                    "missed",
+                    "worst-late-ms",
+                    "writer-p99-us",
+                    "reader-p99-us",
+                    "backlog-peak",
+                    "secs"
+                );
+                for o in &outcomes {
+                    println!(
+                        "{:<18} {:>4} {:>6} {:>13.2} {:>13.1} {:>13.1} {:>12} {:>8.4}",
+                        o.layout.name(),
+                        o.deadlines_met,
+                        o.deadlines_missed,
+                        o.worst_lateness_ms,
+                        o.writer_p99_us,
+                        o.reader_p99_us,
+                        o.backlog_peak,
+                        o.end_secs
+                    );
+                }
+                if faults {
+                    for o in &outcomes {
+                        let r = &o.resilience;
+                        println!(
+                            "{}: {} retries, {} timeouts, {} failovers, {} gave up, \
+                             {} faults injected; failed ops: {} writes, {} reads",
+                            o.layout.name(),
+                            r.retries,
+                            r.timeouts,
+                            r.failovers,
+                            r.gave_up,
+                            r.faults_injected,
+                            r.failed_writes,
+                            r.failed_reads
+                        );
+                    }
+                }
+                exit(0);
+            }
+            Ok(_) => unreachable!("cmd_nwp_cycle returns Outcome::Cycled"),
             Err(e) => {
                 eprintln!("daosctl: {e}");
                 exit(1);
@@ -293,6 +367,9 @@ fn main() {
             println!("used bytes:  {used}");
         }
         Ok(Outcome::Fuzzed { .. }) => unreachable!("fuzz is handled before the archive parse"),
+        Ok(Outcome::Cycled { .. }) => {
+            unreachable!("nwp-cycle is handled before the archive parse")
+        }
         Err(e) => {
             eprintln!("daosctl: {e}");
             exit(1);
