@@ -21,7 +21,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use bytes::Bytes;
-use daosim_kernel::sync::{join_all, timeout, Elapsed};
+use daosim_kernel::sync::{join_all, timeout, AdmissionClass, Elapsed};
 use daosim_kernel::{CounterHandle, HistogramHandle, MetricsRegistry, SimDuration};
 use daosim_net::Endpoint;
 use daosim_objstore::api::{ArrayHandle, DaosApi};
@@ -149,6 +149,16 @@ impl QosClass {
             QosClass::Reader => "reader",
         }
     }
+
+    /// The admission lane this class queues in at every deployment
+    /// service queue: writers carry deadlines and go urgent, everything
+    /// else (readers, unclassified IOR-style clients) queues normal.
+    pub fn admission_class(self) -> AdmissionClass {
+        match self {
+            QosClass::Writer => AdmissionClass::Urgent,
+            QosClass::Reader | QosClass::Unclassified => AdmissionClass::Normal,
+        }
+    }
 }
 
 /// Pre-resolved `client.*` metric handles, one set per deployment (the
@@ -233,6 +243,12 @@ impl SimClient {
         self.qos
     }
 
+    /// The admission lane this client's ops queue in (see
+    /// [`QosClass::admission_class`]).
+    fn lane(&self) -> AdmissionClass {
+        self.qos.admission_class()
+    }
+
     pub fn endpoint(&self) -> Endpoint {
         self.ep
     }
@@ -270,7 +286,7 @@ impl SimClient {
             .calibration
             .cont_table_cost(self.d.pool.cont_count());
         if cost > SimDuration::ZERO {
-            let _p = engine.meta.acquire_one().await;
+            let _p = engine.meta.acquire_one(self.lane()).await;
             self.d.sim.sleep(cost).await;
         }
     }
@@ -284,7 +300,7 @@ impl SimClient {
         // The backlog token covers exactly the queue wait; its Drop makes
         // the gauge exact even when an attempt timeout cancels the wait.
         let backlog = self.d.backlog().enter();
-        let _p = tgt.sem.acquire_one().await;
+        let _p = tgt.sem.acquire_one(self.lane()).await;
         drop(backlog);
         q.end();
         let _s = self.d.sim.span_leaf("media", "service");
@@ -341,7 +357,7 @@ impl SimClient {
     async fn shard_dispatch(&self, engine: &Engine) {
         let cost = self.d.spec.calibration.shard_dispatch_cost;
         if cost > SimDuration::ZERO {
-            let _p = engine.meta.acquire_one().await;
+            let _p = engine.meta.acquire_one(self.lane()).await;
             self.d.sim.sleep(cost).await;
         }
     }
@@ -476,7 +492,7 @@ impl SimClient {
         let cal = &self.d.spec.calibration;
         let exists = self.d.pool.cont_open(uuid).is_ok();
         {
-            let _p = self.d.pool_md.acquire_one().await;
+            let _p = self.d.pool_md.acquire_one(self.lane()).await;
             let cost = if exists {
                 cal.cont_open_cost
             } else {
@@ -492,7 +508,7 @@ impl SimClient {
     async fn cont_open_once(&self, uuid: Uuid) -> Result<SimCont> {
         self.latency().await;
         {
-            let _p = self.d.pool_md.acquire_one().await;
+            let _p = self.d.pool_md.acquire_one(self.lane()).await;
             self.d
                 .sim
                 .sleep(self.d.spec.calibration.cont_open_cost)
@@ -529,7 +545,7 @@ impl SimClient {
         // for the leader-serialization cost plus the target service.
         let lock = self.d.obj_lock(cont.uuid, oid, 0);
         {
-            let _g = lock.acquire_one().await;
+            let _g = lock.acquire_one(self.lane()).await;
             let _os = self.d.sim.span("objstore", "kv_update");
             self.d.sim.sleep(cal.kv_update_serial_cost).await;
             let bytes = (key.len() + value.len()) as u64;
@@ -598,7 +614,7 @@ impl SimClient {
         self.engine_meta(engine).await;
         let lock = self.d.obj_lock(cont.uuid, oid, 0);
         {
-            let _g = lock.acquire_one().await;
+            let _g = lock.acquire_one(self.lane()).await;
             let _os = self.d.sim.span("objstore", "kv_update");
             self.d.sim.sleep(cal.kv_update_serial_cost).await;
             let updates: Vec<_> = dests
@@ -641,7 +657,7 @@ impl SimClient {
         let lock = self.d.obj_lock(cont.uuid, oid, 0);
         let out;
         {
-            let _g = lock.acquire_one().await;
+            let _g = lock.acquire_one(self.lane()).await;
             let _os = self.d.sim.span("objstore", "kv_fetch");
             self.d.sim.sleep(cal.kv_fetch_serial_cost).await;
             let service = cal.kv_op_cost + self.d.target(t).media.read_time(cal.kv_entry_bytes);
@@ -776,7 +792,7 @@ impl SimClient {
         self.latency().await;
         let lock = self.d.obj_lock(cont.uuid, oid, offset / ARRAY_CHUNK);
         {
-            let _g = lock.acquire_one().await;
+            let _g = lock.acquire_one(self.lane()).await;
             let _os = self.d.sim.span("objstore", "array_update");
             let writes: Vec<_> = shards
                 .iter()
@@ -856,7 +872,7 @@ impl SimClient {
         {
             let mut guards = Vec::with_capacity(locks.len());
             for lock in &locks {
-                guards.push(lock.acquire_one().await);
+                guards.push(lock.acquire_one(self.lane()).await);
             }
             let _os = self.d.sim.span("objstore", "array_update");
             let writes: Vec<_> = shards
@@ -938,7 +954,7 @@ impl SimClient {
         let lock = self.d.obj_lock(cont.uuid, oid, offset / ARRAY_CHUNK);
         let out;
         {
-            let _g = lock.acquire_one().await;
+            let _g = lock.acquire_one(self.lane()).await;
             let _os = self.d.sim.span("objstore", "array_fetch");
             let reads: Vec<_> = shards
                 .iter()
@@ -1021,7 +1037,7 @@ impl SimClient {
         self.latency().await;
         let arrays = cont.cont.list_arrays();
         {
-            let _p = self.d.pool_md.acquire_one().await;
+            let _p = self.d.pool_md.acquire_one(self.lane()).await;
             let per_obj = SimDuration::from_nanos(500);
             self.d
                 .sim

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use daosim_kernel::sync::Semaphore;
+use daosim_kernel::sync::{AdmissionClass, AdmissionPolicy, PrioritySemaphore};
 use daosim_kernel::Sim;
 use daosim_media::{MediaTally, TargetMedia};
 use daosim_net::{Endpoint, Fabric, FabricSpec, LinkId, ProviderProfile};
@@ -41,6 +41,13 @@ pub struct ClusterSpec {
     /// pre-resilience behaviour; build with
     /// [`crate::RetryPolicyBuilder::operational`] for fault drills.
     pub retry: RetryPolicy,
+    /// Admission policy for every serial service queue in the deployment
+    /// (target FIFOs, engine metadata executors, the pool metadata
+    /// service, per-object update locks). `Fifo` (the default) is
+    /// byte-identical to the plain-semaphore behaviour; `WriterPriority`
+    /// admits `QosClass::Writer` clients ahead of readers with an aging
+    /// anti-starvation credit.
+    pub admission: AdmissionPolicy,
 }
 
 impl ClusterSpec {
@@ -56,6 +63,7 @@ impl ClusterSpec {
             provider: ProviderProfile::tcp(),
             calibration: Calibration::nextgenio(),
             retry: RetryPolicy::builder().build(),
+            admission: AdmissionPolicy::Fifo,
         }
     }
 
@@ -71,6 +79,7 @@ impl ClusterSpec {
             provider: ProviderProfile::psm2(),
             calibration: Calibration::nextgenio(),
             retry: RetryPolicy::builder().build(),
+            admission: AdmissionPolicy::Fifo,
         }
     }
 
@@ -124,13 +133,20 @@ impl BacklogGauge {
 
 impl Drop for BacklogToken<'_> {
     fn drop(&mut self) {
-        self.0.depth.set(self.0.depth.get().saturating_sub(1));
+        let d = self.0.depth.get();
+        // Each token decrements exactly once (Rust drop semantics); a
+        // zero depth here would mean a decrement without a matching
+        // `enter()`, which must never happen whatever order priority
+        // admission grants or cancels queued ops in.
+        debug_assert!(d > 0, "backlog gauge underflow");
+        self.0.depth.set(d.saturating_sub(1));
     }
 }
 
-/// One DAOS target: a FIFO service queue plus its media share.
+/// One DAOS target: a priority-admission service queue plus its media
+/// share.
 pub struct Target {
-    pub sem: Semaphore,
+    pub sem: PrioritySemaphore,
     pub media: TargetMedia,
     /// Media operation totals, folded into the `media.*` metrics.
     pub tally: MediaTally,
@@ -157,7 +173,7 @@ pub struct Engine {
     pub rx_stack: LinkId,
     pub tx_stack: LinkId,
     /// Serial executor for engine-level metadata work (handle tables).
-    pub meta: Semaphore,
+    pub meta: PrioritySemaphore,
     pub targets: Vec<Target>,
     alive: Cell<bool>,
     /// Transiently unresponsive (brownout): the engine process is up but
@@ -198,9 +214,9 @@ pub struct Deployment {
     pub pool: Arc<Pool>,
     /// The pool metadata service (container create/open), a serial queue
     /// hosted by engine 0.
-    pub pool_md: Semaphore,
+    pub pool_md: PrioritySemaphore,
     /// Lazily materialised per-object-region update locks.
-    obj_locks: RefCell<HashMap<(Uuid, Oid, u64), Semaphore>>,
+    obj_locks: RefCell<HashMap<(Uuid, Oid, u64), PrioritySemaphore>>,
     /// Pool-map overrides installed by rebuild: dead target → survivor.
     target_remap: RefCell<HashMap<u32, u32>>,
     /// Retry/timeout/failover/fault counters (see [`crate::fault`]).
@@ -243,13 +259,13 @@ impl Deployment {
                     endpoint: Endpoint::new(node, socket),
                     rx_stack: fabric.net().add_link(nominal_rx_gib),
                     tx_stack: fabric.net().add_link(nominal_tx_gib),
-                    meta: Semaphore::new(1),
+                    meta: PrioritySemaphore::new(1, spec.admission),
                     // Each engine is pinned to its own socket and thus its
                     // own interleaved DIMM set, so a target's media share
                     // divides only its engine's target count.
                     targets: (0..spec.targets_per_engine)
                         .map(|_| Target {
-                            sem: Semaphore::new(1),
+                            sem: PrioritySemaphore::new(1, spec.admission),
                             media: TargetMedia::new(cal.scm, spec.targets_per_engine),
                             tally: MediaTally::default(),
                             busy_ns: Cell::new(0),
@@ -291,7 +307,7 @@ impl Deployment {
             client_sockets,
             store,
             pool,
-            pool_md: Semaphore::new(1),
+            pool_md: PrioritySemaphore::new(1, spec.admission),
             obj_locks: RefCell::new(HashMap::new()),
             target_remap: RefCell::new(HashMap::new()),
             resilience: ResilienceStats::new(sim.obs().metrics()),
@@ -354,11 +370,11 @@ impl Deployment {
     /// so conflicting overwrites serialize while disjoint extents — e.g.
     /// IOR shared-file ranks — proceed concurrently, as DAOS's
     /// extent-granular versioning allows.
-    pub fn obj_lock(&self, cont: Uuid, oid: Oid, region: u64) -> Semaphore {
+    pub fn obj_lock(&self, cont: Uuid, oid: Oid, region: u64) -> PrioritySemaphore {
         self.obj_locks
             .borrow_mut()
             .entry((cont, oid, region))
-            .or_insert_with(|| Semaphore::new(1))
+            .or_insert_with(|| PrioritySemaphore::new(1, self.spec.admission))
             .clone()
     }
 
@@ -391,7 +407,8 @@ impl Deployment {
         let read = async {
             let t = self.target(src);
             let q = self.sim.span_leaf("media", "queue");
-            let _p = t.sem.acquire_one().await;
+            // Rebuild is background traffic: never ahead of clients.
+            let _p = t.sem.acquire_one(AdmissionClass::Normal).await;
             q.end();
             let _s = self.sim.span_leaf("media", "service");
             let dur = t.media.read_time(bytes);
@@ -402,7 +419,7 @@ impl Deployment {
         let write = async {
             let t = self.target(dst);
             let q = self.sim.span_leaf("media", "queue");
-            let _p = t.sem.acquire_one().await;
+            let _p = t.sem.acquire_one(AdmissionClass::Normal).await;
             q.end();
             let _s = self.sim.span_leaf("media", "service");
             let dur = t.media.write_time(bytes);
@@ -502,6 +519,25 @@ impl Deployment {
         &self.backlog
     }
 
+    /// Total grants the anti-starvation aging credit forced to the
+    /// normal lane, summed over every service queue in the deployment.
+    /// Zero under `AdmissionPolicy::Fifo`; under `WriterPriority` a
+    /// non-zero value is the proof readers were aged in, not starved.
+    pub fn aged_grants(&self) -> u64 {
+        let mut total = self.pool_md.aged_grants();
+        for e in &self.engines {
+            total += e.meta.aged_grants();
+            total += e.targets.iter().map(|t| t.sem.aged_grants()).sum::<u64>();
+        }
+        total += self
+            .obj_locks
+            .borrow()
+            .values()
+            .map(|s| s.aged_grants())
+            .sum::<u64>();
+        total
+    }
+
     /// Folds the passive tallies — per-engine media counters, per-engine
     /// busy time, pool usage, and the pool's object-store op counts —
     /// into the world's metrics registry. Call once, after a run, before
@@ -535,6 +571,7 @@ impl Deployment {
         reg.counter("objstore.array_fetches").add(ops.array_fetches);
         reg.counter("pool.used_bytes").add(self.pool.used());
         reg.counter("client.backlog_peak").add(self.backlog.peak());
+        reg.counter("admission.aged_grants").add(self.aged_grants());
     }
 }
 
@@ -605,7 +642,7 @@ mod tests {
         let _p = {
             // Hold a permit through one handle; the other sees it.
             use std::future::Future;
-            let fut = a.acquire_one();
+            let fut = a.acquire_one(AdmissionClass::Normal);
             let waker = std::task::Waker::noop();
             let mut cx = std::task::Context::from_waker(waker);
             let mut fut = std::pin::pin!(fut);
@@ -616,6 +653,65 @@ mod tests {
         };
         let b = d.obj_lock(u, o, 0);
         assert_eq!(b.available(), 0);
+    }
+
+    #[test]
+    fn backlog_token_decrements_exactly_once() {
+        let g = BacklogGauge::default();
+        let a = g.enter();
+        let b = g.enter();
+        assert_eq!(g.depth(), 2);
+        assert_eq!(g.peak(), 2);
+        drop(a);
+        assert_eq!(g.depth(), 1, "first token decrements once");
+        drop(b);
+        assert_eq!(g.depth(), 0, "second token decrements once");
+        assert_eq!(g.peak(), 2, "peak is sticky");
+        // Re-entering after full drain starts from zero again, not from
+        // an underflowed value.
+        let c = g.enter();
+        assert_eq!(g.depth(), 1);
+        drop(c);
+        assert_eq!(g.depth(), 0);
+    }
+
+    #[test]
+    fn backlog_gauge_survives_cancel_after_promote_ordering() {
+        // An op cancelled *after* its queue slot was promoted to service
+        // drops its token exactly once; interleaving promoted and
+        // cancelled ops in any order must return the gauge to zero
+        // without underflow.
+        let g = BacklogGauge::default();
+        let t1 = g.enter(); // will be promoted, then finish
+        let t2 = g.enter(); // will be cancelled while queued
+        let t3 = g.enter(); // promoted after the cancellation
+        assert_eq!(g.depth(), 3);
+        drop(t2); // cancelled attempt: token dropped by the retry timeout
+        drop(t1); // promoted op reaches service, drops its token
+        drop(t3);
+        assert_eq!(g.depth(), 0);
+        assert_eq!(g.peak(), 3);
+    }
+
+    #[test]
+    fn writer_priority_spec_threads_into_every_queue() {
+        let sim = Sim::new();
+        let mut spec = ClusterSpec::tcp(1, 1);
+        spec.admission = AdmissionPolicy::writer_priority();
+        let d = Deployment::new(&sim, spec);
+        assert_eq!(d.pool_md.policy(), AdmissionPolicy::writer_priority());
+        assert_eq!(
+            d.engines[0].meta.policy(),
+            AdmissionPolicy::writer_priority()
+        );
+        assert_eq!(d.target(0).sem.policy(), AdmissionPolicy::writer_priority());
+        let u = Uuid::from_name(b"c");
+        let o = Oid::generate(0, 1, daosim_objstore::ObjectClass::S1);
+        assert_eq!(
+            d.obj_lock(u, o, 0).policy(),
+            AdmissionPolicy::writer_priority()
+        );
+        assert_eq!(d.aged_grants(), 0, "no traffic yet");
     }
 
     #[test]

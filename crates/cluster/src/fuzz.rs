@@ -22,7 +22,10 @@
 //!    policies (FIFO is the reference), checks byte conservation against
 //!    the program's expected extents, and diffs every observation
 //!    against the reference. On divergence it shrinks the program to the
-//!    shortest failing prefix and reports a ready-to-paste repro.
+//!    shortest failing prefix and reports a ready-to-paste repro. The
+//!    roster also carries one writer-priority *admission* slot (on the
+//!    FIFO schedule): QoS barging at the service queues reorders grants
+//!    but must never change an outcome.
 //!
 //! `daosctl fuzz --seeds N --policy all` and the `sched-fuzz` experiment
 //! drive [`fuzz_corpus`] over the fixed corpus `0..N`.
@@ -34,11 +37,12 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 use daosim_kernel::rng::splitmix64;
-use daosim_kernel::{SchedPolicy, Sim, SimDuration};
+use daosim_kernel::{AdmissionPolicy, SchedPolicy, Sim, SimDuration};
 use daosim_objstore::{
     ArrayHandle, DaosApi, DaosError, EventQueue, ObjectClass, Oid, OidAllocator, OpOutput, Uuid,
 };
 
+use crate::client::QosClass;
 use crate::{ClusterSpec, Deployment, FaultPlan, RetryPolicy, SimClient};
 
 /// KV objects shared by all actors (disjoint key spaces per op).
@@ -373,13 +377,29 @@ async fn run_actor(
 }
 
 /// Runs `program` on a fresh `ClusterSpec::tcp(1, 1)` deployment under
-/// `policy` and returns the observation. Two phases: the concurrent
-/// phase (setup, actors, faults) runs to quiescence, then a synchronous
-/// audit phase dumps the final pool state.
+/// `policy` with FIFO admission — see [`run_program_with`].
 pub fn run_program(program: &FuzzProgram, policy: SchedPolicy) -> Observation {
-    let sim = Sim::with_policy(policy);
+    run_program_with(
+        program,
+        RosterEntry {
+            sched: policy,
+            admission: AdmissionPolicy::Fifo,
+        },
+    )
+}
+
+/// Runs `program` on a fresh `ClusterSpec::tcp(1, 1)` deployment under
+/// one roster entry (schedule policy × admission policy) and returns the
+/// observation. Actors are QoS-classified (even → writer, odd → reader)
+/// so `WriterPriority` admission genuinely reorders the service queues —
+/// outcomes must still be invariant. Two phases: the concurrent phase
+/// (setup, actors, faults) runs to quiescence, then a synchronous audit
+/// phase dumps the final pool state.
+pub fn run_program_with(program: &FuzzProgram, entry: RosterEntry) -> Observation {
+    let sim = Sim::with_policy(entry.sched);
     let mut spec = ClusterSpec::tcp(1, 1);
     spec.retry = fuzz_retry_policy();
+    spec.admission = entry.admission;
     let d = Deployment::new(&sim, spec);
     program.faults.apply(&d);
 
@@ -437,7 +457,12 @@ pub fn run_program(program: &FuzzProgram, policy: SchedPolicy) -> Observation {
                     .filter(|(_, (a, _))| *a as usize == actor)
                     .map(|(idx, (_, op))| (idx, *op))
                     .collect();
-                let client = SimClient::for_process(&d, 0, 1 + actor as u32);
+                let qos = if actor % 2 == 0 {
+                    QosClass::Writer
+                } else {
+                    QosClass::Reader
+                };
+                let client = SimClient::for_process(&d, 0, 1 + actor as u32).with_qos(qos);
                 let cont = client
                     .cont_open_or_create(Uuid::from_name(b"sched-fuzz"))
                     .await
@@ -505,8 +530,10 @@ pub fn run_program(program: &FuzzProgram, policy: SchedPolicy) -> Observation {
 #[derive(Debug, Clone)]
 pub struct FuzzFailure {
     pub seed: u64,
-    /// The policy whose observation diverged (or panicked).
+    /// The schedule policy whose observation diverged (or panicked).
     pub policy: SchedPolicy,
+    /// The admission policy the diverging run used.
+    pub admission: AdmissionPolicy,
     /// What diverged, first difference only.
     pub detail: String,
     /// Shortest failing prefix of the generated program.
@@ -517,17 +544,26 @@ impl FuzzFailure {
     /// A paste-ready reproduction command.
     pub fn repro(&self) -> String {
         format!(
-            "daosctl fuzz --seeds 1 --start {} --policy all  # {} op(s), {:?}",
+            "daosctl fuzz --seeds 1 --start {} --policy all  # {} op(s), {:?}, admission {}",
             self.seed,
             self.minimized.ops.len(),
-            self.policy
+            self.policy,
+            self.admission.name()
         )
     }
 }
 
-/// The policy roster for one seed: FIFO (the reference) plus LIFO, two
-/// random-pick streams and two wake-delay magnitudes, all derived from
-/// the seed so reruns are byte-identical.
+/// One differential-roster slot: the kernel schedule policy the run is
+/// perturbed with, and the deployment admission policy it enforces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RosterEntry {
+    pub sched: SchedPolicy,
+    pub admission: AdmissionPolicy,
+}
+
+/// The schedule-policy roster for one seed: FIFO (the reference) plus
+/// LIFO, two random-pick streams and two wake-delay magnitudes, all
+/// derived from the seed so reruns are byte-identical.
 pub fn policy_roster(seed: u64) -> Vec<SchedPolicy> {
     vec![
         SchedPolicy::Fifo,
@@ -549,8 +585,27 @@ pub fn policy_roster(seed: u64) -> Vec<SchedPolicy> {
     ]
 }
 
-fn run_caught(program: &FuzzProgram, policy: SchedPolicy) -> Result<Observation, String> {
-    catch_unwind(AssertUnwindSafe(|| run_program(program, policy))).map_err(|p| {
+/// The full differential roster for one seed: every schedule policy
+/// with FIFO admission, plus one writer-priority admission slot (on the
+/// FIFO schedule) — QoS enforcement reorders service queues and must
+/// still be outcome-invariant.
+pub fn roster(seed: u64) -> Vec<RosterEntry> {
+    let mut entries: Vec<RosterEntry> = policy_roster(seed)
+        .into_iter()
+        .map(|sched| RosterEntry {
+            sched,
+            admission: AdmissionPolicy::Fifo,
+        })
+        .collect();
+    entries.push(RosterEntry {
+        sched: SchedPolicy::Fifo,
+        admission: AdmissionPolicy::writer_priority(),
+    });
+    entries
+}
+
+fn run_caught(program: &FuzzProgram, entry: RosterEntry) -> Result<Observation, String> {
+    catch_unwind(AssertUnwindSafe(|| run_program_with(program, entry))).map_err(|p| {
         let msg = p
             .downcast_ref::<String>()
             .cloned()
@@ -623,25 +678,26 @@ fn check_invariants(program: &FuzzProgram, obs: &Observation) -> Option<String> 
     None
 }
 
-/// Runs `program` under every policy and returns the first divergence.
-fn divergence(program: &FuzzProgram, policies: &[SchedPolicy]) -> Option<(SchedPolicy, String)> {
-    let reference = match run_caught(program, policies[0]) {
+/// Runs `program` under every roster entry and returns the first
+/// divergence.
+fn divergence(program: &FuzzProgram, entries: &[RosterEntry]) -> Option<(RosterEntry, String)> {
+    let reference = match run_caught(program, entries[0]) {
         Ok(o) => o,
-        Err(e) => return Some((policies[0], e)),
+        Err(e) => return Some((entries[0], e)),
     };
     if let Some(d) = check_invariants(program, &reference) {
-        return Some((policies[0], d));
+        return Some((entries[0], d));
     }
-    for &policy in &policies[1..] {
-        let got = match run_caught(program, policy) {
+    for &entry in &entries[1..] {
+        let got = match run_caught(program, entry) {
             Ok(o) => o,
-            Err(e) => return Some((policy, e)),
+            Err(e) => return Some((entry, e)),
         };
         if let Some(d) = check_invariants(program, &got) {
-            return Some((policy, d));
+            return Some((entry, d));
         }
         if let Some(d) = first_diff(&reference, &got) {
-            return Some((policy, d));
+            return Some((entry, d));
         }
     }
     None
@@ -650,36 +706,37 @@ fn divergence(program: &FuzzProgram, policies: &[SchedPolicy]) -> Option<(SchedP
 /// Shrinks a failing program to the shortest failing prefix of its op
 /// stream (binary search, with a final validity check — if the search
 /// overshoots on a non-monotonic failure, the full program is kept).
-fn minimize(program: &FuzzProgram, policies: &[SchedPolicy]) -> FuzzProgram {
+fn minimize(program: &FuzzProgram, entries: &[RosterEntry]) -> FuzzProgram {
     let (mut lo, mut hi) = (0usize, program.ops.len());
     while lo < hi {
         let mid = (lo + hi) / 2;
-        if divergence(&program.with_prefix(mid), policies).is_some() {
+        if divergence(&program.with_prefix(mid), entries).is_some() {
             hi = mid;
         } else {
             lo = mid + 1;
         }
     }
     let candidate = program.with_prefix(hi);
-    if divergence(&candidate, policies).is_some() {
+    if divergence(&candidate, entries).is_some() {
         candidate
     } else {
         program.clone()
     }
 }
 
-/// Fuzzes one seed: generates the program, runs it under `policies`
+/// Fuzzes one seed: generates the program, runs it under `entries`
 /// (index 0 is the reference) and, on divergence, shrinks and reports.
-pub fn fuzz_seed(seed: u64, policies: &[SchedPolicy]) -> Result<(), Box<FuzzFailure>> {
-    assert!(!policies.is_empty(), "need at least a reference policy");
+pub fn fuzz_seed(seed: u64, entries: &[RosterEntry]) -> Result<(), Box<FuzzFailure>> {
+    assert!(!entries.is_empty(), "need at least a reference entry");
     let program = generate_program(seed);
-    match divergence(&program, policies) {
+    match divergence(&program, entries) {
         None => Ok(()),
-        Some((policy, detail)) => Err(Box::new(FuzzFailure {
+        Some((entry, detail)) => Err(Box::new(FuzzFailure {
             seed,
-            policy,
+            policy: entry.sched,
+            admission: entry.admission,
             detail,
-            minimized: minimize(&program, policies),
+            minimized: minimize(&program, entries),
         })),
     }
 }
@@ -698,24 +755,23 @@ impl FuzzReport {
     }
 }
 
-/// Runs [`fuzz_seed`] over `seeds` with the per-seed [`policy_roster`]
-/// filtered through `select`. Failures are reported in seed order.
+/// Runs [`fuzz_seed`] over `seeds` with the per-seed [`roster`] filtered
+/// through `select` on the schedule policy. The FIFO-schedule slots (the
+/// reference and the writer-priority admission slot) survive every
+/// filter. Failures are reported in seed order.
 pub fn fuzz_corpus(
     seeds: impl IntoIterator<Item = u64>,
     select: impl Fn(&SchedPolicy) -> bool,
 ) -> FuzzReport {
     let mut report = FuzzReport::default();
     for seed in seeds {
-        let mut policies: Vec<SchedPolicy> = policy_roster(seed)
+        let entries: Vec<RosterEntry> = roster(seed)
             .into_iter()
-            .filter(|p| matches!(p, SchedPolicy::Fifo) || select(p))
+            .filter(|e| matches!(e.sched, SchedPolicy::Fifo) || select(&e.sched))
             .collect();
-        if policies.is_empty() {
-            policies.push(SchedPolicy::Fifo);
-        }
-        report.policies_per_seed = report.policies_per_seed.max(policies.len());
+        report.policies_per_seed = report.policies_per_seed.max(entries.len());
         report.seeds_run += 1;
-        if let Err(f) = fuzz_seed(seed, &policies) {
+        if let Err(f) = fuzz_seed(seed, &entries) {
             report.failures.push(*f);
         }
     }
@@ -750,10 +806,60 @@ mod tests {
     fn small_corpus_is_schedule_invariant() {
         let report = fuzz_corpus(0..4, |_| true);
         assert_eq!(report.seeds_run, 4);
+        assert_eq!(
+            report.policies_per_seed,
+            roster(0).len(),
+            "the writer-priority admission slot must ride every corpus run"
+        );
         for f in &report.failures {
             eprintln!("{}: {}\n  {}", f.seed, f.detail, f.repro());
         }
         assert!(report.ok(), "schedule-invariance violated");
+    }
+
+    #[test]
+    fn writer_priority_admission_is_outcome_invariant() {
+        // Admission barging reorders service-queue grants, never
+        // outcomes: the QoS-classified actors touch disjoint state, so
+        // the observation must match the FIFO-admission reference
+        // exactly, faults and retries included.
+        for seed in [3u64, 11, 27] {
+            let program = generate_program(seed);
+            let reference = run_program(&program, SchedPolicy::Fifo);
+            let barged = run_program_with(
+                &program,
+                RosterEntry {
+                    sched: SchedPolicy::Fifo,
+                    admission: AdmissionPolicy::writer_priority(),
+                },
+            );
+            assert_eq!(
+                reference, barged,
+                "seed {seed}: admission changed an outcome"
+            );
+        }
+    }
+
+    #[test]
+    fn roster_keeps_fifo_slots_under_every_family_filter() {
+        for select in [
+            family_is_lifo as fn(&SchedPolicy) -> bool,
+            |_: &SchedPolicy| false,
+        ] {
+            let kept: Vec<RosterEntry> = roster(5)
+                .into_iter()
+                .filter(|e| matches!(e.sched, SchedPolicy::Fifo) || select(&e.sched))
+                .collect();
+            assert!(kept.len() >= 2, "reference + writer-priority slot");
+            assert_eq!(kept[0].admission, AdmissionPolicy::Fifo);
+            assert!(kept
+                .iter()
+                .any(|e| e.admission == AdmissionPolicy::writer_priority()));
+        }
+    }
+
+    fn family_is_lifo(p: &SchedPolicy) -> bool {
+        matches!(p, SchedPolicy::Lifo)
     }
 
     #[test]

@@ -26,7 +26,7 @@ use std::rc::Rc;
 use bytes::Bytes;
 use daosim_cluster::{ClusterSpec, Deployment, FaultPlan, QosClass, SimClient};
 use daosim_kernel::rng::splitmix64;
-use daosim_kernel::{CounterHandle, MetricsRegistry, Sim, SimDuration};
+use daosim_kernel::{AdmissionPolicy, CounterHandle, MetricsRegistry, Sim, SimDuration};
 
 use crate::fieldio::{FieldIoConfig, FieldStore};
 use crate::key::FieldKey;
@@ -79,8 +79,32 @@ pub struct CycleConfig {
     pub read_window: u32,
     /// Fields each reader fetches per step boundary.
     pub reads_per_step: u32,
+    /// Service-queue admission policy the deployment enforces for this
+    /// cycle (FIFO, or writer-priority QoS barging).
+    pub admission: AdmissionPolicy,
     pub seed: u64,
 }
+
+/// A malformed [`CycleConfig`], reported as a typed error instead of a
+/// runtime panic deep inside the cycle (e.g. the `h % writers` reader
+/// fan-out dividing by zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CycleConfigError {
+    /// The named field must be at least one.
+    Zero(&'static str),
+}
+
+impl std::fmt::Display for CycleConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CycleConfigError::Zero(field) => {
+                write!(f, "cycle config: `{field}` must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CycleConfigError {}
 
 impl CycleConfig {
     /// A small but genuinely contended cycle: more readers than
@@ -97,8 +121,29 @@ impl CycleConfig {
             write_window: 4,
             read_window: 4,
             reads_per_step: 3,
+            admission: AdmissionPolicy::Fifo,
             seed: 7,
         }
+    }
+
+    /// Checks the shape invariants every cycle run relies on: a zero in
+    /// any of these fields would divide by zero (`reader_pick`), stall a
+    /// pipeline window forever, or make the deadline ledger vacuous.
+    pub fn validate(&self) -> Result<(), CycleConfigError> {
+        for (name, v) in [
+            ("writers", self.writers as u64),
+            ("readers", self.readers as u64),
+            ("steps", self.steps as u64),
+            ("fields_per_step", self.fields_per_step as u64),
+            ("write_window", self.write_window as u64),
+            ("read_window", self.read_window as u64),
+            ("step_interval", self.step_interval.as_nanos()),
+        ] {
+            if v == 0 {
+                return Err(CycleConfigError::Zero(name));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -190,6 +235,9 @@ pub fn cycle_payload(cfg: &CycleConfig, writer: u32, step: u32, field: u32) -> B
 #[derive(Clone, Debug)]
 pub struct CycleOutcome {
     pub layout: IndexLayout,
+    /// Admission policy the cycle ran under (copied from the config so
+    /// rows from a layout x admission sweep stay self-describing).
+    pub admission: AdmissionPolicy,
     pub end_secs: f64,
     /// Writer submit→complete latencies (experiment-exact, from paired
     /// events; `None` when nothing completed).
@@ -204,6 +252,10 @@ pub struct CycleOutcome {
     pub deadlines_met: u64,
     pub deadlines_missed: u64,
     pub worst_lateness_ms: f64,
+    /// Aged (anti-starvation) grants the admission layer forced to the
+    /// normal lane — nonzero only under writer-priority admission with
+    /// genuine cross-class contention.
+    pub aged_grants: u64,
     /// High-water mark of the pool-wide target-queue backlog.
     pub backlog_peak: u64,
     /// `(t_ns, depth)` samples of the backlog gauge over the cycle.
@@ -235,11 +287,12 @@ fn reader_pick(cfg: &CycleConfig, r: u32, s: u32, i: u32) -> (u32, u32) {
 }
 
 fn run_cycle_inner(
-    spec: ClusterSpec,
+    mut spec: ClusterSpec,
     cfg: &CycleConfig,
     faults: Option<&FaultPlan>,
-) -> (Sim, Rc<Deployment>, CycleOutcome) {
-    assert!(cfg.writers > 0 && cfg.steps > 0 && cfg.fields_per_step > 0);
+) -> Result<(Sim, Rc<Deployment>, CycleOutcome), CycleConfigError> {
+    cfg.validate()?;
+    spec.admission = cfg.admission;
     let sim = Sim::new();
     let d = Deployment::new(&sim, spec);
     if let Some(plan) = faults {
@@ -423,6 +476,7 @@ fn run_cycle_inner(
     let rr = d.resilience().report();
     let outcome = CycleOutcome {
         layout: cfg.layout,
+        admission: cfg.admission,
         end_secs: end.as_secs_f64(),
         writer_lat: latency_stats(&wrec.take()),
         reader_lat: latency_stats(&rrec.take()),
@@ -431,6 +485,7 @@ fn run_cycle_inner(
         deadlines_met: ledger.met(),
         deadlines_missed: ledger.missed(),
         worst_lateness_ms: ledger.worst_late_ns() as f64 / 1e6,
+        aged_grants: d.aged_grants(),
         backlog_peak: d.backlog().peak(),
         backlog_series: series.take(),
         fields_written: fields_written.get(),
@@ -445,25 +500,29 @@ fn run_cycle_inner(
             failed_reads: failed_reads.get(),
         },
     };
-    (sim, d, outcome)
+    Ok((sim, d, outcome))
 }
 
 /// Runs one full production cycle and returns its QoS outcome.
 /// Seed-deterministic: identical `(spec, cfg, faults)` give identical
-/// outcomes.
+/// outcomes. Fails fast on a malformed config instead of panicking
+/// mid-cycle.
 pub fn run_nwp_cycle(
     spec: ClusterSpec,
     cfg: &CycleConfig,
     faults: Option<&FaultPlan>,
-) -> CycleOutcome {
-    run_cycle_inner(spec, cfg, faults).2
+) -> Result<CycleOutcome, CycleConfigError> {
+    run_cycle_inner(spec, cfg, faults).map(|(_, _, outcome)| outcome)
 }
 
 /// Runs the cycle, then reads every logical field back through a fresh
 /// client and returns the contents in `(writer, step, field)` order —
 /// the layout-equivalence witness.
-pub fn cycle_contents(spec: ClusterSpec, cfg: &CycleConfig) -> Vec<Vec<u8>> {
-    let (sim, d, _) = run_cycle_inner(spec, cfg, None);
+pub fn cycle_contents(
+    spec: ClusterSpec,
+    cfg: &CycleConfig,
+) -> Result<Vec<Vec<u8>>, CycleConfigError> {
+    let (sim, d, _) = run_cycle_inner(spec, cfg, None)?;
     let out: Rc<RefCell<Vec<Vec<u8>>>> = Rc::default();
     {
         let out = Rc::clone(&out);
@@ -485,7 +544,7 @@ pub fn cycle_contents(spec: ClusterSpec, cfg: &CycleConfig) -> Vec<Vec<u8>> {
             }
         });
     }
-    Rc::try_unwrap(out).expect("sole owner").into_inner()
+    Ok(Rc::try_unwrap(out).expect("sole owner").into_inner())
 }
 
 #[cfg(test)]
@@ -500,7 +559,7 @@ mod tests {
     #[test]
     fn cycle_accounts_every_step_and_field() {
         let cfg = CycleConfig::small(IndexLayout::PerProcess);
-        let out = run_nwp_cycle(spec(), &cfg, None);
+        let out = run_nwp_cycle(spec(), &cfg, None).unwrap();
         assert_eq!(
             out.deadlines_met + out.deadlines_missed,
             (cfg.writers * cfg.steps) as u64,
@@ -525,10 +584,53 @@ mod tests {
     }
 
     #[test]
+    fn zero_shaped_configs_are_rejected_not_panicked() {
+        // Each of these used to reach a panic (e.g. `h % writers` in
+        // reader_pick) or a stalled pipeline; now they fail fast.
+        let cases: [(&str, fn(&mut CycleConfig)); 5] = [
+            ("writers", |c| c.writers = 0),
+            ("readers", |c| c.readers = 0),
+            ("fields_per_step", |c| c.fields_per_step = 0),
+            ("steps", |c| c.steps = 0),
+            ("step_interval", |c| c.step_interval = SimDuration::ZERO),
+        ];
+        for (field, poke) in cases {
+            let mut cfg = CycleConfig::small(IndexLayout::Shared);
+            poke(&mut cfg);
+            let err = run_nwp_cycle(spec(), &cfg, None).unwrap_err();
+            assert_eq!(err, CycleConfigError::Zero(field));
+            assert!(err.to_string().contains(field), "{err}");
+            assert_eq!(cycle_contents(spec(), &cfg).unwrap_err(), err);
+        }
+    }
+
+    #[test]
+    fn writer_priority_cycle_stays_fully_accounted() {
+        // QoS barging must not lose a single op: every (writer, step) is
+        // adjudicated and every read resolves — readers degrade, they
+        // are never starved out of completion.
+        let mut cfg = CycleConfig::small(IndexLayout::Shared);
+        cfg.admission = AdmissionPolicy::writer_priority();
+        let out = run_nwp_cycle(spec(), &cfg, None).unwrap();
+        assert_eq!(
+            out.deadlines_met + out.deadlines_missed,
+            (cfg.writers * cfg.steps) as u64
+        );
+        assert_eq!(
+            out.fields_written,
+            (cfg.writers * cfg.steps * cfg.fields_per_step) as u64
+        );
+        assert_eq!(
+            out.fields_read + out.resilience.failed_reads,
+            (cfg.readers * cfg.steps * cfg.reads_per_step) as u64
+        );
+    }
+
+    #[test]
     fn cycle_is_seed_deterministic() {
         let cfg = CycleConfig::small(IndexLayout::Shared);
-        let a = run_nwp_cycle(spec(), &cfg, None);
-        let b = run_nwp_cycle(spec(), &cfg, None);
+        let a = run_nwp_cycle(spec(), &cfg, None).unwrap();
+        let b = run_nwp_cycle(spec(), &cfg, None).unwrap();
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }
 
@@ -542,7 +644,7 @@ mod tests {
             spec.retry = daosim_cluster::RetryPolicy::builder().operational().build();
             let cfg = CycleConfig::small(IndexLayout::Shared);
             let plan = FaultPlan::random_campaign(seed, spec.engines(), SimDuration::from_secs(1));
-            let out = run_nwp_cycle(spec, &cfg, Some(&plan));
+            let out = run_nwp_cycle(spec, &cfg, Some(&plan)).unwrap();
             assert_eq!(
                 out.deadlines_met + out.deadlines_missed,
                 (cfg.writers * cfg.steps) as u64
@@ -559,8 +661,9 @@ mod tests {
         // The paper's claim, in miniature: one shared forecast KV makes
         // the writer fleet serialize on its index lock, so the cycle
         // cannot finish faster than the split-index layout.
-        let shared = run_nwp_cycle(spec(), &CycleConfig::small(IndexLayout::Shared), None);
-        let split = run_nwp_cycle(spec(), &CycleConfig::small(IndexLayout::PerProcess), None);
+        let shared = run_nwp_cycle(spec(), &CycleConfig::small(IndexLayout::Shared), None).unwrap();
+        let split =
+            run_nwp_cycle(spec(), &CycleConfig::small(IndexLayout::PerProcess), None).unwrap();
         assert!(
             shared.end_secs >= split.end_secs,
             "shared={} split={}",
@@ -590,9 +693,9 @@ mod tests {
             cfg.field_bytes = bytes;
             cfg.reads_per_step = 1;
             cfg.seed = seed;
-            let shared = cycle_contents(spec(), &cfg);
+            let shared = cycle_contents(spec(), &cfg).unwrap();
             cfg.layout = IndexLayout::PerProcess;
-            let split = cycle_contents(spec(), &cfg);
+            let split = cycle_contents(spec(), &cfg).unwrap();
             prop_assert_eq!(shared, split);
         }
     }

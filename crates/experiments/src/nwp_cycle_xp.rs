@@ -1,6 +1,6 @@
 //! The operational NWP contention cycle: mixed writer/reader fleets
-//! under shared-index vs index-per-process layouts, with an optional
-//! fault campaign riding on top.
+//! under shared-index vs index-per-process layouts and FIFO vs
+//! writer-priority admission, with an optional fault campaign on top.
 //!
 //! Reproduces the central comparison of "Reducing the Impact of I/O
 //! Contention in NWP Workflows at Scale Using DAOS" (arXiv 2404.03107):
@@ -8,16 +8,19 @@
 //! larger product-generation reader fleet fetches the previous step's
 //! fields from the same pool. The report compares writer/reader p99 op
 //! latency, missed-deadline counts and target-queue backlog depth
-//! across the two index layouts, clean and under a seeded fault
-//! campaign; `BENCH_nwp_cycle.json` carries the full rows including the
-//! backlog time series. Everything is sim-derived and seed-fixed, so
-//! reruns are byte-identical.
+//! across the two index layouts and the two admission policies, clean
+//! and under a seeded fault campaign; `BENCH_nwp_cycle.json` carries
+//! the full rows including the backlog time series, plus an
+//! `enforcement` block quantifying what writer-priority admission buys
+//! the saturated shared-index cycle (and what the readers pay).
+//! Everything is sim-derived and seed-fixed, so reruns are
+//! byte-identical.
 
 use std::fmt::Write as _;
 
 use daosim_cluster::{ClusterSpec, FaultPlan, RetryPolicy};
 use daosim_core::cycle::{run_nwp_cycle, CycleConfig, CycleOutcome, IndexLayout};
-use daosim_kernel::SimDuration;
+use daosim_kernel::{AdmissionPolicy, SimDuration};
 
 use crate::harness::{parallel_map, Report, Scale};
 
@@ -32,22 +35,33 @@ fn spec(faults: bool) -> ClusterSpec {
     spec
 }
 
-/// Cycle shape at `scale`: the quick (CI) shape is the core crate's
-/// small contended cycle; the full shape triples the fleet and doubles
-/// the fields so the shared-index serialization is unmistakable.
-fn cycle_config(scale: &Scale, layout: IndexLayout) -> CycleConfig {
+/// Cycle shape at `scale`. Both shapes are *reader-saturated*: the
+/// writer fleet alone fits comfortably inside the step interval, but
+/// the much larger reader fleet waking at every step boundary floods
+/// the service queues — so under FIFO admission writer completions
+/// queue behind reader ops and blow the deadline, and the admission
+/// policy (not raw bandwidth) decides the writer tail. The full shape
+/// doubles the fleet and adds a step so the separation is unmistakable.
+fn cycle_config(scale: &Scale, layout: IndexLayout, admission: AdmissionPolicy) -> CycleConfig {
     let mut cfg = CycleConfig::small(layout);
+    cfg.writers = 6;
+    cfg.readers = 32;
+    cfg.steps = 3;
+    cfg.fields_per_step = 3;
+    cfg.field_bytes = 512 * 1024;
+    cfg.step_interval = SimDuration::from_millis(16);
+    cfg.write_window = 4;
+    cfg.read_window = 8;
+    cfg.reads_per_step = 8;
     if scale.ops_per_proc >= 30 {
-        cfg.writers = 12;
-        cfg.readers = 36;
-        cfg.steps = 3;
-        cfg.fields_per_step = 6;
-        cfg.field_bytes = 1024 * 1024;
-        cfg.step_interval = SimDuration::from_millis(80);
+        cfg.writers = 8;
+        cfg.readers = 48;
+        cfg.steps = 4;
+        cfg.fields_per_step = 4;
+        cfg.step_interval = SimDuration::from_millis(25);
         cfg.write_window = 8;
-        cfg.read_window = 8;
-        cfg.reads_per_step = 4;
     }
+    cfg.admission = admission;
     cfg
 }
 
@@ -62,30 +76,44 @@ fn p50_p99(lat: &Option<daosim_core::metrics::LatencyStats>) -> (f64, f64) {
     lat.as_ref().map_or((0.0, 0.0), |l| (l.p50_us, l.p99_us))
 }
 
-/// Runs the four configurations (layouts × faults) and renders the
-/// report plus the `BENCH_nwp_cycle.json` artifact.
+/// One configuration of the three-way axis, in row order.
+type Config = (IndexLayout, AdmissionPolicy, bool);
+
+fn configs() -> Vec<Config> {
+    let mut v = Vec::new();
+    for layout in IndexLayout::all() {
+        for admission in [AdmissionPolicy::Fifo, AdmissionPolicy::writer_priority()] {
+            for faults in [false, true] {
+                v.push((layout, admission, faults));
+            }
+        }
+    }
+    v
+}
+
+/// Runs the eight configurations (layouts × admission × faults) and
+/// renders the report plus the `BENCH_nwp_cycle.json` artifact.
 pub fn nwp_cycle(scale: &Scale) -> Report {
-    let configs: Vec<(IndexLayout, bool)> = IndexLayout::all()
-        .into_iter()
-        .flat_map(|l| [(l, false), (l, true)])
-        .collect();
-    let results: Vec<(bool, CycleOutcome)> = parallel_map(configs, |&(layout, faults)| {
+    let results: Vec<(Config, CycleOutcome)> = parallel_map(configs(), |&(layout, adm, faults)| {
         let spec = spec(faults);
-        let cfg = cycle_config(scale, layout);
+        let cfg = cycle_config(scale, layout, adm);
         let plan = faults.then(|| campaign(&cfg, spec.engines()));
-        (faults, run_nwp_cycle(spec, &cfg, plan.as_ref()))
+        let out = run_nwp_cycle(spec, &cfg, plan.as_ref()).expect("valid cycle config");
+        ((layout, adm, faults), out)
     });
 
-    let cfg = cycle_config(scale, IndexLayout::Shared);
+    let cfg = cycle_config(scale, IndexLayout::Shared, AdmissionPolicy::Fifo);
     let mut rep = Report::new(
         "nwp-cycle",
-        "Extension: operational NWP cycle — writer deadlines vs reader fleet, shared vs split index",
+        "Extension: operational NWP cycle — writer deadlines vs reader fleet, shared vs split index, FIFO vs writer-priority admission",
         &[
             "layout",
+            "admission",
             "faults",
             "writer_p99_us",
             "reader_p99_us",
             "missed_deadlines",
+            "aged_grants",
             "backlog_peak",
             "failed_reads",
             "secs",
@@ -109,15 +137,17 @@ pub fn nwp_cycle(scale: &Scale) -> Report {
         cfg.step_interval.as_nanos() / 1_000_000
     );
     let _ = writeln!(json, "  \"rows\": [");
-    for (i, (faults, out)) in results.iter().enumerate() {
+    for (i, ((_, adm, faults), out)) in results.iter().enumerate() {
         let (wp50, wp99) = p50_p99(&out.writer_lat);
         let (rp50, rp99) = p50_p99(&out.reader_lat);
         rep.row(vec![
             out.layout.name().to_string(),
+            adm.name().to_string(),
             faults.to_string(),
             format!("{wp99:.1}"),
             format!("{rp99:.1}"),
             out.deadlines_missed.to_string(),
+            out.aged_grants.to_string(),
             out.backlog_peak.to_string(),
             out.resilience.failed_reads.to_string(),
             format!("{:.4}", out.end_secs),
@@ -130,6 +160,7 @@ pub fn nwp_cycle(scale: &Scale) -> Report {
         let comma = if i + 1 < results.len() { "," } else { "" };
         let _ = writeln!(json, "    {{");
         let _ = writeln!(json, "      \"layout\": \"{}\",", out.layout.name());
+        let _ = writeln!(json, "      \"admission\": \"{}\",", adm.name());
         let _ = writeln!(json, "      \"faults\": {faults},");
         let _ = writeln!(json, "      \"end_secs\": {},", out.end_secs);
         let _ = writeln!(json, "      \"writer_p50_us\": {wp50},");
@@ -157,6 +188,7 @@ pub fn nwp_cycle(scale: &Scale) -> Report {
             "      \"worst_lateness_ms\": {},",
             out.worst_lateness_ms
         );
+        let _ = writeln!(json, "      \"aged_grants\": {},", out.aged_grants);
         let _ = writeln!(json, "      \"backlog_peak\": {},", out.backlog_peak);
         let _ = writeln!(json, "      \"backlog_series\": [{}],", series.join(", "));
         let _ = writeln!(json, "      \"fields_written\": {},", out.fields_written);
@@ -176,9 +208,10 @@ pub fn nwp_cycle(scale: &Scale) -> Report {
     }
     let _ = writeln!(json, "  ],");
 
-    // The crossover figure: shared-index cost relative to split, clean.
+    // The crossover figure: shared-index cost relative to split, clean,
+    // both under FIFO admission (rows 0 and 4 of the axis order).
     let shared = &results[0].1;
-    let split = &results[2].1;
+    let split = &results[4].1;
     let end_ratio = shared.end_secs / split.end_secs;
     let (_, shared_p99) = p50_p99(&shared.writer_lat);
     let (_, split_p99) = p50_p99(&split.writer_lat);
@@ -193,13 +226,64 @@ pub fn nwp_cycle(scale: &Scale) -> Report {
         json,
         "    \"shared_over_split_writer_p99_ratio\": {p99_ratio}"
     );
+    let _ = writeln!(json, "  }},");
+
+    // The enforcement figure: what writer-priority admission buys the
+    // saturated shared-index cycle (rows 0 fifo vs 2 writer-priority,
+    // both clean) — and what the readers pay for it. Readers must still
+    // complete every op: barging degrades them, never starves them.
+    let fifo = &results[0].1;
+    let prio = &results[2].1;
+    let reader_ops = (cfg.readers * cfg.steps * cfg.reads_per_step) as u64;
+    let _ = writeln!(json, "  \"enforcement\": {{");
+    let _ = writeln!(json, "    \"layout\": \"{}\",", fifo.layout.name());
+    let _ = writeln!(
+        json,
+        "    \"writer_class_p99_us_fifo\": {},",
+        fifo.writer_p99_us
+    );
+    let _ = writeln!(
+        json,
+        "    \"writer_class_p99_us_writer_priority\": {},",
+        prio.writer_p99_us
+    );
+    let _ = writeln!(
+        json,
+        "    \"deadlines_missed_fifo\": {},",
+        fifo.deadlines_missed
+    );
+    let _ = writeln!(
+        json,
+        "    \"deadlines_missed_writer_priority\": {},",
+        prio.deadlines_missed
+    );
+    let _ = writeln!(
+        json,
+        "    \"reader_class_p99_us_fifo\": {},",
+        fifo.reader_p99_us
+    );
+    let _ = writeln!(
+        json,
+        "    \"reader_class_p99_us_writer_priority\": {},",
+        prio.reader_p99_us
+    );
+    let _ = writeln!(json, "    \"aged_grants\": {},", prio.aged_grants);
+    let _ = writeln!(json, "    \"reader_ops_expected\": {reader_ops},");
+    let _ = writeln!(
+        json,
+        "    \"reader_ops_resolved\": {}",
+        prio.fields_read + prio.resilience.failed_reads
+    );
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
 
     rep.note(format!(
         "{} writers ({} steps x {} fields, deadline = step interval) vs {} readers x {} reads/step; \
-         shared index is {end_ratio:.2}x split on cycle end, {p99_ratio:.2}x on writer p99",
-        cfg.writers, cfg.steps, cfg.fields_per_step, cfg.readers, cfg.reads_per_step
+         shared index is {end_ratio:.2}x split on cycle end, {p99_ratio:.2}x on writer p99; \
+         writer-priority admission on shared/clean: writer p99 {:.0} -> {:.0} us, \
+         deadlines missed {} -> {}",
+        cfg.writers, cfg.steps, cfg.fields_per_step, cfg.readers, cfg.reads_per_step,
+        fifo.writer_p99_us, prio.writer_p99_us, fifo.deadlines_missed, prio.deadlines_missed
     ));
     rep.artifact("BENCH_nwp_cycle.json", json);
     rep
@@ -210,19 +294,66 @@ mod tests {
     use super::*;
 
     #[test]
-    fn reports_every_layout_fault_combination() {
+    fn reports_every_layout_admission_fault_combination() {
         let rep = nwp_cycle(&Scale::quick());
-        assert_eq!(rep.rows().len(), 4, "2 layouts x faults on/off");
+        assert_eq!(rep.rows().len(), 8, "2 layouts x 2 admissions x faults");
         assert_eq!(rep.artifacts().len(), 1);
         assert_eq!(rep.artifacts()[0].0, "BENCH_nwp_cycle.json");
-        // Clean shared-index must never beat split on cycle end time.
-        let secs: Vec<f64> = rep.rows().iter().map(|r| r[7].parse().unwrap()).collect();
+        // Clean shared-index must never beat split on cycle end time
+        // (FIFO admission rows 0 and 4).
+        let secs: Vec<f64> = rep.rows().iter().map(|r| r[9].parse().unwrap()).collect();
         assert!(
-            secs[0] >= secs[2],
+            secs[0] >= secs[4],
             "shared {} vs split {}",
             secs[0],
-            secs[2]
+            secs[4]
         );
+    }
+
+    #[test]
+    fn writer_priority_improves_saturated_shared_writers() {
+        // The tentpole claim: on the saturated shared-index cycle,
+        // writer-priority admission improves the writer class p99 and
+        // misses no more deadlines than FIFO, while every reader op
+        // still resolves (degraded, not starved).
+        let rep = nwp_cycle(&Scale::quick());
+        let rows = rep.rows();
+        let (fifo, prio) = (&rows[0], &rows[2]);
+        assert_eq!(fifo[0], "shared-index");
+        assert_eq!(fifo[1], "fifo");
+        assert_eq!(prio[1], "writer-priority");
+        let (fifo_p99, prio_p99): (f64, f64) = (fifo[3].parse().unwrap(), prio[3].parse().unwrap());
+        assert!(
+            prio_p99 < fifo_p99,
+            "writer p99 must improve: fifo {fifo_p99} vs prio {prio_p99}"
+        );
+        let (fifo_missed, prio_missed): (u64, u64) =
+            (fifo[5].parse().unwrap(), prio[5].parse().unwrap());
+        assert!(
+            prio_missed <= fifo_missed,
+            "deadlines: fifo {fifo_missed} vs prio {prio_missed}"
+        );
+        // Readers degrade but finish: no starved (unresolved) reader op.
+        let artifact = &rep.artifacts()[0].1;
+        assert!(artifact.contains("\"reader_ops_resolved\""));
+        let expected = artifact
+            .lines()
+            .find(|l| l.contains("reader_ops_expected"))
+            .unwrap();
+        let resolved = artifact
+            .lines()
+            .find(|l| l.contains("reader_ops_resolved"))
+            .unwrap();
+        let num = |l: &str| -> u64 {
+            l.trim()
+                .trim_end_matches(',')
+                .rsplit(' ')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        assert_eq!(num(expected), num(resolved), "a reader op never resolved");
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //!
 //! Runs the fixed fuzz corpus (`daosim_cluster::fuzz`, seeds `0..N`)
 //! under the full policy roster — FIFO reference, LIFO, two random-pick
-//! streams, two wake-delay magnitudes — and reports, per policy family,
-//! how many seeds were checked and how many diverged. A healthy kernel
+//! streams, two wake-delay magnitudes, plus one writer-priority
+//! admission slot on the FIFO schedule — and reports, per policy
+//! family, how many seeds were checked and how many diverged. A healthy kernel
 //! reports zero divergences everywhere; any non-zero cell is a
 //! schedule-invariance bug and the row's detail column carries the first
 //! shrunk repro. Everything is seed-derived, so reruns are
@@ -77,9 +78,10 @@ pub fn sched_fuzz(scale: &Scale) -> Report {
     let _ = writeln!(json, "  ]");
     let _ = writeln!(json, "}}");
     rep.note(format!(
-        "fixed corpus seeds 0..{n}; FIFO is the reference in every row; \
-         divergence = per-event outcome, final pool state, byte conservation \
-         or quiescence differing from FIFO"
+        "fixed corpus seeds 0..{n}; FIFO is the reference in every row and \
+         every row also runs the writer-priority admission slot; divergence \
+         = per-event outcome, final pool state, byte conservation or \
+         quiescence differing from FIFO"
     ));
     rep.artifact("BENCH_sched_fuzz.json", json);
     rep

@@ -147,6 +147,7 @@ pub fn table1(scale: &Scale) -> Report {
             provider: ProviderProfile::tcp(),
             calibration: daosim_cluster::Calibration::nextgenio(),
             retry: daosim_cluster::RetryPolicy::builder().build(),
+            admission: daosim_kernel::AdmissionPolicy::Fifo,
         };
         let params = IorParams {
             transfer_bytes: MIB,

@@ -41,4 +41,5 @@ pub use obs::{
     Counter, CounterHandle, Histogram, HistogramHandle, HistogramSnapshot, MetricsRegistry,
     MetricsSnapshot, Obs, SpanEvent, SpanGuard, SpanId,
 };
+pub use sync::{AdmissionClass, AdmissionPolicy};
 pub use time::{SimDuration, SimTime};

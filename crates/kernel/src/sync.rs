@@ -178,7 +178,17 @@ impl Drop for Acquire {
                 // Granted but never observed: hand the permits back.
                 self.sem.release(self.n);
             } else {
+                // Remove the queue slot immediately and re-drain: a
+                // cancelled waiter at the head (e.g. a big request whose
+                // retry timeout fired) must not keep blocking grantable
+                // waiters behind it until some unrelated release happens.
                 w.cancelled.set(true);
+                self.sem
+                    .inner
+                    .waiters
+                    .borrow_mut()
+                    .retain(|q| !Rc::ptr_eq(q, &w));
+                self.sem.inner.drain();
             }
         }
     }
@@ -191,6 +201,331 @@ pub struct SemPermit {
 }
 
 impl Drop for SemPermit {
+    fn drop(&mut self) {
+        self.sem.release(self.n);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PrioritySemaphore
+// ---------------------------------------------------------------------------
+
+/// How a [`PrioritySemaphore`] picks the next waiter to admit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Strict arrival order across every class. Grant order (and therefore
+    /// simulated timing) is byte-identical to a plain [`Semaphore`].
+    #[default]
+    Fifo,
+    /// Urgent-class waiters (deadline-carrying writers) are admitted ahead
+    /// of normal-class waiters. `aging` bounds starvation: once `aging`
+    /// consecutive urgent grants have been made while a normal waiter sat
+    /// queued, the next grant is forced to the normal lane's oldest
+    /// waiter. Values below 1 behave as 1.
+    WriterPriority { aging: u32 },
+}
+
+impl AdmissionPolicy {
+    /// Default anti-starvation credit for [`Self::writer_priority`].
+    pub const DEFAULT_AGING: u32 = 4;
+
+    /// `WriterPriority` with the default aging credit.
+    pub fn writer_priority() -> Self {
+        AdmissionPolicy::WriterPriority {
+            aging: Self::DEFAULT_AGING,
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdmissionPolicy::Fifo => "fifo",
+            AdmissionPolicy::WriterPriority { .. } => "writer-priority",
+        }
+    }
+
+    /// Parses the CLI spelling (`fifo` / `writer-priority`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "fifo" => Some(AdmissionPolicy::Fifo),
+            "writer-priority" => Some(Self::writer_priority()),
+            _ => None,
+        }
+    }
+}
+
+/// The admission lane a waiter queues in. The kernel does not know about
+/// QoS classes; callers map their traffic classes onto these two lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionClass {
+    /// Deadline-carrying traffic: admitted first under
+    /// [`AdmissionPolicy::WriterPriority`].
+    Urgent,
+    /// Everything else.
+    #[default]
+    Normal,
+}
+
+fn lane_of(class: AdmissionClass) -> usize {
+    match class {
+        AdmissionClass::Urgent => 0,
+        AdmissionClass::Normal => 1,
+    }
+}
+
+struct PrioWaiter {
+    n: usize,
+    /// Global arrival order across both lanes; the FIFO tie-break.
+    seq: u64,
+    class: AdmissionClass,
+    granted: Cell<bool>,
+    cancelled: Cell<bool>,
+    waker: RefCell<Option<Waker>>,
+}
+
+struct PrioInner {
+    policy: AdmissionPolicy,
+    permits: Cell<usize>,
+    next_seq: Cell<u64>,
+    /// `lanes[0]` = urgent, `lanes[1]` = normal (see [`lane_of`]).
+    lanes: [RefCell<VecDeque<Rc<PrioWaiter>>>; 2],
+    /// Consecutive urgent grants made while a normal waiter sat queued.
+    credit: Cell<u32>,
+    /// Grants forced to the normal lane by the aging credit.
+    aged_grants: Cell<u64>,
+}
+
+impl PrioInner {
+    /// Drops cancelled waiters off the front of `lane` and returns its
+    /// live head.
+    fn head(&self, lane: usize) -> Option<Rc<PrioWaiter>> {
+        let mut q = self.lanes[lane].borrow_mut();
+        while q.front().is_some_and(|w| w.cancelled.get()) {
+            q.pop_front();
+        }
+        q.front().cloned()
+    }
+
+    /// The waiter the policy would admit next, with its lane. Deterministic:
+    /// within a lane FIFO by `seq`; across lanes either global `seq` order
+    /// (Fifo) or urgent-first with the aging override (WriterPriority).
+    fn pick(&self) -> Option<(usize, Rc<PrioWaiter>)> {
+        match (self.head(0), self.head(1)) {
+            (None, None) => None,
+            (Some(w), None) => Some((0, w)),
+            (None, Some(w)) => Some((1, w)),
+            (Some(urgent), Some(normal)) => match self.policy {
+                AdmissionPolicy::Fifo => {
+                    if urgent.seq < normal.seq {
+                        Some((0, urgent))
+                    } else {
+                        Some((1, normal))
+                    }
+                }
+                AdmissionPolicy::WriterPriority { aging } => {
+                    if self.credit.get() >= aging.max(1) {
+                        Some((1, normal))
+                    } else {
+                        Some((0, urgent))
+                    }
+                }
+            },
+        }
+    }
+
+    /// Hands permits to waiters in policy order. The selected head blocks
+    /// smaller requests behind it (no barging within the grant order),
+    /// exactly like [`SemInner::drain`].
+    fn drain(&self) {
+        loop {
+            let Some((lane, w)) = self.pick() else { break };
+            if w.n > self.permits.get() {
+                break;
+            }
+            self.lanes[lane].borrow_mut().pop_front();
+            self.permits.set(self.permits.get() - w.n);
+            w.granted.set(true);
+            if let AdmissionPolicy::WriterPriority { aging } = self.policy {
+                if lane == 0 {
+                    let normal_waiting = self.lanes[1].borrow().iter().any(|q| !q.cancelled.get());
+                    if normal_waiting {
+                        self.credit.set(self.credit.get().saturating_add(1));
+                    } else {
+                        self.credit.set(0);
+                    }
+                } else {
+                    if self.credit.get() >= aging.max(1) {
+                        self.aged_grants.set(self.aged_grants.get() + 1);
+                    }
+                    self.credit.set(0);
+                }
+            }
+            let waker = w.waker.borrow_mut().take();
+            if let Some(waker) = waker {
+                waker.wake();
+            }
+        }
+    }
+}
+
+/// A counting semaphore with per-class FIFO lanes and a pluggable
+/// admission policy — the QoS enforcement point for target service
+/// queues.
+///
+/// Under [`AdmissionPolicy::Fifo`] the grant order is global arrival
+/// order (unique `(class, seq)` tie-break), byte-identical to a plain
+/// [`Semaphore`]. Under [`AdmissionPolicy::WriterPriority`] urgent
+/// waiters go first, with an aging credit so normal waiters are never
+/// starved forever. Dropping a pending [`PrioAcquire`] (a cancelled
+/// retry attempt) removes its queue slot immediately and re-drains.
+#[derive(Clone)]
+pub struct PrioritySemaphore {
+    inner: Rc<PrioInner>,
+}
+
+impl PrioritySemaphore {
+    pub fn new(permits: usize, policy: AdmissionPolicy) -> Self {
+        PrioritySemaphore {
+            inner: Rc::new(PrioInner {
+                policy,
+                permits: Cell::new(permits),
+                next_seq: Cell::new(0),
+                lanes: [RefCell::new(VecDeque::new()), RefCell::new(VecDeque::new())],
+                credit: Cell::new(0),
+                aged_grants: Cell::new(0),
+            }),
+        }
+    }
+
+    /// A FIFO-admission instance (the default policy).
+    pub fn fifo(permits: usize) -> Self {
+        Self::new(permits, AdmissionPolicy::Fifo)
+    }
+
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.inner.policy
+    }
+
+    pub fn available(&self) -> usize {
+        self.inner.permits.get()
+    }
+
+    /// Number of live requests queued across both lanes.
+    pub fn queue_len(&self) -> usize {
+        self.inner
+            .lanes
+            .iter()
+            .map(|l| l.borrow().iter().filter(|w| !w.cancelled.get()).count())
+            .sum()
+    }
+
+    /// Grants the aging credit forced to the normal lane so far — the
+    /// anti-starvation counter surfaced in QoS metrics.
+    pub fn aged_grants(&self) -> u64 {
+        self.inner.aged_grants.get()
+    }
+
+    /// Acquires `n` permits in `class`'s lane. The returned guard
+    /// releases the permits when dropped.
+    pub fn acquire(&self, n: usize, class: AdmissionClass) -> PrioAcquire {
+        PrioAcquire {
+            sem: self.clone(),
+            n,
+            class,
+            waiter: None,
+        }
+    }
+
+    /// Acquires a single permit in `class`'s lane.
+    pub fn acquire_one(&self, class: AdmissionClass) -> PrioAcquire {
+        self.acquire(1, class)
+    }
+
+    fn release(&self, n: usize) {
+        self.inner.permits.set(self.inner.permits.get() + n);
+        self.inner.drain();
+    }
+}
+
+/// Future returned by [`PrioritySemaphore::acquire`].
+pub struct PrioAcquire {
+    sem: PrioritySemaphore,
+    n: usize,
+    class: AdmissionClass,
+    waiter: Option<Rc<PrioWaiter>>,
+}
+
+impl Future for PrioAcquire {
+    type Output = PrioPermit;
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<PrioPermit> {
+        let this = &mut *self;
+        if let Some(w) = &this.waiter {
+            if w.granted.get() {
+                this.waiter = None;
+                return Poll::Ready(PrioPermit {
+                    sem: this.sem.clone(),
+                    n: this.n,
+                });
+            }
+            *w.waker.borrow_mut() = Some(cx.waker().clone());
+            return Poll::Pending;
+        }
+        let inner = &this.sem.inner;
+        let seq = inner.next_seq.get();
+        inner.next_seq.set(seq + 1);
+        let waiter = Rc::new(PrioWaiter {
+            n: this.n,
+            seq,
+            class: this.class,
+            granted: Cell::new(false),
+            cancelled: Cell::new(false),
+            waker: RefCell::new(None),
+        });
+        inner.lanes[lane_of(this.class)]
+            .borrow_mut()
+            .push_back(Rc::clone(&waiter));
+        inner.drain();
+        if waiter.granted.get() {
+            // Drained synchronously (uncontended, or an urgent arrival
+            // admitted past a blocked normal head): no wake round-trip,
+            // matching the plain semaphore's fast path.
+            return Poll::Ready(PrioPermit {
+                sem: this.sem.clone(),
+                n: this.n,
+            });
+        }
+        *waiter.waker.borrow_mut() = Some(cx.waker().clone());
+        this.waiter = Some(waiter);
+        Poll::Pending
+    }
+}
+
+impl Drop for PrioAcquire {
+    fn drop(&mut self) {
+        if let Some(w) = self.waiter.take() {
+            if w.granted.get() {
+                // Granted but never observed: hand the permits back.
+                self.sem.release(self.n);
+            } else {
+                // Cancellation-safe removal: free the slot now and
+                // re-drain so a cancelled head cannot swallow the wakeup
+                // destined for the waiter behind it.
+                w.cancelled.set(true);
+                self.sem.inner.lanes[lane_of(w.class)]
+                    .borrow_mut()
+                    .retain(|q| !Rc::ptr_eq(q, &w));
+                self.sem.inner.drain();
+            }
+        }
+    }
+}
+
+/// Permits held on a [`PrioritySemaphore`]; released on drop.
+pub struct PrioPermit {
+    sem: PrioritySemaphore,
+    n: usize,
+}
+
+impl Drop for PrioPermit {
     fn drop(&mut self) {
         self.sem.release(self.n);
     }
@@ -761,6 +1096,171 @@ mod tests {
         sem.release(1);
         sim.run().expect_quiescent();
         assert!(hit.get());
+    }
+
+    #[test]
+    fn cancelled_oversized_waiter_unblocks_queue() {
+        // A waiter whose request can never be granted (n > permits) is
+        // dropped while queued; the waiter behind it must be admitted
+        // without any further release() happening.
+        let sim = Sim::new();
+        let sem = Semaphore::new(1);
+        let mut big = sem.acquire(2);
+        let waker = Waker::noop();
+        let mut cx = Context::from_waker(waker);
+        assert!(Pin::new(&mut big).poll(&mut cx).is_pending());
+        let hit: Rc<Cell<bool>> = Rc::default();
+        let (m, h) = (sem.clone(), Rc::clone(&hit));
+        sim.spawn(async move {
+            let _p = m.acquire_one().await;
+            h.set(true);
+        });
+        drop(big);
+        assert_eq!(sem.queue_len(), 0);
+        sim.run().expect_quiescent();
+        assert!(
+            hit.get(),
+            "cancelled head swallowed the next waiter's wakeup"
+        );
+    }
+
+    /// Staggered arrivals through `sem`, one task per entry of `plan`
+    /// (`(class, hold_ns)`), logging `(task, grant_time)`.
+    fn prio_grant_log(
+        sim: &Sim,
+        sem: &PrioritySemaphore,
+        plan: &[(AdmissionClass, u64)],
+    ) -> Vec<(u32, u64)> {
+        let log: Rc<RefCell<Vec<(u32, u64)>>> = Rc::default();
+        for (i, &(class, hold)) in plan.iter().enumerate() {
+            let (s, m, log) = (sim.clone(), sem.clone(), Rc::clone(&log));
+            sim.spawn(async move {
+                s.sleep(SimDuration::from_nanos(i as u64)).await;
+                let _p = m.acquire_one(class).await;
+                log.borrow_mut().push((i as u32, s.now().as_nanos()));
+                s.sleep(SimDuration::from_nanos(hold)).await;
+            });
+        }
+        sim.run().expect_quiescent();
+        Rc::try_unwrap(log).unwrap().into_inner()
+    }
+
+    #[test]
+    fn priority_fifo_matches_plain_semaphore() {
+        // Under AdmissionPolicy::Fifo the (class, seq) tie-break reduces
+        // to global arrival order: grant times must match the plain
+        // Semaphore exactly, whatever the class mix.
+        let plan: Vec<(AdmissionClass, u64)> = (0..6)
+            .map(|i| {
+                let class = if i % 2 == 0 {
+                    AdmissionClass::Urgent
+                } else {
+                    AdmissionClass::Normal
+                };
+                (class, 100)
+            })
+            .collect();
+        let sim = Sim::new();
+        let got = prio_grant_log(&sim, &PrioritySemaphore::fifo(1), &plan);
+        let plain = Sim::new();
+        let sem = Semaphore::new(1);
+        let log: Rc<RefCell<Vec<(u32, u64)>>> = Rc::default();
+        for (i, &(_, hold)) in plan.iter().enumerate() {
+            let (s, m, log) = (plain.clone(), sem.clone(), Rc::clone(&log));
+            plain.spawn(async move {
+                s.sleep(SimDuration::from_nanos(i as u64)).await;
+                let _p = m.acquire_one().await;
+                log.borrow_mut().push((i as u32, s.now().as_nanos()));
+                s.sleep(SimDuration::from_nanos(hold)).await;
+            });
+        }
+        plain.run().expect_quiescent();
+        assert_eq!(got, log.borrow().clone());
+    }
+
+    #[test]
+    fn writer_priority_admits_urgent_before_earlier_normals() {
+        // Normals arrive first (tasks 1..3), the urgent writer last
+        // (task 4); while task 0 holds the permit the urgent waiter
+        // jumps the whole normal lane.
+        let plan = vec![
+            (AdmissionClass::Normal, 100),
+            (AdmissionClass::Normal, 100),
+            (AdmissionClass::Normal, 100),
+            (AdmissionClass::Normal, 100),
+            (AdmissionClass::Urgent, 100),
+        ];
+        let sim = Sim::new();
+        let sem = PrioritySemaphore::new(1, AdmissionPolicy::WriterPriority { aging: 10 });
+        let got = prio_grant_log(&sim, &sem, &plan);
+        let order: Vec<u32> = got.iter().map(|&(i, _)| i).collect();
+        assert_eq!(order, vec![0, 4, 1, 2, 3]);
+    }
+
+    #[test]
+    fn aging_credit_unstarves_the_normal_lane() {
+        // One normal waiter queued at t=1 behind a stream of urgent
+        // holders; with aging = 2 it must be admitted after exactly two
+        // urgent grants made while it waited, and the forced grant is
+        // counted.
+        let plan = vec![
+            (AdmissionClass::Urgent, 100), // holds [1, 101]
+            (AdmissionClass::Normal, 100),
+            (AdmissionClass::Urgent, 100),
+            (AdmissionClass::Urgent, 100),
+            (AdmissionClass::Urgent, 100),
+            (AdmissionClass::Urgent, 100),
+        ];
+        let sim = Sim::new();
+        let sem = PrioritySemaphore::new(1, AdmissionPolicy::WriterPriority { aging: 2 });
+        let got = prio_grant_log(&sim, &sem, &plan);
+        let order: Vec<u32> = got.iter().map(|&(i, _)| i).collect();
+        // Two urgent grants accrue credit, then the normal waiter goes,
+        // then the remaining urgents.
+        assert_eq!(order, vec![0, 2, 3, 1, 4, 5]);
+        assert_eq!(sem.aged_grants(), 1);
+    }
+
+    #[test]
+    fn priority_cancelled_urgent_head_admits_normal() {
+        // Mirror of cancelled_oversized_waiter_unblocked for the
+        // priority lanes: an unsatisfiable urgent request is dropped and
+        // the normal lane must be admitted with no release().
+        let sim = Sim::new();
+        let sem = PrioritySemaphore::new(1, AdmissionPolicy::writer_priority());
+        let mut big = sem.acquire(2, AdmissionClass::Urgent);
+        let waker = Waker::noop();
+        let mut cx = Context::from_waker(waker);
+        assert!(Pin::new(&mut big).poll(&mut cx).is_pending());
+        let hit: Rc<Cell<bool>> = Rc::default();
+        let (m, h) = (sem.clone(), Rc::clone(&hit));
+        sim.spawn(async move {
+            let _p = m.acquire_one(AdmissionClass::Normal).await;
+            h.set(true);
+        });
+        drop(big);
+        assert_eq!(sem.queue_len(), 0);
+        sim.run().expect_quiescent();
+        assert!(hit.get());
+        assert_eq!(
+            sem.available(),
+            1,
+            "permit returned when the task's guard dropped"
+        );
+    }
+
+    #[test]
+    fn admission_policy_parse_roundtrip() {
+        assert_eq!(AdmissionPolicy::parse("fifo"), Some(AdmissionPolicy::Fifo));
+        assert_eq!(
+            AdmissionPolicy::parse("writer-priority"),
+            Some(AdmissionPolicy::WriterPriority {
+                aging: AdmissionPolicy::DEFAULT_AGING
+            })
+        );
+        assert_eq!(AdmissionPolicy::parse("lifo"), None);
+        assert_eq!(AdmissionPolicy::Fifo.name(), "fifo");
+        assert_eq!(AdmissionPolicy::writer_priority().name(), "writer-priority");
     }
 
     #[test]

@@ -4,9 +4,124 @@
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-use daosim_kernel::sync::{Barrier, Semaphore};
+use daosim_kernel::sync::{
+    timeout, AdmissionClass, AdmissionPolicy, Barrier, PrioritySemaphore, Semaphore,
+};
 use daosim_kernel::{Sim, SimDuration, SimTime};
 use proptest::prelude::*;
+
+/// One queued request in the cancellation scenario: `want` permits,
+/// `hold` ns once granted; `cancel` wraps the acquire in a short timeout
+/// so it is dropped while queued (at whatever queue position its arrival
+/// index lands it in).
+#[derive(Debug, Clone, Copy)]
+struct CancelPlan {
+    want: usize,
+    hold: u64,
+    cancel: bool,
+}
+
+fn cancel_plan(max_want: usize) -> impl Strategy<Value = CancelPlan> {
+    (1..max_want + 1, 1u64..200, any::<bool>()).prop_map(|(want, hold, cancel)| CancelPlan {
+        want,
+        hold,
+        cancel,
+    })
+}
+
+/// Either semaphore flavour behind one acquire surface, so the same
+/// scenario drives both and the FIFO-mode grant logs can be compared.
+#[derive(Clone)]
+enum AnySem {
+    Plain(Semaphore),
+    Prio(PrioritySemaphore),
+}
+
+impl AnySem {
+    async fn run_one(
+        &self,
+        sim: Sim,
+        i: usize,
+        p: CancelPlan,
+        log: Rc<RefCell<Vec<(usize, u64)>>>,
+    ) {
+        let class = if i % 3 == 0 {
+            AdmissionClass::Urgent
+        } else {
+            AdmissionClass::Normal
+        };
+        // Stagger arrivals so task i is queue position i.
+        sim.sleep(SimDuration::from_nanos(i as u64)).await;
+        // Cancelling requests may want more than the semaphore has
+        // (never grantable); live requests are clamped by the caller.
+        let granted = match self {
+            AnySem::Plain(sem) => {
+                if p.cancel {
+                    timeout(
+                        &sim,
+                        SimDuration::from_nanos(p.hold / 2),
+                        sem.acquire(p.want),
+                    )
+                    .await
+                    .is_ok()
+                } else {
+                    let _g = sem.acquire(p.want).await;
+                    log.borrow_mut().push((i, sim.now().as_nanos()));
+                    sim.sleep(SimDuration::from_nanos(p.hold)).await;
+                    return;
+                }
+            }
+            AnySem::Prio(sem) => {
+                if p.cancel {
+                    timeout(
+                        &sim,
+                        SimDuration::from_nanos(p.hold / 2),
+                        sem.acquire(p.want, class),
+                    )
+                    .await
+                    .is_ok()
+                } else {
+                    let _g = sem.acquire(p.want, class).await;
+                    log.borrow_mut().push((i, sim.now().as_nanos()));
+                    sim.sleep(SimDuration::from_nanos(p.hold)).await;
+                    return;
+                }
+            }
+        };
+        if granted {
+            // A same-instant grant can beat the timeout; that is a
+            // normal grant, log it so conservation still balances.
+            log.borrow_mut().push((i, sim.now().as_nanos()));
+        }
+    }
+}
+
+/// Runs the cancellation scenario and returns (grant log, permits free at
+/// quiescence). Panics (-> proptest failure) if any task strands, which
+/// is exactly what a swallowed wakeup produces.
+fn run_cancel_scenario(
+    sem: AnySem,
+    permits: usize,
+    plans: &[CancelPlan],
+) -> (Vec<(usize, u64)>, usize) {
+    let sim = Sim::new();
+    let log: Rc<RefCell<Vec<(usize, u64)>>> = Rc::default();
+    for (i, &p) in plans.iter().enumerate() {
+        let mut p = p;
+        if !p.cancel {
+            p.want = p.want.min(permits); // live requests must be grantable
+        }
+        let (s, m, log) = (sim.clone(), sem.clone(), Rc::clone(&log));
+        sim.spawn(async move { m.run_one(s, i, p, log).await });
+    }
+    sim.run().expect_quiescent();
+    let avail = match &sem {
+        AnySem::Plain(s) => s.available(),
+        AnySem::Prio(s) => s.available(),
+    };
+    let granted = log.borrow().clone();
+    (granted, avail)
+}
 
 proptest! {
     #[test]
@@ -114,6 +229,54 @@ proptest! {
         }
         sim.run().expect_quiescent();
         prop_assert!(ok.get(), "a party crossed the barrier early");
+    }
+
+    #[test]
+    fn cancellation_at_any_queue_position_conserves_permits(
+        permits in 1usize..4,
+        plans in proptest::collection::vec(cancel_plan(5), 2..14),
+    ) {
+        // A dropped/cancelled acquire (retry timeout firing while queued)
+        // must neither leak its queue slot nor swallow the wakeup for the
+        // waiter behind it: every live request is eventually granted and
+        // every permit comes back, whatever queue position the
+        // cancellations land on. Checked for the plain semaphore and both
+        // priority policies.
+        let sems = [
+            AnySem::Plain(Semaphore::new(permits)),
+            AnySem::Prio(PrioritySemaphore::fifo(permits)),
+            AnySem::Prio(PrioritySemaphore::new(
+                permits,
+                AdmissionPolicy::WriterPriority { aging: 2 },
+            )),
+        ];
+        for sem in sems {
+            let (granted, avail) = run_cancel_scenario(sem, permits, &plans);
+            prop_assert_eq!(avail, permits, "permits leaked or double-released");
+            for (i, p) in plans.iter().enumerate() {
+                if !p.cancel {
+                    prop_assert!(
+                        granted.iter().any(|&(g, _)| g == i),
+                        "live waiter {} was never granted",
+                        i
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn priority_fifo_grant_log_matches_plain_semaphore(
+        permits in 1usize..4,
+        plans in proptest::collection::vec(cancel_plan(5), 2..14),
+    ) {
+        // The (class, seq) tie-break under AdmissionPolicy::Fifo reduces
+        // to global arrival order: grant logs — tasks and instants — are
+        // identical to the plain FIFO semaphore, cancellations included.
+        let (a, _) = run_cancel_scenario(AnySem::Plain(Semaphore::new(permits)), permits, &plans);
+        let (b, _) =
+            run_cancel_scenario(AnySem::Prio(PrioritySemaphore::fifo(permits)), permits, &plans);
+        prop_assert_eq!(a, b);
     }
 
     #[test]

@@ -25,7 +25,7 @@ use daosim_core::obs::{chrome_trace_json, json_is_wellformed, validate_spans};
 use daosim_core::request::{retrieve, Request};
 use daosim_core::trace::{replay, replay_detailed, replay_traced, Pacing, ReplayStats, Trace};
 use daosim_kernel::SchedPolicy;
-use daosim_kernel::{Sim, SimDuration, SimTime};
+use daosim_kernel::{AdmissionPolicy, Sim, SimDuration, SimTime};
 use daosim_objstore::api::EmbeddedClient;
 use daosim_objstore::{load_pool, save_pool, ObjectClass, Pool, Uuid};
 
@@ -87,7 +87,9 @@ pub enum Outcome {
         failures: Vec<String>,
     },
     Cycled {
-        /// One outcome per index layout, in the order requested.
+        /// One outcome per (index layout, admission policy) pair, in the
+        /// order requested (layout-major). Each outcome records its own
+        /// layout and admission policy.
         outcomes: Vec<CycleOutcome>,
         /// Whether a fault campaign rode on the cycle.
         faults: bool,
@@ -503,9 +505,10 @@ pub fn cmd_fuzz(seeds: u64, start: u64, policy: &str, jobs: usize) -> ToolResult
         policies_per_seed = policies_per_seed.max(r.policies_per_seed);
         for f in &r.failures {
             failures.push(format!(
-                "seed {} diverged under {:?}: {}\n  minimized to {} op(s): {:?}\n  repro: {}",
+                "seed {} diverged under {:?} (admission {}): {}\n  minimized to {} op(s): {:?}\n  repro: {}",
                 f.seed,
                 f.policy,
+                f.admission.name(),
                 f.detail,
                 f.minimized.ops.len(),
                 f.minimized.ops,
@@ -522,16 +525,18 @@ pub fn cmd_fuzz(seeds: u64, start: u64, policy: &str, jobs: usize) -> ToolResult
 
 /// `daosctl nwp-cycle [--writers N] [--readers N] [--steps N] [--fields N]
 /// [--kib N] [--interval-ms N] [--layout shared|per-process|both]
-/// [--seed S] [--faults]`
+/// [--admission fifo|writer-priority|both] [--seed S] [--faults]`
 ///
 /// Runs the operational contention cycle ([`daosim_core::cycle`]) on a
 /// simulated `tcp(1, 2)` cluster: deadline-carrying writers stream
 /// fields each step while a reader fleet fetches the previous step's
 /// fields from the same pool. With `--layout both` the shared-index and
 /// index-per-process runs share every other parameter, so the printed
-/// rows are directly comparable. `--faults` seeds a random engine-fault
-/// campaign over the first half of the cycle (with the operational
-/// retry policy, so the cycle degrades instead of failing).
+/// rows are directly comparable; `--admission both` likewise crosses
+/// FIFO against writer-priority admission at the target queues.
+/// `--faults` seeds a random engine-fault campaign over the first half
+/// of the cycle (with the operational retry policy, so the cycle
+/// degrades instead of failing).
 #[allow(clippy::too_many_arguments)]
 pub fn cmd_nwp_cycle(
     writers: u32,
@@ -541,6 +546,7 @@ pub fn cmd_nwp_cycle(
     kib: u64,
     interval_ms: u64,
     layout: &str,
+    admission: &str,
     seed: u64,
     faults: bool,
 ) -> ToolResult {
@@ -554,14 +560,32 @@ pub fn cmd_nwp_cycle(
             )))
         }
     };
-    if writers == 0 || steps == 0 || fields == 0 {
-        return Err(ToolError::BadArgs(
-            "--writers, --steps and --fields must be positive".into(),
-        ));
+    let admissions: Vec<AdmissionPolicy> = match admission {
+        "both" => vec![AdmissionPolicy::Fifo, AdmissionPolicy::writer_priority()],
+        one => match AdmissionPolicy::parse(one) {
+            Some(p) => vec![p],
+            None => {
+                return Err(ToolError::BadArgs(format!(
+                    "unknown --admission {one} (expected fifo|writer-priority|both)"
+                )))
+            }
+        },
+    };
+    for (flag, value) in [
+        ("--writers", writers as u64),
+        ("--readers", readers as u64),
+        ("--steps", steps as u64),
+        ("--fields", fields as u64),
+        ("--kib", kib),
+        ("--interval-ms", interval_ms),
+    ] {
+        if value == 0 {
+            return Err(ToolError::BadArgs(format!("{flag} must be positive")));
+        }
     }
-    let outcomes = layouts
-        .into_iter()
-        .map(|l| {
+    let mut outcomes = Vec::with_capacity(layouts.len() * admissions.len());
+    for l in layouts {
+        for &adm in &admissions {
             let mut cfg = CycleConfig::small(l);
             cfg.writers = writers;
             cfg.readers = readers;
@@ -570,6 +594,7 @@ pub fn cmd_nwp_cycle(
             cfg.field_bytes = kib * 1024;
             cfg.step_interval = SimDuration::from_millis(interval_ms);
             cfg.seed = seed;
+            cfg.admission = adm;
             let mut spec = ClusterSpec::tcp(1, 2);
             let plan = faults.then(|| {
                 spec.retry = RetryPolicy::builder().operational().build();
@@ -577,9 +602,11 @@ pub fn cmd_nwp_cycle(
                     SimDuration::from_nanos(cfg.step_interval.as_nanos() * cfg.steps as u64 / 2);
                 FaultPlan::random_campaign(seed, spec.engines(), horizon)
             });
-            run_nwp_cycle(spec, &cfg, plan.as_ref())
-        })
-        .collect();
+            let outcome = run_nwp_cycle(spec, &cfg, plan.as_ref())
+                .map_err(|e| ToolError::BadArgs(e.to_string()))?;
+            outcomes.push(outcome);
+        }
+    }
     Ok(Outcome::Cycled { outcomes, faults })
 }
 
@@ -876,12 +903,13 @@ mod tests {
 
     #[test]
     fn nwp_cycle_runs_both_layouts_with_closed_accounting() {
-        let out = cmd_nwp_cycle(2, 4, 2, 2, 64, 40, "both", 7, false).unwrap();
+        let out = cmd_nwp_cycle(2, 4, 2, 2, 64, 40, "both", "fifo", 7, false).unwrap();
         match out {
             Outcome::Cycled { outcomes, faults } => {
                 assert!(!faults);
                 assert_eq!(outcomes.len(), 2);
                 for o in &outcomes {
+                    assert_eq!(o.admission, AdmissionPolicy::Fifo);
                     assert_eq!(o.deadlines_met + o.deadlines_missed, 2 * 2);
                     assert_eq!(o.fields_written, 2 * 2 * 2);
                 }
@@ -891,25 +919,61 @@ mod tests {
     }
 
     #[test]
-    fn nwp_cycle_rejects_bad_layout_and_zero_fleet() {
+    fn nwp_cycle_crosses_layouts_with_admission_policies() {
+        let out = cmd_nwp_cycle(2, 4, 2, 2, 64, 40, "both", "both", 7, false).unwrap();
+        match out {
+            Outcome::Cycled { outcomes, .. } => {
+                // Layout-major, admission-minor ordering.
+                let want = [
+                    (IndexLayout::Shared, AdmissionPolicy::Fifo),
+                    (IndexLayout::Shared, AdmissionPolicy::writer_priority()),
+                    (IndexLayout::PerProcess, AdmissionPolicy::Fifo),
+                    (IndexLayout::PerProcess, AdmissionPolicy::writer_priority()),
+                ];
+                assert_eq!(outcomes.len(), want.len());
+                for (o, (layout, adm)) in outcomes.iter().zip(want) {
+                    assert_eq!(o.layout, layout);
+                    assert_eq!(o.admission, adm);
+                    assert_eq!(o.deadlines_met + o.deadlines_missed, 2 * 2);
+                    assert_eq!(o.fields_written, 2 * 2 * 2);
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn nwp_cycle_rejects_bad_layout_bad_admission_and_zero_shapes() {
         assert!(matches!(
-            cmd_nwp_cycle(2, 4, 2, 2, 64, 40, "triple", 7, false),
+            cmd_nwp_cycle(2, 4, 2, 2, 64, 40, "triple", "fifo", 7, false),
             Err(ToolError::BadArgs(_))
         ));
         assert!(matches!(
-            cmd_nwp_cycle(0, 4, 2, 2, 64, 40, "both", 7, false),
+            cmd_nwp_cycle(2, 4, 2, 2, 64, 40, "both", "lifo", 7, false),
             Err(ToolError::BadArgs(_))
         ));
+        // Every numeric shape flag is validated, not just the fleet.
+        for zeroed in [
+            cmd_nwp_cycle(0, 4, 2, 2, 64, 40, "both", "fifo", 7, false),
+            cmd_nwp_cycle(2, 0, 2, 2, 64, 40, "both", "fifo", 7, false),
+            cmd_nwp_cycle(2, 4, 0, 2, 64, 40, "both", "fifo", 7, false),
+            cmd_nwp_cycle(2, 4, 2, 0, 64, 40, "both", "fifo", 7, false),
+            cmd_nwp_cycle(2, 4, 2, 2, 0, 40, "both", "fifo", 7, false),
+            cmd_nwp_cycle(2, 4, 2, 2, 64, 0, "both", "fifo", 7, false),
+        ] {
+            assert!(matches!(zeroed, Err(ToolError::BadArgs(_))), "{zeroed:?}");
+        }
     }
 
     #[test]
     fn nwp_cycle_with_faults_still_accounts_every_step() {
-        let out = cmd_nwp_cycle(2, 2, 2, 2, 64, 40, "shared", 3, true).unwrap();
+        let out = cmd_nwp_cycle(2, 2, 2, 2, 64, 40, "shared", "writer-priority", 3, true).unwrap();
         match out {
             Outcome::Cycled { outcomes, faults } => {
                 assert!(faults);
                 assert_eq!(outcomes.len(), 1);
                 let o = &outcomes[0];
+                assert_eq!(o.admission, AdmissionPolicy::writer_priority());
                 assert_eq!(o.deadlines_met + o.deadlines_missed, 2 * 2);
             }
             other => panic!("{other:?}"),

@@ -34,9 +34,23 @@ fn usage() -> ! {
          failure-drill <trace.csv> [--servers N] [--clients N] [--kill-ms N] [--restart-ms N]\n\
          fuzz        [--seeds N] [--start S] [--policy all|fifo|lifo|random|wake-delay] [--jobs N]\n\
          nwp-cycle   [--writers N] [--readers N] [--steps N] [--fields N] [--kib N]\n\
-                     [--interval-ms N] [--layout shared|per-process|both] [--seed S] [--faults]"
+                     [--interval-ms N] [--layout shared|per-process|both]\n\
+                     [--admission fifo|writer-priority|both] [--seed S] [--faults]"
     );
     exit(2);
+}
+
+/// Parses a numeric flag at its destination width, so an out-of-range
+/// value (`--servers 70000`) is a usage error instead of a silent
+/// truncation. Parse failures name the offending flag before the usage.
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    match flag_value(args, flag) {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("daosctl: bad value for {flag}: {v:?}");
+            usage()
+        }),
+        None => default,
+    }
 }
 
 fn main() {
@@ -44,17 +58,12 @@ fn main() {
     // `fuzz` takes no archive argument; handle it before the archive parse.
     if args.first().map(String::as_str) == Some("fuzz") {
         let rest = &args[1..];
-        let num = |f: &str, d: u64| {
-            flag_value(rest, f)
-                .map(|v| v.parse().unwrap_or_else(|_| usage()))
-                .unwrap_or(d)
-        };
         let policy = flag_value(rest, "--policy").unwrap_or_else(|| "all".to_string());
         let result = cmd_fuzz(
-            num("--seeds", 64),
-            num("--start", 0),
+            parse_flag(rest, "--seeds", 64),
+            parse_flag(rest, "--start", 0),
             &policy,
-            num("--jobs", 8) as usize,
+            parse_flag::<usize>(rest, "--jobs", 8),
         );
         match result {
             Ok(Outcome::Fuzzed {
@@ -85,45 +94,46 @@ fn main() {
     // `nwp-cycle` also takes no archive: it runs purely in the simulator.
     if args.first().map(String::as_str) == Some("nwp-cycle") {
         let rest = &args[1..];
-        let num = |f: &str, d: u64| {
-            flag_value(rest, f)
-                .map(|v| v.parse().unwrap_or_else(|_| usage()))
-                .unwrap_or(d)
-        };
         let layout = flag_value(rest, "--layout").unwrap_or_else(|| "both".to_string());
+        let admission = flag_value(rest, "--admission").unwrap_or_else(|| "fifo".to_string());
         let result = cmd_nwp_cycle(
-            num("--writers", 4) as u32,
-            num("--readers", 8) as u32,
-            num("--steps", 2) as u32,
-            num("--fields", 3) as u32,
-            num("--kib", 256),
-            num("--interval-ms", 40),
+            parse_flag(rest, "--writers", 4u32),
+            parse_flag(rest, "--readers", 8u32),
+            parse_flag(rest, "--steps", 2u32),
+            parse_flag(rest, "--fields", 3u32),
+            parse_flag(rest, "--kib", 256),
+            parse_flag(rest, "--interval-ms", 40),
             &layout,
-            num("--seed", 7),
+            &admission,
+            parse_flag(rest, "--seed", 7),
             rest.iter().any(|a| a == "--faults"),
         );
         match result {
             Ok(Outcome::Cycled { outcomes, faults }) => {
                 println!(
-                    "{:<18} {:>4} {:>6} {:>13} {:>13} {:>13} {:>12} {:>8}",
+                    "{:<18} {:<15} {:>4} {:>6} {:>13} {:>13} {:>13} {:>11} {:>12} {:>8}",
                     "layout",
+                    "admission",
                     "met",
                     "missed",
                     "worst-late-ms",
                     "writer-p99-us",
                     "reader-p99-us",
+                    "aged-grants",
                     "backlog-peak",
                     "secs"
                 );
                 for o in &outcomes {
                     println!(
-                        "{:<18} {:>4} {:>6} {:>13.2} {:>13.1} {:>13.1} {:>12} {:>8.4}",
+                        "{:<18} {:<15} {:>4} {:>6} {:>13.2} {:>13.1} {:>13.1} {:>11} {:>12} {:>8.4}",
                         o.layout.name(),
+                        o.admission.name(),
                         o.deadlines_met,
                         o.deadlines_missed,
                         o.worst_lateness_ms,
                         o.writer_p99_us,
                         o.reader_p99_us,
+                        o.aged_grants,
                         o.backlog_peak,
                         o.end_secs
                     );
@@ -132,9 +142,10 @@ fn main() {
                     for o in &outcomes {
                         let r = &o.resilience;
                         println!(
-                            "{}: {} retries, {} timeouts, {} failovers, {} gave up, \
+                            "{} ({}): {} retries, {} timeouts, {} failovers, {} gave up, \
                              {} faults injected; failed ops: {} writes, {} reads",
                             o.layout.name(),
+                            o.admission.name(),
                             r.retries,
                             r.timeouts,
                             r.failovers,
@@ -162,12 +173,7 @@ fn main() {
     let rest = &args[2..];
 
     let result = match cmd {
-        "init" => {
-            let targets = flag_value(rest, "--targets")
-                .map(|v| v.parse().unwrap_or_else(|_| usage()))
-                .unwrap_or(24);
-            cmd_init(&archive, targets)
-        }
+        "init" => cmd_init(&archive, parse_flag(rest, "--targets", 24)),
         "put" => {
             let key = rest.first().unwrap_or_else(|| usage());
             let data = if let Some(path) = flag_value(rest, "--file") {
@@ -199,43 +205,26 @@ fn main() {
             cmd_wipe(&archive, key)
         }
         "info" => cmd_info(&archive),
-        "synth-trace" => {
-            let num = |f: &str, d: u64| {
-                flag_value(rest, f)
-                    .map(|v| v.parse().unwrap_or_else(|_| usage()))
-                    .unwrap_or(d)
-            };
-            cmd_synth_trace(
-                &archive,
-                num("--procs", 16) as u32,
-                num("--steps", 4) as u32,
-                num("--fields", 12) as u32,
-                num("--mib", 1),
-                num("--interval-ms", 100),
-            )
-        }
+        "synth-trace" => cmd_synth_trace(
+            &archive,
+            parse_flag(rest, "--procs", 16u32),
+            parse_flag(rest, "--steps", 4u32),
+            parse_flag(rest, "--fields", 12u32),
+            parse_flag(rest, "--mib", 1),
+            parse_flag(rest, "--interval-ms", 100),
+        ),
         "simulate" => {
-            let num = |f: &str, d: u64| {
-                flag_value(rest, f)
-                    .map(|v| v.parse().unwrap_or_else(|_| usage()))
-                    .unwrap_or(d)
-            };
             let mode = flag_value(rest, "--mode").unwrap_or_else(|| "full".to_string());
             cmd_simulate(
                 &archive,
-                num("--servers", 1) as u16,
-                num("--clients", 2) as u16,
+                parse_flag(rest, "--servers", 1u16),
+                parse_flag(rest, "--clients", 2u16),
                 rest.iter().any(|a| a == "--paced"),
                 &mode,
-                num("--window", 1) as u32,
+                parse_flag(rest, "--window", 1u32),
             )
         }
         "trace" => {
-            let num = |f: &str, d: u64| {
-                flag_value(rest, f)
-                    .map(|v| v.parse().unwrap_or_else(|_| usage()))
-                    .unwrap_or(d)
-            };
             let mode = flag_value(rest, "--mode").unwrap_or_else(|| "full".to_string());
             let json_out =
                 PathBuf::from(flag_value(rest, "--out").unwrap_or_else(|| "trace.json".into()));
@@ -244,29 +233,22 @@ fn main() {
             );
             cmd_trace(
                 &archive,
-                num("--servers", 1) as u16,
-                num("--clients", 2) as u16,
+                parse_flag(rest, "--servers", 1u16),
+                parse_flag(rest, "--clients", 2u16),
                 rest.iter().any(|a| a == "--paced"),
                 &mode,
-                num("--window", 1) as u32,
+                parse_flag(rest, "--window", 1u32),
                 &json_out,
                 &metrics_out,
             )
         }
-        "failure-drill" => {
-            let num = |f: &str, d: u64| {
-                flag_value(rest, f)
-                    .map(|v| v.parse().unwrap_or_else(|_| usage()))
-                    .unwrap_or(d)
-            };
-            cmd_failure_drill(
-                &archive,
-                num("--servers", 1) as u16,
-                num("--clients", 2) as u16,
-                num("--kill-ms", 59),
-                num("--restart-ms", 170),
-            )
-        }
+        "failure-drill" => cmd_failure_drill(
+            &archive,
+            parse_flag(rest, "--servers", 1u16),
+            parse_flag(rest, "--clients", 2u16),
+            parse_flag(rest, "--kill-ms", 59),
+            parse_flag(rest, "--restart-ms", 170),
+        ),
         _ => usage(),
     };
 
