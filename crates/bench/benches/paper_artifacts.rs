@@ -24,6 +24,7 @@ fn ior_params(ppn: u32) -> IorParams {
         iterations: 1,
         file_mode: daosim_ior::FileMode::FilePerProcess,
         inflight: 1,
+        api: daosim_ior::Api::Daos,
     }
 }
 

@@ -24,13 +24,12 @@ use bytes::Bytes;
 use daosim_kernel::sync::{join_all, timeout, AdmissionClass, Elapsed};
 use daosim_kernel::{CounterHandle, HistogramHandle, MetricsRegistry, SimDuration};
 use daosim_net::Endpoint;
-use daosim_objstore::api::{ArrayHandle, DaosApi};
 use daosim_objstore::ec;
 use daosim_objstore::placement::{
     array_target_shards, ec_targets, kv_target, leader_target, replica_targets, ARRAY_CHUNK,
 };
-use daosim_objstore::ObjectClass;
-use daosim_objstore::{Container, DaosError, Oid, Result, Uuid};
+use daosim_objstore::prelude::{ArrayHandle, DaosApi, DaosError, ObjectClass, Oid, Result, Uuid};
+use daosim_objstore::Container;
 
 use crate::deploy::{Deployment, Engine};
 use crate::fault::jitter_salt;
@@ -56,6 +55,8 @@ const OP_NS_BOUNDS: [u64; 7] = [
 pub enum ClientOp {
     KvPut,
     KvGet,
+    KvPutIfAbsent,
+    KvRemove,
     KvListKeys,
     KvListRange,
     KvPutMulti,
@@ -70,9 +71,11 @@ pub enum ClientOp {
 }
 
 impl ClientOp {
-    pub const ALL: [ClientOp; 13] = [
+    pub const ALL: [ClientOp; 15] = [
         ClientOp::KvPut,
         ClientOp::KvGet,
+        ClientOp::KvPutIfAbsent,
+        ClientOp::KvRemove,
         ClientOp::KvListKeys,
         ClientOp::KvListRange,
         ClientOp::KvPutMulti,
@@ -91,6 +94,8 @@ impl ClientOp {
         match self {
             ClientOp::KvPut => "kv_put",
             ClientOp::KvGet => "kv_get",
+            ClientOp::KvPutIfAbsent => "kv_put_if_absent",
+            ClientOp::KvRemove => "kv_remove",
             ClientOp::KvListKeys => "kv_list_keys",
             ClientOp::KvListRange => "kv_list_range",
             ClientOp::KvPutMulti => "kv_put_multi",
@@ -110,6 +115,8 @@ impl ClientOp {
         match self {
             ClientOp::KvPut => "client.kv_put.ops",
             ClientOp::KvGet => "client.kv_get.ops",
+            ClientOp::KvPutIfAbsent => "client.kv_put_if_absent.ops",
+            ClientOp::KvRemove => "client.kv_remove.ops",
             ClientOp::KvListKeys => "client.kv_list_keys.ops",
             ClientOp::KvListRange => "client.kv_list_range.ops",
             ClientOp::KvPutMulti => "client.kv_put_multi.ops",
@@ -568,6 +575,116 @@ impl SimClient {
         Ok(())
     }
 
+    /// Conditional KV insert: same placement, round trip and leader
+    /// serial section as `kv_put_once`, but the presence check happens
+    /// *inside* the serial section, so racing inserts on one key resolve
+    /// to exactly one winner. A losing insert pays the round trip and a
+    /// leader read, not the replica writes.
+    async fn kv_put_if_absent_once(
+        &self,
+        cont: &SimCont,
+        oid: Oid,
+        key: &[u8],
+        value: Bytes,
+    ) -> Result<Option<Bytes>> {
+        let cal = self.d.spec.calibration;
+        let targets: Vec<u32> = if oid.class().replicas(self.pool_targets()) > 1 {
+            replica_targets(oid, self.pool_targets())
+        } else {
+            vec![kv_target(oid, key, self.pool_targets())]
+        };
+        let targets: Vec<u32> = targets.into_iter().map(|t| self.live_target(t)).collect();
+        for &t in &targets {
+            self.engine_for(t)?;
+        }
+        let Some(&primary) = targets.first() else {
+            return Err(DaosError::NoTargets);
+        };
+        let engine = self.engine_for(primary)?;
+        self.latency().await;
+        self.engine_meta(engine).await;
+        let lock = self.d.obj_lock(cont.uuid, oid, 0);
+        let out;
+        {
+            let _g = lock.acquire_one(self.lane()).await;
+            let _os = self.d.sim.span("objstore", "kv_update");
+            self.d.sim.sleep(cal.kv_update_serial_cost).await;
+            if let Some(existing) = cont.cont.kv_get(oid, key)? {
+                let service =
+                    cal.kv_op_cost + self.d.target(primary).media.read_time(cal.kv_entry_bytes);
+                self.d.target(primary).tally.note_read(cal.kv_entry_bytes);
+                self.target_service(primary, service).await;
+                out = Some(existing);
+            } else {
+                let bytes = (key.len() + value.len()) as u64;
+                let updates: Vec<_> = targets
+                    .iter()
+                    .map(|&t| {
+                        let this = self.clone();
+                        async move {
+                            let service = cal.kv_op_cost + this.d.target(t).media.write_time(bytes);
+                            this.d.target(t).tally.note_write(bytes);
+                            this.target_service(t, service).await;
+                        }
+                    })
+                    .collect();
+                join_all(updates).await;
+                self.d.pool.charge(bytes)?;
+                cont.cont.kv_put(oid, key, value)?;
+                out = None;
+            }
+        }
+        self.latency().await;
+        Ok(out)
+    }
+
+    /// KV key removal: the update path of `kv_put_once` (every replica of
+    /// the key's home target services the tombstone write). Removing an
+    /// absent key is a successful no-op, per the `DaosApi` contract.
+    async fn kv_remove_once(&self, cont: &SimCont, oid: Oid, key: &[u8]) -> Result<()> {
+        let cal = self.d.spec.calibration;
+        let targets: Vec<u32> = if oid.class().replicas(self.pool_targets()) > 1 {
+            replica_targets(oid, self.pool_targets())
+        } else {
+            vec![kv_target(oid, key, self.pool_targets())]
+        };
+        let targets: Vec<u32> = targets.into_iter().map(|t| self.live_target(t)).collect();
+        for &t in &targets {
+            self.engine_for(t)?;
+        }
+        let Some(&primary) = targets.first() else {
+            return Err(DaosError::NoTargets);
+        };
+        let engine = self.engine_for(primary)?;
+        self.latency().await;
+        self.engine_meta(engine).await;
+        let lock = self.d.obj_lock(cont.uuid, oid, 0);
+        {
+            let _g = lock.acquire_one(self.lane()).await;
+            let _os = self.d.sim.span("objstore", "kv_update");
+            self.d.sim.sleep(cal.kv_update_serial_cost).await;
+            let bytes = key.len() as u64;
+            let updates: Vec<_> = targets
+                .iter()
+                .map(|&t| {
+                    let this = self.clone();
+                    async move {
+                        let service = cal.kv_op_cost + this.d.target(t).media.write_time(bytes);
+                        this.d.target(t).tally.note_write(bytes);
+                        this.target_service(t, service).await;
+                    }
+                })
+                .collect();
+            join_all(updates).await;
+            match cont.cont.kv_remove(oid, key) {
+                Ok(_) | Err(DaosError::ObjNotFound(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.latency().await;
+        Ok(())
+    }
+
     /// Vectorized KV update: the whole batch rides one request — one
     /// latency round trip, one container-handle validation and one
     /// leader serial section — then every pair's replica services run
@@ -652,8 +769,6 @@ impl SimClient {
         let engine = self.engine_for(t)?;
         self.latency().await;
         self.engine_meta(engine).await;
-        // Fetches under conflicting access serialize at the object's
-        // leader for the consistency check, like updates but cheaper.
         let lock = self.d.obj_lock(cont.uuid, oid, 0);
         let out;
         {
@@ -1091,6 +1206,30 @@ impl DaosApi for SimClient {
         .await
     }
 
+    async fn kv_put_if_absent(
+        &self,
+        cont: &Self::Cont,
+        oid: Oid,
+        key: &[u8],
+        value: Bytes,
+    ) -> Result<Option<Bytes>> {
+        let (this, cont) = (self.clone(), cont.clone());
+        self.retrying(ClientOp::KvPutIfAbsent, move || {
+            let (this, cont, value) = (this.clone(), cont.clone(), value.clone());
+            async move { this.kv_put_if_absent_once(&cont, oid, key, value).await }
+        })
+        .await
+    }
+
+    async fn kv_remove(&self, cont: &Self::Cont, oid: Oid, key: &[u8]) -> Result<()> {
+        let (this, cont) = (self.clone(), cont.clone());
+        self.retrying(ClientOp::KvRemove, move || {
+            let (this, cont) = (this.clone(), cont.clone());
+            async move { this.kv_remove_once(&cont, oid, key).await }
+        })
+        .await
+    }
+
     async fn kv_list_keys(&self, cont: &Self::Cont, oid: Oid) -> Result<Vec<Bytes>> {
         let (this, cont) = (self.clone(), cont.clone());
         self.retrying(ClientOp::KvListKeys, move || {
@@ -1252,7 +1391,7 @@ mod tests {
     use crate::deploy::ClusterSpec;
     use daosim_kernel::Sim;
     use daosim_net::GIB;
-    use daosim_objstore::{ObjectClass, OidAllocator};
+    use daosim_objstore::prelude::{ObjectClass, OidAllocator};
     use std::cell::Cell;
 
     const MIB: u64 = 1024 * 1024;

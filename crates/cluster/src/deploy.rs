@@ -16,8 +16,9 @@ use daosim_kernel::sync::{AdmissionClass, AdmissionPolicy, PrioritySemaphore};
 use daosim_kernel::Sim;
 use daosim_media::{MediaTally, TargetMedia};
 use daosim_net::{Endpoint, Fabric, FabricSpec, LinkId, ProviderProfile};
+use daosim_objstore::prelude::{Oid, Uuid};
 use daosim_objstore::store::DEFAULT_POOL_CAPACITY;
-use daosim_objstore::{DaosStore, Oid, Pool, Uuid};
+use daosim_objstore::{DaosStore, Pool};
 
 use crate::calibration::Calibration;
 use crate::client::ClientMetrics;

@@ -27,7 +27,7 @@ use crate::deploy::Deployment;
 use crate::rebuild::rebuild_engine;
 
 /// Client-side retry/deadline policy, carried on
-/// [`crate::ClusterSpec::retry`]. The default ([`RetryPolicy::none`])
+/// [`crate::ClusterSpec::retry`]. The default (`RetryPolicy::builder().build()`)
 /// preserves fail-fast semantics: one attempt, no deadline.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RetryPolicy {
@@ -62,21 +62,6 @@ impl RetryPolicy {
                 seed: 0,
             },
         }
-    }
-
-    /// Fail-fast: a single attempt, no deadlines. The default.
-    #[deprecated(since = "0.1.0", note = "use RetryPolicy::builder().build()")]
-    pub fn none() -> Self {
-        RetryPolicy::builder().build()
-    }
-
-    /// A policy sized for operational (time-critical window) drills.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use RetryPolicy::builder().operational().build()"
-    )]
-    pub fn operational() -> Self {
-        RetryPolicy::builder().operational().build()
     }
 
     pub fn enabled(&self) -> bool {
@@ -482,14 +467,18 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_match_builder() {
-        assert_eq!(RetryPolicy::none(), RetryPolicy::builder().build());
-        assert_eq!(RetryPolicy::none(), RetryPolicy::default());
-        assert_eq!(
-            RetryPolicy::operational(),
-            RetryPolicy::builder().operational().build()
-        );
+    fn builder_presets_pin_their_shapes() {
+        // The bare builder is the fail-fast default policy.
+        let fail_fast = RetryPolicy::builder().build();
+        assert_eq!(fail_fast, RetryPolicy::default());
+        assert_eq!(fail_fast.max_attempts, 1);
+        assert!(!fail_fast.enabled());
+        // The operational preset actually retries, with bounded backoff.
+        let oper = RetryPolicy::builder().operational().build();
+        assert!(oper.enabled());
+        assert!(oper.max_attempts > 1);
+        assert!(oper.base_backoff > SimDuration::ZERO);
+        assert!(oper.max_backoff >= oper.base_backoff);
         // Setters applied after a preset still win.
         let p = RetryPolicy::builder().operational().max_attempts(3).build();
         assert_eq!(p.max_attempts, 3);

@@ -38,7 +38,7 @@ use std::rc::Rc;
 use bytes::Bytes;
 use daosim_kernel::rng::splitmix64;
 use daosim_kernel::{AdmissionPolicy, SchedPolicy, Sim, SimDuration};
-use daosim_objstore::{
+use daosim_objstore::prelude::{
     ArrayHandle, DaosApi, DaosError, EventQueue, ObjectClass, Oid, OidAllocator, OpOutput, Uuid,
 };
 

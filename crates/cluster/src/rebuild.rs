@@ -25,7 +25,7 @@ use std::rc::Rc;
 use daosim_kernel::sync::{join_all, Semaphore};
 use daosim_kernel::SimDuration;
 use daosim_objstore::placement::{ec_targets, replica_targets, stripe_targets};
-use daosim_objstore::{ObjectClass, Oid, Uuid};
+use daosim_objstore::prelude::{ObjectClass, Oid, Uuid};
 
 use crate::deploy::Deployment;
 
@@ -199,8 +199,7 @@ mod tests {
     use crate::deploy::ClusterSpec;
     use bytes::Bytes;
     use daosim_kernel::Sim;
-    use daosim_objstore::api::DaosApi;
-    use daosim_objstore::OidAllocator;
+    use daosim_objstore::prelude::{DaosApi, OidAllocator};
     use std::cell::RefCell;
 
     const MIB: u64 = 1024 * 1024;

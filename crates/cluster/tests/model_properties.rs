@@ -7,8 +7,7 @@ use bytes::Bytes;
 use daosim_cluster::{ClusterSpec, Deployment, SimClient};
 use daosim_kernel::Sim;
 use daosim_net::{ProviderProfile, GIB};
-use daosim_objstore::api::DaosApi;
-use daosim_objstore::{ObjectClass, Oid, OidAllocator, Uuid};
+use daosim_objstore::prelude::{DaosApi, ObjectClass, Oid, OidAllocator, Uuid};
 
 const MIB: u64 = 1024 * 1024;
 

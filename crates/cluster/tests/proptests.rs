@@ -8,8 +8,7 @@ use bytes::Bytes;
 use daosim_cluster::{ClusterSpec, Deployment, SimClient};
 use daosim_kernel::Sim;
 use daosim_net::ProviderProfile;
-use daosim_objstore::api::DaosApi;
-use daosim_objstore::{ObjectClass, Oid, Uuid};
+use daosim_objstore::prelude::{DaosApi, ObjectClass, Oid, Uuid};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]

@@ -39,8 +39,9 @@ use bytes::{BufMut, Bytes, BytesMut};
 
 use daosim_kernel::sync::join_all;
 use daosim_kernel::AdmissionPolicy;
-use daosim_objstore::api::{DaosApi, Event, EventQueue, OidAllocator, OpOutput};
-use daosim_objstore::{DaosError, ObjectClass, Oid, Uuid};
+use daosim_objstore::prelude::{
+    DaosApi, DaosError, Event, EventQueue, ObjectClass, Oid, OidAllocator, OpOutput, Uuid,
+};
 
 use crate::key::{FieldKey, KeyPart, KeySchema};
 
@@ -115,14 +116,6 @@ impl FieldIoConfig {
         FieldIoConfigBuilder {
             cfg: FieldIoConfig::default(),
         }
-    }
-
-    #[deprecated(
-        since = "0.1.0",
-        note = "use FieldIoConfig::builder().mode(mode).build()"
-    )]
-    pub fn with_mode(mode: FieldIoMode) -> Self {
-        FieldIoConfig::builder().mode(mode).build()
     }
 }
 
@@ -1027,7 +1020,7 @@ impl<D: DaosApi> PipelinedWriter<'_, D> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use daosim_objstore::api::EmbeddedClient;
+    use daosim_objstore::prelude::EmbeddedClient;
     use daosim_objstore::DaosStore;
 
     fn block_on<F: std::future::Future>(fut: F) -> F::Output {
@@ -1292,15 +1285,14 @@ mod tests {
     // -- new-in-this-PR surface --------------------------------------------
 
     #[test]
-    fn builder_matches_deprecated_with_mode() {
+    fn builder_mode_only_differs_from_default_in_mode() {
         for mode in FieldIoMode::all() {
             let a = FieldIoConfig::builder().mode(mode).build();
-            #[allow(deprecated)]
-            let b = FieldIoConfig::with_mode(mode);
-            assert_eq!(a.mode, b.mode);
-            assert_eq!(a.kv_class, b.kv_class);
-            assert_eq!(a.array_class, b.array_class);
-            assert_eq!(a.inflight_window, b.inflight_window);
+            let d = FieldIoConfig::default();
+            assert_eq!(a.mode, mode);
+            assert_eq!(a.kv_class, d.kv_class);
+            assert_eq!(a.array_class, d.array_class);
+            assert_eq!(a.inflight_window, d.inflight_window);
             assert_eq!(a.inflight_window, 1);
         }
         let w = FieldIoConfig::builder().window(8).build();

@@ -13,7 +13,7 @@ use bytes::Bytes;
 
 use crate::fieldio::{FieldIoError, FieldResult, FieldStore};
 use crate::key::FieldKey;
-use daosim_objstore::api::DaosApi;
+use daosim_objstore::prelude::DaosApi;
 
 /// A request: each keyword carries one or more values; the request
 /// expands to the cartesian product of all value lists.
@@ -164,7 +164,7 @@ pub async fn archive_all<D: DaosApi>(
 mod tests {
     use super::*;
     use crate::fieldio::FieldIoConfig;
-    use daosim_objstore::api::EmbeddedClient;
+    use daosim_objstore::prelude::EmbeddedClient;
     use daosim_objstore::DaosStore;
 
     fn block_on<F: std::future::Future>(fut: F) -> F::Output {

@@ -160,6 +160,7 @@ pub fn ideal_vs_realistic(scale: &Scale) -> Report {
             iterations: 1,
             file_mode: daosim_ior::FileMode::FilePerProcess,
             inflight: 1,
+            api: daosim_ior::Api::Daos,
         },
     );
     let fio = run_pattern_a(&field_cfg(

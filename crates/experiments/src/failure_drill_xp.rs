@@ -5,7 +5,7 @@
 //! later) while a deterministic fault campaign plays out underneath:
 //! an engine is killed mid-window and rebuilt, a second engine suffers
 //! a transient brownout, and the dead engine is eventually restarted.
-//! Clients run the [`RetryPolicy::operational`] policy, so transient
+//! Clients run the `RetryPolicy::builder().operational()` policy, so transient
 //! failures are retried with backoff and the pool map is re-consulted
 //! after failover.
 //!

@@ -83,6 +83,7 @@ pub fn fig3(scale: &Scale) -> Report {
             iterations: 1,
             file_mode: daosim_ior::FileMode::FilePerProcess,
             inflight: 1,
+            api: daosim_ior::Api::Daos,
         };
         let (w, r) = best_over_ppn(spec, ppns, params);
         (servers, clients, w, r)
@@ -286,6 +287,7 @@ pub fn fig7(scale: &Scale) -> Report {
             iterations: 1,
             file_mode: daosim_ior::FileMode::FilePerProcess,
             inflight: 1,
+            api: daosim_ior::Api::Daos,
         };
         let (w, r) = best_over_ppn(spec, &ppns, params);
         (c.provider, c.clients, w, r)

@@ -1,0 +1,156 @@
+//! Beyond-paper extension: IOR `api=DFS` vs `api=DAOS` interface
+//! overhead per transfer size.
+//!
+//! The interface studies around the source paper run IOR twice per
+//! configuration — once against raw DAOS Arrays, once through the DFS
+//! POSIX emulation — and report how much the namespace costs. The data
+//! path is identical (DFS files *are* Arrays); the delta is purely
+//! dirent traffic: a conditional dirent insert per create, a path walk
+//! per open, a size update per dirty close. This experiment sweeps the
+//! transfer size at a fixed segment count and reports the
+//! `DAOS_bw / DFS_bw` overhead ratio for writes and reads, reproducing
+//! the papers' ranking: the metadata tax is visible on small transfers
+//! and vanishes (ratio → 1) once transfers are large enough to amortize
+//! it.
+//!
+//! All numbers are sim-derived, so reruns are byte-identical.
+
+use std::fmt::Write as _;
+
+use daosim_cluster::ClusterSpec;
+use daosim_ior::{run_ior, Api, FileMode, IorParams};
+use daosim_objstore::prelude::ObjectClass;
+
+use crate::harness::{gib, parallel_map, Report, Scale};
+
+const KIB: u64 = 1024;
+
+/// Transfer sizes swept (`-t = -b`), small enough that dirent traffic
+/// shows, large enough that it drowns.
+pub const TRANSFER_KIB: [u64; 5] = [16, 64, 256, 1024, 4096];
+
+fn point(transfer_kib: u64, segments: u32, api: Api) -> IorParams {
+    // SX striping: every file spreads over all targets, so the two runs
+    // share one data-path shape and the measured delta is purely the
+    // namespace (S1 would add single-stripe placement luck per oid draw).
+    IorParams {
+        transfer_bytes: transfer_kib * KIB,
+        segments,
+        procs_per_node: 4,
+        class: ObjectClass::SX,
+        iterations: 1,
+        file_mode: FileMode::FilePerProcess,
+        inflight: 1,
+        api,
+    }
+}
+
+/// Runs the interface sweep and renders the report plus the
+/// `BENCH_ior_interfaces.json` artifact.
+pub fn ior_interfaces(scale: &Scale) -> Report {
+    let spec = ClusterSpec::tcp(1, 2);
+    // Few segments per point: the per-file dirent cost is fixed, so a
+    // small byte total keeps it visible at the small-transfer end.
+    let segments = scale.segments.clamp(2, 8);
+    let results = parallel_map(TRANSFER_KIB.to_vec(), |&t| {
+        let daos = run_ior(spec, point(t, segments, Api::Daos));
+        let dfs = run_ior(spec, point(t, segments, Api::Dfs));
+        (t, daos, dfs)
+    });
+    let mut rep = Report::new(
+        "ior-interfaces",
+        "Extension: IOR api=DFS vs api=DAOS — namespace overhead vs transfer size",
+        &[
+            "transfer_KiB",
+            "daos_write_GiB/s",
+            "dfs_write_GiB/s",
+            "write_overhead",
+            "daos_read_GiB/s",
+            "dfs_read_GiB/s",
+            "read_overhead",
+        ],
+    );
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"experiment\": \"ior-interfaces\",");
+    let _ = writeln!(
+        json,
+        "  \"cluster\": \"tcp(server_nodes=1, client_nodes=2)\","
+    );
+    let _ = writeln!(json, "  \"procs_per_node\": 4,");
+    let _ = writeln!(json, "  \"segments\": {segments},");
+    let _ = writeln!(json, "  \"file_mode\": \"file-per-process\",");
+    let _ = writeln!(json, "  \"overhead\": \"daos_bw / dfs_bw\",");
+    let _ = writeln!(json, "  \"rows\": [");
+    for (i, (t, daos, dfs)) in results.iter().enumerate() {
+        let w_over = daos.write_bw() / dfs.write_bw();
+        let r_over = daos.read_bw() / dfs.read_bw();
+        rep.row(vec![
+            t.to_string(),
+            gib(daos.write_bw()),
+            gib(dfs.write_bw()),
+            format!("{w_over:.3}"),
+            gib(daos.read_bw()),
+            gib(dfs.read_bw()),
+            format!("{r_over:.3}"),
+        ]);
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"transfer_kib\": {t}, \"daos_write_gib_s\": {}, \"dfs_write_gib_s\": {}, \"write_overhead\": {w_over}, \"daos_read_gib_s\": {}, \"dfs_read_gib_s\": {}, \"read_overhead\": {r_over}}}{comma}",
+            daos.write_bw(),
+            dfs.write_bw(),
+            daos.read_bw(),
+            dfs.read_bw(),
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    rep.note(format!(
+        "8 procs x {segments} segments per point, inflight 1; DFS adds per-file dirent create/walk/update inside the measured window"
+    ));
+    rep.artifact("BENCH_ior_interfaces.json", json);
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_shrinks_with_transfer_size() {
+        let rep = ior_interfaces(&Scale::quick());
+        assert_eq!(rep.rows().len(), TRANSFER_KIB.len());
+        let write_over: Vec<f64> = rep.rows().iter().map(|r| r[3].parse().unwrap()).collect();
+        let read_over: Vec<f64> = rep.rows().iter().map(|r| r[6].parse().unwrap()).collect();
+        // DFS never beats raw DAOS (same data path plus extra metadata).
+        assert!(
+            write_over.iter().chain(&read_over).all(|&o| o >= 1.0),
+            "overhead below 1: {write_over:?} {read_over:?}"
+        );
+        // The papers' ranking: the smallest transfer pays the most, the
+        // largest has amortized the namespace almost completely away.
+        let (w_first, w_last) = (write_over[0], *write_over.last().unwrap());
+        assert!(
+            w_first > w_last,
+            "small-transfer write overhead {w_first} should exceed large-transfer {w_last}"
+        );
+        assert!(
+            w_last < 1.10,
+            "large transfers should amortize DFS write overhead, got {w_last}"
+        );
+        let (r_first, r_last) = (read_over[0], *read_over.last().unwrap());
+        assert!(
+            r_first > r_last,
+            "small-transfer read overhead {r_first} should exceed large-transfer {r_last}"
+        );
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let a = ior_interfaces(&Scale::quick());
+        let b = ior_interfaces(&Scale::quick());
+        assert_eq!(a.rows(), b.rows());
+        assert_eq!(a.artifacts(), b.artifacts());
+    }
+}

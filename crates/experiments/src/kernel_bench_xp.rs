@@ -229,6 +229,7 @@ pub fn kernel_bench(scale: &Scale) -> Report {
         iterations: 1,
         file_mode: FileMode::FilePerProcess,
         inflight: 1,
+        api: daosim_ior::Api::Daos,
     };
     let t0 = Instant::now();
     let ior = run_ior(ClusterSpec::tcp(servers, client_nodes), params);

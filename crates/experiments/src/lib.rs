@@ -10,6 +10,7 @@ pub mod ablations;
 pub mod failure_drill_xp;
 pub mod figures;
 pub mod harness;
+pub mod ior_interfaces_xp;
 pub mod kernel_bench_xp;
 pub mod nwp_cycle_xp;
 pub mod pipeline;
@@ -30,7 +31,7 @@ use daosim_kernel::SimDuration;
 use harness::{Report, Scale};
 
 /// Every experiment by name.
-pub const EXPERIMENTS: [&str; 16] = [
+pub const EXPERIMENTS: [&str; 17] = [
     "table1",
     "table2",
     "fig3",
@@ -41,6 +42,7 @@ pub const EXPERIMENTS: [&str; 16] = [
     "ablations",
     "pipeline",
     "pipeline-window",
+    "ior-interfaces",
     "replication",
     "rebuild",
     "failure-drill",
@@ -62,6 +64,7 @@ pub fn run_experiment(name: &str, scale: &Scale) -> Vec<Report> {
         "ablations" => ablations::all(scale),
         "pipeline" => vec![pipeline::pipeline(scale)],
         "pipeline-window" => vec![window_sweep::window_sweep(scale)],
+        "ior-interfaces" => vec![ior_interfaces_xp::ior_interfaces(scale)],
         "replication" => vec![replication::replication(scale)],
         "rebuild" => vec![rebuild_xp::rebuild(scale)],
         "failure-drill" => vec![failure_drill_xp::failure_drill(scale)],

@@ -43,26 +43,28 @@ fn spec(faults: bool) -> ClusterSpec {
 /// policy (not raw bandwidth) decides the writer tail. The full shape
 /// doubles the fleet and adds a step so the separation is unmistakable.
 fn cycle_config(scale: &Scale, layout: IndexLayout, admission: AdmissionPolicy) -> CycleConfig {
-    let mut cfg = CycleConfig::small(layout);
-    cfg.writers = 6;
-    cfg.readers = 32;
-    cfg.steps = 3;
-    cfg.fields_per_step = 3;
-    cfg.field_bytes = 512 * 1024;
-    cfg.step_interval = SimDuration::from_millis(16);
-    cfg.write_window = 4;
-    cfg.read_window = 8;
-    cfg.reads_per_step = 8;
+    let mut b = CycleConfig::builder(layout)
+        .writers(6)
+        .readers(32)
+        .steps(3)
+        .fields_per_step(3)
+        .field_bytes(512 * 1024)
+        .step_interval(SimDuration::from_millis(16))
+        .write_window(4)
+        .read_window(8)
+        .reads_per_step(8);
     if scale.ops_per_proc >= 30 {
-        cfg.writers = 8;
-        cfg.readers = 48;
-        cfg.steps = 4;
-        cfg.fields_per_step = 4;
-        cfg.step_interval = SimDuration::from_millis(25);
-        cfg.write_window = 8;
+        b = b
+            .writers(8)
+            .readers(48)
+            .steps(4)
+            .fields_per_step(4)
+            .step_interval(SimDuration::from_millis(25))
+            .write_window(8);
     }
-    cfg.admission = admission;
-    cfg
+    b.admission(admission)
+        .build()
+        .expect("experiment cycle shape is statically nonzero")
 }
 
 /// The optional contention + failure axis: a seeded random campaign over

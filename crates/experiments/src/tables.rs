@@ -157,6 +157,7 @@ pub fn table1(scale: &Scale) -> Report {
             iterations: 1,
             file_mode: daosim_ior::FileMode::FilePerProcess,
             inflight: 1,
+            api: daosim_ior::Api::Daos,
         };
         let (w, r) = best_over_ppn(spec, &ppns, params);
         (

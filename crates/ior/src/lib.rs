@@ -21,10 +21,12 @@ use serde::Serialize;
 use daosim_cluster::{ClusterSpec, Deployment, SimClient};
 use daosim_core::metrics::{phase_stats, EventKind, PhaseStats, Recorder};
 use daosim_core::workload::payload;
+use daosim_dfs::{DfsConfig, DfsError, DfsHandle};
 use daosim_kernel::sync::Barrier;
 use daosim_kernel::{Sim, SpanEvent};
-use daosim_objstore::api::{DaosApi, EventQueue, OpOutput};
-use daosim_objstore::{ObjectClass, Oid, OidAllocator, Uuid};
+use daosim_objstore::prelude::{
+    DaosApi, EventQueue, ObjectClass, Oid, OidAllocator, OpOutput, Uuid,
+};
 
 /// File layout, IOR's `-F` axis.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -34,6 +36,19 @@ pub enum FileMode {
     FilePerProcess,
     /// No `-F`: one shared object; each rank owns a disjoint extent.
     SharedFile,
+}
+
+/// Client interface, IOR's `-a` axis: the two DAOS-native backends the
+/// interface studies compare.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Api {
+    /// `-a DAOS`: raw Array objects addressed by oid, no namespace.
+    #[default]
+    Daos,
+    /// `-a DFS`: testfiles resolved by path through the `daosim-dfs`
+    /// namespace — every open walks dirents, every create/close updates
+    /// them, on top of the same Array data path.
+    Dfs,
 }
 
 /// IOR invocation parameters (the subset the paper sweeps).
@@ -58,6 +73,8 @@ pub struct IorParams {
     /// each, launched through a `daos_eq`-style event queue with at most
     /// `inflight` operations outstanding.
     pub inflight: u32,
+    /// `-a`: raw DAOS Arrays, or DFS paths layered over them.
+    pub api: Api,
 }
 
 impl IorParams {
@@ -70,6 +87,7 @@ impl IorParams {
             class: ObjectClass::S1,
             iterations: 1,
             file_mode: FileMode::FilePerProcess,
+            api: Api::Daos,
             inflight: 1,
         }
     }
@@ -145,6 +163,113 @@ pub fn run_ior_on(sim: &Sim, spec: ClusterSpec, params: IorParams) -> IorResult 
                 FileMode::FilePerProcess => 0,
                 FileMode::SharedFile => p as u64 * bytes,
             };
+
+            if params.api == Api::Dfs {
+                // `-a DFS`: every rank mounts the namespace (the
+                // superblock insert race resolves to one winner) and
+                // addresses its testfile by path under /ior, like the
+                // IOR DFS backend's `--dfs.dir`. The data path is the
+                // same Array machinery as `-a DAOS`; the delta under
+                // measurement is purely dirent lookups and updates.
+                let dfs = DfsHandle::mount_with(
+                    client.clone(),
+                    cont_uuid,
+                    p + 1,
+                    DfsConfig {
+                        file_class: params.class,
+                        ..DfsConfig::default()
+                    },
+                )
+                .await
+                .unwrap();
+                match dfs.mkdir("/ior").await {
+                    Ok(()) | Err(DfsError::Exists(_)) => {}
+                    Err(e) => panic!("mkdir /ior: {e}"),
+                }
+                for iter in 0..params.iterations.max(1) {
+                    let path = match params.file_mode {
+                        FileMode::FilePerProcess => format!("/ior/testfile.{iter}.{p}"),
+                        FileMode::SharedFile => format!("/ior/testfile.{iter}"),
+                    };
+
+                    // ---- write phase ----
+                    barrier.wait().await; // initial barrier
+                    barrier.wait().await; // pre-I/O barrier
+                    write_rec.record(node, p, iter, EventKind::IoStart, sim2.now(), 0);
+                    write_rec.record(node, p, iter, EventKind::OpenStart, sim2.now(), 0);
+                    let mut file = match params.file_mode {
+                        FileMode::FilePerProcess => dfs.create(&path).await.unwrap(),
+                        FileMode::SharedFile => dfs.open_or_create(&path).await.unwrap(),
+                    };
+                    write_rec.record(node, p, iter, EventKind::OpenEnd, sim2.now(), 0);
+                    write_rec.record(node, p, iter, EventKind::XferStart, sim2.now(), 0);
+                    if params.inflight > 1 {
+                        let mut w = dfs.writer(file, params.inflight);
+                        let t = params.transfer_bytes as usize;
+                        for s in 0..params.segments {
+                            let chunk = data.slice(s as usize * t..(s as usize + 1) * t);
+                            w.submit(my_offset + s as u64 * params.transfer_bytes, chunk)
+                                .await
+                                .unwrap();
+                        }
+                        file = w.finish().await.unwrap();
+                    } else {
+                        dfs.write(&mut file, my_offset, data.clone()).await.unwrap();
+                    }
+                    write_rec.record(node, p, iter, EventKind::XferEnd, sim2.now(), 0);
+                    write_rec.record(node, p, iter, EventKind::CloseStart, sim2.now(), 0);
+                    dfs.close(file).await.unwrap();
+                    write_rec.record(node, p, iter, EventKind::CloseEnd, sim2.now(), 0);
+                    write_rec.record(node, p, iter, EventKind::IoEnd, sim2.now(), bytes);
+                    barrier.wait().await; // post-I/O barrier
+                    barrier.wait().await; // final barrier
+
+                    // ---- read phase ----
+                    barrier.wait().await;
+                    barrier.wait().await;
+                    read_rec.record(node, p, iter, EventKind::IoStart, sim2.now(), 0);
+                    read_rec.record(node, p, iter, EventKind::OpenStart, sim2.now(), 0);
+                    let file = dfs.open(&path).await.unwrap();
+                    read_rec.record(node, p, iter, EventKind::OpenEnd, sim2.now(), 0);
+                    read_rec.record(node, p, iter, EventKind::XferStart, sim2.now(), 0);
+                    if params.inflight > 1 {
+                        // Pipelined reads ride the raw Array handle so the
+                        // async window matches the `-a DAOS` path exactly.
+                        let eq = EventQueue::new(client.clone());
+                        let mut got_bytes = 0u64;
+                        let mut harvest = |r: Result<OpOutput, _>| match r.unwrap() {
+                            OpOutput::Data(b) => got_bytes += b.len() as u64,
+                            other => panic!("array_read returned {other:?}"),
+                        };
+                        for s in 0..params.segments {
+                            for (_, r) in eq.wait_capacity(params.inflight as usize).await {
+                                harvest(r);
+                            }
+                            eq.array_read(
+                                &cont,
+                                file.array(),
+                                my_offset + s as u64 * params.transfer_bytes,
+                                params.transfer_bytes,
+                            );
+                        }
+                        for (_, r) in eq.wait_all().await {
+                            harvest(r);
+                        }
+                        assert_eq!(got_bytes, bytes, "short IOR read");
+                    } else {
+                        let got = dfs.read(&file, my_offset, bytes).await.unwrap();
+                        assert_eq!(got.len() as u64, bytes, "short IOR read");
+                    }
+                    read_rec.record(node, p, iter, EventKind::XferEnd, sim2.now(), 0);
+                    read_rec.record(node, p, iter, EventKind::CloseStart, sim2.now(), 0);
+                    dfs.close(file).await.unwrap();
+                    read_rec.record(node, p, iter, EventKind::CloseEnd, sim2.now(), 0);
+                    read_rec.record(node, p, iter, EventKind::IoEnd, sim2.now(), bytes);
+                    barrier.wait().await;
+                    barrier.wait().await;
+                }
+                return;
+            }
 
             for iter in 0..params.iterations.max(1) {
                 // Fresh object per repetition: per-process, or one shared
@@ -294,6 +419,7 @@ mod tests {
                 class: ObjectClass::S1,
                 iterations: 1,
                 file_mode: FileMode::FilePerProcess,
+                api: Api::Daos,
                 inflight: 1,
             },
         )
@@ -309,6 +435,7 @@ mod tests {
             class: ObjectClass::S1,
             iterations: 1,
             file_mode: FileMode::FilePerProcess,
+            api: Api::Daos,
             inflight: 1,
         };
         let plain = run_ior(spec, params);
@@ -379,6 +506,7 @@ mod tests {
                 class: ObjectClass::S1,
                 iterations: 3,
                 file_mode: FileMode::FilePerProcess,
+                api: Api::Daos,
                 inflight: 1,
             },
         );
@@ -395,6 +523,7 @@ mod tests {
                 class: ObjectClass::S1,
                 iterations: 1,
                 file_mode: FileMode::FilePerProcess,
+                api: Api::Daos,
                 inflight: 1,
             },
         );
@@ -413,6 +542,7 @@ mod tests {
                 class: ObjectClass::SX,
                 iterations: 1,
                 file_mode: FileMode::SharedFile,
+                api: Api::Daos,
                 inflight: 1,
             },
         );
@@ -435,6 +565,7 @@ mod tests {
                 class: ObjectClass::SX,
                 iterations: 1,
                 file_mode: FileMode::SharedFile,
+                api: Api::Daos,
                 inflight: 1,
             },
         );
@@ -455,6 +586,7 @@ mod tests {
             class: ObjectClass::S1,
             iterations: 1,
             file_mode: FileMode::FilePerProcess,
+            api: Api::Daos,
             inflight: 1,
         };
         let sync = run_ior(ClusterSpec::tcp(1, 2), base);
@@ -503,6 +635,7 @@ mod tests {
             class: ObjectClass::S1,
             iterations: 1,
             file_mode: FileMode::FilePerProcess,
+            api: Api::Daos,
             inflight: 2,
         };
         let policies = [
@@ -528,6 +661,95 @@ mod tests {
     }
 
     #[test]
+    fn dfs_api_pays_interface_overhead_on_small_transfers() {
+        // Same cluster, same byte totals; the DFS run adds dirent
+        // create/lookup/update traffic inside the measured window, so at
+        // small transfers its bandwidth sits strictly below raw DAOS.
+        let base = IorParams {
+            transfer_bytes: 16 * 1024,
+            segments: 2,
+            procs_per_node: 4,
+            class: ObjectClass::S1,
+            iterations: 1,
+            file_mode: FileMode::FilePerProcess,
+            inflight: 1,
+            api: Api::Daos,
+        };
+        let daos = run_ior(ClusterSpec::tcp(1, 1), base);
+        let dfs = run_ior(
+            ClusterSpec::tcp(1, 1),
+            IorParams {
+                api: Api::Dfs,
+                ..base
+            },
+        );
+        assert_eq!(dfs.write.total_bytes, daos.write.total_bytes);
+        assert_eq!(dfs.read.total_bytes, daos.read.total_bytes);
+        assert!(dfs.write_bw() > 0.0 && dfs.read_bw() > 0.0);
+        assert!(
+            dfs.write_bw() < daos.write_bw(),
+            "dfs write {} should trail daos {}",
+            dfs.write_bw(),
+            daos.write_bw()
+        );
+        assert!(
+            dfs.read_bw() < daos.read_bw(),
+            "dfs read {} should trail daos {}",
+            dfs.read_bw(),
+            daos.read_bw()
+        );
+        // And the DFS path stays deterministic.
+        let again = run_ior(
+            ClusterSpec::tcp(1, 1),
+            IorParams {
+                api: Api::Dfs,
+                ..base
+            },
+        );
+        assert_eq!(dfs.write_bw().to_bits(), again.write_bw().to_bits());
+        assert_eq!(dfs.read_bw().to_bits(), again.read_bw().to_bits());
+    }
+
+    #[test]
+    fn dfs_api_runs_shared_file_and_pipelined_modes() {
+        // Shared file: all ranks open-or-create one path; disjoint
+        // extents land in one Array sized by the last close.
+        let shared = run_ior(
+            ClusterSpec::tcp(1, 2),
+            IorParams {
+                transfer_bytes: MIB,
+                segments: 4,
+                procs_per_node: 4,
+                class: ObjectClass::SX,
+                iterations: 1,
+                file_mode: FileMode::SharedFile,
+                inflight: 1,
+                api: Api::Dfs,
+            },
+        );
+        assert_eq!(shared.write.total_bytes, 8 * 4 * MIB);
+        assert_eq!(shared.read.total_bytes, 8 * 4 * MIB);
+        assert!(shared.write_bw() > 0.0 && shared.read_bw() > 0.0);
+        // Pipelined: the windowed writer and raw-handle reads move every
+        // byte with the same asserts as the DAOS async path.
+        let pip = run_ior(
+            ClusterSpec::tcp(1, 1),
+            IorParams {
+                transfer_bytes: MIB,
+                segments: 8,
+                procs_per_node: 4,
+                class: ObjectClass::S1,
+                iterations: 1,
+                file_mode: FileMode::FilePerProcess,
+                inflight: 4,
+                api: Api::Dfs,
+            },
+        );
+        assert_eq!(pip.write.total_bytes, 4 * 8 * MIB);
+        assert_eq!(pip.read.total_bytes, 4 * 8 * MIB);
+    }
+
+    #[test]
     fn best_over_ppn_picks_max() {
         let (w, r) = best_over_ppn(
             ClusterSpec::tcp(1, 1),
@@ -539,6 +761,7 @@ mod tests {
                 class: ObjectClass::S1,
                 iterations: 1,
                 file_mode: FileMode::FilePerProcess,
+                api: Api::Daos,
                 inflight: 1,
             },
         );

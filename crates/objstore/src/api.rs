@@ -107,6 +107,31 @@ pub trait DaosApi: Clone + 'static {
     /// Key-Value fetch; `None` when the key (or the KV itself) is absent.
     async fn kv_get(&self, cont: &Self::Cont, oid: Oid, key: &[u8]) -> Result<Option<Bytes>>;
 
+    /// Conditional Key-Value insert: writes `key` only if it is absent
+    /// and returns the previously-present value when the insert loses.
+    /// Backends make the check-and-insert atomic (one serial section at
+    /// the object's leader), which is what makes racing `DFS`
+    /// create/mkdir calls converge on a single winning dirent. The
+    /// default implementation is a non-atomic get-then-put fallback for
+    /// backends without conditional updates.
+    async fn kv_put_if_absent(
+        &self,
+        cont: &Self::Cont,
+        oid: Oid,
+        key: &[u8],
+        value: Bytes,
+    ) -> Result<Option<Bytes>> {
+        if let Some(existing) = self.kv_get(cont, oid, key).await? {
+            return Ok(Some(existing));
+        }
+        self.kv_put(cont, oid, key, value).await?;
+        Ok(None)
+    }
+
+    /// Key-Value key removal (`daos_kv_remove`). Removing an absent key
+    /// — or a key of a never-written KV — is a successful no-op.
+    async fn kv_remove(&self, cont: &Self::Cont, oid: Oid, key: &[u8]) -> Result<()>;
+
     /// Lists the keys of a Key-Value object.
     async fn kv_list_keys(&self, cont: &Self::Cont, oid: Oid) -> Result<Vec<Bytes>>;
 
@@ -685,6 +710,30 @@ impl DaosApi for EmbeddedClient {
 
     async fn kv_get(&self, cont: &Self::Cont, oid: Oid, key: &[u8]) -> Result<Option<Bytes>> {
         cont.kv_get(oid, key)
+    }
+
+    async fn kv_put_if_absent(
+        &self,
+        cont: &Self::Cont,
+        oid: Oid,
+        key: &[u8],
+        value: Bytes,
+    ) -> Result<Option<Bytes>> {
+        // Only a winning insert consumes pool capacity.
+        match cont.kv_put_if_absent(oid, key, value.clone())? {
+            Some(existing) => Ok(Some(existing)),
+            None => {
+                self.pool.charge((key.len() + value.len()) as u64)?;
+                Ok(None)
+            }
+        }
+    }
+
+    async fn kv_remove(&self, cont: &Self::Cont, oid: Oid, key: &[u8]) -> Result<()> {
+        match cont.kv_remove(oid, key) {
+            Ok(_) | Err(DaosError::ObjNotFound(_)) => Ok(()),
+            Err(e) => Err(e),
+        }
     }
 
     async fn kv_list_keys(&self, cont: &Self::Cont, oid: Oid) -> Result<Vec<Bytes>> {

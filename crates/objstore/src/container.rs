@@ -126,6 +126,27 @@ impl Container {
         }
     }
 
+    /// Conditional insert into KV `oid`: writes `key` only if it is
+    /// absent, returning the already-present value when the insert
+    /// loses. Check and insert happen under one object-lock
+    /// acquisition — the atomic dirent insert the DFS namespace's
+    /// create/mkdir race-resolution relies on.
+    pub fn kv_put_if_absent(&self, oid: Oid, key: &[u8], value: Bytes) -> Result<Option<Bytes>> {
+        self.ops.kv_updates.fetch_add(1, Ordering::Relaxed);
+        let obj = self.get_or_create_kv(oid)?;
+        let mut guard = obj.write();
+        match &mut *guard {
+            Object::Kv(kv) => match kv.get(key) {
+                Some(existing) => Ok(Some(existing)),
+                None => {
+                    kv.put(key, value);
+                    Ok(None)
+                }
+            },
+            Object::Array(_) => Err(DaosError::WrongType(oid)),
+        }
+    }
+
     /// Vectorized insert into KV `oid`: all pairs land under one object
     /// lock acquisition (the batch the event-queue layer ships as a
     /// single request). Equivalent to `kv_put` of each pair in order.

@@ -39,6 +39,21 @@ pub use api::{
     ArrayHandle, DaosApi, EmbeddedClient, EqCapacity, EqWait, Event, EventQueue, OidAllocator,
     OpFuture, OpOutput,
 };
+
+/// The blessed client-facing surface, in one import: the [`api::DaosApi`]
+/// trait, the event-queue machinery, handles, ids and error types every
+/// frontend (field I/O, IOR, DFS, future backends) builds on. Frontends
+/// import from here; store internals (placement, EC, snapshots, pools)
+/// stay at their crate paths.
+pub mod prelude {
+    pub use crate::api::{
+        ArrayHandle, DaosApi, EmbeddedClient, EqCapacity, EqWait, Event, EventQueue, OidAllocator,
+        OpFuture, OpOutput,
+    };
+    pub use crate::error::{DaosError, Result};
+    pub use crate::oid::{ObjectClass, Oid};
+    pub use crate::uuid::Uuid;
+}
 pub use array::ArrayObject;
 pub use container::{Container, ContainerStats, Object, OpCounts};
 pub use error::{DaosError, Result};

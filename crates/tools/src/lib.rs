@@ -24,6 +24,7 @@ use daosim_core::metrics::anchored_bandwidth_timeline;
 use daosim_core::obs::{chrome_trace_json, json_is_wellformed, validate_spans};
 use daosim_core::request::{retrieve, Request};
 use daosim_core::trace::{replay, replay_detailed, replay_traced, Pacing, ReplayStats, Trace};
+use daosim_ior::{run_ior, Api, FileMode, IorParams};
 use daosim_kernel::SchedPolicy;
 use daosim_kernel::{AdmissionPolicy, Sim, SimDuration, SimTime};
 use daosim_objstore::api::EmbeddedClient;
@@ -94,6 +95,31 @@ pub enum Outcome {
         /// Whether a fault campaign rode on the cycle.
         faults: bool,
     },
+    Interfaces {
+        /// One row per swept transfer size, in the order requested.
+        rows: Vec<InterfaceRow>,
+    },
+}
+
+/// One `api=DAOS` vs `api=DFS` comparison point from
+/// [`cmd_ior_interfaces`]. Bandwidths are GiB/s; the overhead ratios
+/// are `daos_bw / dfs_bw` (>= 1 when the namespace costs anything).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterfaceRow {
+    pub transfer_kib: u64,
+    pub daos_write_bw: f64,
+    pub dfs_write_bw: f64,
+    pub daos_read_bw: f64,
+    pub dfs_read_bw: f64,
+}
+
+impl InterfaceRow {
+    pub fn write_overhead(&self) -> f64 {
+        self.daos_write_bw / self.dfs_write_bw
+    }
+    pub fn read_overhead(&self) -> f64 {
+        self.daos_read_bw / self.dfs_read_bw
+    }
 }
 
 /// Errors from archive commands.
@@ -571,30 +597,23 @@ pub fn cmd_nwp_cycle(
             }
         },
     };
-    for (flag, value) in [
-        ("--writers", writers as u64),
-        ("--readers", readers as u64),
-        ("--steps", steps as u64),
-        ("--fields", fields as u64),
-        ("--kib", kib),
-        ("--interval-ms", interval_ms),
-    ] {
-        if value == 0 {
-            return Err(ToolError::BadArgs(format!("{flag} must be positive")));
-        }
-    }
     let mut outcomes = Vec::with_capacity(layouts.len() * admissions.len());
     for l in layouts {
         for &adm in &admissions {
-            let mut cfg = CycleConfig::small(l);
-            cfg.writers = writers;
-            cfg.readers = readers;
-            cfg.steps = steps;
-            cfg.fields_per_step = fields;
-            cfg.field_bytes = kib * 1024;
-            cfg.step_interval = SimDuration::from_millis(interval_ms);
-            cfg.seed = seed;
-            cfg.admission = adm;
+            // The builder's build() validates the shape: any zero flag
+            // comes back as a typed CycleConfigError instead of a panic
+            // deep inside the cycle.
+            let cfg = CycleConfig::builder(l)
+                .writers(writers)
+                .readers(readers)
+                .steps(steps)
+                .fields_per_step(fields)
+                .field_bytes(kib * 1024)
+                .step_interval(SimDuration::from_millis(interval_ms))
+                .seed(seed)
+                .admission(adm)
+                .build()
+                .map_err(|e| ToolError::BadArgs(e.to_string()))?;
             let mut spec = ClusterSpec::tcp(1, 2);
             let plan = faults.then(|| {
                 spec.retry = RetryPolicy::builder().operational().build();
@@ -608,6 +627,59 @@ pub fn cmd_nwp_cycle(
         }
     }
     Ok(Outcome::Cycled { outcomes, faults })
+}
+
+/// `daosctl ior-interfaces [--segments N] [--ppn N] [--transfer-kib A,B,...]`
+///
+/// Runs the IOR interface comparison on a simulated `tcp(1, 2)` cluster:
+/// each swept transfer size is written and read twice — once against raw
+/// DAOS Arrays (`api=DAOS`), once through the `daosim-dfs` POSIX
+/// namespace (`api=DFS`) — with every other parameter shared, so the
+/// `daos_bw / dfs_bw` ratio isolates the namespace overhead (dirent
+/// create, path walk, size update per file). Files use the SX class so
+/// both runs share one data-path shape. Purely sim-driven: reruns print
+/// byte-identical output.
+pub fn cmd_ior_interfaces(transfers_kib: &[u64], segments: u32, ppn: u32) -> ToolResult {
+    if transfers_kib.is_empty() {
+        return Err(ToolError::BadArgs("--transfer-kib list is empty".into()));
+    }
+    if let Some(zero) = transfers_kib.iter().find(|&&t| t == 0) {
+        return Err(ToolError::BadArgs(format!(
+            "--transfer-kib {zero} must be positive"
+        )));
+    }
+    if segments == 0 {
+        return Err(ToolError::BadArgs("--segments must be positive".into()));
+    }
+    if ppn == 0 {
+        return Err(ToolError::BadArgs("--ppn must be positive".into()));
+    }
+    let spec = ClusterSpec::tcp(1, 2);
+    let point = |transfer_kib: u64, api: Api| IorParams {
+        transfer_bytes: transfer_kib * 1024,
+        segments,
+        procs_per_node: ppn,
+        class: ObjectClass::SX,
+        iterations: 1,
+        file_mode: FileMode::FilePerProcess,
+        inflight: 1,
+        api,
+    };
+    let rows = transfers_kib
+        .iter()
+        .map(|&t| {
+            let daos = run_ior(spec, point(t, Api::Daos));
+            let dfs = run_ior(spec, point(t, Api::Dfs));
+            InterfaceRow {
+                transfer_kib: t,
+                daos_write_bw: daos.write_bw(),
+                dfs_write_bw: dfs.write_bw(),
+                daos_read_bw: daos.read_bw(),
+                dfs_read_bw: dfs.read_bw(),
+            }
+        })
+        .collect();
+    Ok(Outcome::Interfaces { rows })
 }
 
 /// `daosctl info <archive>`
@@ -962,6 +1034,45 @@ mod tests {
             cmd_nwp_cycle(2, 4, 2, 2, 64, 0, "both", "fifo", 7, false),
         ] {
             assert!(matches!(zeroed, Err(ToolError::BadArgs(_))), "{zeroed:?}");
+        }
+    }
+
+    #[test]
+    fn ior_interfaces_reports_positive_overhead_and_is_deterministic() {
+        let out = cmd_ior_interfaces(&[16, 1024], 2, 2).unwrap();
+        match &out {
+            Outcome::Interfaces { rows } => {
+                assert_eq!(rows.len(), 2);
+                for r in rows {
+                    assert!(r.daos_write_bw > 0.0 && r.dfs_write_bw > 0.0);
+                    // Same data path plus extra dirent traffic: the DFS
+                    // run never beats the raw-array run.
+                    assert!(r.write_overhead() >= 1.0, "{r:?}");
+                    assert!(r.read_overhead() >= 1.0, "{r:?}");
+                }
+                // Small transfers pay more of the namespace tax.
+                assert!(rows[0].write_overhead() > rows[1].write_overhead());
+            }
+            other => panic!("{other:?}"),
+        }
+        let again = cmd_ior_interfaces(&[16, 1024], 2, 2).unwrap();
+        match (out, again) {
+            (Outcome::Interfaces { rows: a }, Outcome::Interfaces { rows: b }) => {
+                assert_eq!(a, b)
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ior_interfaces_rejects_empty_and_zero_shapes() {
+        for bad in [
+            cmd_ior_interfaces(&[], 2, 2),
+            cmd_ior_interfaces(&[16, 0], 2, 2),
+            cmd_ior_interfaces(&[16], 0, 2),
+            cmd_ior_interfaces(&[16], 2, 0),
+        ] {
+            assert!(matches!(bad, Err(ToolError::BadArgs(_))), "{bad:?}");
         }
     }
 

@@ -13,8 +13,9 @@ use std::path::PathBuf;
 use std::process::exit;
 
 use daosim_tools::{
-    cmd_failure_drill, cmd_fuzz, cmd_get, cmd_info, cmd_init, cmd_list, cmd_nwp_cycle, cmd_put,
-    cmd_retrieve, cmd_simulate, cmd_synth_trace, cmd_trace, cmd_wipe, Outcome,
+    cmd_failure_drill, cmd_fuzz, cmd_get, cmd_info, cmd_init, cmd_ior_interfaces, cmd_list,
+    cmd_nwp_cycle, cmd_put, cmd_retrieve, cmd_simulate, cmd_synth_trace, cmd_trace, cmd_wipe,
+    Outcome,
 };
 
 fn usage() -> ! {
@@ -35,7 +36,8 @@ fn usage() -> ! {
          fuzz        [--seeds N] [--start S] [--policy all|fifo|lifo|random|wake-delay] [--jobs N]\n\
          nwp-cycle   [--writers N] [--readers N] [--steps N] [--fields N] [--kib N]\n\
                      [--interval-ms N] [--layout shared|per-process|both]\n\
-                     [--admission fifo|writer-priority|both] [--seed S] [--faults]"
+                     [--admission fifo|writer-priority|both] [--seed S] [--faults]\n\
+         ior-interfaces [--segments N] [--ppn N] [--transfer-kib A,B,...]"
     );
     exit(2);
 }
@@ -159,6 +161,60 @@ fn main() {
                 exit(0);
             }
             Ok(_) => unreachable!("cmd_nwp_cycle returns Outcome::Cycled"),
+            Err(e) => {
+                eprintln!("daosctl: {e}");
+                exit(1);
+            }
+        }
+    }
+    // `ior-interfaces` also takes no archive: it compares the two IOR
+    // APIs (raw DAOS vs the DFS namespace) on the simulated cluster.
+    if args.first().map(String::as_str) == Some("ior-interfaces") {
+        let rest = &args[1..];
+        let transfers: Vec<u64> = match flag_value(rest, "--transfer-kib") {
+            Some(list) => list
+                .split(',')
+                .map(|t| {
+                    t.trim().parse().unwrap_or_else(|_| {
+                        eprintln!("daosctl: bad value for --transfer-kib: {t:?}");
+                        usage()
+                    })
+                })
+                .collect(),
+            None => vec![16, 64, 256, 1024, 4096],
+        };
+        let result = cmd_ior_interfaces(
+            &transfers,
+            parse_flag(rest, "--segments", 4u32),
+            parse_flag(rest, "--ppn", 4u32),
+        );
+        match result {
+            Ok(Outcome::Interfaces { rows }) => {
+                println!(
+                    "{:>12} {:>12} {:>11} {:>14} {:>11} {:>10} {:>13}",
+                    "transfer-KiB",
+                    "daos-w-GiB/s",
+                    "dfs-w-GiB/s",
+                    "write-overhead",
+                    "daos-r-GiB/s",
+                    "dfs-r-GiB/s",
+                    "read-overhead"
+                );
+                for r in &rows {
+                    println!(
+                        "{:>12} {:>12.2} {:>11.2} {:>14.3} {:>11.2} {:>10.2} {:>13.3}",
+                        r.transfer_kib,
+                        r.daos_write_bw,
+                        r.dfs_write_bw,
+                        r.write_overhead(),
+                        r.daos_read_bw,
+                        r.dfs_read_bw,
+                        r.read_overhead()
+                    );
+                }
+                exit(0);
+            }
+            Ok(_) => unreachable!("cmd_ior_interfaces returns Outcome::Interfaces"),
             Err(e) => {
                 eprintln!("daosctl: {e}");
                 exit(1);
@@ -351,6 +407,9 @@ fn main() {
         Ok(Outcome::Fuzzed { .. }) => unreachable!("fuzz is handled before the archive parse"),
         Ok(Outcome::Cycled { .. }) => {
             unreachable!("nwp-cycle is handled before the archive parse")
+        }
+        Ok(Outcome::Interfaces { .. }) => {
+            unreachable!("ior-interfaces is handled before the archive parse")
         }
         Err(e) => {
             eprintln!("daosctl: {e}");

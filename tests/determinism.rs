@@ -5,7 +5,7 @@ use daosim::cluster::ClusterSpec;
 use daosim::core::fieldio::{FieldIoConfig, FieldIoMode};
 use daosim::core::patterns::{run_pattern_a, run_pattern_b, PatternConfig};
 use daosim::core::workload::Contention;
-use daosim::ior::{run_ior, IorParams};
+use daosim::ior::{run_ior, Api, IorParams};
 use daosim::objstore::ObjectClass;
 
 const MIB: u64 = 1024 * 1024;
@@ -52,6 +52,7 @@ fn ior_runs_bit_identical() {
         iterations: 1,
         file_mode: daosim_ior::FileMode::FilePerProcess,
         inflight: 1,
+        api: Api::Daos,
     };
     let a = run_ior(ClusterSpec::tcp(1, 2), params);
     let b = run_ior(ClusterSpec::tcp(1, 2), params);

@@ -61,6 +61,7 @@ fn ior_write_bandwidth_scales_nearly_linearly() {
         iterations: 1,
         file_mode: daosim_ior::FileMode::FilePerProcess,
         inflight: 1,
+        api: daosim_ior::Api::Daos,
     };
     let two = run_ior(ClusterSpec::tcp(2, 4), params(24)).write_bw();
     let eight = run_ior(ClusterSpec::tcp(8, 16), params(24)).write_bw();
@@ -149,6 +150,7 @@ fn ior_write_bandwidth_scales_downscaled() {
         iterations: 1,
         file_mode: daosim_ior::FileMode::FilePerProcess,
         inflight: 1,
+        api: daosim_ior::Api::Daos,
     };
     let one = run_ior(ClusterSpec::tcp(1, 2), params(8)).write_bw();
     let four = run_ior(ClusterSpec::tcp(4, 8), params(8)).write_bw();
