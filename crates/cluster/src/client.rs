@@ -378,7 +378,16 @@ impl SimClient {
         let route = self.d.write_route(self.ep, engine);
         let cap = self.d.fabric.flow_cap(self.ep, engine.endpoint);
         let flow = self.d.fabric.net().transfer(&route, bytes, cap);
-        let media = cal.rpc_cpu_cost + self.d.target(t).media.write_time(bytes);
+        // Tier placement charges occupancy and prices the write at the
+        // receiving tier's rates; both tiers full is the permanent
+        // out-of-space error (DESIGN.md §14).
+        let charge = self
+            .d
+            .target(t)
+            .media
+            .charge_write(bytes)
+            .map_err(|_| DaosError::NoSpace)?;
+        let media = cal.rpc_cpu_cost + charge.time;
         self.d.target(t).tally.note_write(bytes);
         let service = self.target_service(t, media);
         let mut both = join_all(vec![
@@ -561,13 +570,22 @@ impl SimClient {
                 .map(|&t| {
                     let this = self.clone();
                     async move {
-                        let service = cal.kv_op_cost + this.d.target(t).media.write_time(bytes);
+                        let charge = this
+                            .d
+                            .target(t)
+                            .media
+                            .charge_write(bytes)
+                            .map_err(|_| DaosError::NoSpace)?;
+                        let service = cal.kv_op_cost + charge.time;
                         this.d.target(t).tally.note_write(bytes);
                         this.target_service(t, service).await;
+                        Ok::<(), DaosError>(())
                     }
                 })
                 .collect();
-            join_all(updates).await;
+            for r in join_all(updates).await {
+                r?;
+            }
             self.d.pool.charge(bytes)?;
             cont.cont.kv_put(oid, key, value)?;
         }
@@ -622,13 +640,22 @@ impl SimClient {
                     .map(|&t| {
                         let this = self.clone();
                         async move {
-                            let service = cal.kv_op_cost + this.d.target(t).media.write_time(bytes);
+                            let charge = this
+                                .d
+                                .target(t)
+                                .media
+                                .charge_write(bytes)
+                                .map_err(|_| DaosError::NoSpace)?;
+                            let service = cal.kv_op_cost + charge.time;
                             this.d.target(t).tally.note_write(bytes);
                             this.target_service(t, service).await;
+                            Ok::<(), DaosError>(())
                         }
                     })
                     .collect();
-                join_all(updates).await;
+                for r in join_all(updates).await {
+                    r?;
+                }
                 self.d.pool.charge(bytes)?;
                 cont.cont.kv_put(oid, key, value)?;
                 out = None;
@@ -669,13 +696,22 @@ impl SimClient {
                 .map(|&t| {
                     let this = self.clone();
                     async move {
-                        let service = cal.kv_op_cost + this.d.target(t).media.write_time(bytes);
+                        let charge = this
+                            .d
+                            .target(t)
+                            .media
+                            .charge_write(bytes)
+                            .map_err(|_| DaosError::NoSpace)?;
+                        let service = cal.kv_op_cost + charge.time;
                         this.d.target(t).tally.note_write(bytes);
                         this.target_service(t, service).await;
+                        Ok::<(), DaosError>(())
                     }
                 })
                 .collect();
-            join_all(updates).await;
+            for r in join_all(updates).await {
+                r?;
+            }
             match cont.cont.kv_remove(oid, key) {
                 Ok(_) | Err(DaosError::ObjNotFound(_)) => {}
                 Err(e) => return Err(e),
@@ -740,13 +776,22 @@ impl SimClient {
                 .map(|(t, bytes)| {
                     let this = self.clone();
                     async move {
-                        let service = cal.kv_op_cost + this.d.target(t).media.write_time(bytes);
+                        let charge = this
+                            .d
+                            .target(t)
+                            .media
+                            .charge_write(bytes)
+                            .map_err(|_| DaosError::NoSpace)?;
+                        let service = cal.kv_op_cost + charge.time;
                         this.d.target(t).tally.note_write(bytes);
                         this.target_service(t, service).await;
+                        Ok::<(), DaosError>(())
                     }
                 })
                 .collect();
-            join_all(updates).await;
+            for r in join_all(updates).await {
+                r?;
+            }
             let total: u64 = dests.iter().map(|(_, b)| *b).sum();
             self.d.pool.charge(total)?;
             cont.cont.kv_put_multi(oid, pairs)?;
@@ -821,7 +866,13 @@ impl SimClient {
             .map(|&t| {
                 let this = self.clone();
                 async move {
-                    let service = cal.array_create_cost + this.d.target(t).media.write_time(128);
+                    let charge = this
+                        .d
+                        .target(t)
+                        .media
+                        .charge_write(128)
+                        .map_err(|_| DaosError::NoSpace)?;
+                    let service = cal.array_create_cost + charge.time;
                     this.small_rpc(t, service).await
                 }
             })
@@ -844,7 +895,13 @@ impl SimClient {
         let cal = self.d.spec.calibration;
         let t = self.live_target(leader_target(oid, self.pool_targets()));
         self.engine_for(t)?;
-        let service = cal.array_create_cost + self.d.target(t).media.write_time(128);
+        let charge = self
+            .d
+            .target(t)
+            .media
+            .charge_write(128)
+            .map_err(|_| DaosError::NoSpace)?;
+        let service = cal.array_create_cost + charge.time;
         self.small_rpc(t, service).await?;
         cont.cont.array_open_or_create(oid)
     }

@@ -12,9 +12,11 @@ use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::Arc;
 
+use std::fmt;
+
 use daosim_kernel::sync::{AdmissionClass, AdmissionPolicy, PrioritySemaphore};
 use daosim_kernel::Sim;
-use daosim_media::{MediaTally, TargetMedia};
+use daosim_media::{MediaConfigError, MediaTally, TierPolicy, TieredMedia};
 use daosim_net::{Endpoint, Fabric, FabricSpec, LinkId, ProviderProfile};
 use daosim_objstore::prelude::{Oid, Uuid};
 use daosim_objstore::store::DEFAULT_POOL_CAPACITY;
@@ -49,6 +51,47 @@ pub struct ClusterSpec {
     /// admits `QosClass::Writer` clients ahead of readers with an aging
     /// anti-starvation credit.
     pub admission: AdmissionPolicy,
+    /// Media tier policy for every target (DESIGN.md §14).
+    /// `TierPolicy::scm_only()` (the default) reproduces the paper's
+    /// SCM-only testbed bit-for-bit; `TierPolicy::tiered()` adds the NVMe
+    /// capacity tier with SCM-write-buffer placement and watermark-driven
+    /// aggregation.
+    pub tiering: TierPolicy,
+}
+
+/// A structurally invalid [`ClusterSpec`], reported as a typed error by
+/// [`ClusterSpec::validate`] / [`Deployment::try_new`] instead of a
+/// panic deep inside deployment (the PR 8 zero-shape `BadArgs` pattern).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ClusterSpecError {
+    /// The named shape field must be non-zero.
+    Zero(&'static str),
+    /// The named field must be 1 or 2 (socket-bound resources).
+    NotOneOrTwo(&'static str),
+    /// The media tier configuration is invalid.
+    Media(MediaConfigError),
+}
+
+impl fmt::Display for ClusterSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterSpecError::Zero(field) => {
+                write!(f, "cluster spec: {field} must be non-zero")
+            }
+            ClusterSpecError::NotOneOrTwo(field) => {
+                write!(f, "cluster spec: {field} must be 1 or 2")
+            }
+            ClusterSpecError::Media(e) => write!(f, "cluster spec: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterSpecError {}
+
+impl From<MediaConfigError> for ClusterSpecError {
+    fn from(e: MediaConfigError) -> Self {
+        ClusterSpecError::Media(e)
+    }
 }
 
 impl ClusterSpec {
@@ -65,6 +108,7 @@ impl ClusterSpec {
             calibration: Calibration::nextgenio(),
             retry: RetryPolicy::builder().build(),
             admission: AdmissionPolicy::Fifo,
+            tiering: TierPolicy::scm_only(),
         }
     }
 
@@ -81,6 +125,7 @@ impl ClusterSpec {
             calibration: Calibration::nextgenio(),
             retry: RetryPolicy::builder().build(),
             admission: AdmissionPolicy::Fifo,
+            tiering: TierPolicy::scm_only(),
         }
     }
 
@@ -90,6 +135,29 @@ impl ClusterSpec {
 
     pub fn pool_targets(&self) -> u32 {
         self.engines() * self.targets_per_engine
+    }
+
+    /// Structural validation of the spec: zero shapes, socket-bound
+    /// ranges, and the media tier policy. [`Deployment::try_new`] calls
+    /// this so a bad shape is a typed error, not an assert.
+    pub fn validate(&self) -> Result<(), ClusterSpecError> {
+        if self.server_nodes == 0 {
+            return Err(ClusterSpecError::Zero("server_nodes"));
+        }
+        if self.client_nodes == 0 {
+            return Err(ClusterSpecError::Zero("client_nodes"));
+        }
+        if self.targets_per_engine == 0 {
+            return Err(ClusterSpecError::Zero("targets_per_engine"));
+        }
+        if !(1..=2).contains(&self.engines_per_node) {
+            return Err(ClusterSpecError::NotOneOrTwo("engines_per_node"));
+        }
+        if !(1..=2).contains(&self.client_sockets) {
+            return Err(ClusterSpecError::NotOneOrTwo("client_sockets"));
+        }
+        self.tiering.validate()?;
+        Ok(())
     }
 }
 
@@ -148,7 +216,7 @@ impl Drop for BacklogToken<'_> {
 /// share.
 pub struct Target {
     pub sem: PrioritySemaphore,
-    pub media: TargetMedia,
+    pub media: TieredMedia,
     /// Media operation totals, folded into the `media.*` metrics.
     pub tally: MediaTally,
     /// Accumulated busy time (ns) — service occupancy accounting.
@@ -230,11 +298,15 @@ pub struct Deployment {
 }
 
 impl Deployment {
+    /// Deploys the cluster, panicking on a structurally invalid spec.
+    /// Call [`Deployment::try_new`] to get the typed error instead.
     pub fn new(sim: &Sim, spec: ClusterSpec) -> Rc<Self> {
-        assert!(spec.server_nodes > 0 && spec.client_nodes > 0);
-        assert!(spec.engines_per_node >= 1 && spec.engines_per_node <= 2);
-        assert!(spec.client_sockets >= 1 && spec.client_sockets <= 2);
-        assert!(spec.targets_per_engine > 0);
+        Self::try_new(sim, spec).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Deploys the cluster after validating the spec.
+    pub fn try_new(sim: &Sim, spec: ClusterSpec) -> Result<Rc<Self>, ClusterSpecError> {
+        spec.validate()?;
 
         let total_nodes = spec.server_nodes + spec.client_nodes;
         let mut fabric_spec = FabricSpec::new(total_nodes, spec.provider);
@@ -267,7 +339,8 @@ impl Deployment {
                     targets: (0..spec.targets_per_engine)
                         .map(|_| Target {
                             sem: PrioritySemaphore::new(1, spec.admission),
-                            media: TargetMedia::new(cal.scm, spec.targets_per_engine),
+                            media: TieredMedia::new(cal.scm, spec.tiering, spec.targets_per_engine)
+                                .expect("spec validated above"),
                             tally: MediaTally::default(),
                             busy_ns: Cell::new(0),
                         })
@@ -300,7 +373,7 @@ impl Deployment {
             )
             .expect("fresh store");
 
-        Rc::new(Deployment {
+        Ok(Rc::new(Deployment {
             sim: sim.clone(),
             spec,
             fabric,
@@ -314,7 +387,7 @@ impl Deployment {
             resilience: ResilienceStats::new(sim.obs().metrics()),
             client_metrics: ClientMetrics::new(sim.obs().metrics()),
             backlog: BacklogGauge::default(),
-        })
+        }))
     }
 
     /// The engine owning global pool target `t`.
@@ -423,7 +496,14 @@ impl Deployment {
             let _p = t.sem.acquire_one(AdmissionClass::Normal).await;
             q.end();
             let _s = self.sim.span_leaf("media", "service");
-            let dur = t.media.write_time(bytes);
+            // Rebuild lands data like foreground writes: charge the
+            // receiving tier's occupancy. A full sink still pays the SCM
+            // service time (the stream is best-effort; the pool-level
+            // capacity check is the client's job).
+            let dur = match t.media.charge_write(bytes) {
+                Ok(charge) => charge.time,
+                Err(_) => t.media.scm().write_time(bytes),
+            };
             self.sim.sleep(dur).await;
             t.charge_busy(dur.as_nanos());
             t.tally.note_write(bytes);
@@ -549,6 +629,7 @@ impl Deployment {
         for (i, e) in self.engines.iter().enumerate() {
             let mut media = daosim_media::MediaCounts::default();
             let mut busy = 0u64;
+            let (mut scm_used, mut nvme_used, mut aggregated) = (0u64, 0u64, 0u64);
             for t in &e.targets {
                 let c = t.tally.counts();
                 media.reads += c.reads;
@@ -556,6 +637,9 @@ impl Deployment {
                 media.bytes_read += c.bytes_read;
                 media.bytes_written += c.bytes_written;
                 busy += t.busy_ns();
+                scm_used += t.media.scm_used();
+                nvme_used += t.media.nvme_used();
+                aggregated += t.media.aggregated_bytes();
             }
             reg.counter(&format!("media.e{i}.reads")).add(media.reads);
             reg.counter(&format!("media.e{i}.writes")).add(media.writes);
@@ -563,6 +647,10 @@ impl Deployment {
                 .add(media.bytes_read);
             reg.counter(&format!("media.e{i}.bytes_written"))
                 .add(media.bytes_written);
+            reg.counter(&format!("media.e{i}.scm_used")).add(scm_used);
+            reg.counter(&format!("media.e{i}.nvme_used")).add(nvme_used);
+            reg.counter(&format!("media.e{i}.aggregated_bytes"))
+                .add(aggregated);
             reg.counter(&format!("engine.e{i}.busy_ns")).add(busy);
         }
         let ops = self.pool.op_counts();

@@ -239,6 +239,9 @@ pub struct Observation {
     pub bytes_read: u64,
     /// Whether both run phases drained with no stranded task.
     pub quiescent: bool,
+    /// Whether every target's tier-occupancy accounting balanced:
+    /// foreground bytes ± migrated bytes = tier deltas (DESIGN.md §14).
+    pub media_conserved: bool,
 }
 
 fn describe(out: &Result<OpOutput, DaosError>) -> String {
@@ -396,12 +399,48 @@ pub fn run_program(program: &FuzzProgram, policy: SchedPolicy) -> Observation {
 /// (setup, actors, faults) runs to quiescence, then a synchronous audit
 /// phase dumps the final pool state.
 pub fn run_program_with(program: &FuzzProgram, entry: RosterEntry) -> Observation {
-    let sim = Sim::with_policy(entry.sched);
     let mut spec = ClusterSpec::tcp(1, 1);
     spec.retry = fuzz_retry_policy();
     spec.admission = entry.admission;
+    run_program_on(program, entry, spec, None)
+}
+
+/// [`run_program_with`] on a two-tier deployment: a deliberately small
+/// SCM write buffer in front of NVMe, with the background aggregation
+/// service running through the whole actor phase. Exercises the tier
+/// byte-conservation invariant and schedule invariance under migration
+/// contention.
+pub fn run_program_tiered(program: &FuzzProgram, entry: RosterEntry) -> Observation {
+    let mut spec = ClusterSpec::tcp(1, 1);
+    spec.retry = fuzz_retry_policy();
+    spec.admission = entry.admission;
+    // 2 MiB of SCM per socket — small enough that the setup phase alone
+    // crosses the aggregation high watermark.
+    spec.calibration.scm = daosim_media::ScmSpec {
+        capacity: 2 * 1024 * 1024,
+        ..daosim_media::ScmSpec::optane_gen1()
+    };
+    spec.tiering = daosim_media::TierPolicy {
+        nvme: Some(daosim_media::NvmeSpec::p4510_gen1()),
+        scm_threshold: 64 * 1024,
+        ..daosim_media::TierPolicy::tiered()
+    };
+    let agg = crate::tiering::AggregationConfig::operational(SimDuration::from_secs(2), 0x716E);
+    run_program_on(program, entry, spec, Some(agg))
+}
+
+fn run_program_on(
+    program: &FuzzProgram,
+    entry: RosterEntry,
+    spec: ClusterSpec,
+    aggregation: Option<crate::tiering::AggregationConfig>,
+) -> Observation {
+    let sim = Sim::with_policy(entry.sched);
     let d = Deployment::new(&sim, spec);
     program.faults.apply(&d);
+    if let Some(cfg) = aggregation {
+        crate::tiering::spawn_aggregation(&d, cfg);
+    }
 
     let shared = Rc::new(Shared {
         outcomes: RefCell::new(BTreeMap::new()),
@@ -518,11 +557,13 @@ pub fn run_program_with(program: &FuzzProgram, entry: RosterEntry) -> Observatio
     let outcomes = shared.outcomes.borrow().clone();
     let state = shared.state.borrow().clone();
     let bytes_read = *shared.bytes_read.borrow();
+    let media_conserved = (0..d.spec.pool_targets()).all(|t| d.target(t).media.conservation_ok());
     Observation {
         outcomes,
         state,
         bytes_read,
         quiescent: phase1.stranded_tasks == 0 && phase2.stranded_tasks == 0,
+        media_conserved,
     }
 }
 
@@ -651,10 +692,18 @@ fn first_diff(reference: &Observation, got: &Observation) -> Option<String> {
 }
 
 /// Absolute (non-differential) invariants on a single observation:
-/// quiescence, read-byte conservation and expected final array sizes.
+/// quiescence, read-byte conservation, media tier byte conservation and
+/// expected final array sizes.
 fn check_invariants(program: &FuzzProgram, obs: &Observation) -> Option<String> {
     if !obs.quiescent {
         return Some("run did not quiesce (stranded tasks: lost wakeup?)".into());
+    }
+    if !obs.media_conserved {
+        return Some(
+            "media byte conservation: a target's tier occupancy diverged from \
+             foreground + migrated bytes"
+                .into(),
+        );
     }
     if obs.bytes_read != program.expected_read_bytes() {
         return Some(format!(
@@ -815,6 +864,31 @@ mod tests {
             eprintln!("{}: {}\n  {}", f.seed, f.detail, f.repro());
         }
         assert!(report.ok(), "schedule-invariance violated");
+    }
+
+    #[test]
+    fn tiered_runs_conserve_bytes_and_replay_identically() {
+        // The two-tier deployment runs the same corpus with a 2 MiB SCM
+        // buffer and live aggregation: every target's occupancy must
+        // balance (foreground ± migrated = tier deltas), migration must
+        // actually happen, and the observation must replay bit-identical.
+        for seed in [1u64, 9] {
+            let program = generate_program(seed);
+            let entry = RosterEntry {
+                sched: SchedPolicy::Fifo,
+                admission: AdmissionPolicy::Fifo,
+            };
+            let a = run_program_tiered(&program, entry);
+            assert!(a.quiescent, "seed {seed}: tiered run stranded tasks");
+            assert!(a.media_conserved, "seed {seed}: tier bytes diverged");
+            assert!(
+                check_invariants(&program, &a).is_none(),
+                "seed {seed}: {:?}",
+                check_invariants(&program, &a)
+            );
+            let b = run_program_tiered(&program, entry);
+            assert_eq!(a, b, "seed {seed}: tiered replay diverged");
+        }
     }
 
     #[test]

@@ -17,10 +17,16 @@ pub mod deploy;
 pub mod fault;
 pub mod fuzz;
 pub mod rebuild;
+pub mod tiering;
 
 pub use calibration::Calibration;
 pub use client::{ClientMetrics, ClientOp, QosClass, SimClient, SimCont};
-pub use deploy::{BacklogGauge, ClusterSpec, Deployment, Engine, Target};
+pub use deploy::{BacklogGauge, ClusterSpec, ClusterSpecError, Deployment, Engine, Target};
+pub use tiering::{spawn_aggregation, AggregationConfig};
+// Media tier types travel with the spec that carries them.
+pub use daosim_media::{
+    MediaConfigError, MediaFull, NvmeSpec, ScmSpec, Tier, TierCounts, TierPolicy, TieredMedia,
+};
 pub use fault::{
     FaultEvent, FaultPlan, ResilienceReport, ResilienceStats, RetryPolicy, RetryPolicyBuilder,
 };

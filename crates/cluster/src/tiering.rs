@@ -1,0 +1,179 @@
+//! Background SCM→NVMe aggregation (DESIGN.md §14).
+//!
+//! Production DAOS runs an *aggregation* service per target: once the
+//! persistent-memory write buffer fills past a watermark, cold extents
+//! are merged and migrated down to the NVMe capacity tier, freeing SCM
+//! for fresh small writes. This module spawns that service as one
+//! seed-deterministic kernel task per target.
+//!
+//! Each tick the task asks its target's [`TieredMedia`] for a migration
+//! plan (watermark hysteresis lives in the media model); if there is
+//! work it acquires the target's service queue at `AdmissionClass::
+//! Normal` — behind foreground writers under writer-priority admission,
+//! interleaved FIFO otherwise — sleeps through the SCM-read plus
+//! NVMe-write media time, charges the target's busy accounting, and
+//! commits the occupancy move. Migration traffic therefore contends
+//! with foreground I/O for exactly the resources it would steal on real
+//! hardware.
+//!
+//! The tasks are horizon-bounded: they stop ticking at `cfg.horizon` of
+//! simulated time, so `run()` still quiesces. Per-target start phases
+//! are staggered by a `splitmix64` stream off `cfg.seed`, which keeps
+//! the schedule seed-deterministic while avoiding a thundering herd of
+//! simultaneous migrations.
+
+use std::rc::Rc;
+
+use daosim_kernel::rng::splitmix64;
+use daosim_kernel::sync::AdmissionClass;
+use daosim_kernel::{SimDuration, SimTime};
+
+use crate::deploy::Deployment;
+
+/// Configuration of the per-target aggregation service.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AggregationConfig {
+    /// Poll interval between migration opportunities.
+    pub interval: SimDuration,
+    /// Upper bound on bytes migrated per tick (one service-queue grant).
+    pub chunk_bytes: u64,
+    /// Simulated time at which the service stops ticking. Runs drive
+    /// this past the workload's end so drains complete, while keeping
+    /// the simulation quiescent-terminating.
+    pub horizon: SimDuration,
+    /// Seed for the per-target phase stagger.
+    pub seed: u64,
+}
+
+impl AggregationConfig {
+    /// Operational defaults: poll every 2 ms, migrate at most 256 KiB
+    /// per grant (small enough that foreground writers never stall long
+    /// behind a migration, large enough to outrun the fill rate of a
+    /// saturated writer fleet).
+    pub fn operational(horizon: SimDuration, seed: u64) -> Self {
+        AggregationConfig {
+            interval: SimDuration::from_millis(2),
+            chunk_bytes: 256 * 1024,
+            horizon,
+            seed,
+        }
+    }
+}
+
+/// Spawns one aggregation task per pool target. Call after
+/// [`Deployment::new`] and before `sim.run()`; the tasks exit on their
+/// own at `cfg.horizon`.
+pub fn spawn_aggregation(d: &Rc<Deployment>, cfg: AggregationConfig) {
+    let end = SimTime::ZERO + cfg.horizon;
+    for t in 0..d.spec.pool_targets() {
+        let d = d.clone();
+        let phase = SimDuration::from_nanos(
+            splitmix64(cfg.seed ^ t as u64) % cfg.interval.as_nanos().max(1),
+        );
+        d.sim.clone().spawn(async move {
+            d.sim.sleep(phase).await;
+            loop {
+                if d.sim.now() >= end {
+                    return;
+                }
+                d.sim.sleep(cfg.interval).await;
+                let target = d.target(t);
+                let Some(step) = target.media.plan_aggregation(cfg.chunk_bytes) else {
+                    continue;
+                };
+                let q = d.sim.span_leaf("media", "agg-queue");
+                let _p = target.sem.acquire_one(AdmissionClass::Normal).await;
+                q.end();
+                let _s = d.sim.span_leaf("media", "agg-migrate");
+                // The migration pays the SCM read and the NVMe write on
+                // this target's bandwidth shares, back to back, holding
+                // the service queue the whole time.
+                let dur = step.scm_read.saturating_add(step.nvme_write);
+                d.sim.sleep(dur).await;
+                target.charge_busy(dur.as_nanos());
+                target.media.commit_aggregation(step.bytes);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::ClusterSpec;
+    use daosim_media::{NvmeSpec, ScmSpec, TierPolicy};
+
+    /// A tiny tiered cluster: 2 targets, 64 KiB of SCM per socket.
+    fn tiered_spec() -> ClusterSpec {
+        let mut spec = ClusterSpec::tcp(1, 1);
+        spec.targets_per_engine = 1;
+        spec.calibration.scm = ScmSpec {
+            capacity: 64 * 1024,
+            ..ScmSpec::optane_gen1()
+        };
+        spec.tiering = TierPolicy {
+            nvme: Some(NvmeSpec::p4510_gen1()),
+            scm_threshold: 1 << 20,
+            ..TierPolicy::tiered()
+        };
+        spec
+    }
+
+    #[test]
+    fn aggregation_drains_scm_below_low_watermark() {
+        let sim = daosim_kernel::Sim::new();
+        let d = Deployment::new(&sim, tiered_spec());
+        // Fill target 0's SCM past the 75% high mark (48 KiB of 64 KiB).
+        d.target(0).media.charge_write(56 * 1024).unwrap();
+        assert!(d.target(0).media.needs_aggregation());
+        spawn_aggregation(
+            &d,
+            AggregationConfig::operational(SimDuration::from_secs(1), 7),
+        );
+        sim.run().expect_quiescent();
+        let m = &d.target(0).media;
+        assert!(
+            m.scm_used() <= 32 * 1024,
+            "scm_used {} still above the low mark",
+            m.scm_used()
+        );
+        assert!(m.aggregated_bytes() > 0);
+        assert_eq!(m.nvme_used(), m.tier_counts().aggregated_in);
+        assert!(m.conservation_ok());
+    }
+
+    #[test]
+    fn aggregation_idles_below_high_watermark() {
+        let sim = daosim_kernel::Sim::new();
+        let d = Deployment::new(&sim, tiered_spec());
+        d.target(0).media.charge_write(16 * 1024).unwrap();
+        spawn_aggregation(
+            &d,
+            AggregationConfig::operational(SimDuration::from_millis(50), 7),
+        );
+        sim.run().expect_quiescent();
+        assert_eq!(d.target(0).media.aggregated_bytes(), 0);
+        assert_eq!(d.target(0).media.scm_used(), 16 * 1024);
+    }
+
+    #[test]
+    fn aggregation_is_seed_deterministic() {
+        let run = || {
+            let sim = daosim_kernel::Sim::new();
+            let d = Deployment::new(&sim, tiered_spec());
+            d.target(0).media.charge_write(60 * 1024).unwrap();
+            d.target(1).media.charge_write(50 * 1024).unwrap();
+            spawn_aggregation(
+                &d,
+                AggregationConfig::operational(SimDuration::from_secs(1), 42),
+            );
+            sim.run().expect_quiescent();
+            (
+                sim.now(),
+                d.target(0).media.tier_counts(),
+                d.target(1).media.tier_counts(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -72,6 +72,7 @@ proptest! {
             calibration: daosim_cluster::Calibration::nextgenio(),
             retry: daosim_cluster::RetryPolicy::builder().build(),
             admission: daosim_kernel::AdmissionPolicy::Fifo,
+            tiering: daosim_media::TierPolicy::scm_only(),
         };
         let d = Deployment::new(&sim, spec);
         let errors: Rc<RefCell<Vec<String>>> = Rc::default();

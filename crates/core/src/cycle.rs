@@ -24,7 +24,9 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use bytes::Bytes;
-use daosim_cluster::{ClusterSpec, Deployment, FaultPlan, QosClass, SimClient};
+use daosim_cluster::{
+    spawn_aggregation, AggregationConfig, ClusterSpec, Deployment, FaultPlan, QosClass, SimClient,
+};
 use daosim_kernel::rng::splitmix64;
 use daosim_kernel::{AdmissionPolicy, CounterHandle, MetricsRegistry, Sim, SimDuration};
 
@@ -82,6 +84,10 @@ pub struct CycleConfig {
     /// Service-queue admission policy the deployment enforces for this
     /// cycle (FIFO, or writer-priority QoS barging).
     pub admission: AdmissionPolicy,
+    /// Background SCM→NVMe aggregation service, if the deployment's
+    /// media is tiered. `None` leaves migration off even on tiered
+    /// media (the capacity tier only fills by write-buffer spill).
+    pub aggregation: Option<AggregationConfig>,
     pub seed: u64,
 }
 
@@ -122,6 +128,7 @@ impl CycleConfig {
             read_window: 4,
             reads_per_step: 3,
             admission: AdmissionPolicy::Fifo,
+            aggregation: None,
             seed: 7,
         }
     }
@@ -231,6 +238,13 @@ impl CycleConfigBuilder {
 
     pub fn seed(mut self, seed: u64) -> Self {
         self.cfg.seed = seed;
+        self
+    }
+
+    /// Enables the background SCM→NVMe aggregation service for the run
+    /// (meaningful only when the spec's media is tiered).
+    pub fn aggregation(mut self, cfg: Option<AggregationConfig>) -> Self {
+        self.cfg.aggregation = cfg;
         self
     }
 
@@ -357,6 +371,12 @@ pub struct CycleOutcome {
     pub backlog_series: Vec<(u64, u64)>,
     pub fields_written: u64,
     pub fields_read: u64,
+    /// Pool-wide SCM write-buffer occupancy at cycle end (bytes).
+    pub scm_used: u64,
+    /// Pool-wide NVMe capacity-tier occupancy at cycle end (bytes).
+    pub nvme_used: u64,
+    /// Pool-wide bytes the aggregation service migrated SCM→NVMe.
+    pub aggregated_bytes: u64,
     pub resilience: ResilienceCounters,
 }
 
@@ -392,6 +412,9 @@ fn run_cycle_inner(
     let d = Deployment::new(&sim, spec);
     if let Some(plan) = faults {
         plan.apply(&d);
+    }
+    if let Some(agg) = cfg.aggregation {
+        spawn_aggregation(&d, agg);
     }
     let procs = cfg.writers + cfg.readers;
     let ppn = procs.div_ceil(spec.client_nodes as u32);
@@ -569,6 +592,13 @@ fn run_cycle_inner(
             .unwrap_or(0.0)
     };
     let rr = d.resilience().report();
+    let (mut scm_used, mut nvme_used, mut aggregated_bytes) = (0u64, 0u64, 0u64);
+    for t in 0..d.spec.pool_targets() {
+        let m = &d.target(t).media;
+        scm_used += m.scm_used();
+        nvme_used += m.nvme_used();
+        aggregated_bytes += m.aggregated_bytes();
+    }
     let outcome = CycleOutcome {
         layout: cfg.layout,
         admission: cfg.admission,
@@ -585,6 +615,9 @@ fn run_cycle_inner(
         backlog_series: series.take(),
         fields_written: fields_written.get(),
         fields_read: fields_read.get(),
+        scm_used,
+        nvme_used,
+        aggregated_bytes,
         resilience: ResilienceCounters {
             retries: rr.retries,
             timeouts: rr.timeouts,

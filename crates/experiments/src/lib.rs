@@ -18,6 +18,7 @@ pub mod rebuild_xp;
 pub mod replication;
 pub mod sched_fuzz_xp;
 pub mod tables;
+pub mod tiering_xp;
 pub mod window_sweep;
 
 use std::io::Write;
@@ -31,7 +32,7 @@ use daosim_kernel::SimDuration;
 use harness::{Report, Scale};
 
 /// Every experiment by name.
-pub const EXPERIMENTS: [&str; 17] = [
+pub const EXPERIMENTS: [&str; 18] = [
     "table1",
     "table2",
     "fig3",
@@ -49,6 +50,7 @@ pub const EXPERIMENTS: [&str; 17] = [
     "sched-fuzz",
     "kernel-bench",
     "nwp-cycle",
+    "tiering",
 ];
 
 /// Runs one experiment by name.
@@ -71,6 +73,7 @@ pub fn run_experiment(name: &str, scale: &Scale) -> Vec<Report> {
         "sched-fuzz" => vec![sched_fuzz_xp::sched_fuzz(scale)],
         "kernel-bench" => vec![kernel_bench_xp::kernel_bench(scale)],
         "nwp-cycle" => vec![nwp_cycle_xp::nwp_cycle(scale)],
+        "tiering" => vec![tiering_xp::tiering(scale)],
         other => panic!("unknown experiment {other:?}; known: {EXPERIMENTS:?}"),
     }
 }

@@ -148,6 +148,7 @@ pub fn table1(scale: &Scale) -> Report {
             calibration: daosim_cluster::Calibration::nextgenio(),
             retry: daosim_cluster::RetryPolicy::builder().build(),
             admission: daosim_kernel::AdmissionPolicy::Fifo,
+            tiering: daosim_cluster::TierPolicy::scm_only(),
         };
         let params = IorParams {
             transfer_bytes: MIB,

@@ -1,0 +1,336 @@
+//! Two-tier media under the saturated NWP cycle: SCM-only vs SCM+NVMe,
+//! with the background aggregation service on and off.
+//!
+//! The paper's NEXTGenIO testbed is SCM-only, but production DAOS pairs
+//! the persistent-memory write buffer with an NVMe capacity tier and a
+//! per-target aggregation service that migrates cold extents down once
+//! the buffer fills past a watermark (DESIGN.md §14). This experiment
+//! reruns the saturated shared-index `nwp-cycle` workload over the
+//! {scm-only, tiered} × {aggregation on, off} grid with the write
+//! buffer shrunk far below the cycle's foreground volume, so the tier
+//! split actually engages: spill writes pay NVMe media time, reads pay
+//! the occupancy-weighted NVMe mixture, and with aggregation on the
+//! migration traffic contends with foreground I/O on the same target
+//! service queues — the *aggregation-induced tail inflation* the
+//! artifact quantifies. Everything is sim-derived and seed-fixed, so
+//! reruns are byte-identical.
+
+use std::fmt::Write as _;
+
+use daosim_cluster::{AggregationConfig, ClusterSpec, NvmeSpec, ScmSpec, TierPolicy};
+use daosim_core::cycle::{run_nwp_cycle, CycleConfig, CycleOutcome, IndexLayout};
+use daosim_kernel::{AdmissionPolicy, SimDuration};
+
+use crate::harness::{parallel_map, Report, Scale};
+
+const MIB: u64 = 1024 * 1024;
+
+/// Per-socket SCM budget for the tiered rows: 12 MiB per socket = 1 MiB
+/// per target (12 targets/engine), far below the cycle's foreground
+/// volume so the write buffer fills and the watermark machinery runs.
+const TIERED_SCM_PER_SOCKET: u64 = 12 * MIB;
+
+/// Placement threshold for the tiered rows: every cycle shard prefers
+/// the write buffer (production small-I/O behaviour); NVMe fills by
+/// spill and by aggregation, not by direct placement.
+const TIERED_SCM_THRESHOLD: u64 = MIB;
+
+/// The experiment's deployment — same one-server/two-client-node shape
+/// as `nwp-cycle`; the tiered rows swap the media configuration only.
+fn spec(tiered: bool) -> ClusterSpec {
+    let mut spec = ClusterSpec::tcp(1, 2);
+    if tiered {
+        spec.calibration.scm = ScmSpec {
+            capacity: TIERED_SCM_PER_SOCKET,
+            ..spec.calibration.scm
+        };
+        // Aggressive watermarks: a single 512 KiB field parks a target
+        // slice at 50% occupancy — under the default 75% high mark the
+        // service would never activate while every further write
+        // spills. 30%/10% makes any resident field eligible for
+        // migration, which is the regime the experiment measures.
+        spec.tiering = TierPolicy {
+            nvme: Some(NvmeSpec::p4510_gen1()),
+            scm_threshold: TIERED_SCM_THRESHOLD,
+            high_watermark: 0.30,
+            low_watermark: 0.10,
+        };
+    }
+    spec
+}
+
+/// The saturated shared-index cycle shape from `nwp-cycle` (FIFO
+/// admission), with the aggregation service optionally enabled. The
+/// cycle is backlogged — it finishes steps well past the nominal
+/// `steps × interval` — so the aggregation horizon runs 4× that span:
+/// the service must outlive the congested tail of the workload, where
+/// most writes are actually serviced (and most SCM fills happen), and
+/// still leave the simulation quiescent-terminating. Aggregation-on
+/// rows therefore report `end_secs` = the horizon when it exceeds the
+/// workload's own end.
+fn cycle_config(scale: &Scale, aggregation: bool) -> CycleConfig {
+    let mut b = CycleConfig::builder(IndexLayout::Shared)
+        .writers(6)
+        .readers(32)
+        .steps(3)
+        .fields_per_step(3)
+        .field_bytes(512 * 1024)
+        .step_interval(SimDuration::from_millis(16))
+        .write_window(4)
+        .read_window(8)
+        .reads_per_step(8);
+    if scale.ops_per_proc >= 30 {
+        b = b
+            .writers(8)
+            .readers(48)
+            .steps(4)
+            .fields_per_step(4)
+            .step_interval(SimDuration::from_millis(25))
+            .write_window(8);
+    }
+    let cfg = b
+        .admission(AdmissionPolicy::Fifo)
+        .build()
+        .expect("experiment cycle shape is statically nonzero");
+    let horizon =
+        SimDuration::from_nanos(cfg.step_interval.as_nanos() * (cfg.steps as u64 + 1) * 4);
+    CycleConfig {
+        aggregation: aggregation.then(|| AggregationConfig::operational(horizon, 0xA66)),
+        ..cfg
+    }
+}
+
+/// One grid point: `(tiered media, aggregation service on)`.
+type Config = (bool, bool);
+
+fn configs() -> Vec<Config> {
+    vec![(false, false), (false, true), (true, false), (true, true)]
+}
+
+fn media_name(tiered: bool) -> &'static str {
+    if tiered {
+        "tiered"
+    } else {
+        "scm-only"
+    }
+}
+
+fn p50_p99(lat: &Option<daosim_core::metrics::LatencyStats>) -> (f64, f64) {
+    lat.as_ref().map_or((0.0, 0.0), |l| (l.p50_us, l.p99_us))
+}
+
+/// Runs the four grid points and renders the report plus the
+/// `BENCH_tiering.json` artifact.
+pub fn tiering(scale: &Scale) -> Report {
+    let results: Vec<(Config, CycleOutcome)> = parallel_map(configs(), |&(tiered, agg)| {
+        let cfg = cycle_config(scale, agg);
+        let out = run_nwp_cycle(spec(tiered), &cfg, None).expect("valid cycle config");
+        ((tiered, agg), out)
+    });
+
+    let cfg = cycle_config(scale, false);
+    let mut rep = Report::new(
+        "tiering",
+        "Extension: two-tier SCM+NVMe media — write-buffer spill and background aggregation under the saturated shared-index cycle",
+        &[
+            "media",
+            "aggregation",
+            "writer_p99_us",
+            "reader_p99_us",
+            "missed_deadlines",
+            "scm_used_mib",
+            "nvme_used_mib",
+            "aggregated_mib",
+            "secs",
+        ],
+    );
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"experiment\": \"tiering\",");
+    let _ = writeln!(
+        json,
+        "  \"cluster\": \"tcp(server_nodes=1, client_nodes=2)\","
+    );
+    let _ = writeln!(json, "  \"layout\": \"shared-index\",");
+    let _ = writeln!(json, "  \"admission\": \"fifo\",");
+    let _ = writeln!(json, "  \"writers\": {},", cfg.writers);
+    let _ = writeln!(json, "  \"readers\": {},", cfg.readers);
+    let _ = writeln!(json, "  \"steps\": {},", cfg.steps);
+    let _ = writeln!(json, "  \"fields_per_step\": {},", cfg.fields_per_step);
+    let _ = writeln!(json, "  \"field_bytes\": {},", cfg.field_bytes);
+    let _ = writeln!(
+        json,
+        "  \"step_interval_ms\": {},",
+        cfg.step_interval.as_nanos() / 1_000_000
+    );
+    let _ = writeln!(
+        json,
+        "  \"tiered_scm_per_socket\": {TIERED_SCM_PER_SOCKET},"
+    );
+    let _ = writeln!(json, "  \"tiered_scm_threshold\": {TIERED_SCM_THRESHOLD},");
+    let _ = writeln!(json, "  \"rows\": [");
+    for (i, ((tiered, agg), out)) in results.iter().enumerate() {
+        let (wp50, wp99) = p50_p99(&out.writer_lat);
+        let (rp50, rp99) = p50_p99(&out.reader_lat);
+        rep.row(vec![
+            media_name(*tiered).to_string(),
+            agg.to_string(),
+            format!("{wp99:.1}"),
+            format!("{rp99:.1}"),
+            out.deadlines_missed.to_string(),
+            format!("{:.2}", out.scm_used as f64 / MIB as f64),
+            format!("{:.2}", out.nvme_used as f64 / MIB as f64),
+            format!("{:.2}", out.aggregated_bytes as f64 / MIB as f64),
+            format!("{:.4}", out.end_secs),
+        ]);
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"media\": \"{}\",", media_name(*tiered));
+        let _ = writeln!(json, "      \"aggregation\": {agg},");
+        let _ = writeln!(json, "      \"end_secs\": {},", out.end_secs);
+        let _ = writeln!(json, "      \"writer_p50_us\": {wp50},");
+        let _ = writeln!(json, "      \"writer_p99_us\": {wp99},");
+        let _ = writeln!(json, "      \"reader_p50_us\": {rp50},");
+        let _ = writeln!(json, "      \"reader_p99_us\": {rp99},");
+        let _ = writeln!(
+            json,
+            "      \"writer_class_p99_us\": {},",
+            out.writer_p99_us
+        );
+        let _ = writeln!(
+            json,
+            "      \"reader_class_p99_us\": {},",
+            out.reader_p99_us
+        );
+        let _ = writeln!(json, "      \"deadlines_met\": {},", out.deadlines_met);
+        let _ = writeln!(
+            json,
+            "      \"deadlines_missed\": {},",
+            out.deadlines_missed
+        );
+        let _ = writeln!(json, "      \"backlog_peak\": {},", out.backlog_peak);
+        let _ = writeln!(json, "      \"scm_used\": {},", out.scm_used);
+        let _ = writeln!(json, "      \"nvme_used\": {},", out.nvme_used);
+        let _ = writeln!(
+            json,
+            "      \"aggregated_bytes\": {},",
+            out.aggregated_bytes
+        );
+        let _ = writeln!(json, "      \"fields_written\": {},", out.fields_written);
+        let _ = writeln!(json, "      \"fields_read\": {},", out.fields_read);
+        let _ = writeln!(
+            json,
+            "      \"failed_writes\": {},",
+            out.resilience.failed_writes
+        );
+        let _ = writeln!(
+            json,
+            "      \"failed_reads\": {}",
+            out.resilience.failed_reads
+        );
+        let _ = writeln!(json, "    }}{comma}");
+    }
+    let _ = writeln!(json, "  ],");
+
+    // The headline figures. Tier cost: tiered/agg-off vs scm-only (both
+    // clean FIFO) — what the shrunken write buffer plus NVMe spill does
+    // to the writer tail. Aggregation tail inflation: tiered/agg-on vs
+    // tiered/agg-off — what the migration traffic's service-queue grants
+    // add on top.
+    let scm_only = &results[0].1;
+    let agg_off = &results[2].1;
+    let agg_on = &results[3].1;
+    let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
+    let (_, scm_wp99) = p50_p99(&scm_only.writer_lat);
+    let (_, off_wp99) = p50_p99(&agg_off.writer_lat);
+    let (_, on_wp99) = p50_p99(&agg_on.writer_lat);
+    let (_, off_rp99) = p50_p99(&agg_off.reader_lat);
+    let (_, on_rp99) = p50_p99(&agg_on.reader_lat);
+    let tier_cost = ratio(off_wp99, scm_wp99);
+    let w_inflation = ratio(on_wp99, off_wp99);
+    let r_inflation = ratio(on_rp99, off_rp99);
+    let _ = writeln!(json, "  \"aggregation_tail\": {{");
+    let _ = writeln!(
+        json,
+        "    \"tiered_over_scm_writer_p99_ratio\": {tier_cost},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"agg_on_over_off_writer_p99_ratio\": {w_inflation},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"agg_on_over_off_reader_p99_ratio\": {r_inflation},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"aggregated_bytes\": {},",
+        agg_on.aggregated_bytes
+    );
+    let _ = writeln!(json, "    \"scm_used_agg_on\": {},", agg_on.scm_used);
+    let _ = writeln!(json, "    \"scm_used_agg_off\": {}", agg_off.scm_used);
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    rep.note(format!(
+        "{} writers x {} steps x {} fields ({} KiB) vs {} readers on a {} MiB/socket write buffer; \
+         tiered/agg-off writer p99 is {tier_cost:.2}x scm-only; aggregation migrates {:.2} MiB \
+         and inflates writer p99 {w_inflation:.2}x, reader p99 {r_inflation:.2}x over agg-off",
+        cfg.writers,
+        cfg.steps,
+        cfg.fields_per_step,
+        cfg.field_bytes / 1024,
+        cfg.readers,
+        TIERED_SCM_PER_SOCKET / MIB,
+        agg_on.aggregated_bytes as f64 / MIB as f64,
+    ));
+    rep.artifact("BENCH_tiering.json", json);
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_the_media_by_aggregation_grid() {
+        let rep = tiering(&Scale::quick());
+        assert_eq!(rep.rows().len(), 4, "2 media x aggregation on/off");
+        assert_eq!(rep.artifacts().len(), 1);
+        assert_eq!(rep.artifacts()[0].0, "BENCH_tiering.json");
+        // scm-only rows must never touch the capacity tier; the
+        // aggregation service without an NVMe tier is inert.
+        for row in &rep.rows()[..2] {
+            assert_eq!(row[0], "scm-only");
+            assert_eq!(row[6], "0.00", "scm-only row used NVMe: {row:?}");
+            assert_eq!(row[7], "0.00", "scm-only row aggregated: {row:?}");
+        }
+    }
+
+    #[test]
+    fn tiered_rows_spill_and_aggregation_migrates() {
+        let rep = tiering(&Scale::quick());
+        let rows = rep.rows();
+        let mib = |s: &str| s.parse::<f64>().unwrap();
+        // The write buffer is sized far below the cycle's foreground
+        // volume: both tiered rows must land bytes on NVMe.
+        assert!(mib(&rows[2][6]) > 0.0, "agg-off spilled nothing: {rows:?}");
+        assert!(mib(&rows[3][6]) > 0.0, "agg-on spilled nothing: {rows:?}");
+        // With the service off nothing migrates; on, it must move real
+        // bytes and leave SCM no fuller than the agg-off run.
+        assert_eq!(mib(&rows[2][7]), 0.0);
+        assert!(mib(&rows[3][7]) > 0.0, "aggregation never ran: {rows:?}");
+        assert!(
+            mib(&rows[3][5]) <= mib(&rows[2][5]),
+            "aggregation must drain the write buffer: {rows:?}"
+        );
+    }
+
+    #[test]
+    fn tiering_experiment_is_deterministic() {
+        let a = tiering(&Scale::quick());
+        let b = tiering(&Scale::quick());
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.artifacts(), b.artifacts());
+    }
+}

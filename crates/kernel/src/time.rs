@@ -62,6 +62,12 @@ impl SimTime {
 impl SimDuration {
     pub const ZERO: SimDuration = SimDuration(0);
 
+    /// The longest representable duration (~584 simulated years). Used as
+    /// the saturation cap by [`SimDuration::saturating_from_secs_f64`] and
+    /// [`SimDuration::saturating_add`] so pathological byte counts degrade
+    /// to "effectively forever" instead of panicking mid-simulation.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
     #[inline]
     pub const fn from_nanos(ns: u64) -> Self {
         SimDuration(ns)
@@ -94,6 +100,26 @@ impl SimDuration {
         SimDuration(ns as u64)
     }
 
+    /// Like [`SimDuration::from_secs_f64`], but saturating: a non-finite
+    /// or nanosecond-overflowing second count clamps to
+    /// [`SimDuration::MAX`], and a negative one clamps to
+    /// [`SimDuration::ZERO`]. In the non-saturating range the result is
+    /// bit-identical to `from_secs_f64` (same ceil, same cast), so timing
+    /// models can switch over without perturbing calibrated runs.
+    pub fn saturating_from_secs_f64(secs: f64) -> Self {
+        if secs.is_nan() || secs == f64::INFINITY {
+            return SimDuration::MAX;
+        }
+        if secs <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        let ns = (secs * NS_PER_SEC as f64).ceil();
+        if ns >= u64::MAX as f64 {
+            return SimDuration::MAX;
+        }
+        SimDuration(ns as u64)
+    }
+
     #[inline]
     pub const fn as_nanos(self) -> u64 {
         self.0
@@ -107,6 +133,11 @@ impl SimDuration {
     #[inline]
     pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
         SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    #[inline]
+    pub fn saturating_add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
     }
 
     #[inline]
@@ -222,5 +253,50 @@ mod tests {
         assert_eq!(SimDuration::from_millis(3).as_nanos(), 3_000_000);
         assert_eq!(SimDuration::from_secs(2).as_secs_f64(), 2.0);
         assert_eq!(SimTime::from_nanos(NS_PER_SEC).as_secs_f64(), 1.0);
+    }
+
+    #[test]
+    fn saturating_from_secs_f64_matches_in_range() {
+        // Bit-identical to from_secs_f64 everywhere the latter accepts.
+        for secs in [0.0, 1.5e-9, 1.0, 1234.567, 1e9] {
+            assert_eq!(
+                SimDuration::saturating_from_secs_f64(secs),
+                SimDuration::from_secs_f64(secs),
+                "diverged at {secs}"
+            );
+        }
+    }
+
+    #[test]
+    fn saturating_from_secs_f64_clamps_extremes() {
+        assert_eq!(
+            SimDuration::saturating_from_secs_f64(f64::INFINITY),
+            SimDuration::MAX
+        );
+        assert_eq!(
+            SimDuration::saturating_from_secs_f64(f64::NAN),
+            SimDuration::MAX
+        );
+        // Just over the representable range in seconds (u64::MAX ns).
+        assert_eq!(
+            SimDuration::saturating_from_secs_f64(2e10),
+            SimDuration::MAX
+        );
+        assert_eq!(
+            SimDuration::saturating_from_secs_f64(-5.0),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn saturating_add_clamps() {
+        assert_eq!(
+            SimDuration::MAX.saturating_add(SimDuration::from_nanos(1)),
+            SimDuration::MAX
+        );
+        assert_eq!(
+            SimDuration::from_nanos(2).saturating_add(SimDuration::from_nanos(3)),
+            SimDuration::from_nanos(5)
+        );
     }
 }

@@ -14,8 +14,8 @@ use std::process::exit;
 
 use daosim_tools::{
     cmd_failure_drill, cmd_fuzz, cmd_get, cmd_info, cmd_init, cmd_ior_interfaces, cmd_list,
-    cmd_nwp_cycle, cmd_put, cmd_retrieve, cmd_simulate, cmd_synth_trace, cmd_trace, cmd_wipe,
-    Outcome,
+    cmd_nwp_cycle, cmd_put, cmd_retrieve, cmd_simulate, cmd_synth_trace, cmd_tiering, cmd_trace,
+    cmd_wipe, Outcome,
 };
 
 fn usage() -> ! {
@@ -37,7 +37,9 @@ fn usage() -> ! {
          nwp-cycle   [--writers N] [--readers N] [--steps N] [--fields N] [--kib N]\n\
                      [--interval-ms N] [--layout shared|per-process|both]\n\
                      [--admission fifo|writer-priority|both] [--seed S] [--faults]\n\
-         ior-interfaces [--segments N] [--ppn N] [--transfer-kib A,B,...]"
+         ior-interfaces [--segments N] [--ppn N] [--transfer-kib A,B,...]\n\
+         tiering     [--writers N] [--readers N] [--steps N] [--fields N] [--kib N]\n\
+                     [--interval-ms N] [--scm-mib N] [--threshold-kib N] [--seed S]"
     );
     exit(2);
 }
@@ -161,6 +163,59 @@ fn main() {
                 exit(0);
             }
             Ok(_) => unreachable!("cmd_nwp_cycle returns Outcome::Cycled"),
+            Err(e) => {
+                eprintln!("daosctl: {e}");
+                exit(1);
+            }
+        }
+    }
+    // `tiering` also takes no archive: it sweeps the two-tier media grid
+    // on the simulated cluster.
+    if args.first().map(String::as_str) == Some("tiering") {
+        let rest = &args[1..];
+        let result = cmd_tiering(
+            parse_flag(rest, "--writers", 4u32),
+            parse_flag(rest, "--readers", 8u32),
+            parse_flag(rest, "--steps", 2u32),
+            parse_flag(rest, "--fields", 3u32),
+            parse_flag(rest, "--kib", 512),
+            parse_flag(rest, "--interval-ms", 16),
+            parse_flag(rest, "--scm-mib", 12),
+            parse_flag(rest, "--threshold-kib", 1024),
+            parse_flag(rest, "--seed", 7),
+        );
+        match result {
+            Ok(Outcome::Tiered { rows }) => {
+                println!(
+                    "{:<9} {:<11} {:>13} {:>13} {:>6} {:>12} {:>13} {:>14} {:>8}",
+                    "media",
+                    "aggregation",
+                    "writer-p99-us",
+                    "reader-p99-us",
+                    "missed",
+                    "scm-used-kib",
+                    "nvme-used-kib",
+                    "aggregated-kib",
+                    "secs"
+                );
+                for r in &rows {
+                    let o = &r.outcome;
+                    println!(
+                        "{:<9} {:<11} {:>13.1} {:>13.1} {:>6} {:>12} {:>13} {:>14} {:>8.4}",
+                        r.media,
+                        r.aggregation,
+                        o.writer_p99_us,
+                        o.reader_p99_us,
+                        o.deadlines_missed,
+                        o.scm_used / 1024,
+                        o.nvme_used / 1024,
+                        o.aggregated_bytes / 1024,
+                        o.end_secs
+                    );
+                }
+                exit(0);
+            }
+            Ok(_) => unreachable!("cmd_tiering returns Outcome::Tiered"),
             Err(e) => {
                 eprintln!("daosctl: {e}");
                 exit(1);
@@ -410,6 +465,9 @@ fn main() {
         }
         Ok(Outcome::Interfaces { .. }) => {
             unreachable!("ior-interfaces is handled before the archive parse")
+        }
+        Ok(Outcome::Tiered { .. }) => {
+            unreachable!("tiering is handled before the archive parse")
         }
         Err(e) => {
             eprintln!("daosctl: {e}");
